@@ -1,0 +1,125 @@
+// Microbenchmarks for the storage substrate: DataCollection serialization
+// and IntermediateStore put/get throughput. These costs are the "l_i" side
+// of every optimizer decision, so their absolute magnitudes matter for
+// interpreting the figure benchmarks.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "dataflow/data_collection.h"
+#include "storage/store.h"
+
+namespace helix {
+namespace {
+
+using dataflow::DataCollection;
+using dataflow::ExamplesData;
+using dataflow::Schema;
+using dataflow::TableData;
+using dataflow::Value;
+
+DataCollection MakeTable(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  auto table = std::make_shared<TableData>(
+      Schema::AllStrings({"a", "b", "c", "d"}));
+  table->Reserve(rows);
+  for (int64_t i = 0; i < rows; ++i) {
+    (void)table->AppendRow({Value(StrFormat("row-%lld", (long long)i)),
+                            Value(StrFormat("val-%llu", (unsigned long long)
+                                            rng.NextBelow(1000))),
+                            Value(StrFormat("%llu", (unsigned long long)
+                                            rng.NextU64())),
+                            Value(std::string(24, 'x'))});
+  }
+  return DataCollection::FromTable(std::move(table));
+}
+
+DataCollection MakeExamples(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  auto data = std::make_shared<ExamplesData>();
+  for (int j = 0; j < 2000; ++j) {
+    data->mutable_dict()->Intern(StrFormat("feature_%d", j));
+  }
+  data->Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    dataflow::Example e;
+    e.id = i;
+    e.label = rng.NextBool() ? 1.0 : 0.0;
+    for (int k = 0; k < 12; ++k) {
+      e.features.Set(static_cast<int32_t>(rng.NextBelow(2000)), 1.0);
+    }
+    data->Add(std::move(e));
+  }
+  return DataCollection::FromExamples(std::move(data));
+}
+
+void BM_SerializeTable(benchmark::State& state) {
+  DataCollection data = MakeTable(state.range(0), 1);
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string s = data.SerializeToString();
+    bytes += static_cast<int64_t>(s.size());
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_SerializeTable)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DeserializeTable(benchmark::State& state) {
+  std::string bytes = MakeTable(state.range(0), 1).SerializeToString();
+  int64_t processed = 0;
+  for (auto _ : state) {
+    auto restored = DataCollection::DeserializeFromString(bytes);
+    benchmark::DoNotOptimize(restored);
+    processed += static_cast<int64_t>(bytes.size());
+  }
+  state.SetBytesProcessed(processed);
+}
+BENCHMARK(BM_DeserializeTable)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SerializeExamples(benchmark::State& state) {
+  DataCollection data = MakeExamples(state.range(0), 2);
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string s = data.SerializeToString();
+    bytes += static_cast<int64_t>(s.size());
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_SerializeExamples)->Arg(10000)->Arg(50000);
+
+void BM_StorePutGet(benchmark::State& state) {
+  bench::TempWorkspace workspace("helix-store-bench");
+  storage::StoreOptions options;
+  options.budget_bytes = 4LL << 30;
+  auto store = bench::ValueOrDie(
+      storage::IntermediateStore::Open(workspace.dir(), options), "open");
+  DataCollection data = MakeTable(state.range(0), 3);
+  uint64_t sig = 1;
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    bench::CheckOk(store->Put(sig, "bench", data, 0), "put");
+    auto loaded = store->Get(sig);
+    benchmark::DoNotOptimize(loaded);
+    bench::CheckOk(store->Remove(sig), "remove");
+    ++sig;
+    bytes += data.SizeBytes();
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_StorePutGet)->Arg(1000)->Arg(20000);
+
+void BM_FingerprintTable(benchmark::State& state) {
+  DataCollection data = MakeTable(state.range(0), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data.Fingerprint());
+  }
+}
+BENCHMARK(BM_FingerprintTable)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace helix
+
+BENCHMARK_MAIN();

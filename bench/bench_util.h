@@ -1,0 +1,107 @@
+// Shared helpers for the figure-reproduction benchmark harnesses.
+#ifndef HELIX_BENCH_BENCH_UTIL_H_
+#define HELIX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/status.h"
+
+namespace helix {
+namespace bench {
+
+/// Aborts the benchmark with a message on error (benchmarks have no
+/// recovery path; a failed setup must be loud).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Scoped temporary directory for benchmark workspaces.
+class TempWorkspace {
+ public:
+  explicit TempWorkspace(const char* prefix)
+      : dir_(ValueOrDie(MakeTempDir(prefix), "mktemp")) {}
+  ~TempWorkspace() { (void)RemoveDirRecursively(dir_); }
+
+  const std::string& dir() const { return dir_; }
+  std::string Path(const std::string& name) const {
+    return JoinPath(dir_, name);
+  }
+
+ private:
+  std::string dir_;
+};
+
+/// One system's cumulative-runtime series across iterations; -1 marks a
+/// missing data point (system cannot express the iteration, cf. DeepDive
+/// in paper Figure 2b).
+struct Series {
+  std::string name;
+  std::vector<double> iteration_ms;  // -1 = n/a
+  std::vector<double> cumulative_ms;
+};
+
+/// Prints paper-style series as an aligned table plus CSV rows (machine
+/// readable, prefixed with "csv,").
+inline void PrintFigure(const std::string& title,
+                        const std::vector<std::string>& iteration_labels,
+                        const std::vector<std::string>& iteration_types,
+                        const std::vector<Series>& series) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-4s %-11s", "iter", "type");
+  for (const Series& s : series) {
+    std::printf(" | %13s %13s", (s.name + " ms").c_str(),
+                (s.name + " cum").c_str());
+  }
+  std::printf("   %s\n", "description");
+  for (size_t i = 0; i < iteration_labels.size(); ++i) {
+    std::printf("%-4zu %-11s", i, iteration_types[i].c_str());
+    for (const Series& s : series) {
+      if (i < s.iteration_ms.size() && s.iteration_ms[i] >= 0) {
+        std::printf(" | %13.1f %13.1f", s.iteration_ms[i],
+                    s.cumulative_ms[i]);
+      } else {
+        std::printf(" | %13s %13s", "na", "na");
+      }
+    }
+    std::printf("   %s\n", iteration_labels[i].c_str());
+  }
+  // CSV block for plotting.
+  std::printf("csv,iter,type");
+  for (const Series& s : series) {
+    std::printf(",%s_ms,%s_cum", s.name.c_str(), s.name.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < iteration_labels.size(); ++i) {
+    std::printf("csv,%zu,%s", i, iteration_types[i].c_str());
+    for (const Series& s : series) {
+      if (i < s.iteration_ms.size() && s.iteration_ms[i] >= 0) {
+        std::printf(",%.3f,%.3f", s.iteration_ms[i], s.cumulative_ms[i]);
+      } else {
+        std::printf(",na,na");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace helix
+
+#endif  // HELIX_BENCH_BENCH_UTIL_H_

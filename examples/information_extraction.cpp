@@ -1,0 +1,133 @@
+// The Information Extraction application (paper Section 3, application 2):
+// person-mention extraction from synthetic news articles, iterated through
+// feature-engineering, ML, and post-processing edits.
+//
+// Prints extracted mentions from a sample document after each feature
+// iteration, showing extraction quality (span F1) improving as features
+// are added while HELIX keeps iteration latency low through reuse.
+//
+//   ./examples/information_extraction [num_docs] [epochs]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/ie_app.h"
+#include "baselines/baselines.h"
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "core/plan_viz.h"
+#include "core/session.h"
+#include "datagen/news_gen.h"
+
+namespace {
+
+int Fail(const helix::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Prints a document's text with predicted mentions bracketed.
+void PrintAnnotated(const helix::dataflow::Document& doc,
+                    const std::vector<helix::dataflow::Span>& spans) {
+  std::string out;
+  size_t pos = 0;
+  for (const helix::dataflow::Span& s : spans) {
+    if (static_cast<size_t>(s.begin) < pos) {
+      continue;
+    }
+    out += doc.text.substr(pos, static_cast<size_t>(s.begin) - pos);
+    out += "[";
+    out += doc.text.substr(static_cast<size_t>(s.begin),
+                           static_cast<size_t>(s.end - s.begin));
+    out += "]";
+    pos = static_cast<size_t>(s.end);
+  }
+  out += doc.text.substr(pos);
+  std::printf("  %s\n", out.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace helix;  // NOLINT
+
+  int64_t num_docs = argc > 1 ? std::atoll(argv[1]) : 300;
+  int epochs = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  auto workspace = MakeTempDir("helix-ie");
+  if (!workspace.ok()) {
+    return Fail(workspace.status());
+  }
+  std::string corpus_path = JoinPath(workspace.value(), "news.dat");
+  datagen::NewsGenOptions gen;
+  gen.num_docs = num_docs;
+  Status wrote = datagen::WriteNewsCorpus(gen, corpus_path);
+  if (!wrote.ok()) {
+    return Fail(wrote);
+  }
+  std::printf("generated %lld news documents\n",
+              static_cast<long long>(num_docs));
+
+  core::SessionOptions options = baselines::MakeSessionOptions(
+      baselines::SystemKind::kHelix, JoinPath(workspace.value(), "ws"),
+      1LL << 30, SystemClock::Default());
+  auto session = core::Session::Open(options);
+  if (!session.ok()) {
+    return Fail(session.status());
+  }
+
+  apps::IeConfig config;
+  config.corpus_path = corpus_path;
+  config.learner.epochs = epochs;
+
+  for (const auto& step : apps::MakeIeIterationScript()) {
+    step.mutate(&config);
+    auto result = (*session)->RunIteration(apps::BuildIeWorkflow(config),
+                                           step.description, step.category);
+    if (!result.ok()) {
+      return Fail(result.status());
+    }
+    const auto& metrics =
+        (*session)->versions().version(result->version_id).metrics;
+    std::printf(
+        "iteration %-2d [%-10s] %-44s  %8s  span F1 %.3f  (computed %d, "
+        "loaded %d, pruned %d)\n",
+        result->version_id, core::ChangeCategoryToString(step.category),
+        step.description.c_str(),
+        HumanMicros(result->report.total_micros).c_str(),
+        metrics.count("span_f1") ? metrics.at("span_f1") : 0.0,
+        result->report.num_computed, result->report.num_loaded,
+        result->report.num_pruned);
+
+    // Show extractions from the last (held-out) document after feature
+    // iterations.
+    if (step.category == core::ChangeCategory::kDataPreprocessing) {
+      auto mentions = result->report.outputs.find("mentions");
+      if (mentions != result->report.outputs.end()) {
+        auto decoded = mentions->second.AsText();
+        auto corpus_file = ReadFileToString(corpus_path);
+        if (decoded.ok() && corpus_file.ok()) {
+          auto corpus =
+              dataflow::DataCollection::DeserializeFromString(
+                  corpus_file.value());
+          if (corpus.ok()) {
+            const dataflow::TextData* text = corpus.value().AsText().value();
+            int64_t last = text->num_docs() - 1;
+            std::printf("  sample extraction (doc %lld):\n",
+                        static_cast<long long>(last));
+            PrintAnnotated(text->doc(last),
+                           decoded.value()->doc(last).spans);
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("\n=== span F1 across versions ===\n%s\n",
+              (*session)->versions().RenderMetricTrend("span_f1").c_str());
+  std::printf("cumulative runtime: %s\n",
+              HumanMicros((*session)->cumulative_micros()).c_str());
+
+  (void)RemoveDirRecursively(workspace.value());
+  return 0;
+}

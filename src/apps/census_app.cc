@@ -1,0 +1,146 @@
+#include "apps/census_app.h"
+
+#include "datagen/census_gen.h"
+
+namespace helix {
+namespace apps {
+
+using core::NodeRef;
+using core::Workflow;
+namespace ops = core::ops;
+
+core::Workflow BuildCensusWorkflow(const CensusConfig& config) {
+  Workflow wf("census");
+
+  // data refers_to new FileSource(train=..., test=...)
+  NodeRef data = wf.Add(
+      ops::FileSource("data", config.train_path, config.test_path));
+  // data is_read_into rows using CSVScanner(...)
+  NodeRef rows = wf.Add(
+      ops::CsvScanner("rows", datagen::CensusColumns()), {data});
+
+  // Field extractors are always declared (paper Figure 1a lines 5-10);
+  // unused ones are sliced at execution time.
+  NodeRef age = wf.Add(ops::FieldExtractor("age", "age"), {rows});
+  NodeRef edu = wf.Add(ops::FieldExtractor("edu", "education"), {rows});
+  NodeRef occ = wf.Add(ops::FieldExtractor("occ", "occupation"), {rows});
+  NodeRef cl =
+      wf.Add(ops::FieldExtractor("cl", "capital_loss"), {rows});
+  NodeRef race = wf.Add(ops::FieldExtractor("race", "race"), {rows});
+  NodeRef ms =
+      wf.Add(ops::FieldExtractor("ms", "marital_status"), {rows});
+  NodeRef hours =
+      wf.Add(ops::FieldExtractor("hours", "hours_per_week"), {rows});
+  NodeRef sex = wf.Add(ops::FieldExtractor("sex", "sex"), {rows});
+  NodeRef target = wf.Add(ops::FieldExtractor("target", "target"), {rows});
+
+  // ageBucket refers_to Bucketizer(age, bins=10)
+  NodeRef age_bucket =
+      wf.Add(ops::Bucketizer("ageBucket", config.age_bins), {age});
+  // eduXocc refers_to InteractionFeature(Array(edu, occ))
+  NodeRef edu_x_occ =
+      wf.Add(ops::InteractionFeature("eduXocc"), {edu, occ});
+
+  // rows has_extractors(...): the enabled subset feeds the examples.
+  std::vector<NodeRef> extractors;
+  if (config.use_edu) {
+    extractors.push_back(edu);
+  }
+  if (config.use_occ) {
+    extractors.push_back(occ);
+  }
+  if (config.use_age_bucket) {
+    extractors.push_back(age_bucket);
+  }
+  if (config.use_edu_x_occ) {
+    extractors.push_back(edu_x_occ);
+  }
+  if (config.use_capital_loss) {
+    extractors.push_back(cl);
+  }
+  if (config.use_marital_status) {
+    extractors.push_back(ms);
+  }
+  if (config.use_race) {
+    extractors.push_back(race);
+  }
+  if (config.use_hours) {
+    extractors.push_back(hours);
+  }
+  if (config.use_sex) {
+    extractors.push_back(sex);
+  }
+  // income results_from rows with_labels target
+  std::vector<NodeRef> income_inputs = extractors;
+  income_inputs.push_back(target);
+  NodeRef income =
+      wf.Add(ops::AssembleExamples("income", ">50K"), income_inputs);
+
+  // incPred refers_to new Learner(modelType, regParam=...)
+  NodeRef model = wf.Add(ops::Learner("incPred", config.learner), {income});
+  // predictions results_from incPred on income
+  NodeRef predictions =
+      wf.Add(ops::Predictor("predictions"), {model, income});
+  // checked results_from checkResults on testData(predictions)
+  NodeRef checked =
+      wf.Add(ops::Evaluator("checked", config.eval), {predictions});
+
+  wf.MarkOutput(predictions);
+  wf.MarkOutput(checked);
+  return wf;
+}
+
+std::vector<ScriptedIteration> MakeCensusIterationScript() {
+  using core::ChangeCategory;
+  std::vector<ScriptedIteration> script;
+  script.push_back({"initial version (Figure 1a program)",
+                    ChangeCategory::kInitial, [](CensusConfig*) {}});
+  script.push_back({"add marital_status feature",
+                    ChangeCategory::kDataPreprocessing,
+                    [](CensusConfig* c) { c->use_marital_status = true; }});
+  script.push_back({"lower regularization to 0.01",
+                    ChangeCategory::kMachineLearning,
+                    [](CensusConfig* c) { c->learner.reg_param = 0.01; }});
+  script.push_back({"add AUC to evaluation metrics",
+                    ChangeCategory::kEvaluation,
+                    [](CensusConfig* c) { c->eval.auc = true; }});
+  script.push_back({"add race and hours_per_week features",
+                    ChangeCategory::kDataPreprocessing,
+                    [](CensusConfig* c) {
+                      c->use_race = true;
+                      c->use_hours = true;
+                    }});
+  script.push_back({"switch model to naive Bayes",
+                    ChangeCategory::kMachineLearning, [](CensusConfig* c) {
+                      c->learner.model_type = "nb";
+                      c->learner.reg_param = 1.0;
+                    }});
+  script.push_back({"report log-loss and confusion counts",
+                    ChangeCategory::kEvaluation, [](CensusConfig* c) {
+                      c->eval.log_loss = true;
+                      c->eval.confusion_counts = true;
+                    }});
+  script.push_back({"drop eduXocc interaction (feature selection)",
+                    ChangeCategory::kDataPreprocessing,
+                    [](CensusConfig* c) { c->use_edu_x_occ = false; }});
+  script.push_back({"back to logistic regression, more epochs",
+                    ChangeCategory::kMachineLearning, [](CensusConfig* c) {
+                      c->learner.model_type = "lr";
+                      c->learner.reg_param = 0.05;
+                      c->learner.epochs = 30;
+                    }});
+  script.push_back({"raise decision threshold to 0.6",
+                    ChangeCategory::kEvaluation,
+                    [](CensusConfig* c) { c->eval.threshold = 0.6; }});
+  return script;
+}
+
+bool DeepDiveSupports(const ScriptedIteration& iteration) {
+  // DeepDive exposes feature engineering to the user but its ML and
+  // evaluation components are fixed (paper Section 2.4).
+  return iteration.category == core::ChangeCategory::kInitial ||
+         iteration.category == core::ChangeCategory::kDataPreprocessing;
+}
+
+}  // namespace apps
+}  // namespace helix

@@ -1,0 +1,82 @@
+// The Census application (paper Section 3, application 1; Figure 1a).
+//
+// A binary classification workflow over UCI-Adult-style demographic data:
+// predict whether income exceeds $50K. The workflow mirrors Figure 1a
+// line-by-line: FileSource -> CSVScanner -> FieldExtractors ->
+// {Bucketizer, InteractionFeature} -> AssembleExamples -> Learner ->
+// Predictor -> Evaluator. All field extractors are always *declared*
+// (as in the DSL program); which ones feed the model is controlled by
+// CensusConfig flags — disabled extractors are pruned by program slicing,
+// exactly the paper's feature-selection story.
+//
+// MakeCensusIterationScript returns the scripted sequence of human edits
+// used by the Figure 2(b) benchmark (purple = data pre-processing edits,
+// orange = ML edits, green = post-processing edits).
+#ifndef HELIX_APPS_CENSUS_APP_H_
+#define HELIX_APPS_CENSUS_APP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/std_ops.h"
+#include "core/version_manager.h"
+#include "core/workflow.h"
+#include "ml/evaluation.h"
+
+namespace helix {
+namespace apps {
+
+/// Tunable knobs of the Census workflow; every knob maps to an operator
+/// parameter, so editing one is a tracked workflow change.
+struct CensusConfig {
+  std::string train_path;
+  std::string test_path;
+
+  // Feature selection (which extractors feed `income`).
+  bool use_edu = true;
+  bool use_occ = false;
+  bool use_age_bucket = true;
+  bool use_edu_x_occ = true;
+  bool use_capital_loss = true;
+  bool use_marital_status = false;
+  bool use_race = false;
+  bool use_hours = false;
+  bool use_sex = false;
+
+  /// Bucket count for the age Bucketizer.
+  int age_bins = 10;
+
+  /// Learner hyperparameters (paper line 16).
+  core::ops::LearnerConfig learner;
+
+  /// Evaluation configuration (the checkResults Reducer).
+  ml::BinaryMetricsOptions eval;
+};
+
+/// Builds the workflow for a configuration.
+core::Workflow BuildCensusWorkflow(const CensusConfig& config);
+
+/// One scripted human edit.
+struct ScriptedIteration {
+  std::string description;
+  core::ChangeCategory category = core::ChangeCategory::kInitial;
+  std::function<void(CensusConfig*)> mutate;  // no-op for the initial step
+};
+
+/// The 10-iteration script used by the Figure 2(b) reproduction. The mix
+/// of change types follows the paper's narrative: pre-processing changes
+/// (adding/removing features), ML changes (hyperparameters, model family),
+/// and post-processing changes (metrics, threshold).
+std::vector<ScriptedIteration> MakeCensusIterationScript();
+
+/// True if DeepDive could express this edit: its ML and evaluation
+/// components are not user-configurable (paper Section 2.4), so only
+/// pre-processing edits are runnable — the reason Figure 2(b) has missing
+/// DeepDive data beyond iteration 2.
+bool DeepDiveSupports(const ScriptedIteration& iteration);
+
+}  // namespace apps
+}  // namespace helix
+
+#endif  // HELIX_APPS_CENSUS_APP_H_

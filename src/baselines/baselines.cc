@@ -1,0 +1,73 @@
+#include "baselines/baselines.h"
+
+#include <memory>
+
+namespace helix {
+namespace baselines {
+
+const char* SystemKindToString(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kHelix:
+      return "helix";
+    case SystemKind::kHelixUnopt:
+      return "helix-unopt";
+    case SystemKind::kKeystoneMl:
+      return "keystoneml";
+    case SystemKind::kDeepDive:
+      return "deepdive";
+    case SystemKind::kHelixAlwaysMaterialize:
+      return "helix-am";
+    case SystemKind::kHelixNeverMaterialize:
+      return "helix-nm";
+    case SystemKind::kHelixReusePredict:
+      return "helix-rp";
+  }
+  return "?";
+}
+
+core::SessionOptions MakeSessionOptions(SystemKind kind,
+                                        const std::string& workspace_dir,
+                                        int64_t storage_budget_bytes,
+                                        Clock* clock) {
+  core::SessionOptions options;
+  options.workspace_dir = workspace_dir;
+  options.storage_budget_bytes = storage_budget_bytes;
+  options.clock = clock;
+
+  switch (kind) {
+    case SystemKind::kHelix:
+      // Defaults: optimal planner, online cost-model policy, slicing.
+      break;
+    case SystemKind::kHelixUnopt:
+      options.enable_materialization = false;
+      options.planner = core::PlannerKind::kNoReuse;
+      options.enable_slicing = false;
+      options.enable_cse = false;
+      break;
+    case SystemKind::kKeystoneMl:
+      options.enable_materialization = false;
+      options.planner = core::PlannerKind::kNoReuse;
+      options.enable_slicing = true;
+      break;
+    case SystemKind::kDeepDive:
+      options.mat_policy = std::make_shared<core::PhaseFilterPolicy>(
+          std::make_shared<core::AlwaysMaterializePolicy>(),
+          std::vector<core::Phase>{core::Phase::kDataPreprocessing});
+      options.planner = core::PlannerKind::kNaiveReuse;
+      options.enable_slicing = true;
+      break;
+    case SystemKind::kHelixAlwaysMaterialize:
+      options.mat_policy = std::make_shared<core::AlwaysMaterializePolicy>();
+      break;
+    case SystemKind::kHelixNeverMaterialize:
+      options.enable_materialization = false;
+      break;
+    case SystemKind::kHelixReusePredict:
+      options.mat_policy = std::make_shared<core::ReusePredictingPolicy>();
+      break;
+  }
+  return options;
+}
+
+}  // namespace baselines
+}  // namespace helix

@@ -1,0 +1,157 @@
+// Binary encoding primitives for serializing intermediate results.
+//
+// All multi-byte integers are little-endian fixed-width; strings are
+// length-prefixed. Decoding is bounds-checked and returns Corruption on
+// truncated or malformed input — the materialization store must degrade to
+// recomputation on a bad file, never crash.
+#ifndef HELIX_COMMON_BYTES_H_
+#define HELIX_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace helix {
+
+/// Append-only binary buffer writer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) {
+    char tmp[4];
+    for (int i = 0; i < 4; ++i) {
+      tmp[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    buf_.append(tmp, 4);
+  }
+
+  void PutU64(uint64_t v) {
+    char tmp[8];
+    for (int i = 0; i < 8; ++i) {
+      tmp[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    buf_.append(tmp, 8);
+  }
+
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  /// Length-prefixed string.
+  void PutString(std::string_view s) {
+    PutU64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  /// Raw bytes, no length prefix.
+  void PutRaw(const void* data, size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string&& TakeData() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a byte buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8() {
+    if (pos_ + 1 > data_.size()) {
+      return Truncated("u8");
+    }
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> GetU32() {
+    if (pos_ + 4 > data_.size()) {
+      return Truncated("u32");
+    }
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) |
+          static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    if (pos_ + 8 > data_.size()) {
+      return Truncated("u64");
+    }
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) |
+          static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(i)]);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<int64_t> GetI64() {
+    HELIX_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+    return static_cast<int64_t>(v);
+  }
+
+  Result<double> GetDouble() {
+    HELIX_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<bool> GetBool() {
+    HELIX_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+    if (v > 1) {
+      return Status::Corruption("bool byte out of range");
+    }
+    return v == 1;
+  }
+
+  Result<std::string> GetString() {
+    HELIX_ASSIGN_OR_RETURN(uint64_t len, GetU64());
+    if (len > data_.size() - pos_) {
+      return Truncated("string body");
+    }
+    std::string out(data_.substr(pos_, len));
+    pos_ += len;
+    return out;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t pos() const { return pos_; }
+
+ private:
+  Status Truncated(const char* what) const {
+    return Status::Corruption(std::string("truncated buffer reading ") +
+                              what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace helix
+
+#endif  // HELIX_COMMON_BYTES_H_

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace helix {
+
+SystemClock* SystemClock::Default() {
+  static SystemClock instance;
+  return &instance;
+}
+
+}  // namespace helix

@@ -1,0 +1,142 @@
+#include "common/csv.h"
+
+namespace helix {
+
+namespace {
+
+// Shared CSV state machine. If `single_line` is true, newlines outside
+// quotes are a parse error; otherwise they terminate records.
+Result<std::vector<std::vector<std::string>>> ParseImpl(std::string_view text,
+                                                        char sep,
+                                                        bool single_line) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // true once any char (or quote) seen
+  bool any_content = false;
+
+  auto end_field = [&]() {
+    fields.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(fields));
+    fields.clear();
+    any_content = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field_started && !field.empty()) {
+          return Status::InvalidArgument(
+              "CSV: quote in the middle of an unquoted field");
+        }
+        in_quotes = true;
+        field_started = true;
+        any_content = true;
+        break;
+      case '\r':
+        // Swallow \r only when part of \r\n; otherwise keep it literal.
+        if (i + 1 < text.size() && text[i + 1] == '\n') {
+          break;
+        }
+        field.push_back(c);
+        field_started = true;
+        any_content = true;
+        break;
+      case '\n':
+        if (single_line) {
+          return Status::InvalidArgument("CSV: newline in single-line mode");
+        }
+        end_record();
+        break;
+      default:
+        if (c == sep) {
+          end_field();
+          any_content = true;
+        } else {
+          field.push_back(c);
+          field_started = true;
+          any_content = true;
+        }
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV: unterminated quoted field");
+  }
+  // Emit the final record unless the document ended exactly at a record
+  // boundary with no pending content.
+  if (any_content || field_started || !fields.empty() ||
+      (single_line && records.empty())) {
+    end_record();
+  }
+  if (single_line && records.empty()) {
+    records.push_back({std::string()});
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char sep) {
+  HELIX_ASSIGN_OR_RETURN(auto records, ParseImpl(line, sep, true));
+  return records.front();
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char sep) {
+  return ParseImpl(text, sep, false);
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields, char sep) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out.push_back(sep);
+    }
+    const std::string& f = fields[i];
+    bool needs_quotes = false;
+    for (char c : f) {
+      if (c == sep || c == '"' || c == '\n' || c == '\r') {
+        needs_quotes = true;
+        break;
+      }
+    }
+    if (!needs_quotes) {
+      out += f;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : f) {
+      if (c == '"') {
+        out += "\"\"";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+}  // namespace helix

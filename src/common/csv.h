@@ -1,0 +1,34 @@
+// Minimal RFC-4180-style CSV reader/writer.
+//
+// The Census application ingests its training data through CsvScanner,
+// which is built on this parser. Quoted fields, embedded separators, and
+// escaped quotes ("") are supported; embedded newlines inside quotes are
+// supported by ParseCsv (whole-document parsing).
+#ifndef HELIX_COMMON_CSV_H_
+#define HELIX_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace helix {
+
+/// Parses a single CSV record (no embedded newlines).
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char sep = ',');
+
+/// Parses a whole CSV document into records; handles quoted newlines and
+/// both \n and \r\n line endings. A trailing newline does not produce an
+/// empty record.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char sep = ',');
+
+/// Renders one record, quoting fields that contain sep/quote/newline.
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char sep = ',');
+
+}  // namespace helix
+
+#endif  // HELIX_COMMON_CSV_H_

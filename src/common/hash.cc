@@ -1,0 +1,36 @@
+#include "common/hash.h"
+
+namespace helix {
+
+std::string HashToHex(uint64_t h) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+bool HexToHash(std::string_view hex, uint64_t* out) {
+  if (hex.size() != 16 || out == nullptr) {
+    return false;
+  }
+  uint64_t h = 0;
+  for (char c : hex) {
+    h <<= 4;
+    if (c >= '0' && c <= '9') {
+      h |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      h |= static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      h |= static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = h;
+  return true;
+}
+
+}  // namespace helix

@@ -1,0 +1,136 @@
+#include "common/json.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace helix {
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::MaybeComma() {
+  if (!needs_comma_.empty() && needs_comma_.back() && !pending_key_) {
+    out_.push_back(',');
+  }
+  if (!pending_key_ && !needs_comma_.empty()) {
+    needs_comma_.back() = true;
+  }
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  MaybeComma();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_.push_back('}');
+  if (needs_comma_.size() > 1) {
+    needs_comma_.pop_back();
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  MaybeComma();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_.push_back(']');
+  if (needs_comma_.size() > 1) {
+    needs_comma_.pop_back();
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  MaybeComma();
+  out_ += JsonQuote(k);
+  out_.push_back(':');
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  MaybeComma();
+  out_ += JsonQuote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  MaybeComma();
+  out_ += StrFormat("%lld", static_cast<long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t v) {
+  MaybeComma();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  MaybeComma();
+  if (std::isnan(v) || std::isinf(v)) {
+    out_ += "null";
+  } else {
+    out_ += StrFormat("%.17g", v);
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  MaybeComma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace helix

@@ -1,0 +1,69 @@
+// Streaming JSON writer used to export execution plans, version histories,
+// and metric trends for the (headless) visualization tooling.
+//
+// Writer-only by design: HELIX emits JSON for external consumption; it never
+// needs to parse arbitrary JSON back (the store manifest uses the binary
+// codec in common/bytes.h).
+#ifndef HELIX_COMMON_JSON_H_
+#define HELIX_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace helix {
+
+/// Escapes a string for embedding in JSON (adds surrounding quotes).
+std::string JsonQuote(std::string_view s);
+
+/// Builder producing compact JSON. Methods are checked with asserts in
+/// debug builds; misuse (e.g. value without key inside an object) produces
+/// well-formed but possibly unexpected output in release builds.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view k);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& UInt(uint64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  /// Convenience: Key(k) + value.
+  JsonWriter& KV(std::string_view k, std::string_view v) {
+    return Key(k).String(v);
+  }
+  JsonWriter& KV(std::string_view k, const char* v) {
+    return Key(k).String(v);
+  }
+  JsonWriter& KV(std::string_view k, int64_t v) { return Key(k).Int(v); }
+  JsonWriter& KV(std::string_view k, int v) { return Key(k).Int(v); }
+  JsonWriter& KV(std::string_view k, uint64_t v) { return Key(k).UInt(v); }
+  JsonWriter& KV(std::string_view k, double v) { return Key(k).Double(v); }
+  JsonWriter& KV(std::string_view k, bool v) { return Key(k).Bool(v); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // Tracks whether a comma is needed before the next element at each
+  // nesting level.
+  std::vector<bool> needs_comma_{false};
+  bool pending_key_ = false;
+};
+
+}  // namespace helix
+
+#endif  // HELIX_COMMON_JSON_H_

@@ -1,0 +1,56 @@
+// Lightweight leveled logging. Defaults to WARNING so library users see
+// problems but benchmarks stay quiet; tests and examples can raise the
+// level for debugging.
+#ifndef HELIX_COMMON_LOGGING_H_
+#define HELIX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace helix {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the process-wide minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream collector that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HELIX_LOG(level)                                             \
+  if (static_cast<int>(::helix::LogLevel::k##level) <                \
+      static_cast<int>(::helix::GetLogLevel())) {                    \
+  } else                                                             \
+    ::helix::internal::LogMessage(::helix::LogLevel::k##level,       \
+                                  __FILE__, __LINE__)                \
+        .stream()
+
+}  // namespace helix
+
+#endif  // HELIX_COMMON_LOGGING_H_

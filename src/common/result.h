@@ -1,0 +1,89 @@
+// Result<T>: value-or-Status, the HELIX analogue of arrow::Result /
+// rocksdb::StatusOr. Used by all fallible value-producing APIs.
+#ifndef HELIX_COMMON_RESULT_H_
+#define HELIX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace helix {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, so functions can
+  /// `return value;`).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a Result holding an error (implicit, so functions can
+  /// `return Status::NotFound(...);`). Must not be an OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating a non-OK status to the
+/// caller; otherwise assigns the unwrapped value to `lhs`.
+#define HELIX_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  HELIX_ASSIGN_OR_RETURN_IMPL_(                              \
+      HELIX_STATUS_CONCAT_(_helix_result, __LINE__), lhs, rexpr)
+
+#define HELIX_STATUS_CONCAT_INNER_(x, y) x##y
+#define HELIX_STATUS_CONCAT_(x, y) HELIX_STATUS_CONCAT_INNER_(x, y)
+
+#define HELIX_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                 \
+  if (!result.ok()) {                                    \
+    return result.status();                              \
+  }                                                      \
+  lhs = std::move(result).value();
+
+}  // namespace helix
+
+#endif  // HELIX_COMMON_RESULT_H_

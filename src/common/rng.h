@@ -1,0 +1,147 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All synthetic data generation in HELIX (census rows, news corpora, random
+// DAGs for property tests) is seeded explicitly so experiments and tests are
+// bit-reproducible across runs and platforms. We do not use std::mt19937
+// distributions because their output is not specified identically across
+// standard library implementations.
+#ifndef HELIX_COMMON_RNG_H_
+#define HELIX_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace helix {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into 4 lanes.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Requires n > 0. Uses rejection sampling to avoid
+  /// modulo bias.
+  uint64_t NextBelow(uint64_t n) {
+    assert(n > 0);
+    uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    while (true) {
+      uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % n;
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Bernoulli(p).
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    if (have_cached_gaussian_) {
+      have_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    double u2 = NextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+    have_cached_gaussian_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[NextBelow(v.size())];
+  }
+
+  /// Samples an index from unnormalized non-negative weights.
+  size_t WeightedChoice(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) {
+      total += w;
+    }
+    double r = NextDouble() * total;
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) {
+        return i;
+      }
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) {
+      return;
+    }
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = NextBelow(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace helix
+
+#endif  // HELIX_COMMON_RNG_H_

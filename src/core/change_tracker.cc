@@ -1,0 +1,121 @@
+#include "core/change_tracker.h"
+
+#include "common/strings.h"
+
+namespace helix {
+namespace core {
+
+const char* NodeChangeToString(NodeChange c) {
+  switch (c) {
+    case NodeChange::kUnchanged:
+      return "unchanged";
+    case NodeChange::kAdded:
+      return "added";
+    case NodeChange::kRemoved:
+      return "removed";
+    case NodeChange::kParamChanged:
+      return "param-changed";
+    case NodeChange::kRewired:
+      return "rewired";
+    case NodeChange::kUpstream:
+      return "upstream-invalidated";
+  }
+  return "?";
+}
+
+WorkflowDiff DiffWorkflows(const WorkflowDag& previous,
+                           const WorkflowDag& current) {
+  WorkflowDiff diff;
+  const int n = current.num_nodes();
+  diff.node_changes.assign(static_cast<size_t>(n), NodeChange::kUnchanged);
+
+  std::vector<graph::NodeId> change_seeds;
+  for (int i = 0; i < n; ++i) {
+    const Operator& op = current.op(i);
+    int prev_node = previous.FindNode(op.name());
+    NodeChange change = NodeChange::kUnchanged;
+    if (prev_node < 0) {
+      change = NodeChange::kAdded;
+    } else if (previous.op(prev_node).Signature() != op.Signature()) {
+      change = NodeChange::kParamChanged;
+    } else {
+      // Same operator; did its input wiring change? Compare parent names
+      // in order (argument order matters for UDFs).
+      const auto& cur_parents = current.dag().Parents(i);
+      const auto& prev_parents = previous.dag().Parents(prev_node);
+      if (cur_parents.size() != prev_parents.size()) {
+        change = NodeChange::kRewired;
+      } else {
+        for (size_t k = 0; k < cur_parents.size(); ++k) {
+          if (current.op(cur_parents[k]).name() !=
+              previous.op(prev_parents[k]).name()) {
+            change = NodeChange::kRewired;
+            break;
+          }
+        }
+      }
+    }
+    diff.node_changes[static_cast<size_t>(i)] = change;
+    if (change != NodeChange::kUnchanged) {
+      ++diff.num_changed;
+      change_seeds.push_back(i);
+    }
+  }
+
+  for (int i = 0; i < previous.num_nodes(); ++i) {
+    if (current.FindNode(previous.op(i).name()) < 0) {
+      diff.removed.push_back(previous.op(i).name());
+    }
+  }
+
+  // Dependency analysis: everything downstream of a change is invalid.
+  diff.invalidated = current.dag().ForwardReachable(change_seeds);
+  for (int i = 0; i < n; ++i) {
+    if (diff.invalidated[static_cast<size_t>(i)]) {
+      ++diff.num_invalidated;
+      if (diff.node_changes[static_cast<size_t>(i)] ==
+          NodeChange::kUnchanged) {
+        diff.node_changes[static_cast<size_t>(i)] = NodeChange::kUpstream;
+      }
+    }
+  }
+  return diff;
+}
+
+WorkflowDiff InitialDiff(const WorkflowDag& current) {
+  WorkflowDiff diff;
+  const int n = current.num_nodes();
+  diff.node_changes.assign(static_cast<size_t>(n), NodeChange::kAdded);
+  diff.invalidated.assign(static_cast<size_t>(n), true);
+  diff.num_changed = n;
+  diff.num_invalidated = n;
+  return diff;
+}
+
+std::string RenderDiff(const WorkflowDag& current, const WorkflowDiff& diff) {
+  std::string out;
+  for (int i = 0; i < current.num_nodes(); ++i) {
+    NodeChange c = diff.node_changes[static_cast<size_t>(i)];
+    if (c == NodeChange::kUnchanged) {
+      continue;
+    }
+    char glyph = '~';
+    if (c == NodeChange::kAdded) {
+      glyph = '+';
+    } else if (c == NodeChange::kUpstream) {
+      glyph = '^';
+    }
+    out += StrFormat("%c %-20s %s\n", glyph, current.op(i).name().c_str(),
+                     NodeChangeToString(c));
+  }
+  for (const std::string& name : diff.removed) {
+    out += StrFormat("- %-20s removed\n", name.c_str());
+  }
+  if (out.empty()) {
+    out = "(no changes)\n";
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace helix

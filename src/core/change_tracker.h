@@ -1,0 +1,69 @@
+// Iterative change tracking between workflow versions.
+//
+// "HELIX automatically detects changes to an operator from the last
+// iteration and invalidates all results affected by the changes via
+// dependency analysis" (paper Section 2.2). Operators are matched across
+// versions by name; an operator changed if its own signature differs
+// (parameter edit or UDF version bump) or if its input wiring differs.
+// Everything forward-reachable from a changed/added node is invalidated.
+//
+// Note the storage layer enforces the same semantics independently (store
+// keys are cumulative signatures), so the tracker's output is for plan
+// explanation, the version diff UI, and tests.
+#ifndef HELIX_CORE_CHANGE_TRACKER_H_
+#define HELIX_CORE_CHANGE_TRACKER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/workflow_dag.h"
+
+namespace helix {
+namespace core {
+
+/// How one named operator differs between two versions.
+enum class NodeChange : uint8_t {
+  kUnchanged = 0,
+  kAdded = 1,        // new in this version
+  kRemoved = 2,      // present only in the previous version
+  kParamChanged = 3, // same name, different operator signature
+  kRewired = 4,      // same operator, different inputs
+  kUpstream = 5,     // unchanged itself, but an ancestor changed
+};
+
+const char* NodeChangeToString(NodeChange c);
+
+/// Diff of `current` against `previous`.
+struct WorkflowDiff {
+  /// Indexed by current-version node id.
+  std::vector<NodeChange> node_changes;
+  /// Names of nodes present only in the previous version.
+  std::vector<std::string> removed;
+
+  /// invalidated[n]: node n's previous result (if any) must not be reused.
+  /// True exactly when node_changes[n] is kAdded/kParamChanged/kRewired/
+  /// kUpstream.
+  std::vector<bool> invalidated;
+
+  int num_changed = 0;      // added + param-changed + rewired
+  int num_invalidated = 0;  // size of the invalidated set
+
+  bool IsInvalidated(int node) const {
+    return invalidated[static_cast<size_t>(node)];
+  }
+};
+
+/// Compares two compiled versions of a workflow.
+WorkflowDiff DiffWorkflows(const WorkflowDag& previous,
+                           const WorkflowDag& current);
+
+/// Diff for a first iteration (everything is new).
+WorkflowDiff InitialDiff(const WorkflowDag& current);
+
+/// Renders a git-style summary: one line per changed node.
+std::string RenderDiff(const WorkflowDag& current, const WorkflowDiff& diff);
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_CHANGE_TRACKER_H_

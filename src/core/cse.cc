@@ -1,0 +1,47 @@
+#include "core/cse.h"
+
+#include <map>
+#include <utility>
+
+namespace helix {
+namespace core {
+
+CseResult EliminateCommonSubexpressions(const Workflow& workflow) {
+  CseResult result{Workflow(workflow.name()), 0, {}};
+
+  // Map from original node index to its node in the rewritten workflow.
+  std::vector<NodeRef> remap(static_cast<size_t>(workflow.num_nodes()),
+                             NodeRef{-1});
+  // Dedup key: (operator signature, canonicalized input indices).
+  std::map<std::pair<uint64_t, std::vector<int>>, NodeRef> seen;
+
+  for (int i = 0; i < workflow.num_nodes(); ++i) {
+    const Operator& op = workflow.op(i);
+    std::vector<int> canonical_inputs;
+    std::vector<NodeRef> input_refs;
+    for (int in : workflow.inputs_of(i)) {
+      NodeRef mapped = remap[static_cast<size_t>(in)];
+      canonical_inputs.push_back(mapped.index);
+      input_refs.push_back(mapped);
+    }
+    auto key = std::make_pair(op.Signature(), canonical_inputs);
+    auto it = seen.find(key);
+    if (it != seen.end()) {
+      remap[static_cast<size_t>(i)] = it->second;
+      ++result.merged;
+      result.merged_names.push_back(op.name());
+      continue;
+    }
+    NodeRef added = result.workflow.Add(op, input_refs);
+    remap[static_cast<size_t>(i)] = added;
+    seen.emplace(std::move(key), added);
+  }
+
+  for (int output : workflow.outputs()) {
+    result.workflow.MarkOutput(remap[static_cast<size_t>(output)]);
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace helix

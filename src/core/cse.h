@@ -1,0 +1,40 @@
+// Common-subexpression elimination over workflows.
+//
+// Part of the DAG optimizer's one-shot repertoire (paper Section 2,
+// "pruning extraneous operations, reordering operations"): two declared
+// operators with the same signature applied to the same inputs necessarily
+// produce the same result, so only one needs to execute. KeystoneML's
+// one-shot optimizer performs the same elimination (paper Section 1), and
+// the KeystoneML baseline here uses this pass.
+//
+// Operators are pure by contract (a UDF with hidden state must bump its
+// udf_version), which is what makes the merge sound.
+#ifndef HELIX_CORE_CSE_H_
+#define HELIX_CORE_CSE_H_
+
+#include <vector>
+
+#include "core/workflow.h"
+
+namespace helix {
+namespace core {
+
+/// Result of a CSE pass.
+struct CseResult {
+  Workflow workflow;
+  /// Number of operator declarations merged away.
+  int merged = 0;
+  /// Names of the eliminated (duplicate) declarations.
+  std::vector<std::string> merged_names;
+};
+
+/// Returns a workflow in which every duplicate declaration — same operator
+/// signature and same (already canonicalized) inputs — is merged into its
+/// first occurrence. Outputs declared on a duplicate are re-pointed at the
+/// canonical node. Names of surviving nodes are unchanged.
+CseResult EliminateCommonSubexpressions(const Workflow& workflow);
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_CSE_H_

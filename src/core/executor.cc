@@ -1,0 +1,345 @@
+#include "core/executor.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/program_slicer.h"
+
+namespace helix {
+namespace core {
+
+const char* PlannerKindToString(PlannerKind k) {
+  switch (k) {
+    case PlannerKind::kOptimal:
+      return "optimal";
+    case PlannerKind::kNaiveReuse:
+      return "naive-reuse";
+    case PlannerKind::kNoReuse:
+      return "no-reuse";
+    case PlannerKind::kGreedy:
+      return "greedy";
+  }
+  return "?";
+}
+
+const NodeExecution* ExecutionReport::FindNode(const std::string& name) const {
+  for (const NodeExecution& n : nodes) {
+    if (n.name == name) {
+      return &n;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Mutable execution context shared by the main loop and the fallback path.
+struct ExecState {
+  const WorkflowDag* dag;
+  const ExecutionOptions* opts;
+  std::vector<dataflow::DataCollection> results;
+  std::vector<int64_t> compute_estimate;  // planner's view, per node
+  std::vector<int64_t> measured_compute;  // -1 until computed this iteration
+  std::vector<NodeExecution> records;
+  int64_t materialize_total = 0;
+};
+
+// Best-known compute cost of `node`: measured this iteration, else the
+// planning estimate (stats history or default).
+int64_t KnownComputeCost(const ExecState& st, int node) {
+  if (st.measured_compute[static_cast<size_t>(node)] >= 0) {
+    return st.measured_compute[static_cast<size_t>(node)];
+  }
+  return st.compute_estimate[static_cast<size_t>(node)];
+}
+
+// Charges declared synthetic cost on the clock and returns elapsed time
+// since `start_micros` (uniform cost accounting: under a real clock the
+// advance is a no-op and the result is measured wall time; under a virtual
+// clock the result is the declared cost).
+int64_t ChargeAndMeasure(Clock* clock, int64_t start_micros,
+                         int64_t synthetic_micros) {
+  if (synthetic_micros >= 0) {
+    clock->AdvanceMicros(synthetic_micros);
+  }
+  return clock->NowMicros() - start_micros;
+}
+
+// Decides and performs materialization of a freshly computed result.
+void MaybeMaterialize(ExecState* st, int node,
+                      const dataflow::DataCollection& data,
+                      NodeExecution* record) {
+  const ExecutionOptions& opts = *st->opts;
+  if (opts.store == nullptr || opts.mat_policy == nullptr) {
+    return;
+  }
+  uint64_t sig = st->dag->cumulative_signature(node);
+  if (opts.store->Has(sig)) {
+    return;  // already persisted in an earlier iteration
+  }
+  const Operator& op = st->dag->op(node);
+
+  MaterializationContext ctx;
+  ctx.node_name = op.name();
+  ctx.phase = op.phase();
+  ctx.compute_micros = record->cost_micros;
+  ctx.size_bytes = data.SizeBytes();
+  ctx.remaining_budget_bytes = opts.store->RemainingBytes();
+  ctx.est_load_micros = op.synthetic_costs().load_micros >= 0
+                            ? op.synthetic_costs().load_micros
+                            : opts.store->EstimateLoadMicros(ctx.size_bytes);
+  ctx.ancestors_compute_micros = 0;
+  std::vector<bool> ancestors = st->dag->dag().Ancestors(node);
+  for (int a = 0; a < st->dag->num_nodes(); ++a) {
+    if (ancestors[static_cast<size_t>(a)]) {
+      ctx.ancestors_compute_micros += KnownComputeCost(*st, a);
+    }
+  }
+
+  if (!opts.mat_policy->ShouldMaterialize(ctx)) {
+    return;
+  }
+  int64_t start = opts.clock->NowMicros();
+  Status put = opts.store->Put(sig, op.name(), data, opts.iteration);
+  if (!put.ok()) {
+    // The policy checked the (approximate) size, but the serialized size
+    // is authoritative; treat an over-budget Put as a skipped decision.
+    HELIX_LOG(Info) << "materialization of " << op.name()
+                    << " skipped: " << put.ToString();
+    return;
+  }
+  record->materialized = true;
+  record->materialize_micros = ChargeAndMeasure(
+      opts.clock, start, op.synthetic_costs().write_micros);
+  st->materialize_total += record->materialize_micros;
+  if (opts.stats != nullptr) {
+    const storage::StoreEntry* entry = opts.store->Find(sig);
+    if (entry != nullptr) {
+      opts.stats->RecordSize(sig, op.name(), entry->size_bytes,
+                             opts.iteration);
+    }
+  }
+}
+
+// Computes `node`, recursively ensuring parents are available first. Used
+// on the normal compute path (parents already available per plan
+// feasibility) and as the fallback when a planned load hits a corrupt
+// store entry.
+Status ComputeNode(ExecState* st, int node);
+
+Status EnsureAvailable(ExecState* st, int node) {
+  if (!st->results[static_cast<size_t>(node)].empty()) {
+    return Status::OK();
+  }
+  return ComputeNode(st, node);
+}
+
+Status ComputeNode(ExecState* st, int node) {
+  const ExecutionOptions& opts = *st->opts;
+  const Operator& op = st->dag->op(node);
+  std::vector<const dataflow::DataCollection*> inputs;
+  for (graph::NodeId p : st->dag->dag().Parents(node)) {
+    HELIX_RETURN_IF_ERROR(EnsureAvailable(st, p));
+    inputs.push_back(&st->results[static_cast<size_t>(p)]);
+  }
+  int64_t start = opts.clock->NowMicros();
+  HELIX_ASSIGN_OR_RETURN(dataflow::DataCollection data, op.Invoke(inputs));
+  int64_t cost = ChargeAndMeasure(opts.clock, start,
+                                  op.synthetic_costs().compute_micros);
+
+  NodeExecution& record = st->records[static_cast<size_t>(node)];
+  record.state = NodeState::kCompute;
+  record.cost_micros = cost;
+  record.output_bytes = data.SizeBytes();
+  st->measured_compute[static_cast<size_t>(node)] = cost;
+
+  uint64_t sig = st->dag->cumulative_signature(node);
+  if (opts.stats != nullptr) {
+    opts.stats->RecordCompute(sig, op.name(), cost, opts.iteration);
+    opts.stats->RecordSize(sig, op.name(), record.output_bytes,
+                           opts.iteration);
+  }
+  st->results[static_cast<size_t>(node)] = data;
+  MaybeMaterialize(st, node, data, &record);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ExecutionReport> Execute(const WorkflowDag& dag,
+                                const ExecutionOptions& options) {
+  const int n = dag.num_nodes();
+  ScopedTimer total_timer(options.clock);
+
+  // --- 1. Program slicing -------------------------------------------------
+  Slice slice;
+  if (options.enable_slicing) {
+    slice = SliceFromOutputs(dag);
+  } else {
+    slice.live.assign(static_cast<size_t>(n), true);
+    slice.num_live = n;
+  }
+
+  // --- 2. Assemble the recomputation problem ------------------------------
+  RecomputeProblem problem;
+  problem.dag = &dag.dag();
+  problem.costs.resize(static_cast<size_t>(n));
+  problem.required.assign(static_cast<size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    const Operator& op = dag.op(i);
+    NodeCosts& c = problem.costs[static_cast<size_t>(i)];
+    uint64_t sig = dag.cumulative_signature(i);
+
+    // Compute-cost estimate: declared synthetic > exact history (same
+    // cumulative signature) > same-name history (operator edited, cost
+    // likely similar) > default.
+    if (op.synthetic_costs().compute_micros >= 0) {
+      c.compute_micros = op.synthetic_costs().compute_micros;
+    } else if (options.stats != nullptr) {
+      auto by_sig = options.stats->Get(sig);
+      if (by_sig.has_value() && by_sig->compute_micros >= 0) {
+        c.compute_micros = by_sig->compute_micros;
+      } else {
+        auto by_name = options.stats->GetLatestByName(op.name());
+        c.compute_micros = (by_name.has_value() && by_name->compute_micros >= 0)
+                               ? by_name->compute_micros
+                               : options.default_compute_estimate_micros;
+      }
+    } else {
+      c.compute_micros = options.default_compute_estimate_micros;
+    }
+
+    // Loadability: a store entry keyed by the cumulative signature is, by
+    // construction, a valid result of this exact operator-on-these-inputs.
+    if (options.store != nullptr && options.store->Has(sig) &&
+        slice.IsLive(i)) {
+      c.loadable = true;
+      if (op.synthetic_costs().load_micros >= 0) {
+        c.load_micros = op.synthetic_costs().load_micros;
+      } else {
+        const storage::StoreEntry* entry = options.store->Find(sig);
+        c.load_micros = (entry != nullptr && entry->load_micros >= 0)
+                            ? entry->load_micros
+                            : options.store->EstimateLoadMicros(
+                                  entry != nullptr ? entry->size_bytes : 0);
+      }
+    }
+    problem.required[static_cast<size_t>(i)] =
+        dag.is_output(i) && slice.IsLive(i);
+  }
+
+  // --- 3. Plan ------------------------------------------------------------
+  ScopedTimer plan_timer(SystemClock::Default());
+  RecomputePlan plan;
+  switch (options.planner) {
+    case PlannerKind::kOptimal: {
+      HELIX_ASSIGN_OR_RETURN(plan, SolveRecomputation(problem));
+      break;
+    }
+    case PlannerKind::kNaiveReuse:
+      plan = SolveRecomputationNaiveReuse(problem);
+      break;
+    case PlannerKind::kNoReuse:
+      plan = SolveRecomputationNoReuse(problem);
+      break;
+    case PlannerKind::kGreedy:
+      plan = SolveRecomputationGreedy(problem);
+      break;
+  }
+  int64_t planning_micros = plan_timer.ElapsedMicros();
+
+  // --- 4. Execute ---------------------------------------------------------
+  ExecState st;
+  st.dag = &dag;
+  st.opts = &options;
+  st.results.resize(static_cast<size_t>(n));
+  st.compute_estimate.resize(static_cast<size_t>(n));
+  st.measured_compute.assign(static_cast<size_t>(n), -1);
+  st.records.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    st.compute_estimate[static_cast<size_t>(i)] =
+        problem.costs[static_cast<size_t>(i)].compute_micros;
+    NodeExecution& record = st.records[static_cast<size_t>(i)];
+    record.name = dag.op(i).name();
+    record.phase = dag.op(i).phase();
+    record.signature = dag.cumulative_signature(i);
+    record.state = NodeState::kPrune;
+    record.sliced = !slice.IsLive(i);
+  }
+
+  for (int i : dag.topo_order()) {
+    NodeState state = plan.state(i);
+    NodeExecution& record = st.records[static_cast<size_t>(i)];
+    if (state == NodeState::kPrune) {
+      continue;
+    }
+    if (state == NodeState::kLoad) {
+      const Operator& op = dag.op(i);
+      uint64_t sig = dag.cumulative_signature(i);
+      int64_t start = options.clock->NowMicros();
+      auto loaded = options.store->Get(sig);
+      if (loaded.ok() && options.paranoid_checks) {
+        const storage::StoreEntry* entry = options.store->Find(sig);
+        if (entry != nullptr && entry->fingerprint != 0 &&
+            entry->fingerprint != loaded.value().Fingerprint()) {
+          (void)options.store->Remove(sig);
+          loaded = Status::Corruption("fingerprint mismatch for " +
+                                      op.name());
+        }
+      }
+      if (loaded.ok()) {
+        record.state = NodeState::kLoad;
+        record.cost_micros = ChargeAndMeasure(
+            options.clock, start, op.synthetic_costs().load_micros);
+        record.output_bytes = loaded.value().SizeBytes();
+        st.results[static_cast<size_t>(i)] = std::move(loaded).value();
+        if (options.stats != nullptr) {
+          options.stats->RecordLoad(sig, op.name(), record.cost_micros,
+                                    options.iteration);
+        }
+        continue;
+      }
+      // Corrupt or vanished entry: degrade to recomputation. Ancestors the
+      // plan pruned are computed on demand.
+      HELIX_LOG(Warning) << "load of " << op.name()
+                         << " failed, recomputing: "
+                         << loaded.status().ToString();
+      HELIX_RETURN_IF_ERROR(ComputeNode(&st, i));
+      continue;
+    }
+    // kCompute.
+    HELIX_RETURN_IF_ERROR(ComputeNode(&st, i));
+  }
+
+  // --- 5. Report ----------------------------------------------------------
+  ExecutionReport report;
+  report.planning_micros = planning_micros;
+  report.materialize_micros = st.materialize_total;
+  report.nodes = std::move(st.records);
+  for (const NodeExecution& record : report.nodes) {
+    switch (record.state) {
+      case NodeState::kCompute:
+        ++report.num_computed;
+        break;
+      case NodeState::kLoad:
+        ++report.num_loaded;
+        break;
+      case NodeState::kPrune:
+        ++report.num_pruned;
+        break;
+    }
+    if (record.materialized) {
+      ++report.num_materialized;
+    }
+  }
+  for (int out : dag.outputs()) {
+    report.outputs[dag.op(out).name()] =
+        st.results[static_cast<size_t>(out)];
+  }
+  report.total_micros = total_timer.ElapsedMicros();
+  return report;
+}
+
+}  // namespace core
+}  // namespace helix

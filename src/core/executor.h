@@ -1,0 +1,108 @@
+// The HELIX execution engine (paper Section 2.3).
+//
+// Executes a compiled workflow DAG: slices away operators that do not feed
+// outputs, plans {load, compute, prune} states with the recomputation
+// optimizer against the materialization store, runs operators in
+// topological order, and — immediately as each computed result becomes
+// available — asks the materialization policy whether to persist it.
+// Runtime statistics (compute cost, size, load cost) are recorded in the
+// CostStatsRegistry for planning in subsequent iterations.
+#ifndef HELIX_CORE_EXECUTOR_H_
+#define HELIX_CORE_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/materialization.h"
+#include "core/recompute.h"
+#include "core/workflow_dag.h"
+#include "dataflow/data_collection.h"
+#include "storage/cost_stats.h"
+#include "storage/store.h"
+
+namespace helix {
+namespace core {
+
+/// Which planner assigns node states.
+enum class PlannerKind : uint8_t {
+  /// Min-cut OPT (HELIX).
+  kOptimal = 0,
+  /// Load whatever is loadable (DeepDive-style reuse).
+  kNaiveReuse = 1,
+  /// Recompute everything needed (KeystoneML / unoptimized HELIX).
+  kNoReuse = 2,
+  /// Myopic heuristic (ablation).
+  kGreedy = 3,
+};
+
+const char* PlannerKindToString(PlannerKind k);
+
+/// Executor configuration for one iteration.
+struct ExecutionOptions {
+  Clock* clock = SystemClock::Default();
+  /// Materialization store; nullptr disables both reuse and persistence.
+  storage::IntermediateStore* store = nullptr;
+  /// Cross-iteration statistics; nullptr disables stat reuse (costs are
+  /// then estimated pessimistically).
+  storage::CostStatsRegistry* stats = nullptr;
+  /// Materialization decision rule; nullptr = never materialize.
+  const MaterializationPolicy* mat_policy = nullptr;
+  PlannerKind planner = PlannerKind::kOptimal;
+  /// Apply program slicing before planning.
+  bool enable_slicing = true;
+  /// Iteration number (for stats bookkeeping / reports).
+  int64_t iteration = 0;
+  /// Fallback compute-cost estimate for never-seen operators.
+  int64_t default_compute_estimate_micros = 1000000;
+  /// Verify loaded results' fingerprints against recorded ones when
+  /// available (defense against silent store corruption).
+  bool paranoid_checks = false;
+};
+
+/// Per-node record of what the executor did.
+struct NodeExecution {
+  std::string name;
+  Phase phase = Phase::kDataPreprocessing;
+  NodeState state = NodeState::kPrune;
+  bool sliced = false;           // pruned by the slicer (vs. by the planner)
+  uint64_t signature = 0;        // cumulative signature
+  int64_t cost_micros = 0;       // compute or load cost actually charged
+  int64_t output_bytes = 0;      // serialized size (computed/loaded nodes)
+  bool materialized = false;     // written to the store this iteration
+  int64_t materialize_micros = 0;
+};
+
+/// Result of executing one iteration.
+struct ExecutionReport {
+  /// Wall (or virtual) time of the whole iteration, including
+  /// materialization writes and planning.
+  int64_t total_micros = 0;
+  /// Time spent inside the recomputation planner.
+  int64_t planning_micros = 0;
+  /// Sum of materialization write costs.
+  int64_t materialize_micros = 0;
+  std::vector<NodeExecution> nodes;
+  /// Output name -> result.
+  std::map<std::string, dataflow::DataCollection> outputs;
+
+  int num_computed = 0;
+  int num_loaded = 0;
+  int num_pruned = 0;
+  int num_materialized = 0;
+
+  /// Node record by name (nullptr if absent).
+  const NodeExecution* FindNode(const std::string& name) const;
+};
+
+/// Executes one iteration of `dag` under `options`.
+Result<ExecutionReport> Execute(const WorkflowDag& dag,
+                                const ExecutionOptions& options);
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_EXECUTOR_H_

@@ -1,0 +1,48 @@
+#include "core/operator.h"
+
+#include "common/hash.h"
+
+namespace helix {
+namespace core {
+
+const char* PhaseToString(Phase phase) {
+  switch (phase) {
+    case Phase::kDataPreprocessing:
+      return "preprocess";
+    case Phase::kMachineLearning:
+      return "ml";
+    case Phase::kPostprocessing:
+      return "postprocess";
+  }
+  return "?";
+}
+
+Operator::Operator(std::string name, std::string op_type, std::string params,
+                   Phase phase, OperatorFn fn)
+    : name_(std::move(name)),
+      op_type_(std::move(op_type)),
+      params_(std::move(params)),
+      phase_(phase),
+      fn_(std::move(fn)) {}
+
+uint64_t Operator::Signature() const {
+  Hasher h;
+  h.Add(op_type_).Add(params_).AddI64(udf_version_);
+  return h.Digest();
+}
+
+Result<dataflow::DataCollection> Operator::Invoke(
+    const std::vector<const dataflow::DataCollection*>& inputs) const {
+  if (!fn_) {
+    return Status::FailedPrecondition("operator '" + name_ +
+                                      "' has no function body");
+  }
+  auto result = fn_(inputs);
+  if (!result.ok()) {
+    return result.status().WithContext("operator '" + name_ + "'");
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace helix

@@ -1,0 +1,114 @@
+// The HELIX operator abstraction.
+//
+// A Workflow (Section 2.1 of the paper) is a set of named operator
+// declarations; each operator consumes the data collections of its inputs
+// and produces one data collection. Operators carry:
+//
+//  * a signature — hash(type, canonical parameters, UDF version) — which is
+//    how the iterative change tracker detects edits between iterations
+//    (the paper does this via source version control; a parameter/UDF hash
+//    yields the same invalidation semantics, see DESIGN.md);
+//  * a phase tag (data pre-processing / ML / post-processing), used for the
+//    Figure 2 iteration-type breakdown and by the DeepDive baseline (which
+//    materializes all pre-processing results);
+//  * optionally, declared synthetic costs, which let tests and optimizer
+//    benchmarks run hour-scale workloads on a virtual clock.
+#ifndef HELIX_CORE_OPERATOR_H_
+#define HELIX_CORE_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/data_collection.h"
+
+namespace helix {
+namespace core {
+
+/// Workflow lifecycle phase of an operator (paper Figure 1b color-codes
+/// purple = data pre-processing, orange = machine learning; we add
+/// post-processing for evaluation operators, green in Figure 2).
+enum class Phase : uint8_t {
+  kDataPreprocessing = 0,
+  kMachineLearning = 1,
+  kPostprocessing = 2,
+};
+
+const char* PhaseToString(Phase phase);
+
+/// Computes one output collection from input collections. UDFs embedded in
+/// DSL statements (paper Section 2.1) compile to this signature.
+using OperatorFn = std::function<Result<dataflow::DataCollection>(
+    const std::vector<const dataflow::DataCollection*>& inputs)>;
+
+/// Declared costs for synthetic workloads on a virtual clock; all -1 for
+/// real operators (costs are then measured).
+struct SyntheticCosts {
+  int64_t compute_micros = -1;
+  int64_t load_micros = -1;
+  int64_t write_micros = -1;
+
+  bool any() const {
+    return compute_micros >= 0 || load_micros >= 0 || write_micros >= 0;
+  }
+};
+
+/// An operator declaration. Immutable once added to a Workflow; iterating
+/// on a workflow means declaring a new operator (usually with the same
+/// name and a changed parameter or UDF version).
+class Operator {
+ public:
+  Operator() = default;
+
+  /// `name` is the workflow-unique result name (the DSL variable, e.g.
+  /// "ageBucket"); `op_type` the operator class (e.g. "Bucketizer");
+  /// `params` the canonical parameter encoding included in the signature.
+  Operator(std::string name, std::string op_type, std::string params,
+           Phase phase, OperatorFn fn);
+
+  const std::string& name() const { return name_; }
+  const std::string& op_type() const { return op_type_; }
+  const std::string& params() const { return params_; }
+  Phase phase() const { return phase_; }
+  int udf_version() const { return udf_version_; }
+
+  /// Marks the UDF body as changed without changing parameters; bumping
+  /// the version changes the signature (simulating a source-diff hit in
+  /// the paper's change tracker).
+  Operator& SetUdfVersion(int version) {
+    udf_version_ = version;
+    return *this;
+  }
+
+  Operator& SetSyntheticCosts(SyntheticCosts costs) {
+    synthetic_ = costs;
+    return *this;
+  }
+  const SyntheticCosts& synthetic_costs() const { return synthetic_; }
+
+  /// hash(op_type, params, udf_version). Deliberately excludes `name` so a
+  /// pure rename is not a semantic change, and excludes inputs — the
+  /// cumulative (Merkle) signature over the DAG is computed by the
+  /// compiler (see WorkflowDag).
+  uint64_t Signature() const;
+
+  /// Runs the operator.
+  Result<dataflow::DataCollection> Invoke(
+      const std::vector<const dataflow::DataCollection*>& inputs) const;
+
+ private:
+  std::string name_;
+  std::string op_type_;
+  std::string params_;
+  Phase phase_ = Phase::kDataPreprocessing;
+  int udf_version_ = 0;
+  OperatorFn fn_;
+  SyntheticCosts synthetic_;
+};
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_OPERATOR_H_

@@ -1,0 +1,118 @@
+#include "core/plan_viz.h"
+
+#include "common/strings.h"
+
+namespace helix {
+namespace core {
+
+namespace {
+
+const char* PhaseColor(Phase p) {
+  switch (p) {
+    case Phase::kDataPreprocessing:
+      return "#b39ddb";  // purple
+    case Phase::kMachineLearning:
+      return "#ffcc80";  // orange
+    case Phase::kPostprocessing:
+      return "#a5d6a7";  // green
+  }
+  return "#eeeeee";
+}
+
+}  // namespace
+
+std::string RenderPlanAscii(const WorkflowDag& dag,
+                            const ExecutionReport& report) {
+  std::string out;
+  out += StrFormat("plan for '%s' (%s)\n", dag.name().c_str(),
+                   SummarizeReport(report).c_str());
+  for (int i : dag.topo_order()) {
+    const NodeExecution& n = report.nodes[static_cast<size_t>(i)];
+    const char* left = n.state == NodeState::kLoad ? "[disk>]" : "       ";
+    const char* right = n.materialized ? " [>disk]" : "";
+    std::string state;
+    if (n.state == NodeState::kPrune) {
+      state = n.sliced ? "sliced" : "pruned";
+    } else {
+      state = NodeStateToString(n.state);
+    }
+    std::string inputs;
+    for (graph::NodeId p : dag.dag().Parents(i)) {
+      if (!inputs.empty()) {
+        inputs += ",";
+      }
+      inputs += dag.op(p).name();
+    }
+    out += StrFormat("  %s %-16s %-18s %-8s %10s%s%s%s\n", left,
+                     n.name.c_str(),
+                     StrFormat("(%s/%s)", dag.op(i).op_type().c_str(),
+                               PhaseToString(n.phase))
+                         .c_str(),
+                     state.c_str(),
+                     n.state == NodeState::kPrune
+                         ? "-"
+                         : HumanMicros(n.cost_micros).c_str(),
+                     right, inputs.empty() ? "" : "  <- ", inputs.c_str());
+  }
+  return out;
+}
+
+std::string RenderPlanDot(const WorkflowDag& dag,
+                          const ExecutionReport& report) {
+  std::string out = "digraph \"" + dag.name() + "\" {\n";
+  out += "  rankdir=TB;\n  node [style=filled, fontname=\"Helvetica\"];\n";
+  for (int i = 0; i < dag.num_nodes(); ++i) {
+    const NodeExecution& n = report.nodes[static_cast<size_t>(i)];
+    std::string attrs;
+    if (n.state == NodeState::kPrune) {
+      attrs = "fillcolor=\"#e0e0e0\", fontcolor=\"#9e9e9e\", style=\"filled,"
+              "dashed\"";
+    } else {
+      attrs = StrFormat("fillcolor=\"%s\"", PhaseColor(n.phase));
+    }
+    std::string label = n.name;
+    if (n.state != NodeState::kPrune) {
+      label += "\\n" + HumanMicros(n.cost_micros);
+    }
+    if (dag.is_output(i)) {
+      attrs += ", penwidth=2";
+    }
+    out += StrFormat("  \"%s\" [label=\"%s\", %s];\n", n.name.c_str(),
+                     label.c_str(), attrs.c_str());
+    if (n.state == NodeState::kLoad) {
+      out += StrFormat(
+          "  \"%s_disk_in\" [label=\"disk\", shape=cylinder, "
+          "fillcolor=\"#90caf9\"];\n  \"%s_disk_in\" -> \"%s\";\n",
+          n.name.c_str(), n.name.c_str(), n.name.c_str());
+    }
+    if (n.materialized) {
+      out += StrFormat(
+          "  \"%s_disk_out\" [label=\"disk\", shape=cylinder, "
+          "fillcolor=\"#90caf9\"];\n  \"%s\" -> \"%s_disk_out\";\n",
+          n.name.c_str(), n.name.c_str(), n.name.c_str());
+    }
+  }
+  for (int i = 0; i < dag.num_nodes(); ++i) {
+    for (graph::NodeId child : dag.dag().Children(i)) {
+      // Edges into loaded nodes are not executed this iteration; draw them
+      // dashed to show the avoided recomputation.
+      bool executed =
+          report.nodes[static_cast<size_t>(child)].state == NodeState::kCompute;
+      out += StrFormat("  \"%s\" -> \"%s\"%s;\n", dag.op(i).name().c_str(),
+                       dag.op(child).name().c_str(),
+                       executed ? "" : " [style=dashed, color=\"#bdbdbd\"]");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string SummarizeReport(const ExecutionReport& report) {
+  return StrFormat(
+      "computed=%d loaded=%d pruned=%d materialized=%d total=%s",
+      report.num_computed, report.num_loaded, report.num_pruned,
+      report.num_materialized, HumanMicros(report.total_micros).c_str());
+}
+
+}  // namespace core
+}  // namespace helix

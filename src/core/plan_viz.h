@@ -1,0 +1,38 @@
+// Execution-plan rendering: the headless counterpart of paper Figure 1b.
+//
+// The GUI shows the optimized DAG with pre-processing operators in purple,
+// ML in orange, pruned operators grayed out, and drum glyphs marking
+// results reloaded from disk (drum on the left) or materialized to disk
+// (drum on the right). These renderers produce the same information as
+// ASCII (terminal) and Graphviz DOT (for actual figures).
+#ifndef HELIX_CORE_PLAN_VIZ_H_
+#define HELIX_CORE_PLAN_VIZ_H_
+
+#include <string>
+
+#include "core/executor.h"
+#include "core/workflow_dag.h"
+
+namespace helix {
+namespace core {
+
+/// One line per node, topologically ordered:
+///   [disk>] name (type, phase)  state  cost  [>disk]
+std::string RenderPlanAscii(const WorkflowDag& dag,
+                            const ExecutionReport& report);
+
+/// Graphviz DOT of the executed plan. Colors follow the paper: purple
+/// pre-processing, orange ML, green post-processing; pruned nodes gray and
+/// dashed; loaded nodes get a cylinder-shaped "disk" parent, materialized
+/// nodes a cylinder child.
+std::string RenderPlanDot(const WorkflowDag& dag,
+                          const ExecutionReport& report);
+
+/// Compact one-line summary: "computed=5 loaded=3 pruned=4 (12 nodes,
+/// 1.25 s)".
+std::string SummarizeReport(const ExecutionReport& report);
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_PLAN_VIZ_H_

@@ -1,0 +1,32 @@
+#include "core/program_slicer.h"
+
+namespace helix {
+namespace core {
+
+Slice SliceFromOutputs(const WorkflowDag& dag) {
+  Slice slice;
+  slice.live = dag.dag().BackwardReachable(
+      std::vector<graph::NodeId>(dag.outputs().begin(), dag.outputs().end()));
+  for (bool alive : slice.live) {
+    if (alive) {
+      ++slice.num_live;
+    } else {
+      ++slice.num_sliced;
+    }
+  }
+  return slice;
+}
+
+std::vector<std::string> SlicedNodeNames(const WorkflowDag& dag,
+                                         const Slice& slice) {
+  std::vector<std::string> names;
+  for (int n = 0; n < dag.num_nodes(); ++n) {
+    if (!slice.IsLive(n)) {
+      names.push_back(dag.op(n).name());
+    }
+  }
+  return names;
+}
+
+}  // namespace core
+}  // namespace helix

@@ -1,0 +1,41 @@
+// Program slicing: prune operators that do not contribute to outputs.
+//
+// "HELIX applies program slicing techniques from compilers to prune
+// extraneous operations that do not contribute to the final results"
+// (paper Section 2.2). In DAG terms the slice is the backward-reachable
+// set from the declared outputs; everything else is never executed. The
+// canonical case is feature selection: dropping an extractor from
+// `has_extractors` leaves its declaration in the program, and the slicer
+// eliminates its computation without any code change by the user.
+#ifndef HELIX_CORE_PROGRAM_SLICER_H_
+#define HELIX_CORE_PROGRAM_SLICER_H_
+
+#include <vector>
+
+#include "core/workflow_dag.h"
+
+namespace helix {
+namespace core {
+
+/// Result of slicing a compiled DAG.
+struct Slice {
+  /// live[n] is true iff node n contributes to some output.
+  std::vector<bool> live;
+  int num_live = 0;
+  int num_sliced = 0;
+
+  bool IsLive(int node) const { return live[static_cast<size_t>(node)]; }
+};
+
+/// Computes the backward slice from the DAG's outputs.
+Slice SliceFromOutputs(const WorkflowDag& dag);
+
+/// Nodes sliced away (names), for plan visualization (grayed-out operators
+/// in paper Figure 1b).
+std::vector<std::string> SlicedNodeNames(const WorkflowDag& dag,
+                                         const Slice& slice);
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_PROGRAM_SLICER_H_

@@ -1,0 +1,376 @@
+#include "core/recompute.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "graph/maxflow.h"
+#include "graph/project_selection.h"
+
+namespace helix {
+namespace core {
+
+const char* NodeStateToString(NodeState s) {
+  switch (s) {
+    case NodeState::kCompute:
+      return "compute";
+    case NodeState::kLoad:
+      return "load";
+    case NodeState::kPrune:
+      return "prune";
+  }
+  return "?";
+}
+
+int RecomputePlan::CountState(NodeState s) const {
+  int count = 0;
+  for (NodeState state : states) {
+    if (state == s) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Status ValidateProblem(const RecomputeProblem& problem) {
+  if (problem.dag == nullptr) {
+    return Status::InvalidArgument("recompute problem has no DAG");
+  }
+  size_t n = static_cast<size_t>(problem.dag->num_nodes());
+  if (problem.costs.size() != n || problem.required.size() != n) {
+    return Status::InvalidArgument(StrFormat(
+        "recompute problem size mismatch: dag=%zu costs=%zu required=%zu", n,
+        problem.costs.size(), problem.required.size()));
+  }
+  for (const NodeCosts& c : problem.costs) {
+    if (c.compute_micros < 0 || (c.loadable && c.load_micros < 0)) {
+      return Status::InvalidArgument("negative cost in recompute problem");
+    }
+  }
+  return Status::OK();
+}
+
+bool IsFeasible(const RecomputeProblem& problem,
+                const std::vector<NodeState>& states) {
+  const graph::Dag& dag = *problem.dag;
+  for (int i = 0; i < dag.num_nodes(); ++i) {
+    NodeState s = states[static_cast<size_t>(i)];
+    if (s == NodeState::kLoad && !problem.costs[static_cast<size_t>(i)].loadable) {
+      return false;
+    }
+    if (s == NodeState::kPrune && problem.required[static_cast<size_t>(i)]) {
+      return false;
+    }
+    if (s == NodeState::kCompute) {
+      for (graph::NodeId p : dag.Parents(i)) {
+        if (states[static_cast<size_t>(p)] == NodeState::kPrune) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+int64_t PlanCost(const RecomputeProblem& problem,
+                 const std::vector<NodeState>& states) {
+  int64_t cost = 0;
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (states[i] == NodeState::kCompute) {
+      cost += problem.costs[i].compute_micros;
+    } else if (states[i] == NodeState::kLoad) {
+      cost += problem.costs[i].load_micros;
+    }
+  }
+  return cost;
+}
+
+Result<RecomputePlan> SolveRecomputation(const RecomputeProblem& problem) {
+  HELIX_RETURN_IF_ERROR(ValidateProblem(problem));
+  const graph::Dag& dag = *problem.dag;
+  const int n = dag.num_nodes();
+
+  // Network layout: [0, n) variable vertices, then s, t, then one aux
+  // vertex per non-required node with children.
+  graph::MaxFlow flow(n + 2);
+  const int s = n;
+  const int t = n + 1;
+
+  for (int i = 0; i < n; ++i) {
+    const NodeCosts& c = problem.costs[static_cast<size_t>(i)];
+    // Compute cost: paid when i is on the source side.
+    flow.AddEdge(i, t, c.compute_micros);
+    int64_t load_cap = c.loadable ? c.load_micros : graph::kCapInfinity;
+    if (problem.required[static_cast<size_t>(i)]) {
+      // Required results pay the load cost (or are forced to compute)
+      // whenever they are not computed.
+      flow.AddEdge(s, i, load_cap);
+    } else if (!dag.Children(i).empty()) {
+      // Aux vertex = "some child computes, so i must be available".
+      int aux = flow.AddNode();
+      for (graph::NodeId child : dag.Children(i)) {
+        flow.AddEdge(child, aux, graph::kCapInfinity);
+      }
+      flow.AddEdge(aux, i, load_cap);
+    }
+    // Non-required leaves have no penalty edge: they are simply pruned.
+  }
+
+  int64_t cut = flow.Solve(s, t);
+  if (cut >= graph::kCapInfinity) {
+    return Status::Internal(
+        "recomputation min-cut is infinite; a required node is neither "
+        "computable nor loadable");
+  }
+  std::vector<bool> source_side = flow.MinCutSourceSide(s);
+
+  RecomputePlan plan;
+  plan.states.assign(static_cast<size_t>(n), NodeState::kPrune);
+  for (int i = 0; i < n; ++i) {
+    if (source_side[static_cast<size_t>(i)]) {
+      plan.states[static_cast<size_t>(i)] = NodeState::kCompute;
+      continue;
+    }
+    bool needed = problem.required[static_cast<size_t>(i)];
+    if (!needed) {
+      for (graph::NodeId child : dag.Children(i)) {
+        if (source_side[static_cast<size_t>(child)]) {
+          needed = true;
+          break;
+        }
+      }
+    }
+    if (needed) {
+      plan.states[static_cast<size_t>(i)] = NodeState::kLoad;
+    }
+  }
+  plan.planned_cost_micros = PlanCost(problem, plan.states);
+  if (plan.planned_cost_micros != cut) {
+    return Status::Internal(StrFormat(
+        "min-cut value %lld does not match plan cost %lld",
+        static_cast<long long>(cut),
+        static_cast<long long>(plan.planned_cost_micros)));
+  }
+  return plan;
+}
+
+Result<RecomputePlan> SolveRecomputationViaProjectSelection(
+    const RecomputeProblem& problem) {
+  HELIX_RETURN_IF_ERROR(ValidateProblem(problem));
+  const graph::Dag& dag = *problem.dag;
+  const int n = dag.num_nodes();
+
+  // Big-M bonus forcing required nodes to be selected; larger than any
+  // achievable total cost.
+  int64_t total_cost = 1;
+  for (const NodeCosts& c : problem.costs) {
+    total_cost += c.compute_micros;
+    if (c.loadable) {
+      total_cost += c.load_micros;
+    }
+  }
+  const int64_t kBigM = total_cost;
+
+  // Projects: compute_project[i] always exists. avail_project[i] exists
+  // for loadable nodes ("make i available, by loading unless the compute
+  // project refunds it").
+  graph::ProjectSelection psp;
+  std::vector<int> compute_project(static_cast<size_t>(n), -1);
+  std::vector<int> avail_project(static_cast<size_t>(n), -1);
+  int64_t forced_bonus_total = 0;
+
+  for (int i = 0; i < n; ++i) {
+    const NodeCosts& c = problem.costs[static_cast<size_t>(i)];
+    bool required = problem.required[static_cast<size_t>(i)];
+    if (c.loadable) {
+      int64_t avail_profit = -c.load_micros;
+      if (required) {
+        avail_profit += kBigM;
+        forced_bonus_total += kBigM;
+      }
+      avail_project[static_cast<size_t>(i)] = psp.AddProject(avail_profit);
+      compute_project[static_cast<size_t>(i)] =
+          psp.AddProject(c.load_micros - c.compute_micros);
+      // Computing refunds the load cost but implies availability.
+      psp.AddPrerequisite(compute_project[static_cast<size_t>(i)],
+                          avail_project[static_cast<size_t>(i)]);
+    } else {
+      int64_t compute_profit = -c.compute_micros;
+      if (required) {
+        compute_profit += kBigM;
+        forced_bonus_total += kBigM;
+      }
+      compute_project[static_cast<size_t>(i)] = psp.AddProject(compute_profit);
+    }
+  }
+  // Prune constraint: computing a child requires each parent's
+  // availability (its avail project when loadable, else its compute
+  // project).
+  for (int i = 0; i < n; ++i) {
+    for (graph::NodeId parent : dag.Parents(i)) {
+      int prereq = problem.costs[static_cast<size_t>(parent)].loadable
+                       ? avail_project[static_cast<size_t>(parent)]
+                       : compute_project[static_cast<size_t>(parent)];
+      psp.AddPrerequisite(compute_project[static_cast<size_t>(i)], prereq);
+    }
+  }
+
+  graph::ProjectSelectionSolution solution = psp.Solve();
+
+  RecomputePlan plan;
+  plan.states.assign(static_cast<size_t>(n), NodeState::kPrune);
+  for (int i = 0; i < n; ++i) {
+    if (solution.selected[static_cast<size_t>(compute_project[
+            static_cast<size_t>(i)])]) {
+      plan.states[static_cast<size_t>(i)] = NodeState::kCompute;
+    } else if (avail_project[static_cast<size_t>(i)] >= 0 &&
+               solution.selected[static_cast<size_t>(
+                   avail_project[static_cast<size_t>(i)])]) {
+      plan.states[static_cast<size_t>(i)] = NodeState::kLoad;
+    }
+  }
+  // Drop zero-benefit spurious loads (selected availability with no
+  // computing child and not required) for a canonical plan.
+  for (int i = 0; i < n; ++i) {
+    if (plan.states[static_cast<size_t>(i)] != NodeState::kLoad ||
+        problem.required[static_cast<size_t>(i)]) {
+      continue;
+    }
+    bool needed = false;
+    for (graph::NodeId child : dag.Children(i)) {
+      if (plan.states[static_cast<size_t>(child)] == NodeState::kCompute) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) {
+      plan.states[static_cast<size_t>(i)] = NodeState::kPrune;
+    }
+  }
+  plan.planned_cost_micros = PlanCost(problem, plan.states);
+
+  int64_t expected_cost = forced_bonus_total - solution.max_profit;
+  if (plan.planned_cost_micros != expected_cost) {
+    return Status::Internal(StrFormat(
+        "PSP objective %lld does not match plan cost %lld",
+        static_cast<long long>(expected_cost),
+        static_cast<long long>(plan.planned_cost_micros)));
+  }
+  return plan;
+}
+
+Result<RecomputePlan> SolveRecomputationBruteForce(
+    const RecomputeProblem& problem) {
+  HELIX_RETURN_IF_ERROR(ValidateProblem(problem));
+  const int n = problem.dag->num_nodes();
+  if (n > 14) {
+    return Status::InvalidArgument(
+        "brute force limited to 14 nodes (3^N blowup)");
+  }
+  std::vector<NodeState> assignment(static_cast<size_t>(n),
+                                    NodeState::kCompute);
+  RecomputePlan best;
+  bool found = false;
+
+  int64_t total = 1;
+  for (int i = 0; i < n; ++i) {
+    total *= 3;
+  }
+  for (int64_t code = 0; code < total; ++code) {
+    int64_t rem = code;
+    for (int i = 0; i < n; ++i) {
+      assignment[static_cast<size_t>(i)] =
+          static_cast<NodeState>(rem % 3);
+      rem /= 3;
+    }
+    if (!IsFeasible(problem, assignment)) {
+      continue;
+    }
+    int64_t cost = PlanCost(problem, assignment);
+    if (!found || cost < best.planned_cost_micros) {
+      found = true;
+      best.states = assignment;
+      best.planned_cost_micros = cost;
+    }
+  }
+  if (!found) {
+    return Status::Internal("no feasible recomputation assignment");
+  }
+  return best;
+}
+
+namespace {
+
+// Shared scaffolding for the heuristics: walk nodes in reverse topological
+// order, deciding each needed node's state via `decide`, which returns the
+// state and is responsible only for the load-vs-compute choice.
+template <typename Decider>
+RecomputePlan SolveTopDown(const RecomputeProblem& problem, Decider decide) {
+  const graph::Dag& dag = *problem.dag;
+  const int n = dag.num_nodes();
+  RecomputePlan plan;
+  plan.states.assign(static_cast<size_t>(n), NodeState::kPrune);
+  std::vector<bool> needed = problem.required;
+
+  // Declaration order is topological for compiled workflows, but accept
+  // arbitrary DAGs: compute an explicit order.
+  auto order = dag.TopologicalOrder();
+  std::vector<graph::NodeId> topo =
+      order.ok() ? order.value() : std::vector<graph::NodeId>();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    graph::NodeId i = *it;
+    if (!needed[static_cast<size_t>(i)]) {
+      continue;
+    }
+    NodeState s = decide(i, needed);
+    plan.states[static_cast<size_t>(i)] = s;
+    if (s == NodeState::kCompute) {
+      for (graph::NodeId p : dag.Parents(i)) {
+        needed[static_cast<size_t>(p)] = true;
+      }
+    }
+  }
+  plan.planned_cost_micros = PlanCost(problem, plan.states);
+  return plan;
+}
+
+}  // namespace
+
+RecomputePlan SolveRecomputationGreedy(const RecomputeProblem& problem) {
+  const graph::Dag& dag = *problem.dag;
+  return SolveTopDown(
+      problem, [&](graph::NodeId i, const std::vector<bool>& needed) {
+        const NodeCosts& c = problem.costs[static_cast<size_t>(i)];
+        if (!c.loadable) {
+          return NodeState::kCompute;
+        }
+        // Myopic estimate of the recompute alternative: own compute cost
+        // plus compute costs of ancestors nobody else has claimed yet.
+        int64_t est = c.compute_micros;
+        std::vector<bool> ancestors = dag.Ancestors(i);
+        for (int a = 0; a < dag.num_nodes(); ++a) {
+          if (ancestors[static_cast<size_t>(a)] &&
+              !needed[static_cast<size_t>(a)]) {
+            est += problem.costs[static_cast<size_t>(a)].compute_micros;
+          }
+        }
+        return c.load_micros < est ? NodeState::kLoad : NodeState::kCompute;
+      });
+}
+
+RecomputePlan SolveRecomputationNaiveReuse(const RecomputeProblem& problem) {
+  return SolveTopDown(problem,
+                      [&](graph::NodeId i, const std::vector<bool>&) {
+                        return problem.costs[static_cast<size_t>(i)].loadable
+                                   ? NodeState::kLoad
+                                   : NodeState::kCompute;
+                      });
+}
+
+RecomputePlan SolveRecomputationNoReuse(const RecomputeProblem& problem) {
+  return SolveTopDown(problem, [&](graph::NodeId, const std::vector<bool>&) {
+    return NodeState::kCompute;
+  });
+}
+
+}  // namespace core
+}  // namespace helix

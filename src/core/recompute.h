@@ -1,0 +1,134 @@
+// The recomputation problem (paper Section 2.2, Equation 1).
+//
+// Given the workflow DAG G = (N, E) where each node n_i has a compute cost
+// c_i and a load cost l_i (finite only if a valid materialization of n_i
+// exists), assign each node a state s(n_i) in {load, compute, prune} to
+//
+//     minimize  sum_i  I[s=compute] * c_i + I[s=load] * l_i
+//
+// subject to the *prune constraint*: a node in `compute` cannot have a
+// parent in `prune` (parents must be available), and every workflow output
+// must be available (load or compute).
+//
+// The paper proves this is PTIME via a reduction to the PROJECT SELECTION
+// PROBLEM [Kleinberg & Tardos], a min-cut variant. Both reductions are
+// implemented here:
+//
+//  * SolveRecomputation       — direct min-cut construction (primary).
+//      Per node n: variable vertex v_n (source side <=> compute). Compute
+//      cost: edge v_n -> t with capacity c_n. Availability penalty:
+//      outputs get s -> v_n with capacity l_n (infinite if not loadable);
+//      non-outputs get an auxiliary "needed" vertex a_n with infinite
+//      edges child -> a_n for each child and a_n -> v_n with capacity l_n
+//      (infinite if not loadable). Any s-t cut's value equals the
+//      objective of the corresponding state assignment, so the min cut is
+//      the optimal plan. States are read off the cut: source side =>
+//      compute; else load if needed (output or some child computes),
+//      else prune.
+//
+//  * SolveRecomputationViaProjectSelection — the textbook PSP encoding the
+//      paper cites, used to cross-validate the direct construction in
+//      property tests.
+//
+//  * SolveRecomputationBruteForce — exhaustive 3^N search (tests only).
+//
+//  * SolveRecomputationGreedy — the load-whenever-cheaper heuristic, kept
+//      as an ablation baseline showing why the flow-based OPT matters.
+//
+//  * SolveRecomputationNaiveReuse — load everything loadable (DeepDive's
+//      reuse rule).
+#ifndef HELIX_CORE_RECOMPUTE_H_
+#define HELIX_CORE_RECOMPUTE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/dag.h"
+
+namespace helix {
+namespace core {
+
+/// Execution state of a DAG node in a physical plan.
+enum class NodeState : uint8_t {
+  kCompute = 0,
+  kLoad = 1,
+  kPrune = 2,
+};
+
+const char* NodeStateToString(NodeState s);
+
+/// Planner inputs for one node. Costs are in microseconds.
+struct NodeCosts {
+  int64_t compute_micros = 0;
+  /// Load cost; only meaningful when loadable.
+  int64_t load_micros = 0;
+  /// True iff a valid (non-stale) materialization exists in the store.
+  bool loadable = false;
+};
+
+/// A recomputation plan.
+struct RecomputePlan {
+  std::vector<NodeState> states;
+  /// Objective value: sum of compute costs of computed nodes and load
+  /// costs of loaded nodes.
+  int64_t planned_cost_micros = 0;
+
+  NodeState state(int node) const {
+    return states[static_cast<size_t>(node)];
+  }
+  int CountState(NodeState s) const;
+};
+
+/// Problem instance: DAG topology, per-node costs, and which nodes are
+/// required outputs. `required[n]` nodes must end in a non-prune state.
+struct RecomputeProblem {
+  const graph::Dag* dag = nullptr;
+  std::vector<NodeCosts> costs;
+  std::vector<bool> required;
+};
+
+/// Validates instance shape (sizes match, required nodes exist).
+Status ValidateProblem(const RecomputeProblem& problem);
+
+/// True if `states` satisfies the prune constraint and availability of all
+/// required nodes, and loads only loadable nodes.
+bool IsFeasible(const RecomputeProblem& problem,
+                const std::vector<NodeState>& states);
+
+/// Objective value of a feasible assignment.
+int64_t PlanCost(const RecomputeProblem& problem,
+                 const std::vector<NodeState>& states);
+
+/// Optimal plan via the direct min-cut construction. Infeasible only if a
+/// required node is neither loadable nor computable (cannot happen for
+/// compiled workflows: every node is computable).
+Result<RecomputePlan> SolveRecomputation(const RecomputeProblem& problem);
+
+/// Optimal plan via the explicit PROJECT SELECTION reduction (the paper's
+/// formulation); same optimum as SolveRecomputation.
+Result<RecomputePlan> SolveRecomputationViaProjectSelection(
+    const RecomputeProblem& problem);
+
+/// Exhaustive search over all 3^N assignments; for tests (N <= ~12).
+Result<RecomputePlan> SolveRecomputationBruteForce(
+    const RecomputeProblem& problem);
+
+/// Heuristic: walk top-down from outputs; a needed node loads if loadable
+/// and l < (c + sum of not-yet-needed ancestor computes), else computes.
+/// Not optimal (myopic about shared ancestors); ablation baseline.
+RecomputePlan SolveRecomputationGreedy(const RecomputeProblem& problem);
+
+/// DeepDive-style reuse: every needed loadable node loads, everything else
+/// needed computes.
+RecomputePlan SolveRecomputationNaiveReuse(const RecomputeProblem& problem);
+
+/// No reuse at all: every node needed by an output computes (KeystoneML /
+/// unoptimized HELIX).
+RecomputePlan SolveRecomputationNoReuse(const RecomputeProblem& problem);
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_RECOMPUTE_H_

@@ -1,0 +1,107 @@
+#include "core/session.h"
+
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "core/cse.h"
+
+namespace helix {
+namespace core {
+
+std::string Session::StatsPath() const {
+  return JoinPath(options_.workspace_dir, "STATS");
+}
+
+Result<std::unique_ptr<Session>> Session::Open(
+    const SessionOptions& options) {
+  std::unique_ptr<Session> session(new Session(options));
+  if (!options.workspace_dir.empty() && options.enable_materialization) {
+    storage::StoreOptions store_options;
+    store_options.budget_bytes = options.storage_budget_bytes;
+    store_options.clock = options.clock;
+    HELIX_ASSIGN_OR_RETURN(
+        session->store_,
+        storage::IntermediateStore::Open(
+            JoinPath(options.workspace_dir, "store"), store_options));
+    auto stats = storage::CostStatsRegistry::Load(session->StatsPath());
+    if (stats.ok()) {
+      session->stats_ = std::move(stats).value();
+    } else if (!stats.status().IsNotFound()) {
+      HELIX_LOG(Warning) << "stats registry unreadable, starting fresh: "
+                         << stats.status().ToString();
+    }
+  }
+  session->policy_ = options.mat_policy;
+  if (session->policy_ == nullptr) {
+    session->policy_ = std::make_shared<OnlineCostModelPolicy>();
+  }
+  return session;
+}
+
+Result<IterationResult> Session::RunIteration(const Workflow& workflow,
+                                              const std::string& description,
+                                              ChangeCategory category) {
+  WorkflowDag dag;
+  if (options_.enable_cse) {
+    CseResult cse = EliminateCommonSubexpressions(workflow);
+    if (cse.merged > 0) {
+      HELIX_LOG(Info) << "CSE merged " << cse.merged << " duplicate operators";
+    }
+    HELIX_ASSIGN_OR_RETURN(dag, WorkflowDag::Compile(cse.workflow));
+  } else {
+    HELIX_ASSIGN_OR_RETURN(dag, WorkflowDag::Compile(workflow));
+  }
+
+  WorkflowDiff diff = previous_dag_.has_value()
+                          ? DiffWorkflows(*previous_dag_, dag)
+                          : InitialDiff(dag);
+
+  ExecutionOptions exec;
+  exec.clock = options_.clock;
+  exec.store = store_.get();
+  exec.stats = &stats_;
+  exec.mat_policy =
+      options_.enable_materialization ? policy_.get() : nullptr;
+  exec.planner = options_.planner;
+  exec.enable_slicing = options_.enable_slicing;
+  exec.iteration = iteration_;
+  exec.default_compute_estimate_micros =
+      options_.default_compute_estimate_micros;
+  exec.paranoid_checks = options_.paranoid_checks;
+
+  HELIX_ASSIGN_OR_RETURN(ExecutionReport report, Execute(dag, exec));
+
+  // Feed outcomes back to adaptive policies (ReusePredictingPolicy).
+  if (options_.enable_materialization && policy_ != nullptr) {
+    std::vector<NodeOutcome> outcomes;
+    outcomes.reserve(report.nodes.size());
+    for (const NodeExecution& node : report.nodes) {
+      NodeOutcome outcome;
+      outcome.name = node.name;
+      outcome.loaded = node.state == NodeState::kLoad;
+      outcome.materialized = node.materialized;
+      outcomes.push_back(std::move(outcome));
+    }
+    policy_->ObserveOutcomes(outcomes);
+  }
+
+  IterationResult result;
+  result.version_id = versions_.AddVersion(dag, report, description, category);
+  result.report = std::move(report);
+  result.diff = std::move(diff);
+  result.dag = dag;
+
+  cumulative_micros_ += result.report.total_micros;
+  previous_dag_ = std::move(dag);
+  ++iteration_;
+
+  if (!options_.workspace_dir.empty() && options_.enable_materialization) {
+    Status saved = stats_.Save(StatsPath());
+    if (!saved.ok()) {
+      HELIX_LOG(Warning) << "failed to persist stats: " << saved.ToString();
+    }
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace helix

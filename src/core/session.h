@@ -1,0 +1,103 @@
+// Session: the iterative, human-in-the-loop driver.
+//
+// A Session owns the durable state that persists across iterations of one
+// application: the materialization store (budget-gated), the cost
+// statistics registry, and the version history. Each RunIteration call
+// compiles the (possibly edited) workflow, diffs it against the previous
+// version (change tracking), executes it through the optimizing executor,
+// and records the resulting version — the programmatic equivalent of one
+// edit-and-run loop in the paper's demo (Section 3.2).
+#ifndef HELIX_CORE_SESSION_H_
+#define HELIX_CORE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/executor.h"
+#include "core/version_manager.h"
+#include "core/workflow.h"
+#include "core/workflow_dag.h"
+#include "storage/cost_stats.h"
+#include "storage/store.h"
+
+namespace helix {
+namespace core {
+
+/// Session configuration. The defaults reproduce full HELIX behaviour;
+/// the baselines (src/baselines) configure the same machinery differently.
+struct SessionOptions {
+  /// Directory for the store and stats registry. Empty = fully in-memory
+  /// session without materialization (reuse disabled).
+  std::string workspace_dir;
+  /// Maximum bytes of materialized intermediate results.
+  int64_t storage_budget_bytes = 1LL << 30;
+  Clock* clock = SystemClock::Default();
+  /// Materialization decision rule; nullptr selects the paper's online
+  /// cost-model policy. Ignored when materialization is disabled.
+  std::shared_ptr<MaterializationPolicy> mat_policy;
+  bool enable_materialization = true;
+  PlannerKind planner = PlannerKind::kOptimal;
+  bool enable_slicing = true;
+  /// Apply common-subexpression elimination before compiling (part of the
+  /// one-shot DAG optimization both HELIX and KeystoneML perform).
+  bool enable_cse = true;
+  int64_t default_compute_estimate_micros = 1000000;
+  bool paranoid_checks = false;
+};
+
+/// Result of one iteration.
+struct IterationResult {
+  int version_id = 0;
+  ExecutionReport report;
+  WorkflowDiff diff;
+  WorkflowDag dag;
+};
+
+/// Long-lived iterative development session.
+class Session {
+ public:
+  /// Opens (or resumes) a session. A non-empty workspace persists results
+  /// and statistics across Session objects — re-opening the same
+  /// workspace resumes where the previous session left off.
+  static Result<std::unique_ptr<Session>> Open(const SessionOptions& options);
+
+  /// Compiles and executes one workflow version.
+  Result<IterationResult> RunIteration(const Workflow& workflow,
+                                       const std::string& description,
+                                       ChangeCategory category);
+
+  const VersionManager& versions() const { return versions_; }
+  VersionManager* mutable_versions() { return &versions_; }
+
+  storage::IntermediateStore* store() { return store_.get(); }
+  storage::CostStatsRegistry* stats() { return &stats_; }
+  Clock* clock() const { return options_.clock; }
+
+  /// Total execution time across all iterations so far (the paper's
+  /// cumulative-runtime metric, Figure 2).
+  int64_t cumulative_micros() const { return cumulative_micros_; }
+
+  int64_t iteration() const { return iteration_; }
+
+ private:
+  explicit Session(SessionOptions options) : options_(std::move(options)) {}
+
+  std::string StatsPath() const;
+
+  SessionOptions options_;
+  std::unique_ptr<storage::IntermediateStore> store_;
+  storage::CostStatsRegistry stats_;
+  VersionManager versions_;
+  std::shared_ptr<MaterializationPolicy> policy_;
+  std::optional<WorkflowDag> previous_dag_;
+  int64_t iteration_ = 0;
+  int64_t cumulative_micros_ = 0;
+};
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_SESSION_H_

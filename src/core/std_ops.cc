@@ -1,0 +1,704 @@
+#include "core/std_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "ml/logistic_regression.h"
+#include "ml/naive_bayes.h"
+#include "ml/perceptron.h"
+#include "nlp/tokenizer.h"
+
+namespace helix {
+namespace core {
+namespace ops {
+
+const char kSplitColumn[] = "__split";
+
+namespace {
+
+using dataflow::DataCollection;
+using dataflow::ExamplesData;
+using dataflow::MetricsData;
+using dataflow::ModelData;
+using dataflow::Row;
+using dataflow::Schema;
+using dataflow::TableData;
+using dataflow::TextData;
+using dataflow::Value;
+
+Result<const TableData*> InputTable(
+    const std::vector<const DataCollection*>& inputs, size_t i) {
+  if (i >= inputs.size()) {
+    return Status::InvalidArgument(
+        StrFormat("missing input #%zu (have %zu)", i, inputs.size()));
+  }
+  return inputs[i]->AsTable();
+}
+
+Result<const TextData*> InputText(
+    const std::vector<const DataCollection*>& inputs, size_t i) {
+  if (i >= inputs.size()) {
+    return Status::InvalidArgument(
+        StrFormat("missing input #%zu (have %zu)", i, inputs.size()));
+  }
+  return inputs[i]->AsText();
+}
+
+// A "feature table" is (__split, value) — the shape produced by
+// FieldExtractor, Bucketizer, and InteractionFeature.
+Status CheckFeatureTable(const TableData& t, const std::string& who) {
+  if (t.schema().num_fields() != 2 ||
+      t.schema().field(0).name != kSplitColumn) {
+    return Status::InvalidArgument(
+        who + ": expected feature table (__split, value), got " +
+        t.schema().ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Operator FileSource(const std::string& name, const std::string& train_path,
+                    const std::string& test_path) {
+  std::string params =
+      StrFormat("train=%s,test=%s", train_path.c_str(), test_path.c_str());
+  OperatorFn fn = [train_path, test_path](
+                      const std::vector<const DataCollection*>&)
+      -> Result<DataCollection> {
+    auto table = std::make_shared<TableData>(
+        Schema::AllStrings({kSplitColumn, "line"}));
+    for (const auto& [path, split] :
+         {std::pair<std::string, const char*>{train_path, "train"},
+          std::pair<std::string, const char*>{test_path, "test"}}) {
+      HELIX_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+      for (std::string& line : Split(data, '\n')) {
+        if (line.empty()) {
+          continue;
+        }
+        HELIX_RETURN_IF_ERROR(
+            table->AppendRow({Value(std::string(split)), Value(std::move(line))}));
+      }
+    }
+    return DataCollection::FromTable(std::move(table));
+  };
+  return Operator(name, "FileSource", params, Phase::kDataPreprocessing,
+                  std::move(fn));
+}
+
+Operator CsvScanner(const std::string& name,
+                    const std::vector<std::string>& columns) {
+  std::string params = "cols=" + Join(columns, "|");
+  OperatorFn fn = [columns](const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    HELIX_ASSIGN_OR_RETURN(const TableData* in, InputTable(inputs, 0));
+    int line_col = in->schema().IndexOf("line");
+    int split_col = in->schema().IndexOf(kSplitColumn);
+    if (line_col < 0 || split_col < 0) {
+      return Status::InvalidArgument(
+          "CSVScanner expects (__split, line) input");
+    }
+    std::vector<std::string> out_columns = {kSplitColumn};
+    out_columns.insert(out_columns.end(), columns.begin(), columns.end());
+    auto table = std::make_shared<TableData>(Schema::AllStrings(out_columns));
+    table->Reserve(in->num_rows());
+    for (int64_t r = 0; r < in->num_rows(); ++r) {
+      auto fields = ParseCsvLine(in->at(r, line_col).AsString());
+      if (!fields.ok()) {
+        return fields.status().WithContext(
+            StrFormat("CSV parse error at row %lld",
+                      static_cast<long long>(r)));
+      }
+      if (fields.value().size() != columns.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "row %lld has %zu fields, expected %zu",
+            static_cast<long long>(r), fields.value().size(),
+            columns.size()));
+      }
+      Row row;
+      row.reserve(columns.size() + 1);
+      row.push_back(in->at(r, split_col));
+      for (std::string& f : fields.value()) {
+        row.emplace_back(Trim(f));
+      }
+      HELIX_RETURN_IF_ERROR(table->AppendRow(std::move(row)));
+    }
+    return DataCollection::FromTable(std::move(table));
+  };
+  return Operator(name, "CSVScanner", params, Phase::kDataPreprocessing,
+                  std::move(fn));
+}
+
+Operator FieldExtractor(const std::string& name, const std::string& field) {
+  std::string params = "field=" + field;
+  OperatorFn fn = [field](const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    HELIX_ASSIGN_OR_RETURN(const TableData* in, InputTable(inputs, 0));
+    int col = in->schema().IndexOf(field);
+    int split_col = in->schema().IndexOf(kSplitColumn);
+    if (col < 0 || split_col < 0) {
+      return Status::InvalidArgument("no column named " + field);
+    }
+    auto table = std::make_shared<TableData>(
+        Schema::AllStrings({kSplitColumn, field}));
+    table->Reserve(in->num_rows());
+    for (int64_t r = 0; r < in->num_rows(); ++r) {
+      HELIX_RETURN_IF_ERROR(
+          table->AppendRow({in->at(r, split_col), in->at(r, col)}));
+    }
+    return DataCollection::FromTable(std::move(table));
+  };
+  return Operator(name, "FieldExtractor", params, Phase::kDataPreprocessing,
+                  std::move(fn));
+}
+
+Operator Bucketizer(const std::string& name, int bins) {
+  std::string params = StrFormat("bins=%d", bins);
+  std::string out_col = name;
+  OperatorFn fn = [bins, out_col](
+                      const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    if (bins <= 0) {
+      return Status::InvalidArgument("bins must be positive");
+    }
+    HELIX_ASSIGN_OR_RETURN(const TableData* in, InputTable(inputs, 0));
+    HELIX_RETURN_IF_ERROR(CheckFeatureTable(*in, "Bucketizer"));
+    // Pass 1: numeric range.
+    double lo = 0;
+    double hi = 0;
+    bool any = false;
+    std::vector<double> parsed(static_cast<size_t>(in->num_rows()), 0.0);
+    for (int64_t r = 0; r < in->num_rows(); ++r) {
+      const Value& v = in->at(r, 1);
+      double x = 0;
+      if (v.type() == dataflow::ValueType::kString) {
+        if (!ParseDouble(v.AsString(), &x)) {
+          return Status::InvalidArgument(StrFormat(
+              "Bucketizer: non-numeric value '%s' at row %lld",
+              v.AsString().c_str(), static_cast<long long>(r)));
+        }
+      } else {
+        HELIX_ASSIGN_OR_RETURN(x, v.ToNumeric());
+      }
+      parsed[static_cast<size_t>(r)] = x;
+      lo = any ? std::min(lo, x) : x;
+      hi = any ? std::max(hi, x) : x;
+      any = true;
+    }
+    double width = (hi - lo) / static_cast<double>(bins);
+    if (width <= 0) {
+      width = 1;
+    }
+    auto table = std::make_shared<TableData>(
+        Schema::AllStrings({kSplitColumn, out_col}));
+    table->Reserve(in->num_rows());
+    for (int64_t r = 0; r < in->num_rows(); ++r) {
+      int bucket = static_cast<int>(
+          (parsed[static_cast<size_t>(r)] - lo) / width);
+      bucket = std::clamp(bucket, 0, bins - 1);
+      HELIX_RETURN_IF_ERROR(table->AppendRow(
+          {in->at(r, 0), Value(StrFormat("b%d", bucket))}));
+    }
+    return DataCollection::FromTable(std::move(table));
+  };
+  return Operator(name, "Bucketizer", params, Phase::kDataPreprocessing,
+                  std::move(fn));
+}
+
+Operator InteractionFeature(const std::string& name) {
+  std::string out_col = name;
+  OperatorFn fn = [out_col](const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    if (inputs.size() < 2) {
+      return Status::InvalidArgument(
+          "InteractionFeature needs at least two inputs");
+    }
+    std::vector<const TableData*> tables;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      HELIX_ASSIGN_OR_RETURN(const TableData* t, InputTable(inputs, i));
+      HELIX_RETURN_IF_ERROR(CheckFeatureTable(*t, "InteractionFeature"));
+      if (!tables.empty() && t->num_rows() != tables[0]->num_rows()) {
+        return Status::InvalidArgument(
+            "InteractionFeature inputs disagree on row count");
+      }
+      tables.push_back(t);
+    }
+    auto table = std::make_shared<TableData>(
+        Schema::AllStrings({kSplitColumn, out_col}));
+    table->Reserve(tables[0]->num_rows());
+    for (int64_t r = 0; r < tables[0]->num_rows(); ++r) {
+      std::string joined;
+      for (size_t i = 0; i < tables.size(); ++i) {
+        if (i > 0) {
+          joined += "&";
+        }
+        joined += tables[i]->at(r, 1).ToDisplayString();
+      }
+      HELIX_RETURN_IF_ERROR(
+          table->AppendRow({tables[0]->at(r, 0), Value(std::move(joined))}));
+    }
+    return DataCollection::FromTable(std::move(table));
+  };
+  return Operator(name, "InteractionFeature", "", Phase::kDataPreprocessing,
+                  std::move(fn));
+}
+
+Operator AssembleExamples(const std::string& name,
+                          const std::string& positive_label) {
+  std::string params = "pos=" + positive_label;
+  OperatorFn fn = [positive_label](
+                      const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    if (inputs.size() < 2) {
+      return Status::InvalidArgument(
+          "AssembleExamples needs >=1 feature input plus the label input");
+    }
+    std::vector<const TableData*> features;
+    for (size_t i = 0; i + 1 < inputs.size(); ++i) {
+      HELIX_ASSIGN_OR_RETURN(const TableData* t, InputTable(inputs, i));
+      HELIX_RETURN_IF_ERROR(CheckFeatureTable(*t, "AssembleExamples"));
+      features.push_back(t);
+    }
+    HELIX_ASSIGN_OR_RETURN(const TableData* target,
+                           InputTable(inputs, inputs.size() - 1));
+    HELIX_RETURN_IF_ERROR(CheckFeatureTable(*target, "AssembleExamples"));
+    int64_t rows = target->num_rows();
+    for (const TableData* t : features) {
+      if (t->num_rows() != rows) {
+        return Status::InvalidArgument(
+            "AssembleExamples inputs disagree on row count");
+      }
+    }
+
+    auto data = std::make_shared<ExamplesData>();
+    data->Reserve(rows);
+    dataflow::FeatureDict* dict = data->mutable_dict();
+
+    // Per feature column: numeric if every value parses as a double; then
+    // standardize. Otherwise one-hot.
+    struct ColumnPlan {
+      bool numeric = false;
+      double mean = 0;
+      double stddev = 1;
+      int32_t numeric_index = -1;
+    };
+    std::vector<ColumnPlan> plans(features.size());
+    for (size_t f = 0; f < features.size(); ++f) {
+      const TableData& t = *features[f];
+      const std::string& col = t.schema().field(1).name;
+      bool numeric = rows > 0;
+      double sum = 0;
+      double sum_sq = 0;
+      for (int64_t r = 0; r < rows && numeric; ++r) {
+        double x;
+        if (!ParseDouble(t.at(r, 1).ToDisplayString(), &x)) {
+          numeric = false;
+          break;
+        }
+        sum += x;
+        sum_sq += x * x;
+      }
+      ColumnPlan& plan = plans[f];
+      plan.numeric = numeric;
+      if (numeric) {
+        plan.mean = sum / static_cast<double>(rows);
+        double variance =
+            sum_sq / static_cast<double>(rows) - plan.mean * plan.mean;
+        plan.stddev = variance > 1e-12 ? std::sqrt(variance) : 1.0;
+        plan.numeric_index = dict->Intern(col);
+      }
+    }
+
+    for (int64_t r = 0; r < rows; ++r) {
+      dataflow::Example e;
+      e.id = r;
+      e.is_test = target->at(r, 0).AsString() == "test";
+      e.label =
+          target->at(r, 1).ToDisplayString() == positive_label ? 1.0 : 0.0;
+      for (size_t f = 0; f < features.size(); ++f) {
+        const TableData& t = *features[f];
+        const ColumnPlan& plan = plans[f];
+        if (plan.numeric) {
+          double x;
+          ParseDouble(t.at(r, 1).ToDisplayString(), &x);
+          e.features.Set(plan.numeric_index, (x - plan.mean) / plan.stddev);
+        } else {
+          const std::string& col = t.schema().field(1).name;
+          e.features.Set(
+              dict->Intern(col + "=" + t.at(r, 1).ToDisplayString()), 1.0);
+        }
+      }
+      data->Add(std::move(e));
+    }
+    return DataCollection::FromExamples(std::move(data));
+  };
+  return Operator(name, "AssembleExamples", params,
+                  Phase::kDataPreprocessing, std::move(fn));
+}
+
+std::string LearnerConfig::Canonical() const {
+  return StrFormat("model=%s,reg=%g,lr=%g,epochs=%d,seed=%llu",
+                   model_type.c_str(), reg_param, learning_rate, epochs,
+                   static_cast<unsigned long long>(seed));
+}
+
+Operator Learner(const std::string& name, const LearnerConfig& config) {
+  OperatorFn fn = [config](const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    if (inputs.empty()) {
+      return Status::InvalidArgument("Learner needs an examples input");
+    }
+    HELIX_ASSIGN_OR_RETURN(const ExamplesData* examples,
+                           inputs[0]->AsExamples());
+    std::shared_ptr<ModelData> model;
+    if (config.model_type == "lr") {
+      ml::LogisticRegressionOptions opts;
+      opts.reg_param = config.reg_param;
+      opts.learning_rate = config.learning_rate;
+      opts.epochs = config.epochs;
+      opts.seed = config.seed;
+      HELIX_ASSIGN_OR_RETURN(model,
+                             ml::TrainLogisticRegression(*examples, opts));
+    } else if (config.model_type == "nb") {
+      ml::NaiveBayesOptions opts;
+      // reg_param doubles as the smoothing pseudo-count for NB.
+      opts.smoothing = config.reg_param > 0 ? config.reg_param : 1.0;
+      HELIX_ASSIGN_OR_RETURN(model, ml::TrainNaiveBayes(*examples, opts));
+    } else if (config.model_type == "perceptron") {
+      ml::PerceptronOptions opts;
+      opts.epochs = config.epochs;
+      opts.seed = config.seed;
+      opts.margin = config.reg_param;
+      HELIX_ASSIGN_OR_RETURN(model,
+                             ml::TrainAveragedPerceptron(*examples, opts));
+    } else {
+      return Status::InvalidArgument("unknown model type: " +
+                                     config.model_type);
+    }
+    return DataCollection::FromModel(std::move(model));
+  };
+  return Operator(name, "Learner", config.Canonical(),
+                  Phase::kMachineLearning, std::move(fn));
+}
+
+Operator Predictor(const std::string& name) {
+  OperatorFn fn = [](const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    if (inputs.size() < 2) {
+      return Status::InvalidArgument("Predictor needs (model, examples)");
+    }
+    HELIX_ASSIGN_OR_RETURN(const ModelData* model, inputs[0]->AsModel());
+    HELIX_ASSIGN_OR_RETURN(const ExamplesData* examples,
+                           inputs[1]->AsExamples());
+    auto table = std::make_shared<TableData>(Schema({
+        {"id", dataflow::ValueType::kInt},
+        {kSplitColumn, dataflow::ValueType::kString},
+        {"gold", dataflow::ValueType::kDouble},
+        {"prob", dataflow::ValueType::kDouble},
+    }));
+    table->Reserve(examples->num_examples());
+    for (int64_t i = 0; i < examples->num_examples(); ++i) {
+      const dataflow::Example& e = examples->example(i);
+      double prob = ml::PredictProbability(*model, e.features);
+      HELIX_RETURN_IF_ERROR(table->AppendRow(
+          {Value(e.id), Value(std::string(e.is_test ? "test" : "train")),
+           Value(e.label), Value(prob)}));
+    }
+    return DataCollection::FromTable(std::move(table));
+  };
+  return Operator(name, "Predictor", "", Phase::kMachineLearning,
+                  std::move(fn));
+}
+
+Operator Evaluator(const std::string& name,
+                   const ml::BinaryMetricsOptions& options) {
+  std::string params = StrFormat(
+      "thr=%g,acc=%d,prf=%d,auc=%d,ll=%d,cc=%d", options.threshold,
+      options.accuracy, options.precision_recall_f1, options.auc,
+      options.log_loss, options.confusion_counts);
+  OperatorFn fn = [options](const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    HELIX_ASSIGN_OR_RETURN(const TableData* preds, InputTable(inputs, 0));
+    int split_col = preds->schema().IndexOf(kSplitColumn);
+    int gold_col = preds->schema().IndexOf("gold");
+    int prob_col = preds->schema().IndexOf("prob");
+    if (split_col < 0 || gold_col < 0 || prob_col < 0) {
+      return Status::InvalidArgument(
+          "Evaluator expects (id, __split, gold, prob) predictions");
+    }
+    std::vector<ml::ScoredLabel> rows;
+    for (int64_t r = 0; r < preds->num_rows(); ++r) {
+      if (preds->at(r, split_col).AsString() != "test") {
+        continue;
+      }
+      rows.push_back(ml::ScoredLabel{preds->at(r, gold_col).AsDouble(),
+                                     preds->at(r, prob_col).AsDouble()});
+    }
+    HELIX_ASSIGN_OR_RETURN(auto metrics,
+                           ml::ComputeBinaryMetrics(rows, options));
+    return DataCollection::FromMetrics(
+        std::make_shared<MetricsData>(std::move(metrics)));
+  };
+  return Operator(name, "Evaluator", params, Phase::kPostprocessing,
+                  std::move(fn));
+}
+
+Operator Reducer(const std::string& name, Phase phase, int udf_version,
+                 OperatorFn fn) {
+  Operator op(name, "Reducer", "udf", phase, std::move(fn));
+  op.SetUdfVersion(udf_version);
+  return op;
+}
+
+Operator CorpusSource(const std::string& name, const std::string& path) {
+  OperatorFn fn = [path](const std::vector<const DataCollection*>&)
+      -> Result<DataCollection> {
+    HELIX_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+    HELIX_ASSIGN_OR_RETURN(DataCollection collection,
+                           DataCollection::DeserializeFromString(data));
+    if (collection.kind() != dataflow::PayloadKind::kText) {
+      return Status::InvalidArgument("corpus file is not a text collection");
+    }
+    return collection;
+  };
+  return Operator(name, "CorpusSource", "path=" + path,
+                  Phase::kDataPreprocessing, std::move(fn));
+}
+
+Operator SentenceTokenizer(const std::string& name) {
+  OperatorFn fn = [](const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    HELIX_ASSIGN_OR_RETURN(const TextData* corpus, InputText(inputs, 0));
+    auto table = std::make_shared<TableData>(Schema({
+        {"doc", dataflow::ValueType::kInt},
+        {"tok", dataflow::ValueType::kInt},
+        {"text", dataflow::ValueType::kString},
+        {"begin", dataflow::ValueType::kInt},
+        {"end", dataflow::ValueType::kInt},
+        {"gold", dataflow::ValueType::kInt},
+    }));
+    for (int64_t d = 0; d < corpus->num_docs(); ++d) {
+      const dataflow::Document& doc = corpus->doc(d);
+      std::vector<nlp::Token> tokens = nlp::Tokenize(doc.text);
+      std::vector<bool> labels =
+          nlp::TokenLabelsFromSpans(tokens, doc.spans);
+      for (size_t t = 0; t < tokens.size(); ++t) {
+        HELIX_RETURN_IF_ERROR(table->AppendRow(
+            {Value(d), Value(static_cast<int64_t>(t)),
+             Value(tokens[t].text), Value(int64_t{tokens[t].begin}),
+             Value(int64_t{tokens[t].end}),
+             Value(int64_t{labels[t] ? 1 : 0})}));
+      }
+    }
+    return DataCollection::FromTable(std::move(table));
+  };
+  return Operator(name, "SentenceTokenizer", "", Phase::kDataPreprocessing,
+                  std::move(fn));
+}
+
+namespace {
+
+// Reconstructs per-document token vectors (plus gold labels and global row
+// ids) from a token table.
+struct DocTokens {
+  std::vector<nlp::Token> tokens;
+  std::vector<bool> gold;
+  std::vector<int64_t> row_ids;
+};
+
+Result<std::vector<DocTokens>> GroupTokensByDoc(const TableData& table) {
+  int doc_col = table.schema().IndexOf("doc");
+  int text_col = table.schema().IndexOf("text");
+  int begin_col = table.schema().IndexOf("begin");
+  int end_col = table.schema().IndexOf("end");
+  int gold_col = table.schema().IndexOf("gold");
+  if (doc_col < 0 || text_col < 0 || begin_col < 0 || end_col < 0 ||
+      gold_col < 0) {
+    return Status::InvalidArgument("not a token table: " +
+                                   table.schema().ToString());
+  }
+  std::vector<DocTokens> docs;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    int64_t d = table.at(r, doc_col).AsInt();
+    if (d < 0) {
+      return Status::InvalidArgument("negative doc index");
+    }
+    if (static_cast<size_t>(d) >= docs.size()) {
+      docs.resize(static_cast<size_t>(d) + 1);
+    }
+    DocTokens& doc = docs[static_cast<size_t>(d)];
+    doc.tokens.push_back(nlp::Token{
+        table.at(r, text_col).AsString(),
+        static_cast<int32_t>(table.at(r, begin_col).AsInt()),
+        static_cast<int32_t>(table.at(r, end_col).AsInt())});
+    doc.gold.push_back(table.at(r, gold_col).AsInt() != 0);
+    doc.row_ids.push_back(r);
+  }
+  return docs;
+}
+
+}  // namespace
+
+Operator TokenFeaturizer(const std::string& name,
+                         const nlp::TokenFeatureOptions& options,
+                         double train_frac) {
+  std::string params = StrFormat("feat=%s,train=%g",
+                                 options.Canonical().c_str(), train_frac);
+  OperatorFn fn = [options, train_frac](
+                      const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    HELIX_ASSIGN_OR_RETURN(const TableData* table, InputTable(inputs, 0));
+    HELIX_ASSIGN_OR_RETURN(std::vector<DocTokens> docs,
+                           GroupTokensByDoc(*table));
+    int64_t split_point = static_cast<int64_t>(
+        static_cast<double>(docs.size()) * train_frac);
+    auto data = std::make_shared<ExamplesData>();
+    data->Reserve(table->num_rows());
+    for (size_t d = 0; d < docs.size(); ++d) {
+      const DocTokens& doc = docs[d];
+      bool is_test = static_cast<int64_t>(d) >= split_point;
+      for (size_t t = 0; t < doc.tokens.size(); ++t) {
+        dataflow::Example e;
+        e.id = doc.row_ids[t];
+        e.is_test = is_test;
+        e.label = doc.gold[t] ? 1.0 : 0.0;
+        nlp::ExtractTokenFeatures(doc.tokens, t, options,
+                                  data->mutable_dict(), &e.features);
+        data->Add(std::move(e));
+      }
+    }
+    return DataCollection::FromExamples(std::move(data));
+  };
+  return Operator(name, "TokenFeaturizer", params,
+                  Phase::kDataPreprocessing, std::move(fn));
+}
+
+Operator MentionDecoder(const std::string& name,
+                        const nlp::MentionDecoderOptions& options) {
+  std::string params =
+      StrFormat("thr=%g,label=%s,min=%d,max=%d", options.threshold,
+                options.label.c_str(), options.min_tokens,
+                options.max_tokens);
+  OperatorFn fn = [options](const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    HELIX_ASSIGN_OR_RETURN(const TableData* tokens, InputTable(inputs, 0));
+    HELIX_ASSIGN_OR_RETURN(const TableData* preds, InputTable(inputs, 1));
+    HELIX_ASSIGN_OR_RETURN(std::vector<DocTokens> docs,
+                           GroupTokensByDoc(*tokens));
+    int id_col = preds->schema().IndexOf("id");
+    int prob_col = preds->schema().IndexOf("prob");
+    if (id_col < 0 || prob_col < 0) {
+      return Status::InvalidArgument(
+          "MentionDecoder expects a predictions table with (id, prob)");
+    }
+    // prob per global token-row id.
+    std::vector<double> probs(static_cast<size_t>(tokens->num_rows()), 0.0);
+    for (int64_t r = 0; r < preds->num_rows(); ++r) {
+      int64_t id = preds->at(r, id_col).AsInt();
+      if (id < 0 || id >= tokens->num_rows()) {
+        return Status::InvalidArgument("prediction id out of range");
+      }
+      probs[static_cast<size_t>(id)] = preds->at(r, prob_col).AsDouble();
+    }
+    auto decoded = std::make_shared<TextData>();
+    for (size_t d = 0; d < docs.size(); ++d) {
+      const DocTokens& doc = docs[d];
+      std::vector<double> doc_probs;
+      doc_probs.reserve(doc.tokens.size());
+      for (int64_t row : doc.row_ids) {
+        doc_probs.push_back(probs[static_cast<size_t>(row)]);
+      }
+      dataflow::Document out;
+      out.id = StrFormat("doc-%05zu", d);
+      out.spans = nlp::DecodeMentions(doc.tokens, doc_probs, options);
+      decoded->AddDoc(std::move(out));
+    }
+    return DataCollection::FromText(std::move(decoded));
+  };
+  return Operator(name, "MentionDecoder", params, Phase::kPostprocessing,
+                  std::move(fn));
+}
+
+Operator SpanEvaluator(const std::string& name, double train_frac) {
+  std::string params = StrFormat("train=%g", train_frac);
+  OperatorFn fn = [train_frac](
+                      const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    HELIX_ASSIGN_OR_RETURN(const TextData* corpus, InputText(inputs, 0));
+    HELIX_ASSIGN_OR_RETURN(const TextData* decoded, InputText(inputs, 1));
+    if (decoded->num_docs() != corpus->num_docs()) {
+      return Status::InvalidArgument(
+          "decoded mentions disagree with corpus on document count");
+    }
+    int64_t split_point = static_cast<int64_t>(
+        static_cast<double>(corpus->num_docs()) * train_frac);
+    std::vector<std::vector<dataflow::Span>> gold;
+    std::vector<std::vector<dataflow::Span>> pred;
+    for (int64_t d = split_point; d < corpus->num_docs(); ++d) {
+      gold.push_back(corpus->doc(d).spans);
+      pred.push_back(decoded->doc(d).spans);
+    }
+    auto metrics = std::make_shared<MetricsData>(
+        ml::ComputeCorpusSpanMetrics(gold, pred));
+    return DataCollection::FromMetrics(std::move(metrics));
+  };
+  return Operator(name, "SpanEvaluator", params, Phase::kPostprocessing,
+                  std::move(fn));
+}
+
+Operator Synthetic(const std::string& name, Phase phase, int64_t tag,
+                   SyntheticCosts costs, int64_t payload_bytes) {
+  OperatorFn fn = [tag, payload_bytes](
+                      const std::vector<const DataCollection*>& inputs)
+      -> Result<DataCollection> {
+    // Output depends on the tag and on all inputs, so upstream edits
+    // change this node's fingerprint (needed by plan-invariance tests).
+    auto table = std::make_shared<TableData>(
+        Schema({{"v", dataflow::ValueType::kInt}}));
+    HELIX_RETURN_IF_ERROR(table->AppendRow({Value(tag)}));
+    for (const DataCollection* in : inputs) {
+      HELIX_RETURN_IF_ERROR(table->AppendRow(
+          {Value(static_cast<int64_t>(in->Fingerprint()))}));
+    }
+    if (payload_bytes > 0) {
+      // Pad with deterministic filler rows (~1 KiB each) so the serialized
+      // size approximates the declared payload.
+      auto padded = std::make_shared<TableData>(
+          Schema({{"v", dataflow::ValueType::kInt},
+                  {"pad", dataflow::ValueType::kString}}));
+      HELIX_RETURN_IF_ERROR(
+          padded->AppendRow({Value(table->Fingerprint() != 0
+                                       ? static_cast<int64_t>(
+                                             table->Fingerprint())
+                                       : tag),
+                             Value(std::string())}));
+      int64_t rows = payload_bytes / 1024;
+      padded->Reserve(rows + 1);
+      for (int64_t i = 0; i < rows; ++i) {
+        HELIX_RETURN_IF_ERROR(padded->AppendRow(
+            {Value(i), Value(std::string(1024, 'p'))}));
+      }
+      return DataCollection::FromTable(std::move(padded));
+    }
+    return DataCollection::FromTable(std::move(table));
+  };
+  // Declared costs are part of a synthetic operator's identity: two
+  // synthetic nodes simulating different work must not be CSE-merged even
+  // when their outputs coincide.
+  Operator op(name, "Synthetic",
+              StrFormat("tag=%lld,bytes=%lld,c=%lld,l=%lld,w=%lld",
+                        static_cast<long long>(tag),
+                        static_cast<long long>(payload_bytes),
+                        static_cast<long long>(costs.compute_micros),
+                        static_cast<long long>(costs.load_micros),
+                        static_cast<long long>(costs.write_micros)),
+              phase, std::move(fn));
+  op.SetSyntheticCosts(costs);
+  return op;
+}
+
+}  // namespace ops
+}  // namespace core
+}  // namespace helix

@@ -1,0 +1,248 @@
+#include "core/version_manager.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace helix {
+namespace core {
+
+const char* ChangeCategoryToString(ChangeCategory c) {
+  switch (c) {
+    case ChangeCategory::kInitial:
+      return "initial";
+    case ChangeCategory::kDataPreprocessing:
+      return "preprocess";
+    case ChangeCategory::kMachineLearning:
+      return "ml";
+    case ChangeCategory::kEvaluation:
+      return "eval";
+  }
+  return "?";
+}
+
+int VersionManager::AddVersion(const WorkflowDag& dag,
+                               const ExecutionReport& report,
+                               const std::string& description,
+                               ChangeCategory category) {
+  VersionRecord record;
+  record.id = num_versions();
+  record.parent_id = record.id - 1;
+  record.description = description;
+  record.category = category;
+
+  for (int i = 0; i < dag.num_nodes(); ++i) {
+    const Operator& op = dag.op(i);
+    VersionNode node;
+    node.name = op.name();
+    node.op_type = op.op_type();
+    node.params = op.params();
+    node.phase = op.phase();
+    node.signature = op.Signature();
+    node.cumulative_signature = dag.cumulative_signature(i);
+    for (graph::NodeId p : dag.dag().Parents(i)) {
+      node.inputs.push_back(dag.op(p).name());
+    }
+    record.nodes.push_back(std::move(node));
+  }
+  for (int out : dag.outputs()) {
+    record.outputs.push_back(dag.op(out).name());
+  }
+
+  record.runtime_micros = report.total_micros;
+  record.num_computed = report.num_computed;
+  record.num_loaded = report.num_loaded;
+  record.num_pruned = report.num_pruned;
+  record.num_materialized = report.num_materialized;
+
+  for (const auto& [name, collection] : report.outputs) {
+    (void)name;
+    if (collection.empty() ||
+        collection.kind() != dataflow::PayloadKind::kMetrics) {
+      continue;
+    }
+    auto metrics = collection.AsMetrics();
+    if (metrics.ok()) {
+      for (const auto& [k, v] : metrics.value()->values()) {
+        record.metrics[k] = v;
+      }
+    }
+  }
+
+  versions_.push_back(std::move(record));
+  return versions_.back().id;
+}
+
+Result<int> VersionManager::BestVersion(const std::string& metric) const {
+  int best = -1;
+  double best_value = 0;
+  for (const VersionRecord& v : versions_) {
+    auto it = v.metrics.find(metric);
+    if (it == v.metrics.end()) {
+      continue;
+    }
+    if (best < 0 || it->second > best_value) {
+      best = v.id;
+      best_value = it->second;
+    }
+  }
+  if (best < 0) {
+    return Status::NotFound("no version reports metric " + metric);
+  }
+  return best;
+}
+
+std::vector<std::pair<int, double>> VersionManager::MetricTrend(
+    const std::string& metric) const {
+  std::vector<std::pair<int, double>> out;
+  for (const VersionRecord& v : versions_) {
+    auto it = v.metrics.find(metric);
+    if (it != v.metrics.end()) {
+      out.emplace_back(v.id, it->second);
+    }
+  }
+  return out;
+}
+
+Result<VersionDiff> VersionManager::Diff(int from_id, int to_id) const {
+  if (from_id < 0 || from_id >= num_versions() || to_id < 0 ||
+      to_id >= num_versions()) {
+    return Status::InvalidArgument("version id out of range");
+  }
+  const VersionRecord& from = version(from_id);
+  const VersionRecord& to = version(to_id);
+
+  auto find = [](const VersionRecord& v,
+                 const std::string& name) -> const VersionNode* {
+    for (const VersionNode& n : v.nodes) {
+      if (n.name == name) {
+        return &n;
+      }
+    }
+    return nullptr;
+  };
+
+  VersionDiff diff;
+  for (const VersionNode& n : to.nodes) {
+    const VersionNode* prev = find(from, n.name);
+    if (prev == nullptr) {
+      diff.added.push_back(n.name);
+    } else if (prev->signature != n.signature) {
+      diff.changed.push_back(n.name);
+    } else if (prev->inputs != n.inputs) {
+      diff.rewired.push_back(n.name);
+    }
+  }
+  for (const VersionNode& n : from.nodes) {
+    if (find(to, n.name) == nullptr) {
+      diff.removed.push_back(n.name);
+    }
+  }
+  return diff;
+}
+
+std::string VersionManager::RenderLog() const {
+  std::string out;
+  for (auto it = versions_.rbegin(); it != versions_.rend(); ++it) {
+    const VersionRecord& v = *it;
+    out += StrFormat("version %-3d [%-10s] %s\n", v.id,
+                     ChangeCategoryToString(v.category),
+                     v.description.c_str());
+    out += StrFormat(
+        "    runtime %-10s computed %-3d loaded %-3d pruned %-3d "
+        "materialized %d\n",
+        HumanMicros(v.runtime_micros).c_str(), v.num_computed, v.num_loaded,
+        v.num_pruned, v.num_materialized);
+    if (!v.metrics.empty()) {
+      std::string metrics = "    metrics:";
+      for (const auto& [k, value] : v.metrics) {
+        metrics += StrFormat(" %s=%.4f", k.c_str(), value);
+      }
+      out += metrics + "\n";
+    }
+  }
+  return out;
+}
+
+std::string VersionManager::RenderMetricTrend(const std::string& metric,
+                                              int width, int height) const {
+  std::vector<std::pair<int, double>> trend = MetricTrend(metric);
+  if (trend.empty()) {
+    return "(no data for metric '" + metric + "')\n";
+  }
+  double lo = trend.front().second;
+  double hi = lo;
+  for (const auto& [id, v] : trend) {
+    (void)id;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi - lo < 1e-12) {
+    hi = lo + 1.0;
+  }
+  width = std::max(width, static_cast<int>(trend.size()));
+  std::vector<std::string> rows(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  int cols = static_cast<int>(trend.size());
+  for (int k = 0; k < cols; ++k) {
+    int col = cols == 1 ? 0 : k * (width - 1) / (cols - 1);
+    double normalized = (trend[static_cast<size_t>(k)].second - lo) / (hi - lo);
+    int row = static_cast<int>(
+        std::lround(normalized * static_cast<double>(height - 1)));
+    rows[static_cast<size_t>(height - 1 - row)][static_cast<size_t>(col)] =
+        '*';
+  }
+  std::string out =
+      StrFormat("%s (min %.4f, max %.4f) by version\n", metric.c_str(), lo,
+                hi);
+  for (const std::string& row : rows) {
+    out += "|" + row + "\n";
+  }
+  out += "+" + std::string(static_cast<size_t>(width), '-') + "\n";
+  return out;
+}
+
+std::string VersionManager::ExportJson() const {
+  JsonWriter w;
+  w.BeginArray();
+  for (const VersionRecord& v : versions_) {
+    w.BeginObject();
+    w.KV("id", static_cast<int64_t>(v.id));
+    w.KV("parent", static_cast<int64_t>(v.parent_id));
+    w.KV("description", v.description);
+    w.KV("category", ChangeCategoryToString(v.category));
+    w.KV("runtime_micros", v.runtime_micros);
+    w.KV("computed", static_cast<int64_t>(v.num_computed));
+    w.KV("loaded", static_cast<int64_t>(v.num_loaded));
+    w.KV("pruned", static_cast<int64_t>(v.num_pruned));
+    w.KV("materialized", static_cast<int64_t>(v.num_materialized));
+    w.Key("metrics").BeginObject();
+    for (const auto& [k, value] : v.metrics) {
+      w.KV(k, value);
+    }
+    w.EndObject();
+    w.Key("nodes").BeginArray();
+    for (const VersionNode& n : v.nodes) {
+      w.BeginObject();
+      w.KV("name", n.name);
+      w.KV("type", n.op_type);
+      w.KV("phase", PhaseToString(n.phase));
+      w.KV("signature", n.signature);
+      w.Key("inputs").BeginArray();
+      for (const std::string& in : n.inputs) {
+        w.String(in);
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+}  // namespace core
+}  // namespace helix

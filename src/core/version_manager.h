@@ -1,0 +1,130 @@
+// Workflow versioning: history, metric trends, and version comparison.
+//
+// The headless counterpart of the paper's versioning and visualization
+// tool (Section 3.1, Figure 3): every executed iteration is recorded as a
+// commit-like version with its DSL source, DAG summary, change category
+// (data pre-processing / ML / post-processing — the purple/orange/green of
+// Figure 2), runtime, reuse counters, and evaluation metrics. The manager
+// answers the UI's queries: version log, best-metric version, metric
+// trends across iterations, and git-style diffs between two versions.
+#ifndef HELIX_CORE_VERSION_MANAGER_H_
+#define HELIX_CORE_VERSION_MANAGER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/change_tracker.h"
+#include "core/executor.h"
+#include "core/workflow_dag.h"
+
+namespace helix {
+namespace core {
+
+/// What kind of edit produced a version (paper Figure 2 color coding).
+enum class ChangeCategory : uint8_t {
+  kInitial = 0,
+  kDataPreprocessing = 1,  // purple
+  kMachineLearning = 2,    // orange
+  kEvaluation = 3,         // green
+};
+
+const char* ChangeCategoryToString(ChangeCategory c);
+
+/// Structural snapshot of one node (enough to diff versions without
+/// keeping whole workflows alive).
+struct VersionNode {
+  std::string name;
+  std::string op_type;
+  std::string params;
+  Phase phase = Phase::kDataPreprocessing;
+  uint64_t signature = 0;
+  uint64_t cumulative_signature = 0;
+  std::vector<std::string> inputs;
+};
+
+/// One recorded iteration.
+struct VersionRecord {
+  int id = 0;
+  int parent_id = -1;
+  std::string description;
+  ChangeCategory category = ChangeCategory::kInitial;
+  std::string dsl_source;
+  std::vector<VersionNode> nodes;
+  std::vector<std::string> outputs;
+
+  /// Execution facts.
+  int64_t runtime_micros = 0;
+  int num_computed = 0;
+  int num_loaded = 0;
+  int num_pruned = 0;
+  int num_materialized = 0;
+
+  /// Evaluation metrics extracted from the workflow's metric outputs.
+  std::map<std::string, double> metrics;
+};
+
+/// Diff between two recorded versions.
+struct VersionDiff {
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+  std::vector<std::string> changed;    // same name, different signature
+  std::vector<std::string> rewired;    // same signature, different inputs
+  bool Empty() const {
+    return added.empty() && removed.empty() && changed.empty() &&
+           rewired.empty();
+  }
+};
+
+/// In-memory version history with JSON export.
+class VersionManager {
+ public:
+  VersionManager() = default;
+
+  /// Records an executed iteration; returns the new version id. Metrics
+  /// are pulled from `report`'s MetricsData outputs (merged).
+  int AddVersion(const WorkflowDag& dag, const ExecutionReport& report,
+                 const std::string& description, ChangeCategory category);
+
+  int num_versions() const { return static_cast<int>(versions_.size()); }
+  const VersionRecord& version(int id) const {
+    return versions_[static_cast<size_t>(id)];
+  }
+  const std::vector<VersionRecord>& versions() const { return versions_; }
+
+  /// Latest version id, or -1 when empty.
+  int LatestId() const { return num_versions() - 1; }
+
+  /// Version with the highest value of `metric` (paper: "shortcuts to the
+  /// version with the best evaluation metrics"). NotFound if no version
+  /// reports the metric.
+  Result<int> BestVersion(const std::string& metric) const;
+
+  /// Values of `metric` per version id (missing -> NaN skipped); the
+  /// Metrics-tab trend line.
+  std::vector<std::pair<int, double>> MetricTrend(
+      const std::string& metric) const;
+
+  /// Structural diff between two versions.
+  Result<VersionDiff> Diff(int from_id, int to_id) const;
+
+  /// git-log-like textual history (newest first).
+  std::string RenderLog() const;
+
+  /// ASCII plot of a metric across versions (Metrics tab substitute).
+  std::string RenderMetricTrend(const std::string& metric, int width = 60,
+                                int height = 12) const;
+
+  /// Full history as JSON (consumed by external visualization tooling).
+  std::string ExportJson() const;
+
+ private:
+  std::vector<VersionRecord> versions_;
+};
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_VERSION_MANAGER_H_

@@ -1,0 +1,66 @@
+#include "core/workflow.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace helix {
+namespace core {
+
+NodeRef Workflow::Add(Operator op, const std::vector<NodeRef>& inputs) {
+  int index = num_nodes();
+  assert(by_name_.count(op.name()) == 0 && "duplicate operator name");
+  std::vector<int> input_indices;
+  input_indices.reserve(inputs.size());
+  for (const NodeRef& in : inputs) {
+    assert(in.valid() && in.index < index && "input must be declared first");
+    input_indices.push_back(in.index);
+  }
+  by_name_.emplace(op.name(), index);
+  operators_.push_back(std::make_shared<Operator>(std::move(op)));
+  inputs_.push_back(std::move(input_indices));
+  return NodeRef{index};
+}
+
+void Workflow::MarkOutput(NodeRef node) {
+  assert(node.valid() && node.index < num_nodes());
+  for (int existing : outputs_) {
+    if (existing == node.index) {
+      return;
+    }
+  }
+  outputs_.push_back(node.index);
+}
+
+NodeRef Workflow::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? NodeRef{-1} : NodeRef{it->second};
+}
+
+std::string Workflow::ToDsl() const {
+  std::string out = "workflow " + name_ + " {\n";
+  for (int i = 0; i < num_nodes(); ++i) {
+    const Operator& o = op(i);
+    std::vector<std::string> input_names;
+    for (int in : inputs_of(i)) {
+      input_names.push_back(op(in).name());
+    }
+    out += StrFormat("  %s refers_to %s(%s)", o.name().c_str(),
+                     o.op_type().c_str(), o.params().c_str());
+    if (!input_names.empty()) {
+      out += " on " + Join(input_names, ", ");
+    }
+    if (o.udf_version() > 0) {
+      out += StrFormat(" udf_v%d", o.udf_version());
+    }
+    out += "\n";
+  }
+  for (int output : outputs_) {
+    out += "  " + op(output).name() + " is_output()\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace core
+}  // namespace helix

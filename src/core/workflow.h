@@ -1,0 +1,85 @@
+// The Workflow builder: C++ analogue of the HELIX Scala DSL.
+//
+// Paper Figure 1a declares a workflow as named statements like
+//
+//   ageBucket refers_to Bucketizer(age, bins=10)
+//   income results_from rows with_labels target
+//
+// Here the same program is
+//
+//   auto age_bucket = wf.Add(ops::Bucketizer("ageBucket", 10), {age});
+//   auto income = wf.Add(ops::AssembleExamples("income", ...),
+//                        {rows, edu_ext, age_bucket, ..., target});
+//   wf.MarkOutput(checked);
+//
+// Nodes can only reference previously added nodes, so workflows are acyclic
+// by construction. Compile() (workflow_dag.h) turns a Workflow into the
+// DAG of intermediate results the optimizer operates on.
+#ifndef HELIX_CORE_WORKFLOW_H_
+#define HELIX_CORE_WORKFLOW_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/operator.h"
+
+namespace helix {
+namespace core {
+
+/// Handle to a declared intermediate result within one Workflow.
+struct NodeRef {
+  int index = -1;
+  bool valid() const { return index >= 0; }
+};
+
+/// A declarative workflow under construction.
+class Workflow {
+ public:
+  explicit Workflow(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declares an operator whose inputs are the given previously declared
+  /// nodes. The operator's name must be unique within the workflow.
+  /// Asserts on invalid input refs in debug builds; the error is also
+  /// caught by Compile().
+  NodeRef Add(Operator op, const std::vector<NodeRef>& inputs = {});
+
+  /// Marks a node as a workflow output (the DSL's `is_output()`).
+  /// Unmarked nodes that no output depends on are sliced away at
+  /// compilation.
+  void MarkOutput(NodeRef node);
+
+  int num_nodes() const { return static_cast<int>(operators_.size()); }
+  const Operator& op(int index) const {
+    return *operators_[static_cast<size_t>(index)];
+  }
+  const std::vector<int>& inputs_of(int index) const {
+    return inputs_[static_cast<size_t>(index)];
+  }
+  const std::vector<int>& outputs() const { return outputs_; }
+
+  /// Node handle by operator name (NodeRef{-1} if absent).
+  NodeRef Find(const std::string& name) const;
+
+  /// Renders the workflow as DSL-like pseudo-code (used by the version
+  /// manager to store per-version "source").
+  std::string ToDsl() const;
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<Operator>> operators_;
+  std::vector<std::vector<int>> inputs_;
+  std::vector<int> outputs_;
+  std::unordered_map<std::string, int> by_name_;
+
+  friend class WorkflowDag;
+};
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_WORKFLOW_H_

@@ -1,0 +1,83 @@
+// DataCollection: the unit of data flowing along workflow DAG edges.
+//
+// In the paper every DAG node is an intermediate result; here that result is
+// a DataCollection — a cheap, shareable handle to an immutable payload. The
+// serialization envelope (magic, version, kind tag, body, trailing checksum)
+// is what the materialization store writes to disk; deserialization verifies
+// the checksum so a corrupt store entry degrades to recomputation.
+#ifndef HELIX_DATAFLOW_DATA_COLLECTION_H_
+#define HELIX_DATAFLOW_DATA_COLLECTION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "dataflow/examples.h"
+#include "dataflow/metrics.h"
+#include "dataflow/model.h"
+#include "dataflow/payload.h"
+#include "dataflow/table.h"
+#include "dataflow/text.h"
+
+namespace helix {
+namespace dataflow {
+
+/// Shared, immutable handle to a payload. Copying a DataCollection copies a
+/// pointer, never data.
+class DataCollection {
+ public:
+  DataCollection() = default;
+  explicit DataCollection(std::shared_ptr<const DataPayload> payload)
+      : payload_(std::move(payload)) {}
+
+  static DataCollection FromTable(std::shared_ptr<TableData> t) {
+    return DataCollection(std::move(t));
+  }
+  static DataCollection FromText(std::shared_ptr<TextData> t) {
+    return DataCollection(std::move(t));
+  }
+  static DataCollection FromExamples(std::shared_ptr<ExamplesData> e) {
+    return DataCollection(std::move(e));
+  }
+  static DataCollection FromModel(std::shared_ptr<ModelData> m) {
+    return DataCollection(std::move(m));
+  }
+  static DataCollection FromMetrics(std::shared_ptr<MetricsData> m) {
+    return DataCollection(std::move(m));
+  }
+
+  bool empty() const { return payload_ == nullptr; }
+  PayloadKind kind() const { return payload_->kind(); }
+  const DataPayload* payload() const { return payload_.get(); }
+
+  int64_t SizeBytes() const { return empty() ? 0 : payload_->SizeBytes(); }
+  uint64_t Fingerprint() const {
+    return empty() ? 0 : payload_->Fingerprint();
+  }
+  std::string DebugString() const {
+    return empty() ? "<empty>" : payload_->DebugString();
+  }
+
+  /// Typed accessors; InvalidArgument if the payload kind differs.
+  Result<const TableData*> AsTable() const;
+  Result<const TextData*> AsText() const;
+  Result<const ExamplesData*> AsExamples() const;
+  Result<const ModelData*> AsModel() const;
+  Result<const MetricsData*> AsMetrics() const;
+
+  /// Serializes with envelope (magic, format version, kind, body, FNV-64
+  /// checksum of everything before the checksum).
+  std::string SerializeToString() const;
+
+  /// Parses and checksum-verifies an envelope produced by
+  /// SerializeToString. Corruption on any mismatch.
+  static Result<DataCollection> DeserializeFromString(std::string_view data);
+
+ private:
+  std::shared_ptr<const DataPayload> payload_;
+};
+
+}  // namespace dataflow
+}  // namespace helix
+
+#endif  // HELIX_DATAFLOW_DATA_COLLECTION_H_

@@ -1,0 +1,58 @@
+// ML-ready example matrix payload: sparse feature vectors + labels plus the
+// feature dictionary mapping indices back to human-readable names.
+#ifndef HELIX_DATAFLOW_EXAMPLES_H_
+#define HELIX_DATAFLOW_EXAMPLES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/features.h"
+#include "dataflow/payload.h"
+
+namespace helix {
+namespace dataflow {
+
+/// A dataset of supervised examples sharing one feature dictionary.
+class ExamplesData final : public DataPayload {
+ public:
+  ExamplesData() : dict_(std::make_shared<FeatureDict>()) {}
+  explicit ExamplesData(std::shared_ptr<FeatureDict> dict)
+      : dict_(std::move(dict)) {}
+
+  const FeatureDict& dict() const { return *dict_; }
+  const std::shared_ptr<FeatureDict>& shared_dict() const { return dict_; }
+  FeatureDict* mutable_dict() { return dict_.get(); }
+
+  int64_t num_examples() const {
+    return static_cast<int64_t>(examples_.size());
+  }
+  const std::vector<Example>& examples() const { return examples_; }
+  const Example& example(int64_t i) const {
+    return examples_[static_cast<size_t>(i)];
+  }
+
+  void Add(Example e) { examples_.push_back(std::move(e)); }
+  void Reserve(int64_t n) { examples_.reserve(static_cast<size_t>(n)); }
+
+  /// Number of distinct feature dimensions (dictionary size).
+  int32_t num_features() const { return dict_->size(); }
+
+  PayloadKind kind() const override { return PayloadKind::kExamples; }
+  int64_t SizeBytes() const override;
+  uint64_t Fingerprint() const override;
+  void Serialize(ByteWriter* w) const override;
+  std::string DebugString() const override;
+
+  static Result<std::shared_ptr<ExamplesData>> Deserialize(ByteReader* r);
+
+ private:
+  std::shared_ptr<FeatureDict> dict_;
+  std::vector<Example> examples_;
+};
+
+}  // namespace dataflow
+}  // namespace helix
+
+#endif  // HELIX_DATAFLOW_EXAMPLES_H_

@@ -1,0 +1,113 @@
+// Sparse feature representation.
+//
+// HELIX maintains features in human-readable form during pre-processing and
+// converts them automatically into an ML-compatible format (paper Section
+// 2.1). FeatureDict is the bridge: it interns human-readable feature names
+// ("edu=Bachelors x occ=Sales") into dense indices used by SparseVector.
+#ifndef HELIX_DATAFLOW_FEATURES_H_
+#define HELIX_DATAFLOW_FEATURES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace helix {
+namespace dataflow {
+
+/// Bidirectional feature-name <-> index dictionary.
+class FeatureDict {
+ public:
+  FeatureDict() = default;
+
+  /// Returns the index for `name`, interning it if new.
+  int32_t Intern(const std::string& name);
+
+  /// Index of `name` or -1 if never interned.
+  int32_t Lookup(const std::string& name) const;
+
+  /// Name of feature `index`; requires a valid index.
+  const std::string& NameOf(int32_t index) const {
+    return names_[static_cast<size_t>(index)];
+  }
+
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+
+  uint64_t Fingerprint() const;
+  int64_t SizeBytes() const;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<FeatureDict> Deserialize(ByteReader* r);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+/// Sorted sparse vector of (feature index, value) pairs.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Sets feature `index` to `value` (overwrites existing; dropping a
+  /// feature is Set(i, 0) — zeros are kept explicit for determinism).
+  void Set(int32_t index, double value);
+
+  /// Adds `delta` to feature `index` (inserting if absent).
+  void Add(int32_t index, double delta);
+
+  double Get(int32_t index) const;
+
+  /// Sorted entries.
+  const std::vector<std::pair<int32_t, double>>& entries() const {
+    return entries_;
+  }
+  int32_t num_entries() const { return static_cast<int32_t>(entries_.size()); }
+
+  /// Largest feature index present, or -1 if empty.
+  int32_t MaxIndex() const {
+    return entries_.empty() ? -1 : entries_.back().first;
+  }
+
+  /// Dot product with a dense weight vector; indices beyond the vector's
+  /// size contribute 0.
+  double Dot(const std::vector<double>& dense) const;
+
+  /// dense[i] += scale * this[i] for each stored entry; grows `dense` if
+  /// needed.
+  void AddTo(std::vector<double>* dense, double scale) const;
+
+  double L2NormSquared() const;
+
+  uint64_t Fingerprint() const;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<SparseVector> Deserialize(ByteReader* r);
+
+ private:
+  std::vector<std::pair<int32_t, double>> entries_;
+};
+
+/// A supervised training/evaluation example.
+///
+/// A single ExamplesData node holds both splits (the paper's `income`
+/// node); `is_test` selects evaluation rows so learner and evaluator can
+/// share one upstream intermediate.
+struct Example {
+  SparseVector features;
+  double label = 0.0;  // binary tasks use {0, 1}
+  /// Stable row identity (e.g. source row index) for joining predictions
+  /// back to inputs.
+  int64_t id = 0;
+  /// True for held-out evaluation rows.
+  bool is_test = false;
+};
+
+}  // namespace dataflow
+}  // namespace helix
+
+#endif  // HELIX_DATAFLOW_FEATURES_H_

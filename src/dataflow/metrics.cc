@@ -1,0 +1,77 @@
+#include "dataflow/metrics.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace helix {
+namespace dataflow {
+
+Result<double> MetricsData::Get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    return Status::NotFound("no metric named " + name);
+  }
+  return it->second;
+}
+
+double MetricsData::GetOr(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t MetricsData::SizeBytes() const {
+  int64_t bytes = 64;
+  for (const auto& [k, v] : values_) {
+    (void)v;
+    bytes += 48 + static_cast<int64_t>(k.size());
+  }
+  return bytes;
+}
+
+uint64_t MetricsData::Fingerprint() const {
+  Hasher h;
+  h.AddU64(values_.size());
+  for (const auto& [k, v] : values_) {
+    h.Add(k).AddDouble(v);
+  }
+  return h.Digest();
+}
+
+void MetricsData::Serialize(ByteWriter* w) const {
+  w->PutU64(values_.size());
+  for (const auto& [k, v] : values_) {
+    w->PutString(k);
+    w->PutDouble(v);
+  }
+}
+
+std::string MetricsData::DebugString() const {
+  std::string out = "metrics(";
+  bool first = true;
+  for (const auto& [k, v] : values_) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += StrFormat("%s=%.4f", k.c_str(), v);
+  }
+  out += ")";
+  return out;
+}
+
+Result<std::shared_ptr<MetricsData>> MetricsData::Deserialize(ByteReader* r) {
+  HELIX_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  if (n > (1ULL << 20)) {
+    return Status::Corruption("implausible metrics count");
+  }
+  auto metrics = std::make_shared<MetricsData>();
+  for (uint64_t i = 0; i < n; ++i) {
+    HELIX_ASSIGN_OR_RETURN(std::string k, r->GetString());
+    HELIX_ASSIGN_OR_RETURN(double v, r->GetDouble());
+    metrics->Set(k, v);
+  }
+  return metrics;
+}
+
+}  // namespace dataflow
+}  // namespace helix

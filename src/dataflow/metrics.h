@@ -1,0 +1,45 @@
+// Metrics payload: the output of evaluation operators (accuracy, F1, ...),
+// consumed by the version manager's metric-trend view (paper Figure 3).
+#ifndef HELIX_DATAFLOW_METRICS_H_
+#define HELIX_DATAFLOW_METRICS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "dataflow/payload.h"
+
+namespace helix {
+namespace dataflow {
+
+/// An ordered map of metric name -> value.
+class MetricsData final : public DataPayload {
+ public:
+  MetricsData() = default;
+  explicit MetricsData(std::map<std::string, double> values)
+      : values_(std::move(values)) {}
+
+  const std::map<std::string, double>& values() const { return values_; }
+  void Set(const std::string& name, double value) { values_[name] = value; }
+
+  /// Value of metric `name`, or NotFound.
+  Result<double> Get(const std::string& name) const;
+  double GetOr(const std::string& name, double fallback) const;
+
+  PayloadKind kind() const override { return PayloadKind::kMetrics; }
+  int64_t SizeBytes() const override;
+  uint64_t Fingerprint() const override;
+  void Serialize(ByteWriter* w) const override;
+  std::string DebugString() const override;
+
+  static Result<std::shared_ptr<MetricsData>> Deserialize(ByteReader* r);
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace dataflow
+}  // namespace helix
+
+#endif  // HELIX_DATAFLOW_METRICS_H_

@@ -1,0 +1,52 @@
+// Trained-model payload: a dense weight vector plus training metadata.
+#ifndef HELIX_DATAFLOW_MODEL_H_
+#define HELIX_DATAFLOW_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/payload.h"
+
+namespace helix {
+namespace dataflow {
+
+/// A linear model (logistic regression, structured perceptron, ...).
+class ModelData final : public DataPayload {
+ public:
+  ModelData() = default;
+  ModelData(std::string model_type, std::vector<double> weights, double bias)
+      : model_type_(std::move(model_type)),
+        weights_(std::move(weights)),
+        bias_(bias) {}
+
+  const std::string& model_type() const { return model_type_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+  /// Training metadata (final loss, epochs, hyperparameters used...).
+  const std::map<std::string, double>& info() const { return info_; }
+  void SetInfo(const std::string& key, double value) { info_[key] = value; }
+  double InfoOr(const std::string& key, double fallback) const;
+
+  PayloadKind kind() const override { return PayloadKind::kModel; }
+  int64_t SizeBytes() const override;
+  uint64_t Fingerprint() const override;
+  void Serialize(ByteWriter* w) const override;
+  std::string DebugString() const override;
+
+  static Result<std::shared_ptr<ModelData>> Deserialize(ByteReader* r);
+
+ private:
+  std::string model_type_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::map<std::string, double> info_;
+};
+
+}  // namespace dataflow
+}  // namespace helix
+
+#endif  // HELIX_DATAFLOW_MODEL_H_

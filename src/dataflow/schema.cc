@@ -1,0 +1,82 @@
+#include "dataflow/schema.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace helix {
+namespace dataflow {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (int i = 0; i < num_fields(); ++i) {
+    index_.emplace(fields_[static_cast<size_t>(i)].name, i);
+  }
+}
+
+Schema Schema::AllStrings(const std::vector<std::string>& names) {
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (const std::string& n : names) {
+    fields.push_back(Field{n, ValueType::kString});
+  }
+  return Schema(std::move(fields));
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<Schema> Schema::WithField(Field f) const {
+  if (Contains(f.name)) {
+    return Status::AlreadyExists("duplicate field: " + f.name);
+  }
+  std::vector<Field> fields = fields_;
+  fields.push_back(std::move(f));
+  return Schema(std::move(fields));
+}
+
+uint64_t Schema::Hash() const {
+  Hasher h;
+  for (const Field& f : fields_) {
+    h.Add(f.name).AddU64(static_cast<uint64_t>(f.type));
+  }
+  return h.Digest();
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    parts.push_back(f.name + ":" + ValueTypeToString(f.type));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+void Schema::Serialize(ByteWriter* w) const {
+  w->PutU64(fields_.size());
+  for (const Field& f : fields_) {
+    w->PutString(f.name);
+    w->PutU8(static_cast<uint8_t>(f.type));
+  }
+}
+
+Result<Schema> Schema::Deserialize(ByteReader* r) {
+  HELIX_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  if (n > (1ULL << 20)) {
+    return Status::Corruption("implausible schema field count");
+  }
+  std::vector<Field> fields;
+  fields.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HELIX_ASSIGN_OR_RETURN(std::string name, r->GetString());
+    HELIX_ASSIGN_OR_RETURN(uint8_t type, r->GetU8());
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::Corruption("bad field type tag");
+    }
+    fields.push_back(Field{std::move(name), static_cast<ValueType>(type)});
+  }
+  return Schema(std::move(fields));
+}
+
+}  // namespace dataflow
+}  // namespace helix

@@ -1,0 +1,66 @@
+// Column schemas for tabular data collections.
+#ifndef HELIX_DATAFLOW_SCHEMA_H_
+#define HELIX_DATAFLOW_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "dataflow/value.h"
+
+namespace helix {
+namespace dataflow {
+
+/// A named, typed column.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// Ordered list of fields with O(1) lookup by name. Immutable after
+/// construction in practice (operators derive new schemas).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Builds a schema of all-string columns (CSV ingestion default).
+  static Schema AllStrings(const std::vector<std::string>& names);
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, or -1.
+  int IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const { return IndexOf(name) >= 0; }
+
+  /// Returns a new schema with one field appended; fails on duplicates.
+  Result<Schema> WithField(Field f) const;
+
+  bool operator==(const Schema& o) const { return fields_ == o.fields_; }
+  bool operator!=(const Schema& o) const { return !(*this == o); }
+
+  /// Stable content hash.
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+  void Serialize(ByteWriter* w) const;
+  static Result<Schema> Deserialize(ByteReader* r);
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace dataflow
+}  // namespace helix
+
+#endif  // HELIX_DATAFLOW_SCHEMA_H_

@@ -1,0 +1,112 @@
+#include "dataflow/table.h"
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace helix {
+namespace dataflow {
+
+const char* PayloadKindToString(PayloadKind k) {
+  switch (k) {
+    case PayloadKind::kTable:
+      return "table";
+    case PayloadKind::kText:
+      return "text";
+    case PayloadKind::kExamples:
+      return "examples";
+    case PayloadKind::kModel:
+      return "model";
+    case PayloadKind::kMetrics:
+      return "metrics";
+  }
+  return "?";
+}
+
+Status TableData::AppendRow(Row row) {
+  if (static_cast<int>(row.size()) != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu does not match schema arity %d", row.size(),
+                  schema_.num_fields()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<std::vector<Value>> TableData::Column(const std::string& name) const {
+  int idx = schema_.IndexOf(name);
+  if (idx < 0) {
+    return Status::NotFound("no column named " + name);
+  }
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) {
+    out.push_back(r[static_cast<size_t>(idx)]);
+  }
+  return out;
+}
+
+int64_t TableData::SizeBytes() const {
+  // Approximation: per-cell tagged union + string bodies.
+  int64_t bytes = 64 + schema_.num_fields() * 24;
+  for (const Row& r : rows_) {
+    bytes += 16;  // row header
+    for (const Value& v : r) {
+      bytes += 16;
+      if (v.type() == ValueType::kString) {
+        bytes += static_cast<int64_t>(v.AsString().size());
+      }
+    }
+  }
+  return bytes;
+}
+
+uint64_t TableData::Fingerprint() const {
+  Hasher h;
+  h.AddU64(schema_.Hash());
+  h.AddU64(rows_.size());
+  for (const Row& r : rows_) {
+    for (const Value& v : r) {
+      h.AddU64(v.Hash());
+    }
+  }
+  return h.Digest();
+}
+
+void TableData::Serialize(ByteWriter* w) const {
+  schema_.Serialize(w);
+  w->PutU64(rows_.size());
+  for (const Row& r : rows_) {
+    for (const Value& v : r) {
+      v.Serialize(w);
+    }
+  }
+}
+
+std::string TableData::DebugString() const {
+  return StrFormat("table(%lld rows x %d cols)",
+                   static_cast<long long>(num_rows()), schema_.num_fields());
+}
+
+Result<std::shared_ptr<TableData>> TableData::Deserialize(ByteReader* r) {
+  HELIX_ASSIGN_OR_RETURN(Schema schema, Schema::Deserialize(r));
+  HELIX_ASSIGN_OR_RETURN(uint64_t n, r->GetU64());
+  if (n > (1ULL << 32)) {
+    return Status::Corruption("implausible table row count");
+  }
+  auto table = std::make_shared<TableData>(schema);
+  table->Reserve(static_cast<int64_t>(n));
+  int arity = schema.num_fields();
+  for (uint64_t i = 0; i < n; ++i) {
+    Row row;
+    row.reserve(static_cast<size_t>(arity));
+    for (int c = 0; c < arity; ++c) {
+      HELIX_ASSIGN_OR_RETURN(Value v, Value::Deserialize(r));
+      row.push_back(std::move(v));
+    }
+    HELIX_RETURN_IF_ERROR(table->AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace dataflow
+}  // namespace helix

@@ -1,0 +1,62 @@
+// Relational table payload: the human-readable pre-processing format.
+#ifndef HELIX_DATAFLOW_TABLE_H_
+#define HELIX_DATAFLOW_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/payload.h"
+#include "dataflow/schema.h"
+#include "dataflow/value.h"
+
+namespace helix {
+namespace dataflow {
+
+using Row = std::vector<Value>;
+
+/// A schema'd row store.
+class TableData final : public DataPayload {
+ public:
+  TableData() = default;
+  explicit TableData(Schema schema) : schema_(std::move(schema)) {}
+  TableData(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(int64_t i) const { return rows_[static_cast<size_t>(i)]; }
+
+  /// Cell accessor; requires valid indices.
+  const Value& at(int64_t r, int c) const {
+    return rows_[static_cast<size_t>(r)][static_cast<size_t>(c)];
+  }
+
+  /// Appends a row; fails if arity does not match the schema.
+  Status AppendRow(Row row);
+
+  /// Reserves row capacity (ingestion fast path).
+  void Reserve(int64_t n) { rows_.reserve(static_cast<size_t>(n)); }
+
+  /// Entire column by name.
+  Result<std::vector<Value>> Column(const std::string& name) const;
+
+  PayloadKind kind() const override { return PayloadKind::kTable; }
+  int64_t SizeBytes() const override;
+  uint64_t Fingerprint() const override;
+  void Serialize(ByteWriter* w) const override;
+  std::string DebugString() const override;
+
+  static Result<std::shared_ptr<TableData>> Deserialize(ByteReader* r);
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dataflow
+}  // namespace helix
+
+#endif  // HELIX_DATAFLOW_TABLE_H_

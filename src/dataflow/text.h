@@ -1,0 +1,67 @@
+// Text corpus payload for the information-extraction application:
+// documents with optional character-span annotations (e.g. gold or
+// predicted person mentions).
+#ifndef HELIX_DATAFLOW_TEXT_H_
+#define HELIX_DATAFLOW_TEXT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/payload.h"
+
+namespace helix {
+namespace dataflow {
+
+/// A labeled half-open character span [begin, end) within a document.
+struct Span {
+  int32_t begin = 0;
+  int32_t end = 0;
+  std::string label;
+
+  bool operator==(const Span& o) const {
+    return begin == o.begin && end == o.end && label == o.label;
+  }
+  bool operator<(const Span& o) const {
+    if (begin != o.begin) return begin < o.begin;
+    if (end != o.end) return end < o.end;
+    return label < o.label;
+  }
+};
+
+/// A document with its annotations.
+struct Document {
+  std::string id;
+  std::string text;
+  std::vector<Span> spans;
+};
+
+/// An ordered collection of documents.
+class TextData final : public DataPayload {
+ public:
+  TextData() = default;
+  explicit TextData(std::vector<Document> docs) : docs_(std::move(docs)) {}
+
+  int64_t num_docs() const { return static_cast<int64_t>(docs_.size()); }
+  const std::vector<Document>& docs() const { return docs_; }
+  const Document& doc(int64_t i) const { return docs_[static_cast<size_t>(i)]; }
+
+  void AddDoc(Document d) { docs_.push_back(std::move(d)); }
+
+  PayloadKind kind() const override { return PayloadKind::kText; }
+  int64_t SizeBytes() const override;
+  uint64_t Fingerprint() const override;
+  void Serialize(ByteWriter* w) const override;
+  std::string DebugString() const override;
+
+  static Result<std::shared_ptr<TextData>> Deserialize(ByteReader* r);
+
+ private:
+  std::vector<Document> docs_;
+};
+
+}  // namespace dataflow
+}  // namespace helix
+
+#endif  // HELIX_DATAFLOW_TEXT_H_

@@ -1,0 +1,191 @@
+#include "datagen/news_gen.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/file_util.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "dataflow/data_collection.h"
+#include "nlp/gazetteer.h"
+#include "nlp/tokenizer.h"
+
+namespace helix {
+namespace datagen {
+
+namespace {
+
+// Sentence templates; "{P}" slots take a person mention (span recorded),
+// "{O}" an organization, "{L}" a location. Lowercase name-gazetteer
+// collisions ("the smith shop") are deliberate distractors.
+const std::array<const char*, 14>& Templates() {
+  static const std::array<const char*, 14> kTemplates = {
+      "{P} announced the quarterly results of {O} on Tuesday.",
+      "Officials in {L} said {P} would attend the hearing.",
+      "{P} met with {P} to discuss the merger between {O} and {O}.",
+      "The spokesperson for {O}, {P}, declined to comment.",
+      "According to {P}, the new policy will take effect in {L}.",
+      "{P} was appointed chief executive of {O} last week.",
+      "Residents of {L} welcomed the announcement from {O}.",
+      "In a statement, {P} praised the efforts of {P} and the {O} team.",
+      "The committee, chaired by {P}, will reconvene in {L}.",
+      "{O} shares fell sharply after {P} resigned on Friday.",
+      "A report filed in {L} names {P} as the lead investigator.",
+      "The smith shop near the king road reopened in {L}.",
+      "{P} told reporters in {L} that {O} would appeal the ruling.",
+      "Analysts at {O} expect growth to slow, {P} wrote in a note.",
+  };
+  return kTemplates;
+}
+
+struct PersonName {
+  std::string text;
+};
+
+// Composes a capitalized pronounceable name from syllables; the space of
+// outputs is large (~10^4), so train and test documents mostly see
+// disjoint novel names.
+std::string SynthesizeName(Rng* rng) {
+  static const std::vector<std::string> kOnsets = {
+      "ba", "den", "kor", "mal", "tor", "vel", "zan", "fer",
+      "gal", "hol", "jor", "lan", "mer", "nor", "pel", "ras",
+      "sor", "tal", "ul",  "war", "bren", "cas", "dor", "el",
+  };
+  static const std::vector<std::string> kMiddles = {
+      "a", "e", "i", "o", "u", "ar", "en", "il", "on", "ur", "",
+  };
+  static const std::vector<std::string> kCodas = {
+      "d",  "k",   "l",   "n",   "r",   "s",    "th", "vik",
+      "son", "ton", "man", "berg", "ov", "ez", "ard", "in",
+  };
+  std::string name =
+      rng->Choice(kOnsets) + rng->Choice(kMiddles) + rng->Choice(kCodas);
+  name[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(name[0])));
+  return name;
+}
+
+// Organizations and locations also draw from an open vocabulary —
+// otherwise "capitalized and not in the small org/location word lists"
+// would identify persons perfectly and the extraction task would be
+// trivial. Some organizations are deliberately person-name-shaped
+// ("the Torvik Malen Foundation"): resolving those requires context.
+std::string SampleOrganization(Rng* rng) {
+  static const std::vector<std::string> kSuffixes = {
+      "Industries", "Holdings", "Group", "Labs", "Partners", "Systems",
+  };
+  double r = rng->NextDouble();
+  if (r < 0.35) {
+    return rng->Choice(nlp::OrganizationWords());
+  }
+  if (r < 0.75) {
+    return SynthesizeName(rng) + " " + rng->Choice(kSuffixes);
+  }
+  // Person-name-shaped institution: two name tokens + Foundation/Institute.
+  static const std::vector<std::string> kInstitution = {"Foundation",
+                                                        "Institute"};
+  return SynthesizeName(rng) + " " + SynthesizeName(rng) + " " +
+         rng->Choice(kInstitution);
+}
+
+std::string SampleLocation(Rng* rng) {
+  static const std::vector<std::string> kSuffixes = {"ville", "burg", "ton",
+                                                     "field", " Falls", ""};
+  if (rng->NextBool(0.4)) {
+    return rng->Choice(nlp::LocationWords());
+  }
+  std::string base = SynthesizeName(rng);
+  return base + rng->Choice(kSuffixes);
+}
+
+PersonName SamplePerson(Rng* rng, const NewsGenOptions& opts) {
+  bool oov = rng->NextBool(opts.out_of_gazetteer_rate);
+  const std::vector<std::string>& firsts =
+      oov ? nlp::OutOfGazetteerFirstNames() : nlp::FirstNameGazetteer().words();
+  const std::vector<std::string>& lasts =
+      oov ? nlp::OutOfGazetteerLastNames() : nlp::LastNameGazetteer().words();
+  std::string first = rng->NextBool(opts.novel_name_rate)
+                          ? SynthesizeName(rng)
+                          : rng->Choice(firsts);
+  std::string last = rng->NextBool(opts.novel_name_rate)
+                         ? SynthesizeName(rng)
+                         : rng->Choice(lasts);
+  if (rng->NextBool(opts.honorific_rate)) {
+    static const std::vector<std::string> kTitles = {"Mr.", "Mrs.", "Ms.",
+                                                     "Dr.", "Sen."};
+    // The honorific itself is outside the gold span (convention: the name
+    // is the mention).
+    return PersonName{rng->Choice(kTitles) + " " + last};
+  }
+  if (rng->NextBool(0.15)) {
+    // Initial form: "J. Smith".
+    return PersonName{first.substr(0, 1) + ". " + last};
+  }
+  return PersonName{first + " " + last};
+}
+
+}  // namespace
+
+std::shared_ptr<dataflow::TextData> GenerateNewsCorpus(
+    const NewsGenOptions& options) {
+  Rng rng(options.seed);
+  auto corpus = std::make_shared<dataflow::TextData>();
+
+  for (int64_t d = 0; d < options.num_docs; ++d) {
+    dataflow::Document doc;
+    doc.id = StrFormat("doc-%05lld", static_cast<long long>(d));
+    int num_sentences = static_cast<int>(
+        rng.NextInt(options.min_sentences, options.max_sentences));
+    std::string text;
+    for (int s = 0; s < num_sentences; ++s) {
+      std::string sentence = rng.Choice(
+          std::vector<std::string>(Templates().begin(), Templates().end()));
+      std::string rendered;
+      rendered.reserve(sentence.size() + 32);
+      for (size_t i = 0; i < sentence.size();) {
+        if (sentence.compare(i, 3, "{P}") == 0) {
+          PersonName p = SamplePerson(&rng, options);
+          // Gold span covers the name only, not a leading honorific.
+          size_t name_begin = text.size() + rendered.size();
+          size_t name_offset = 0;
+          size_t space = p.text.find(' ');
+          if (space != std::string::npos &&
+              nlp::IsHonorific(p.text.substr(0, space))) {
+            name_offset = space + 1;
+          }
+          doc.spans.push_back(dataflow::Span{
+              static_cast<int32_t>(name_begin + name_offset),
+              static_cast<int32_t>(name_begin + p.text.size()), "PERSON"});
+          rendered += p.text;
+          i += 3;
+        } else if (sentence.compare(i, 3, "{O}") == 0) {
+          rendered += SampleOrganization(&rng);
+          i += 3;
+        } else if (sentence.compare(i, 3, "{L}") == 0) {
+          rendered += SampleLocation(&rng);
+          i += 3;
+        } else {
+          rendered.push_back(sentence[i]);
+          ++i;
+        }
+      }
+      text += rendered;
+      if (s + 1 < num_sentences) {
+        text += " ";
+      }
+    }
+    doc.text = std::move(text);
+    corpus->AddDoc(std::move(doc));
+  }
+  return corpus;
+}
+
+Status WriteNewsCorpus(const NewsGenOptions& options,
+                       const std::string& path) {
+  auto corpus = GenerateNewsCorpus(options);
+  dataflow::DataCollection collection =
+      dataflow::DataCollection::FromText(corpus);
+  return WriteStringToFile(path, collection.SerializeToString());
+}
+
+}  // namespace datagen
+}  // namespace helix

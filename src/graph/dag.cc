@@ -1,0 +1,168 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/strings.h"
+
+namespace helix {
+namespace graph {
+
+NodeId Dag::AddNode() {
+  parents_.emplace_back();
+  children_.emplace_back();
+  return static_cast<NodeId>(parents_.size() - 1);
+}
+
+NodeId Dag::AddNodes(int count) {
+  NodeId first = static_cast<NodeId>(parents_.size());
+  for (int i = 0; i < count; ++i) {
+    AddNode();
+  }
+  return first;
+}
+
+Status Dag::AddEdge(NodeId parent, NodeId child) {
+  if (parent < 0 || parent >= num_nodes() || child < 0 ||
+      child >= num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%d, %d) out of range [0, %d)", parent, child,
+                  num_nodes()));
+  }
+  if (parent == child) {
+    return Status::InvalidArgument(StrFormat("self-loop on node %d", parent));
+  }
+  if (HasEdge(parent, child)) {
+    return Status::OK();
+  }
+  children_[static_cast<size_t>(parent)].push_back(child);
+  parents_[static_cast<size_t>(child)].push_back(parent);
+  ++num_edges_;
+  return Status::OK();
+}
+
+const std::vector<NodeId>& Dag::Parents(NodeId n) const {
+  return parents_[static_cast<size_t>(n)];
+}
+
+const std::vector<NodeId>& Dag::Children(NodeId n) const {
+  return children_[static_cast<size_t>(n)];
+}
+
+bool Dag::HasEdge(NodeId parent, NodeId child) const {
+  if (parent < 0 || parent >= num_nodes()) {
+    return false;
+  }
+  const auto& ch = children_[static_cast<size_t>(parent)];
+  return std::find(ch.begin(), ch.end(), child) != ch.end();
+}
+
+Result<std::vector<NodeId>> Dag::TopologicalOrder() const {
+  std::vector<int> indegree(static_cast<size_t>(num_nodes()), 0);
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    indegree[static_cast<size_t>(n)] =
+        static_cast<int>(Parents(n).size());
+  }
+  std::deque<NodeId> ready;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (indegree[static_cast<size_t>(n)] == 0) {
+      ready.push_back(n);
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<size_t>(num_nodes()));
+  while (!ready.empty()) {
+    NodeId n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (NodeId c : Children(n)) {
+      if (--indegree[static_cast<size_t>(c)] == 0) {
+        ready.push_back(c);
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != num_nodes()) {
+    return Status::InvalidArgument("graph contains a cycle");
+  }
+  return order;
+}
+
+namespace {
+
+// BFS over the chosen adjacency (parents for backward, children for
+// forward) starting from `seeds`; marks every visited node.
+std::vector<bool> Reach(const Dag& dag, const std::vector<NodeId>& seeds,
+                        bool backward) {
+  std::vector<bool> visited(static_cast<size_t>(dag.num_nodes()), false);
+  std::deque<NodeId> queue;
+  for (NodeId s : seeds) {
+    if (s >= 0 && s < dag.num_nodes() && !visited[static_cast<size_t>(s)]) {
+      visited[static_cast<size_t>(s)] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    NodeId n = queue.front();
+    queue.pop_front();
+    const std::vector<NodeId>& next =
+        backward ? dag.Parents(n) : dag.Children(n);
+    for (NodeId m : next) {
+      if (!visited[static_cast<size_t>(m)]) {
+        visited[static_cast<size_t>(m)] = true;
+        queue.push_back(m);
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace
+
+std::vector<bool> Dag::Ancestors(NodeId n) const {
+  std::vector<bool> reach = Reach(*this, {n}, /*backward=*/true);
+  if (n >= 0 && n < num_nodes()) {
+    reach[static_cast<size_t>(n)] = false;
+  }
+  return reach;
+}
+
+std::vector<bool> Dag::Descendants(NodeId n) const {
+  std::vector<bool> reach = Reach(*this, {n}, /*backward=*/false);
+  if (n >= 0 && n < num_nodes()) {
+    reach[static_cast<size_t>(n)] = false;
+  }
+  return reach;
+}
+
+std::vector<bool> Dag::BackwardReachable(
+    const std::vector<NodeId>& targets) const {
+  return Reach(*this, targets, /*backward=*/true);
+}
+
+std::vector<bool> Dag::ForwardReachable(
+    const std::vector<NodeId>& sources) const {
+  return Reach(*this, sources, /*backward=*/false);
+}
+
+std::vector<NodeId> Dag::Roots() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (Parents(n).empty()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::Leaves() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (Children(n).empty()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace graph
+}  // namespace helix

@@ -1,0 +1,88 @@
+// Generic directed-acyclic-graph utilities.
+//
+// The HELIX compiler represents a workflow as a DAG of intermediate results
+// (paper Section 2.2). This module provides the graph-theoretic substrate:
+// topological ordering, ancestor/descendant closure, and backward
+// reachability (used by the program slicer).
+#ifndef HELIX_GRAPH_DAG_H_
+#define HELIX_GRAPH_DAG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace helix {
+namespace graph {
+
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Adjacency-list DAG over dense integer node ids [0, num_nodes).
+///
+/// Edges point from producer to consumer: an edge (u, v) means v consumes
+/// u's output, i.e. u is a parent of v. Acyclicity is not enforced on every
+/// AddEdge (O(1) insertion); TopologicalOrder() reports a cycle if one was
+/// introduced.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Adds a node and returns its id.
+  NodeId AddNode();
+
+  /// Adds `count` nodes; returns the id of the first.
+  NodeId AddNodes(int count);
+
+  /// Adds a parent -> child edge. Duplicate edges are ignored.
+  /// Returns InvalidArgument for out-of-range ids or self-loops.
+  Status AddEdge(NodeId parent, NodeId child);
+
+  int num_nodes() const { return static_cast<int>(parents_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  const std::vector<NodeId>& Parents(NodeId n) const;
+  const std::vector<NodeId>& Children(NodeId n) const;
+
+  bool HasEdge(NodeId parent, NodeId child) const;
+
+  /// Kahn topological order; Status error if a cycle exists.
+  Result<std::vector<NodeId>> TopologicalOrder() const;
+
+  /// True if the graph has no directed cycle.
+  bool IsAcyclic() const { return TopologicalOrder().ok(); }
+
+  /// Proper ancestors of `n` (excluding n), as a node-indexed bitmap.
+  std::vector<bool> Ancestors(NodeId n) const;
+
+  /// Proper descendants of `n` (excluding n), as a node-indexed bitmap.
+  std::vector<bool> Descendants(NodeId n) const;
+
+  /// All nodes from which at least one node in `targets` is reachable
+  /// (including the targets themselves). This is the backward slice used
+  /// by the program slicing component.
+  std::vector<bool> BackwardReachable(const std::vector<NodeId>& targets) const;
+
+  /// All nodes reachable from any node in `sources` (including sources).
+  /// Used by the change tracker to invalidate results downstream of an
+  /// edited operator.
+  std::vector<bool> ForwardReachable(const std::vector<NodeId>& sources) const;
+
+  /// Nodes with no parents.
+  std::vector<NodeId> Roots() const;
+
+  /// Nodes with no children.
+  std::vector<NodeId> Leaves() const;
+
+ private:
+  std::vector<std::vector<NodeId>> parents_;
+  std::vector<std::vector<NodeId>> children_;
+  int num_edges_ = 0;
+};
+
+}  // namespace graph
+}  // namespace helix
+
+#endif  // HELIX_GRAPH_DAG_H_

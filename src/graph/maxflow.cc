@@ -1,0 +1,127 @@
+#include "graph/maxflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace helix {
+namespace graph {
+
+MaxFlow::MaxFlow(int num_nodes)
+    : head_(static_cast<size_t>(num_nodes), -1) {}
+
+int MaxFlow::AddNode() {
+  head_.push_back(-1);
+  return static_cast<int>(head_.size()) - 1;
+}
+
+int MaxFlow::AddEdge(int u, int v, int64_t capacity) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  if (capacity < 0) {
+    capacity = 0;
+  }
+  capacity = std::min(capacity, kCapInfinity);
+  int handle = static_cast<int>(edges_.size());
+  edges_.push_back(Edge{v, capacity, head_[static_cast<size_t>(u)]});
+  head_[static_cast<size_t>(u)] = handle;
+  edges_.push_back(Edge{u, 0, head_[static_cast<size_t>(v)]});
+  head_[static_cast<size_t>(v)] = handle + 1;
+  initial_cap_.push_back(capacity);
+  initial_cap_.push_back(0);
+  return handle;
+}
+
+bool MaxFlow::Bfs(int source, int sink) {
+  level_.assign(head_.size(), -1);
+  std::deque<int> queue;
+  level_[static_cast<size_t>(source)] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop_front();
+    for (int e = head_[static_cast<size_t>(u)]; e != -1;
+         e = edges_[static_cast<size_t>(e)].next) {
+      const Edge& edge = edges_[static_cast<size_t>(e)];
+      if (edge.cap > 0 && level_[static_cast<size_t>(edge.to)] == -1) {
+        level_[static_cast<size_t>(edge.to)] =
+            level_[static_cast<size_t>(u)] + 1;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(sink)] != -1;
+}
+
+int64_t MaxFlow::Dfs(int u, int sink, int64_t limit) {
+  if (u == sink || limit == 0) {
+    return limit;
+  }
+  int64_t pushed_total = 0;
+  for (int& e = iter_[static_cast<size_t>(u)]; e != -1;
+       e = edges_[static_cast<size_t>(e)].next) {
+    Edge& edge = edges_[static_cast<size_t>(e)];
+    if (edge.cap <= 0 || level_[static_cast<size_t>(edge.to)] !=
+                             level_[static_cast<size_t>(u)] + 1) {
+      continue;
+    }
+    int64_t pushed = Dfs(edge.to, sink, std::min(limit, edge.cap));
+    if (pushed == 0) {
+      continue;
+    }
+    edge.cap -= pushed;
+    edges_[static_cast<size_t>(e ^ 1)].cap += pushed;
+    pushed_total += pushed;
+    limit -= pushed;
+    if (limit == 0) {
+      break;
+    }
+  }
+  if (pushed_total == 0) {
+    level_[static_cast<size_t>(u)] = -1;  // dead end; prune from level graph
+  }
+  return pushed_total;
+}
+
+int64_t MaxFlow::Solve(int source, int sink) {
+  assert(source != sink);
+  int64_t flow = 0;
+  while (Bfs(source, sink)) {
+    iter_ = head_;
+    int64_t pushed = Dfs(source, sink, kCapInfinity);
+    if (pushed == 0) {
+      break;
+    }
+    flow = CapAdd(flow, pushed);
+  }
+  return flow;
+}
+
+int64_t MaxFlow::EdgeFlow(int edge_handle) const {
+  assert(edge_handle >= 0 &&
+         static_cast<size_t>(edge_handle) < edges_.size());
+  return initial_cap_[static_cast<size_t>(edge_handle)] -
+         edges_[static_cast<size_t>(edge_handle)].cap;
+}
+
+std::vector<bool> MaxFlow::MinCutSourceSide(int source) const {
+  std::vector<bool> visited(head_.size(), false);
+  std::deque<int> queue;
+  visited[static_cast<size_t>(source)] = true;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop_front();
+    for (int e = head_[static_cast<size_t>(u)]; e != -1;
+         e = edges_[static_cast<size_t>(e)].next) {
+      const Edge& edge = edges_[static_cast<size_t>(e)];
+      if (edge.cap > 0 && !visited[static_cast<size_t>(edge.to)]) {
+        visited[static_cast<size_t>(edge.to)] = true;
+        queue.push_back(edge.to);
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace graph
+}  // namespace helix

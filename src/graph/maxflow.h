@@ -1,0 +1,79 @@
+// Dinic's maximum-flow algorithm with integer capacities.
+//
+// HELIX's recomputation problem — assigning each workflow node a state in
+// {load, compute, prune} to minimize iteration latency — reduces to the
+// PROJECT SELECTION PROBLEM, which is solved via min-cut / max-flow (paper
+// Section 2.2). Costs are microseconds held in int64, so flow arithmetic is
+// exact; "infinite" capacities saturate instead of overflowing.
+#ifndef HELIX_GRAPH_MAXFLOW_H_
+#define HELIX_GRAPH_MAXFLOW_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+
+namespace helix {
+namespace graph {
+
+/// Capacity value treated as infinite. Chosen so that sums of several
+/// infinities cannot overflow int64.
+inline constexpr int64_t kCapInfinity =
+    std::numeric_limits<int64_t>::max() / 16;
+
+/// Saturating addition that keeps values at or below kCapInfinity.
+inline int64_t CapAdd(int64_t a, int64_t b) {
+  int64_t s = a + b;
+  return s >= kCapInfinity ? kCapInfinity : s;
+}
+
+/// Max-flow network solved with Dinic's algorithm:
+/// O(V^2 E) worst case, near-linear on the shallow DAG-shaped networks the
+/// recomputation reduction produces.
+class MaxFlow {
+ public:
+  /// Creates a network with `num_nodes` nodes (ids [0, num_nodes)).
+  explicit MaxFlow(int num_nodes);
+
+  /// Adds another node; returns its id.
+  int AddNode();
+
+  /// Adds a directed edge u -> v with the given capacity (>= 0, values
+  /// above kCapInfinity are clamped). Returns an edge handle usable with
+  /// EdgeFlow(). A reverse edge of capacity 0 is added internally.
+  int AddEdge(int u, int v, int64_t capacity);
+
+  /// Computes the maximum s-t flow. May be called once per network.
+  int64_t Solve(int source, int sink);
+
+  /// After Solve: flow routed through the edge handle returned by AddEdge.
+  int64_t EdgeFlow(int edge_handle) const;
+
+  /// After Solve: returns the source side of a minimum cut as a bitmap
+  /// (true = reachable from the source in the residual network).
+  std::vector<bool> MinCutSourceSide(int source) const;
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    int64_t cap;  // residual capacity
+    int next;     // next edge index in the adjacency list, or -1
+  };
+
+  bool Bfs(int source, int sink);
+  int64_t Dfs(int u, int sink, int64_t limit);
+
+  std::vector<Edge> edges_;
+  std::vector<int> head_;   // head of per-node edge list
+  std::vector<int> level_;  // BFS level graph
+  std::vector<int> iter_;   // current-arc optimization
+  std::vector<int64_t> initial_cap_;  // by edge index, to report flow
+};
+
+}  // namespace graph
+}  // namespace helix
+
+#endif  // HELIX_GRAPH_MAXFLOW_H_

@@ -1,0 +1,59 @@
+#include "graph/project_selection.h"
+
+#include <cassert>
+
+#include "graph/maxflow.h"
+
+namespace helix {
+namespace graph {
+
+int ProjectSelection::AddProject(int64_t profit) {
+  profits_.push_back(profit);
+  return static_cast<int>(profits_.size()) - 1;
+}
+
+void ProjectSelection::AddPrerequisite(int project, int prerequisite) {
+  assert(project >= 0 && project < num_projects());
+  assert(prerequisite >= 0 && prerequisite < num_projects());
+  if (project == prerequisite) {
+    return;  // trivially satisfied
+  }
+  prerequisites_.emplace_back(project, prerequisite);
+}
+
+ProjectSelectionSolution ProjectSelection::Solve() const {
+  const int n = num_projects();
+  // Network: 0..n-1 projects, n = source, n+1 = sink.
+  MaxFlow flow(n + 2);
+  const int s = n;
+  const int t = n + 1;
+
+  int64_t positive_total = 0;
+  for (int p = 0; p < n; ++p) {
+    int64_t profit = profits_[static_cast<size_t>(p)];
+    if (profit > 0) {
+      positive_total = CapAdd(positive_total, profit);
+      flow.AddEdge(s, p, profit);
+    } else if (profit < 0) {
+      flow.AddEdge(p, t, -profit);
+    }
+  }
+  for (const auto& [project, prereq] : prerequisites_) {
+    flow.AddEdge(project, prereq, kCapInfinity);
+  }
+
+  int64_t min_cut = flow.Solve(s, t);
+  std::vector<bool> source_side = flow.MinCutSourceSide(s);
+
+  ProjectSelectionSolution solution;
+  solution.max_profit = positive_total - min_cut;
+  solution.selected.assign(static_cast<size_t>(n), false);
+  for (int p = 0; p < n; ++p) {
+    solution.selected[static_cast<size_t>(p)] =
+        source_side[static_cast<size_t>(p)];
+  }
+  return solution;
+}
+
+}  // namespace graph
+}  // namespace helix

@@ -1,0 +1,59 @@
+// The PROJECT SELECTION PROBLEM (max-weight closure), solved via min-cut.
+//
+// Given projects with profits (possibly negative) and prerequisite edges
+// (selecting p requires selecting q), find the subset closed under
+// prerequisites with maximum total profit. Kleinberg & Tardos, "Algorithm
+// Design", Section 7.11 — the reduction target the HELIX paper cites for
+// its recomputation problem (Section 2.2, reference [3]).
+//
+// Construction: source s connects to each positive-profit project with
+// capacity profit(p); each negative-profit project connects to sink t with
+// capacity -profit(p); prerequisite p -> q becomes an infinite-capacity
+// edge p -> q. Max profit = sum of positive profits - min cut; the optimal
+// selection is the source side of the cut.
+#ifndef HELIX_GRAPH_PROJECT_SELECTION_H_
+#define HELIX_GRAPH_PROJECT_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace helix {
+namespace graph {
+
+/// Solution to a project-selection instance.
+struct ProjectSelectionSolution {
+  /// Maximum achievable total profit (>= 0 because the empty set is valid).
+  int64_t max_profit = 0;
+  /// selected[p] is true iff project p is in the optimal closed set.
+  std::vector<bool> selected;
+};
+
+/// Builder + solver for project selection instances.
+class ProjectSelection {
+ public:
+  ProjectSelection() = default;
+
+  /// Adds a project with the given profit (negative = cost). Returns its id.
+  int AddProject(int64_t profit);
+
+  /// Declares that selecting `project` requires selecting `prerequisite`.
+  /// Both ids must come from AddProject.
+  void AddPrerequisite(int project, int prerequisite);
+
+  int num_projects() const { return static_cast<int>(profits_.size()); }
+
+  /// Solves the instance. The builder may be reused only by re-adding a
+  /// fresh instance (Solve is not incremental).
+  ProjectSelectionSolution Solve() const;
+
+ private:
+  std::vector<int64_t> profits_;
+  std::vector<std::pair<int, int>> prerequisites_;  // (project, prerequisite)
+};
+
+}  // namespace graph
+}  // namespace helix
+
+#endif  // HELIX_GRAPH_PROJECT_SELECTION_H_

@@ -1,0 +1,162 @@
+#include "ml/evaluation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace helix {
+namespace ml {
+
+Result<std::map<std::string, double>> ComputeBinaryMetrics(
+    const std::vector<ScoredLabel>& rows, const BinaryMetricsOptions& opts) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("no rows to evaluate");
+  }
+  double tp = 0;
+  double fp = 0;
+  double tn = 0;
+  double fn = 0;
+  double log_loss = 0;
+  for (const ScoredLabel& r : rows) {
+    bool gold = r.gold > 0.5;
+    bool pred = r.prob >= opts.threshold;
+    if (gold && pred) {
+      ++tp;
+    } else if (!gold && pred) {
+      ++fp;
+    } else if (!gold && !pred) {
+      ++tn;
+    } else {
+      ++fn;
+    }
+    double p = std::min(std::max(r.prob, 1e-12), 1.0 - 1e-12);
+    log_loss += gold ? -std::log(p) : -std::log(1.0 - p);
+  }
+  double n = static_cast<double>(rows.size());
+
+  std::map<std::string, double> out;
+  if (opts.accuracy) {
+    out["accuracy"] = (tp + tn) / n;
+  }
+  if (opts.precision_recall_f1) {
+    double precision = tp + fp > 0 ? tp / (tp + fp) : 0.0;
+    double recall = tp + fn > 0 ? tp / (tp + fn) : 0.0;
+    double f1 = precision + recall > 0
+                    ? 2 * precision * recall / (precision + recall)
+                    : 0.0;
+    out["precision"] = precision;
+    out["recall"] = recall;
+    out["f1"] = f1;
+  }
+  if (opts.log_loss) {
+    out["log_loss"] = log_loss / n;
+  }
+  if (opts.confusion_counts) {
+    out["tp"] = tp;
+    out["fp"] = fp;
+    out["tn"] = tn;
+    out["fn"] = fn;
+  }
+  if (opts.auc) {
+    // Rank-sum (Mann-Whitney) AUC with midrank tie handling.
+    std::vector<ScoredLabel> sorted = rows;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ScoredLabel& a, const ScoredLabel& b) {
+                return a.prob < b.prob;
+              });
+    double pos = 0;
+    double neg = 0;
+    double rank_sum_pos = 0;
+    size_t i = 0;
+    while (i < sorted.size()) {
+      size_t j = i;
+      while (j < sorted.size() && sorted[j].prob == sorted[i].prob) {
+        ++j;
+      }
+      double midrank =
+          (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+      for (size_t k = i; k < j; ++k) {
+        if (sorted[k].gold > 0.5) {
+          rank_sum_pos += midrank;
+          ++pos;
+        } else {
+          ++neg;
+        }
+      }
+      i = j;
+    }
+    out["auc"] = (pos > 0 && neg > 0)
+                     ? (rank_sum_pos - pos * (pos + 1) / 2.0) / (pos * neg)
+                     : 0.5;
+  }
+  return out;
+}
+
+namespace {
+
+void CountSpanMatches(const std::vector<dataflow::Span>& gold,
+                      const std::vector<dataflow::Span>& predicted,
+                      double* tp, double* fp, double* fn) {
+  std::multiset<dataflow::Span> gold_set(gold.begin(), gold.end());
+  for (const dataflow::Span& p : predicted) {
+    auto it = gold_set.find(p);
+    if (it != gold_set.end()) {
+      *tp += 1;
+      gold_set.erase(it);
+    } else {
+      *fp += 1;
+    }
+  }
+  *fn += static_cast<double>(gold_set.size());
+}
+
+std::map<std::string, double> MetricsFromCounts(double tp, double fp,
+                                                double fn) {
+  double precision = tp + fp > 0 ? tp / (tp + fp) : 0.0;
+  double recall = tp + fn > 0 ? tp / (tp + fn) : 0.0;
+  double f1 = precision + recall > 0
+                  ? 2 * precision * recall / (precision + recall)
+                  : 0.0;
+  return {{"span_precision", precision},
+          {"span_recall", recall},
+          {"span_f1", f1},
+          {"span_tp", tp},
+          {"span_fp", fp},
+          {"span_fn", fn}};
+}
+
+}  // namespace
+
+std::map<std::string, double> ComputeSpanMetrics(
+    const std::vector<dataflow::Span>& gold,
+    const std::vector<dataflow::Span>& predicted) {
+  double tp = 0;
+  double fp = 0;
+  double fn = 0;
+  CountSpanMatches(gold, predicted, &tp, &fp, &fn);
+  return MetricsFromCounts(tp, fp, fn);
+}
+
+std::map<std::string, double> ComputeCorpusSpanMetrics(
+    const std::vector<std::vector<dataflow::Span>>& gold_per_doc,
+    const std::vector<std::vector<dataflow::Span>>& pred_per_doc) {
+  double tp = 0;
+  double fp = 0;
+  double fn = 0;
+  size_t n = std::min(gold_per_doc.size(), pred_per_doc.size());
+  for (size_t i = 0; i < n; ++i) {
+    CountSpanMatches(gold_per_doc[i], pred_per_doc[i], &tp, &fp, &fn);
+  }
+  // Documents present on only one side count entirely as misses/false
+  // alarms.
+  for (size_t i = n; i < gold_per_doc.size(); ++i) {
+    fn += static_cast<double>(gold_per_doc[i].size());
+  }
+  for (size_t i = n; i < pred_per_doc.size(); ++i) {
+    fp += static_cast<double>(pred_per_doc[i].size());
+  }
+  return MetricsFromCounts(tp, fp, fn);
+}
+
+}  // namespace ml
+}  // namespace helix

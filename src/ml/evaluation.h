@@ -1,0 +1,56 @@
+// Evaluation metrics for binary classification and span extraction.
+//
+// These back the `Reducer` / evaluation operators whose outputs feed the
+// Metrics tab of the versioning tool (paper Figure 3). Evaluation
+// iterations in the demo change which metrics are computed (green
+// iterations in Figure 2).
+#ifndef HELIX_ML_EVALUATION_H_
+#define HELIX_ML_EVALUATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/text.h"
+
+namespace helix {
+namespace ml {
+
+/// A (gold label, predicted probability) pair for one evaluation row.
+struct ScoredLabel {
+  double gold = 0.0;  // {0, 1}
+  double prob = 0.0;  // predicted P(y=1)
+};
+
+/// Which metric families to compute (evaluation iterations toggle these).
+struct BinaryMetricsOptions {
+  double threshold = 0.5;
+  bool accuracy = true;
+  bool precision_recall_f1 = true;
+  bool auc = false;
+  bool log_loss = false;
+  bool confusion_counts = false;
+};
+
+/// Computes the selected metrics over scored rows. Empty input yields an
+/// InvalidArgument.
+Result<std::map<std::string, double>> ComputeBinaryMetrics(
+    const std::vector<ScoredLabel>& rows, const BinaryMetricsOptions& opts);
+
+/// Exact span-level precision/recall/F1 between gold and predicted span
+/// sets (a predicted span counts iff begin, end, and label all match a
+/// gold span). The standard IE evaluation.
+std::map<std::string, double> ComputeSpanMetrics(
+    const std::vector<dataflow::Span>& gold,
+    const std::vector<dataflow::Span>& predicted);
+
+/// Aggregates span metrics over a document collection (micro-averaged).
+std::map<std::string, double> ComputeCorpusSpanMetrics(
+    const std::vector<std::vector<dataflow::Span>>& gold_per_doc,
+    const std::vector<std::vector<dataflow::Span>>& pred_per_doc);
+
+}  // namespace ml
+}  // namespace helix
+
+#endif  // HELIX_ML_EVALUATION_H_

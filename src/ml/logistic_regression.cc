@@ -1,0 +1,98 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace helix {
+namespace ml {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<dataflow::ModelData>> TrainLogisticRegression(
+    const dataflow::ExamplesData& data,
+    const LogisticRegressionOptions& opts) {
+  std::vector<size_t> train_idx;
+  for (size_t i = 0; i < static_cast<size_t>(data.num_examples()); ++i) {
+    if (!data.example(static_cast<int64_t>(i)).is_test) {
+      train_idx.push_back(i);
+    }
+  }
+  if (train_idx.empty()) {
+    return Status::InvalidArgument("no training examples (all is_test)");
+  }
+  if (opts.epochs <= 0 || opts.learning_rate <= 0) {
+    return Status::InvalidArgument(
+        "epochs and learning_rate must be positive");
+  }
+
+  std::vector<double> weights(static_cast<size_t>(data.num_features()), 0.0);
+  double bias = 0.0;
+  Rng rng(opts.seed);
+  double final_loss = 0.0;
+
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.Shuffle(&train_idx);
+    double lr = opts.learning_rate / (1.0 + opts.lr_decay * epoch);
+    double loss = 0.0;
+    // Per-example L2 shrink scaled by 1/n keeps regularization strength
+    // independent of dataset size.
+    double shrink =
+        1.0 - lr * opts.reg_param / static_cast<double>(train_idx.size());
+    if (shrink < 0.0) {
+      shrink = 0.0;
+    }
+    for (size_t i : train_idx) {
+      const dataflow::Example& e = data.example(static_cast<int64_t>(i));
+      double p = Sigmoid(e.features.Dot(weights) + bias);
+      double err = p - e.label;  // gradient of log-loss wrt score
+      if (shrink != 1.0) {
+        for (double& w : weights) {
+          w *= shrink;
+        }
+      }
+      e.features.AddTo(&weights, -lr * err);
+      bias -= lr * err;
+      double clamped = std::min(std::max(p, 1e-12), 1.0 - 1e-12);
+      loss += e.label > 0.5 ? -std::log(clamped) : -std::log(1.0 - clamped);
+    }
+    final_loss = loss / static_cast<double>(train_idx.size());
+  }
+
+  // AddTo may have grown weights past num_features if indices were sparse;
+  // clamp back to dictionary size for a canonical representation.
+  weights.resize(static_cast<size_t>(data.num_features()), 0.0);
+  auto model = std::make_shared<dataflow::ModelData>(
+      "logistic_regression", std::move(weights), bias);
+  model->SetInfo("train_loss", final_loss);
+  model->SetInfo("epochs", opts.epochs);
+  model->SetInfo("reg_param", opts.reg_param);
+  model->SetInfo("num_train", static_cast<double>(train_idx.size()));
+  return model;
+}
+
+double PredictScore(const dataflow::ModelData& model,
+                    const dataflow::SparseVector& features) {
+  return features.Dot(model.weights()) + model.bias();
+}
+
+double PredictProbability(const dataflow::ModelData& model,
+                          const dataflow::SparseVector& features) {
+  return Sigmoid(PredictScore(model, features));
+}
+
+}  // namespace ml
+}  // namespace helix

@@ -1,0 +1,34 @@
+// Bernoulli naive Bayes over binary (presence/absence) sparse features.
+//
+// Provided as an alternative `modelType` for the Learner operator so ML
+// iterations in the demo can swap model families (paper Section 3.2,
+// "modify the workflow ... to optimize for prediction accuracy"). For
+// binary features the NB decision rule is linear in the features, so the
+// trained classifier is exported as a standard linear ModelData and shares
+// the prediction path with logistic regression.
+#ifndef HELIX_ML_NAIVE_BAYES_H_
+#define HELIX_ML_NAIVE_BAYES_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "dataflow/examples.h"
+#include "dataflow/model.h"
+
+namespace helix {
+namespace ml {
+
+struct NaiveBayesOptions {
+  /// Laplace smoothing pseudo-count.
+  double smoothing = 1.0;
+};
+
+/// Trains on examples with is_test == false, treating any non-zero feature
+/// value as "present". Fails if a class is absent from the training data.
+Result<std::shared_ptr<dataflow::ModelData>> TrainNaiveBayes(
+    const dataflow::ExamplesData& data, const NaiveBayesOptions& opts);
+
+}  // namespace ml
+}  // namespace helix
+
+#endif  // HELIX_ML_NAIVE_BAYES_H_

@@ -1,0 +1,76 @@
+#include "ml/perceptron.h"
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace helix {
+namespace ml {
+
+Result<std::shared_ptr<dataflow::ModelData>> TrainAveragedPerceptron(
+    const dataflow::ExamplesData& data, const PerceptronOptions& opts) {
+  if (opts.epochs <= 0) {
+    return Status::InvalidArgument("epochs must be positive");
+  }
+  std::vector<size_t> train_idx;
+  for (size_t i = 0; i < static_cast<size_t>(data.num_examples()); ++i) {
+    if (!data.example(static_cast<int64_t>(i)).is_test) {
+      train_idx.push_back(i);
+    }
+  }
+  if (train_idx.empty()) {
+    return Status::InvalidArgument("no training examples (all is_test)");
+  }
+
+  const size_t dim = static_cast<size_t>(data.num_features());
+  // Lazily-averaged perceptron: `acc` accumulates w * step so the average
+  // can be recovered in O(dim) at the end.
+  std::vector<double> weights(dim, 0.0);
+  std::vector<double> acc(dim, 0.0);
+  double bias = 0.0;
+  double bias_acc = 0.0;
+  double step = 1.0;
+  int64_t mistakes = 0;
+
+  Rng rng(opts.seed);
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.Shuffle(&train_idx);
+    for (size_t i : train_idx) {
+      const dataflow::Example& e = data.example(static_cast<int64_t>(i));
+      double y = e.label > 0.5 ? 1.0 : -1.0;
+      double score = e.features.Dot(weights) + bias;
+      if (y * score <= opts.margin) {
+        e.features.AddTo(&weights, y);
+        bias += y;
+        // Track the update moment for averaging.
+        e.features.AddTo(&acc, y * step);
+        bias_acc += y * step;
+        ++mistakes;
+        if (weights.size() > dim) {
+          weights.resize(dim);
+        }
+        if (acc.size() > dim) {
+          acc.resize(dim);
+        }
+      }
+      step += 1.0;
+    }
+  }
+
+  // Averaged weights: w_avg = w - acc / T.
+  std::vector<double> averaged(dim, 0.0);
+  for (size_t j = 0; j < dim; ++j) {
+    averaged[j] = weights[j] - acc[j] / step;
+  }
+  double averaged_bias = bias - bias_acc / step;
+
+  auto model = std::make_shared<dataflow::ModelData>(
+      "averaged_perceptron", std::move(averaged), averaged_bias);
+  model->SetInfo("epochs", opts.epochs);
+  model->SetInfo("mistakes", static_cast<double>(mistakes));
+  model->SetInfo("num_train", static_cast<double>(train_idx.size()));
+  return model;
+}
+
+}  // namespace ml
+}  // namespace helix

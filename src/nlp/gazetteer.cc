@@ -1,0 +1,94 @@
+#include "nlp/gazetteer.h"
+
+namespace helix {
+namespace nlp {
+
+Gazetteer::Gazetteer(std::vector<std::string> words)
+    : words_(std::move(words)), set_(words_.begin(), words_.end()) {}
+
+const Gazetteer& FirstNameGazetteer() {
+  static const Gazetteer kGazetteer({
+      "James",    "Mary",      "Robert",  "Patricia", "John",    "Jennifer",
+      "Michael",  "Linda",     "David",   "Elizabeth", "William", "Barbara",
+      "Richard",  "Susan",     "Joseph",  "Jessica",  "Thomas",  "Sarah",
+      "Charles",  "Karen",     "Christopher", "Lisa", "Daniel",  "Nancy",
+      "Matthew",  "Betty",     "Anthony", "Margaret", "Mark",    "Sandra",
+      "Donald",   "Ashley",    "Steven",  "Kimberly", "Paul",    "Emily",
+      "Andrew",   "Donna",     "Joshua",  "Michelle", "Kenneth", "Carol",
+      "Kevin",    "Amanda",    "Brian",   "Dorothy",  "George",  "Melissa",
+      "Edward",   "Deborah",   "Ronald",  "Stephanie", "Timothy", "Rebecca",
+      "Jason",    "Sharon",    "Jeffrey", "Laura",    "Ryan",    "Cynthia",
+      "Jacob",    "Kathleen",  "Gary",    "Amy",      "Nicholas", "Angela",
+      "Eric",     "Shirley",   "Jonathan", "Anna",    "Stephen", "Brenda",
+      "Larry",    "Pamela",    "Justin",  "Emma",     "Scott",   "Nicole",
+      "Brandon",  "Helen",     "Benjamin", "Samantha", "Samuel", "Katherine",
+      "Gregory",  "Christine", "Frank",   "Debra",    "Alexander", "Rachel",
+      "Raymond",  "Lauren",    "Patrick", "Carolyn",  "Jack",    "Janet",
+      "Dennis",   "Catherine", "Jerry",   "Maria",    "Tyler",   "Heather",
+      "Aaron",    "Diane",     "Jose",    "Ruth",     "Adam",    "Julie",
+      "Nathan",   "Olivia",    "Henry",   "Joyce",    "Douglas", "Virginia",
+      "Zachary",  "Victoria",  "Peter",   "Kelly",    "Kyle",    "Lori",
+  });
+  return kGazetteer;
+}
+
+const Gazetteer& LastNameGazetteer() {
+  static const Gazetteer kGazetteer({
+      "Smith",    "Johnson",  "Williams", "Brown",    "Jones",    "Garcia",
+      "Miller",   "Davis",    "Rodriguez", "Martinez", "Hernandez", "Lopez",
+      "Gonzalez", "Wilson",   "Anderson", "Thomas",   "Taylor",   "Moore",
+      "Jackson",  "Martin",   "Lee",      "Perez",    "Thompson", "White",
+      "Harris",   "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+      "Walker",   "Young",    "Allen",    "King",     "Wright",   "Scott",
+      "Torres",   "Nguyen",   "Hill",     "Flores",   "Green",    "Adams",
+      "Nelson",   "Baker",    "Hall",     "Rivera",   "Campbell", "Mitchell",
+      "Carter",   "Roberts",  "Gomez",    "Phillips", "Evans",    "Turner",
+      "Diaz",     "Parker",   "Cruz",     "Edwards",  "Collins",  "Reyes",
+      "Stewart",  "Morris",   "Morales",  "Murphy",   "Cook",     "Rogers",
+      "Gutierrez", "Ortiz",   "Morgan",   "Cooper",   "Peterson", "Bailey",
+      "Reed",     "Kelly",    "Howard",   "Ramos",    "Kim",      "Cox",
+      "Ward",     "Richardson", "Watson", "Brooks",   "Chavez",   "Wood",
+      "James",    "Bennett",  "Gray",     "Mendoza",  "Ruiz",     "Hughes",
+      "Price",    "Alvarez",  "Castillo", "Sanders",  "Patel",    "Myers",
+      "Long",     "Ross",     "Foster",   "Jimenez",
+  });
+  return kGazetteer;
+}
+
+const std::vector<std::string>& OutOfGazetteerFirstNames() {
+  static const std::vector<std::string> kNames = {
+      "Zoran",  "Ilya",   "Priya", "Keiko",  "Tariq",  "Nadia",
+      "Bjorn",  "Amara",  "Dmitri", "Yuki",  "Ravi",   "Ingrid",
+      "Hassan", "Mei",    "Oleg",  "Fatima", "Sven",   "Leila",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& OutOfGazetteerLastNames() {
+  static const std::vector<std::string> kNames = {
+      "Petrovic",  "Nakamura", "Okafor",   "Lindqvist", "Haddad",
+      "Kovacs",    "Yamamoto", "Osei",     "Bergstrom", "Rahimi",
+      "Sokolov",   "Tanaka",   "Mensah",   "Nilsson",   "Farahani",
+  };
+  return kNames;
+}
+
+const std::vector<std::string>& OrganizationWords() {
+  static const std::vector<std::string> kWords = {
+      "Acme",     "Globex",   "Initech",  "Umbrella", "Stark",
+      "Wayne",    "Cyberdyne", "Tyrell",  "Aperture", "Vandelay",
+      "Congress", "Senate",   "Parliament", "Treasury", "Pentagon",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& LocationWords() {
+  static const std::vector<std::string> kWords = {
+      "Springfield", "Riverton", "Lakewood", "Fairview", "Georgetown",
+      "Arlington",   "Madison",  "Clayton",  "Dayton",   "Franklin",
+  };
+  return kWords;
+}
+
+}  // namespace nlp
+}  // namespace helix

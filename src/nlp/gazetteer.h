@@ -1,0 +1,55 @@
+// Name gazetteers for person-mention extraction.
+//
+// The real Helix IE application uses external name dictionaries as feature
+// sources; this module provides built-in first/last-name lists (also used
+// by the synthetic news generator, so gazetteer features are informative
+// but deliberately imperfect: the generator samples some names outside the
+// gazetteer and some gazetteer words appear as non-names).
+#ifndef HELIX_NLP_GAZETTEER_H_
+#define HELIX_NLP_GAZETTEER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace helix {
+namespace nlp {
+
+/// A case-sensitive word list with membership queries.
+class Gazetteer {
+ public:
+  explicit Gazetteer(std::vector<std::string> words);
+
+  bool Contains(const std::string& word) const {
+    return set_.count(word) > 0;
+  }
+  const std::vector<std::string>& words() const { return words_; }
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_set<std::string> set_;
+};
+
+/// Built-in gazetteer of common given names (shared process-wide).
+const Gazetteer& FirstNameGazetteer();
+
+/// Built-in gazetteer of common family names.
+const Gazetteer& LastNameGazetteer();
+
+/// Given names that the synthetic corpus uses but that are absent from the
+/// gazetteer (to keep gazetteer features imperfect).
+const std::vector<std::string>& OutOfGazetteerFirstNames();
+
+/// Family names absent from the gazetteer.
+const std::vector<std::string>& OutOfGazetteerLastNames();
+
+/// Common capitalized non-person words (organizations, places) that
+/// collide with name-shaped features.
+const std::vector<std::string>& OrganizationWords();
+const std::vector<std::string>& LocationWords();
+
+}  // namespace nlp
+}  // namespace helix
+
+#endif  // HELIX_NLP_GAZETTEER_H_

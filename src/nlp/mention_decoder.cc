@@ -1,0 +1,49 @@
+#include "nlp/mention_decoder.h"
+
+#include <cassert>
+
+namespace helix {
+namespace nlp {
+
+std::vector<dataflow::Span> DecodeMentions(
+    const std::vector<Token>& tokens, const std::vector<double>& token_probs,
+    const MentionDecoderOptions& opts) {
+  assert(tokens.size() == token_probs.size());
+  std::vector<dataflow::Span> spans;
+  size_t i = 0;
+  const size_t n = tokens.size();
+  while (i < n) {
+    if (token_probs[i] < opts.threshold) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < n && token_probs[i] >= opts.threshold) {
+      ++i;
+    }
+    int len = static_cast<int>(i - start);
+    if (len >= opts.min_tokens && len <= opts.max_tokens) {
+      spans.push_back(dataflow::Span{tokens[start].begin, tokens[i - 1].end,
+                                     opts.label});
+    }
+  }
+  return spans;
+}
+
+std::vector<bool> TokenLabelsFromSpans(
+    const std::vector<Token>& tokens,
+    const std::vector<dataflow::Span>& gold) {
+  std::vector<bool> labels(tokens.size(), false);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    for (const dataflow::Span& s : gold) {
+      if (tokens[i].begin >= s.begin && tokens[i].end <= s.end) {
+        labels[i] = true;
+        break;
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace nlp
+}  // namespace helix

@@ -1,0 +1,45 @@
+// Decoding token-level predictions into mention spans.
+//
+// The post-processing half of the IE workflow: consecutive tokens
+// classified positive are merged into one PERSON span (with configurable
+// gap tolerance and minimum probability), producing the structured output
+// the application reports.
+#ifndef HELIX_NLP_MENTION_DECODER_H_
+#define HELIX_NLP_MENTION_DECODER_H_
+
+#include <string>
+#include <vector>
+
+#include "dataflow/text.h"
+#include "nlp/tokenizer.h"
+
+namespace helix {
+namespace nlp {
+
+struct MentionDecoderOptions {
+  /// Tokens with predicted probability >= threshold are mention parts.
+  double threshold = 0.5;
+  /// Label attached to decoded spans.
+  std::string label = "PERSON";
+  /// Drop decoded mentions shorter than this many tokens.
+  int min_tokens = 1;
+  /// Drop decoded mentions longer than this many tokens.
+  int max_tokens = 6;
+};
+
+/// Merges consecutive positive tokens into labeled character spans.
+/// `token_probs[i]` is the predicted probability for `tokens[i]`; the two
+/// vectors must be the same length.
+std::vector<dataflow::Span> DecodeMentions(
+    const std::vector<Token>& tokens, const std::vector<double>& token_probs,
+    const MentionDecoderOptions& opts);
+
+/// Token-level gold labels from gold character spans: a token is positive
+/// iff it lies entirely within some gold span.
+std::vector<bool> TokenLabelsFromSpans(const std::vector<Token>& tokens,
+                                       const std::vector<dataflow::Span>& gold);
+
+}  // namespace nlp
+}  // namespace helix
+
+#endif  // HELIX_NLP_MENTION_DECODER_H_

@@ -1,0 +1,136 @@
+#include "nlp/token_features.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "nlp/gazetteer.h"
+
+namespace helix {
+namespace nlp {
+
+std::string TokenFeatureOptions::Canonical() const {
+  std::string out;
+  out += word_identity ? "w" : "-";
+  out += shape ? "s" : "-";
+  out += prefix_suffix ? "p" : "-";
+  out += gazetteer ? "g" : "-";
+  out += context ? StrFormat("c%d", context_window) : "-";
+  out += honorific ? "h" : "-";
+  out += position ? "o" : "-";
+  return out;
+}
+
+std::string WordShape(const std::string& word) {
+  std::string shape;
+  char prev = '\0';
+  for (char c : word) {
+    char cls;
+    if (std::isupper(static_cast<unsigned char>(c))) {
+      cls = 'X';
+    } else if (std::islower(static_cast<unsigned char>(c))) {
+      cls = 'x';
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      cls = 'd';
+    } else {
+      cls = c;
+    }
+    // Collapse runs: "Xxxxx" -> "Xx".
+    if (cls != prev) {
+      shape.push_back(cls);
+      prev = cls;
+    }
+  }
+  return shape;
+}
+
+namespace {
+
+void EmitTokenCoreFeatures(const std::string& text, const std::string& prefix,
+                           const TokenFeatureOptions& opts,
+                           dataflow::FeatureDict* dict,
+                           dataflow::SparseVector* out) {
+  if (opts.word_identity) {
+    out->Set(dict->Intern(prefix + "w=" + ToLower(text)), 1.0);
+  }
+  if (opts.shape) {
+    out->Set(dict->Intern(prefix + "shape=" + WordShape(text)), 1.0);
+    if (!text.empty() &&
+        std::isupper(static_cast<unsigned char>(text[0])) != 0) {
+      out->Set(dict->Intern(prefix + "cap"), 1.0);
+    }
+  }
+  if (opts.prefix_suffix && text.size() >= 2) {
+    out->Set(dict->Intern(prefix + "p2=" + ToLower(text.substr(0, 2))), 1.0);
+    out->Set(
+        dict->Intern(prefix + "s2=" + ToLower(text.substr(text.size() - 2))),
+        1.0);
+    if (text.size() >= 3) {
+      out->Set(dict->Intern(prefix + "p3=" + ToLower(text.substr(0, 3))),
+               1.0);
+      out->Set(dict->Intern(prefix + "s3=" +
+                            ToLower(text.substr(text.size() - 3))),
+               1.0);
+    }
+  }
+  if (opts.gazetteer) {
+    if (FirstNameGazetteer().Contains(text)) {
+      out->Set(dict->Intern(prefix + "gaz_first"), 1.0);
+    }
+    if (LastNameGazetteer().Contains(text)) {
+      out->Set(dict->Intern(prefix + "gaz_last"), 1.0);
+    }
+  }
+}
+
+}  // namespace
+
+void ExtractTokenFeatures(const std::vector<Token>& tokens, size_t idx,
+                          const TokenFeatureOptions& opts,
+                          dataflow::FeatureDict* dict,
+                          dataflow::SparseVector* out) {
+  const Token& tok = tokens[idx];
+  EmitTokenCoreFeatures(tok.text, "", opts, dict, out);
+
+  if (opts.honorific) {
+    if (idx > 0 && IsHonorific(tokens[idx - 1].text)) {
+      out->Set(dict->Intern("after_title"), 1.0);
+    }
+    if (IsHonorific(tok.text)) {
+      out->Set(dict->Intern("is_title"), 1.0);
+    }
+  }
+  if (opts.position) {
+    bool sentence_start =
+        idx == 0 || tokens[idx - 1].text == "." || tokens[idx - 1].text == "!" ||
+        tokens[idx - 1].text == "?";
+    if (sentence_start) {
+      out->Set(dict->Intern("sent_start"), 1.0);
+    }
+  }
+  if (opts.context) {
+    // Context tokens use only the cheap identity/shape families to keep the
+    // blow-up bounded.
+    TokenFeatureOptions ctx_opts;
+    ctx_opts.word_identity = opts.word_identity;
+    ctx_opts.shape = opts.shape;
+    ctx_opts.prefix_suffix = false;
+    ctx_opts.gazetteer = opts.gazetteer;
+    for (int d = 1; d <= opts.context_window; ++d) {
+      if (idx >= static_cast<size_t>(d)) {
+        EmitTokenCoreFeatures(tokens[idx - static_cast<size_t>(d)].text,
+                              StrFormat("L%d:", d), ctx_opts, dict, out);
+      } else {
+        out->Set(dict->Intern(StrFormat("L%d:<bos>", d)), 1.0);
+      }
+      if (idx + static_cast<size_t>(d) < tokens.size()) {
+        EmitTokenCoreFeatures(tokens[idx + static_cast<size_t>(d)].text,
+                              StrFormat("R%d:", d), ctx_opts, dict, out);
+      } else {
+        out->Set(dict->Intern(StrFormat("R%d:<eos>", d)), 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace nlp
+}  // namespace helix

@@ -1,0 +1,49 @@
+// Feature extraction for token-level person-mention classification.
+//
+// Feature families are individually toggleable: data pre-processing
+// iterations of the IE application (purple iterations in paper Figure 2a)
+// add or remove families, which is exactly the kind of upstream edit whose
+// recomputation HELIX avoids paying for downstream.
+#ifndef HELIX_NLP_TOKEN_FEATURES_H_
+#define HELIX_NLP_TOKEN_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "dataflow/features.h"
+#include "nlp/tokenizer.h"
+
+namespace helix {
+namespace nlp {
+
+/// Which feature families to extract for each token.
+struct TokenFeatureOptions {
+  bool word_identity = true;   // lowercased surface form
+  bool shape = true;           // capitalization / digits / punctuation shape
+  bool prefix_suffix = false;  // 2- and 3-char prefixes/suffixes
+  bool gazetteer = false;      // first/last-name dictionary hits
+  bool context = false;        // neighbouring-token features
+  int context_window = 1;      // tokens on each side when context == true
+  bool honorific = false;      // preceding title ("Mr.", "Dr.") cue
+  bool position = false;       // sentence-start indicator
+
+  /// Canonical compact encoding, part of the operator signature so that
+  /// toggling a family is detected as a workflow change.
+  std::string Canonical() const;
+};
+
+/// Extracts features for token `idx` of `tokens` into `out` (indices
+/// interned in `dict`). Values are 1.0 (binary indicator features).
+void ExtractTokenFeatures(const std::vector<Token>& tokens, size_t idx,
+                          const TokenFeatureOptions& opts,
+                          dataflow::FeatureDict* dict,
+                          dataflow::SparseVector* out);
+
+/// The shape class of a word, e.g. "Xx" (capitalized), "XX" (all caps),
+/// "dd" (digits), "x" (lower), "." (punct), "Xx-Xx" (mixed).
+std::string WordShape(const std::string& word);
+
+}  // namespace nlp
+}  // namespace helix
+
+#endif  // HELIX_NLP_TOKEN_FEATURES_H_

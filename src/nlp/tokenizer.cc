@@ -1,0 +1,78 @@
+#include "nlp/tokenizer.h"
+
+#include <array>
+#include <cctype>
+
+namespace helix {
+namespace nlp {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsInnerJoin(char c) { return c == '\'' || c == '-'; }
+
+const std::array<const char*, 8>& Honorifics() {
+  static const std::array<const char*, 8> kTitles = {
+      "Mr.", "Mrs.", "Ms.", "Dr.", "Prof.", "Sen.", "Rep.", "Gov."};
+  return kTitles;
+}
+
+}  // namespace
+
+bool IsHonorific(const std::string& token_text) {
+  for (const char* t : Honorifics()) {
+    if (token_text == t) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t start = i;
+      ++i;
+      while (i < n &&
+             (IsWordChar(text[i]) ||
+              (IsInnerJoin(text[i]) && i + 1 < n && IsWordChar(text[i + 1])))) {
+        ++i;
+      }
+      // Attach a trailing period to single-letter initials ("J.") and
+      // known titles ("Mr.").
+      size_t len = i - start;
+      if (i < n && text[i] == '.') {
+        bool initial = len == 1 && std::isupper(static_cast<unsigned char>(
+                                       text[start])) != 0;
+        std::string with_dot(text.substr(start, len + 1));
+        if (initial || IsHonorific(with_dot)) {
+          ++i;
+          ++len;
+        }
+      }
+      tokens.push_back(Token{std::string(text.substr(start, len)),
+                             static_cast<int32_t>(start),
+                             static_cast<int32_t>(start + len)});
+      continue;
+    }
+    // Punctuation: one token per character.
+    tokens.push_back(Token{std::string(1, c), static_cast<int32_t>(i),
+                           static_cast<int32_t>(i + 1)});
+    ++i;
+  }
+  return tokens;
+}
+
+}  // namespace nlp
+}  // namespace helix

@@ -1,0 +1,43 @@
+// Rule-based word tokenizer with character offsets.
+//
+// The IE workflow's first pre-processing step: news articles are split
+// into tokens whose [begin, end) offsets are preserved so that predicted
+// token labels can be decoded back into character spans.
+#ifndef HELIX_NLP_TOKENIZER_H_
+#define HELIX_NLP_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace helix {
+namespace nlp {
+
+/// A token with its half-open character span in the source text.
+struct Token {
+  std::string text;
+  int32_t begin = 0;
+  int32_t end = 0;
+
+  bool operator==(const Token& o) const {
+    return text == o.text && begin == o.begin && end == o.end;
+  }
+};
+
+/// Splits text into word and punctuation tokens. Words are maximal runs of
+/// alphanumerics plus internal apostrophes/hyphens ("O'Brien",
+/// "vice-president"); each punctuation character is its own token;
+/// whitespace separates and is discarded. Abbreviation periods stay
+/// attached to single capitalized letters ("J." in "J. Smith") and known
+/// titles ("Mr.", "Dr.").
+std::vector<Token> Tokenize(std::string_view text);
+
+/// True if the token is an honorific title ("Mr.", "Mrs.", "Ms.", "Dr.",
+/// "Prof.", "Sen.", "Rep.", "Gov."), case-sensitive.
+bool IsHonorific(const std::string& token_text);
+
+}  // namespace nlp
+}  // namespace helix
+
+#endif  // HELIX_NLP_TOKENIZER_H_

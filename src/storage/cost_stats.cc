@@ -1,0 +1,136 @@
+#include "storage/cost_stats.h"
+
+#include "common/bytes.h"
+#include "common/file_util.h"
+
+namespace helix {
+namespace storage {
+
+namespace {
+constexpr uint32_t kStatsMagic = 0x53584C48;  // "HLXS"
+constexpr uint32_t kStatsVersion = 1;
+}  // namespace
+
+Result<CostStatsRegistry> CostStatsRegistry::Load(const std::string& path) {
+  HELIX_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  ByteReader r(data);
+  HELIX_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kStatsMagic) {
+    return Status::Corruption("bad stats file magic: " + path);
+  }
+  HELIX_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kStatsVersion) {
+    return Status::Corruption("unsupported stats file version");
+  }
+  HELIX_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  if (count > (1ULL << 24)) {
+    return Status::Corruption("implausible stats entry count");
+  }
+  CostStatsRegistry registry;
+  for (uint64_t i = 0; i < count; ++i) {
+    HELIX_ASSIGN_OR_RETURN(uint64_t sig, r.GetU64());
+    NodeStats s;
+    HELIX_ASSIGN_OR_RETURN(s.node_name, r.GetString());
+    HELIX_ASSIGN_OR_RETURN(s.compute_micros, r.GetI64());
+    HELIX_ASSIGN_OR_RETURN(s.load_micros, r.GetI64());
+    HELIX_ASSIGN_OR_RETURN(s.size_bytes, r.GetI64());
+    HELIX_ASSIGN_OR_RETURN(s.last_iteration, r.GetI64());
+    registry.Record(sig, s);  // keeps the by-name index consistent
+  }
+  return registry;
+}
+
+Status CostStatsRegistry::Save(const std::string& path) const {
+  ByteWriter w;
+  w.PutU32(kStatsMagic);
+  w.PutU32(kStatsVersion);
+  w.PutU64(stats_.size());
+  for (const auto& [sig, s] : stats_) {
+    w.PutU64(sig);
+    w.PutString(s.node_name);
+    w.PutI64(s.compute_micros);
+    w.PutI64(s.load_micros);
+    w.PutI64(s.size_bytes);
+    w.PutI64(s.last_iteration);
+  }
+  return WriteStringToFile(path, w.data());
+}
+
+std::optional<NodeStats> CostStatsRegistry::Get(uint64_t signature) const {
+  auto it = stats_.find(signature);
+  if (it == stats_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<NodeStats> CostStatsRegistry::GetLatestByName(
+    const std::string& name) const {
+  auto it = latest_by_name_.find(name);
+  if (it == latest_by_name_.end()) {
+    return std::nullopt;
+  }
+  return Get(it->second);
+}
+
+void CostStatsRegistry::Record(uint64_t signature, const NodeStats& stats) {
+  NodeStats& entry = stats_[signature];
+  if (!stats.node_name.empty()) {
+    entry.node_name = stats.node_name;
+  }
+  if (stats.compute_micros >= 0) {
+    entry.compute_micros = stats.compute_micros;
+  }
+  if (stats.load_micros >= 0) {
+    entry.load_micros = stats.load_micros;
+  }
+  if (stats.size_bytes >= 0) {
+    entry.size_bytes = stats.size_bytes;
+  }
+  if (stats.last_iteration >= 0) {
+    entry.last_iteration = stats.last_iteration;
+  }
+  if (!entry.node_name.empty()) {
+    auto it = latest_by_name_.find(entry.node_name);
+    if (it == latest_by_name_.end()) {
+      latest_by_name_.emplace(entry.node_name, signature);
+    } else {
+      auto current = stats_.find(it->second);
+      if (current == stats_.end() ||
+          current->second.last_iteration <= entry.last_iteration) {
+        it->second = signature;
+      }
+    }
+  }
+}
+
+void CostStatsRegistry::RecordCompute(uint64_t signature,
+                                      const std::string& name, int64_t micros,
+                                      int64_t iteration) {
+  NodeStats s;
+  s.node_name = name;
+  s.compute_micros = micros;
+  s.last_iteration = iteration;
+  Record(signature, s);
+}
+
+void CostStatsRegistry::RecordLoad(uint64_t signature, const std::string& name,
+                                   int64_t micros, int64_t iteration) {
+  NodeStats s;
+  s.node_name = name;
+  s.load_micros = micros;
+  s.last_iteration = iteration;
+  Record(signature, s);
+}
+
+void CostStatsRegistry::RecordSize(uint64_t signature, const std::string& name,
+                                   int64_t bytes, int64_t iteration) {
+  NodeStats s;
+  s.node_name = name;
+  s.size_bytes = bytes;
+  s.last_iteration = iteration;
+  Record(signature, s);
+}
+
+}  // namespace storage
+}  // namespace helix

@@ -1,0 +1,77 @@
+// Cross-iteration runtime statistics.
+//
+// The materialization optimizer "uses runtime statistics from the current
+// and prior executions for guidance" (paper Section 2.3). This registry
+// records, per intermediate result (keyed by its cumulative Merkle
+// signature), the measured compute cost, output size, and load cost, and
+// persists them so iteration t+1 can plan with iteration t's measurements.
+#ifndef HELIX_STORAGE_COST_STATS_H_
+#define HELIX_STORAGE_COST_STATS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace helix {
+namespace storage {
+
+/// Measured statistics for one intermediate result.
+struct NodeStats {
+  std::string node_name;
+  int64_t compute_micros = -1;  // -1 = never measured
+  int64_t load_micros = -1;     // -1 = never measured
+  int64_t size_bytes = -1;      // -1 = never measured
+  int64_t last_iteration = -1;  // iteration that last updated this entry
+};
+
+/// In-memory registry with binary persistence, keyed by cumulative
+/// signature. Thread-compatible (external synchronization if shared).
+class CostStatsRegistry {
+ public:
+  CostStatsRegistry() = default;
+
+  /// Loads a registry previously saved with Save. NotFound if the file
+  /// does not exist (callers typically treat that as an empty registry).
+  static Result<CostStatsRegistry> Load(const std::string& path);
+
+  /// Atomically persists the registry.
+  Status Save(const std::string& path) const;
+
+  /// Returns stats for `signature` if present.
+  std::optional<NodeStats> Get(uint64_t signature) const;
+
+  /// Returns the most recently updated stats for any signature whose node
+  /// name is `name`. The executor uses this to estimate the compute cost
+  /// of a just-edited operator (same name, new signature): parameter edits
+  /// rarely change an operator's cost class.
+  std::optional<NodeStats> GetLatestByName(const std::string& name) const;
+
+  /// Merges a measurement: fields >= 0 overwrite, -1 fields are kept.
+  void Record(uint64_t signature, const NodeStats& stats);
+
+  void RecordCompute(uint64_t signature, const std::string& name,
+                     int64_t micros, int64_t iteration);
+  void RecordLoad(uint64_t signature, const std::string& name, int64_t micros,
+                  int64_t iteration);
+  void RecordSize(uint64_t signature, const std::string& name, int64_t bytes,
+                  int64_t iteration);
+
+  size_t size() const { return stats_.size(); }
+  const std::unordered_map<uint64_t, NodeStats>& entries() const {
+    return stats_;
+  }
+
+ private:
+  std::unordered_map<uint64_t, NodeStats> stats_;
+  /// name -> signature of the entry with the largest last_iteration.
+  std::unordered_map<std::string, uint64_t> latest_by_name_;
+};
+
+}  // namespace storage
+}  // namespace helix
+
+#endif  // HELIX_STORAGE_COST_STATS_H_

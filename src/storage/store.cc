@@ -1,0 +1,273 @@
+#include "storage/store.h"
+
+#include "common/bytes.h"
+#include "common/file_util.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace helix {
+namespace storage {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x4D584C48;  // "HLXM"
+constexpr uint32_t kManifestVersion = 1;
+constexpr char kManifestName[] = "MANIFEST";
+
+// Defaults when no I/O has been observed: reads (including
+// deserialization) around 400 MiB/s, plus a fixed per-file overhead.
+// Writes are typically slower but are not used for load estimates.
+constexpr int64_t kDefaultReadBytesPerSecond = 400LL * 1024 * 1024;
+constexpr int64_t kFixedIoOverheadMicros = 200;
+// Transfers below this size are dominated by the fixed overhead and would
+// bias the learned bandwidth; they are excluded from the estimator.
+constexpr int64_t kMinObservableBytes = 64 * 1024;
+}  // namespace
+
+Result<std::unique_ptr<IntermediateStore>> IntermediateStore::Open(
+    const std::string& dir, const StoreOptions& options) {
+  if (options.budget_bytes < 0) {
+    return Status::InvalidArgument("store budget must be non-negative");
+  }
+  HELIX_RETURN_IF_ERROR(MakeDirs(dir));
+  std::unique_ptr<IntermediateStore> store(
+      new IntermediateStore(dir, options));
+  Status s = store->LoadManifest();
+  if (s.IsNotFound()) {
+    // Fresh store.
+    return store;
+  }
+  if (s.IsCorruption()) {
+    // A damaged manifest must not take the whole system down: start empty
+    // (results will be recomputed) but keep the old entry files out of the
+    // way.
+    HELIX_LOG(Warning) << "store manifest corrupt, starting empty: "
+                       << s.ToString();
+    store->entries_.clear();
+    store->total_bytes_ = 0;
+    return store;
+  }
+  HELIX_RETURN_IF_ERROR(s);
+  return store;
+}
+
+std::string IntermediateStore::EntryPath(uint64_t signature) const {
+  return JoinPath(dir_, HashToHex(signature) + ".dat");
+}
+
+bool IntermediateStore::Has(uint64_t signature) const {
+  return entries_.count(signature) > 0;
+}
+
+const StoreEntry* IntermediateStore::Find(uint64_t signature) const {
+  auto it = entries_.find(signature);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Result<dataflow::DataCollection> IntermediateStore::Get(
+    uint64_t signature, int64_t* load_micros_out) {
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    return Status::NotFound(
+        StrFormat("no stored result for signature %s",
+                  HashToHex(signature).c_str()));
+  }
+  ScopedTimer timer(options_.clock);
+  auto file = ReadFileToString(EntryPath(signature));
+  if (!file.ok()) {
+    // Entry file vanished or unreadable: self-heal by evicting.
+    HELIX_LOG(Warning) << "store entry unreadable, evicting "
+                       << HashToHex(signature) << ": "
+                       << file.status().ToString();
+    (void)Remove(signature);
+    return Status::Corruption("store entry unreadable: " +
+                              file.status().ToString());
+  }
+  auto data = dataflow::DataCollection::DeserializeFromString(file.value());
+  if (!data.ok()) {
+    HELIX_LOG(Warning) << "store entry corrupt, evicting "
+                       << HashToHex(signature) << ": "
+                       << data.status().ToString();
+    (void)Remove(signature);
+    return data.status();
+  }
+  int64_t elapsed = timer.ElapsedMicros();
+  it = entries_.find(signature);
+  if (it != entries_.end()) {
+    it->second.load_micros = elapsed;
+  }
+  if (static_cast<int64_t>(file.value().size()) >= kMinObservableBytes) {
+    observed_read_bytes_ += static_cast<int64_t>(file.value().size());
+    observed_read_micros_ += elapsed;
+  }
+  if (load_micros_out != nullptr) {
+    *load_micros_out = elapsed;
+  }
+  return data;
+}
+
+Status IntermediateStore::Put(uint64_t signature,
+                              const std::string& node_name,
+                              const dataflow::DataCollection& data,
+                              int64_t iteration, int64_t* write_micros_out) {
+  if (Has(signature)) {
+    return Status::AlreadyExists(
+        StrFormat("signature %s already stored",
+                  HashToHex(signature).c_str()));
+  }
+  ScopedTimer timer(options_.clock);
+  std::string serialized = data.SerializeToString();
+  int64_t size = static_cast<int64_t>(serialized.size());
+  if (size > RemainingBytes()) {
+    return Status::ResourceExhausted(StrFormat(
+        "result %s (%s) exceeds remaining store budget (%s of %s left)",
+        node_name.c_str(), HumanBytes(size).c_str(),
+        HumanBytes(RemainingBytes()).c_str(),
+        HumanBytes(options_.budget_bytes).c_str()));
+  }
+  HELIX_RETURN_IF_ERROR(WriteStringToFile(EntryPath(signature), serialized));
+  int64_t elapsed = timer.ElapsedMicros();
+
+  StoreEntry entry;
+  entry.signature = signature;
+  entry.node_name = node_name;
+  entry.size_bytes = size;
+  entry.write_micros = elapsed;
+  entry.iteration = iteration;
+  entry.fingerprint = data.Fingerprint();
+  entries_[signature] = entry;
+  total_bytes_ += size;
+  if (size >= kMinObservableBytes) {
+    observed_write_bytes_ += size;
+    observed_write_micros_ += elapsed;
+  }
+  if (write_micros_out != nullptr) {
+    *write_micros_out = elapsed;
+  }
+  return SaveManifest();
+}
+
+Status IntermediateStore::Remove(uint64_t signature) {
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    return Status::OK();
+  }
+  total_bytes_ -= it->second.size_bytes;
+  entries_.erase(it);
+  HELIX_RETURN_IF_ERROR(RemoveFileIfExists(EntryPath(signature)));
+  return SaveManifest();
+}
+
+Status IntermediateStore::Clear() {
+  for (const auto& [sig, entry] : entries_) {
+    (void)entry;
+    HELIX_RETURN_IF_ERROR(RemoveFileIfExists(EntryPath(sig)));
+  }
+  entries_.clear();
+  total_bytes_ = 0;
+  return SaveManifest();
+}
+
+std::vector<StoreEntry> IntermediateStore::Entries() const {
+  std::vector<StoreEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [sig, entry] : entries_) {
+    (void)sig;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+int64_t IntermediateStore::EstimateLoadMicros(int64_t size_bytes) const {
+  if (size_bytes < 0) {
+    size_bytes = 0;
+  }
+  double bytes_per_micro;
+  if (observed_read_micros_ > 0 && observed_read_bytes_ > 0) {
+    bytes_per_micro = static_cast<double>(observed_read_bytes_) /
+                      static_cast<double>(observed_read_micros_);
+  } else if (observed_write_micros_ > 0 && observed_write_bytes_ > 0) {
+    // No reads yet: assume reads run at least at write speed (they are
+    // almost always faster: page-cache hits and no flush).
+    bytes_per_micro = static_cast<double>(observed_write_bytes_) /
+                      static_cast<double>(observed_write_micros_);
+  } else {
+    bytes_per_micro = static_cast<double>(kDefaultReadBytesPerSecond) / 1e6;
+  }
+  if (bytes_per_micro <= 0) {
+    bytes_per_micro = 1.0;
+  }
+  return kFixedIoOverheadMicros +
+         static_cast<int64_t>(static_cast<double>(size_bytes) /
+                              bytes_per_micro);
+}
+
+Status IntermediateStore::SaveManifest() const {
+  ByteWriter w;
+  w.PutU32(kManifestMagic);
+  w.PutU32(kManifestVersion);
+  w.PutU64(entries_.size());
+  for (const auto& [sig, e] : entries_) {
+    w.PutU64(sig);
+    w.PutString(e.node_name);
+    w.PutI64(e.size_bytes);
+    w.PutI64(e.write_micros);
+    w.PutI64(e.load_micros);
+    w.PutI64(e.iteration);
+    w.PutU64(e.fingerprint);
+  }
+  // Trailing checksum over the body.
+  w.PutU64(FnvHash64(w.data().data(), w.data().size()));
+  return WriteStringToFile(JoinPath(dir_, kManifestName), w.data());
+}
+
+Status IntermediateStore::LoadManifest() {
+  HELIX_ASSIGN_OR_RETURN(std::string data,
+                         ReadFileToString(JoinPath(dir_, kManifestName)));
+  if (data.size() < 8) {
+    return Status::Corruption("manifest too short");
+  }
+  std::string_view body(data.data(), data.size() - 8);
+  ByteReader checksum_reader(
+      std::string_view(data.data() + data.size() - 8, 8));
+  HELIX_ASSIGN_OR_RETURN(uint64_t stored, checksum_reader.GetU64());
+  if (stored != FnvHash64(body.data(), body.size())) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+  ByteReader r(body);
+  HELIX_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kManifestMagic) {
+    return Status::Corruption("bad manifest magic");
+  }
+  HELIX_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kManifestVersion) {
+    return Status::Corruption("unsupported manifest version");
+  }
+  HELIX_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  if (count > (1ULL << 24)) {
+    return Status::Corruption("implausible manifest entry count");
+  }
+  entries_.clear();
+  total_bytes_ = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    StoreEntry e;
+    HELIX_ASSIGN_OR_RETURN(e.signature, r.GetU64());
+    HELIX_ASSIGN_OR_RETURN(e.node_name, r.GetString());
+    HELIX_ASSIGN_OR_RETURN(e.size_bytes, r.GetI64());
+    HELIX_ASSIGN_OR_RETURN(e.write_micros, r.GetI64());
+    HELIX_ASSIGN_OR_RETURN(e.load_micros, r.GetI64());
+    HELIX_ASSIGN_OR_RETURN(e.iteration, r.GetI64());
+    HELIX_ASSIGN_OR_RETURN(e.fingerprint, r.GetU64());
+    // Entries whose data file is gone are dropped silently; Get would
+    // evict them anyway.
+    if (!FileExists(EntryPath(e.signature))) {
+      continue;
+    }
+    total_bytes_ += e.size_bytes;
+    entries_[e.signature] = std::move(e);
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace helix

@@ -1,0 +1,130 @@
+// The materialization store: persistent intermediate results under a
+// storage budget.
+//
+// The HELIX execution engine "chooses intermediate results to persist (with
+// a maximum storage constraint) in order to minimize the latency of future
+// iterations" (paper Section 2.3). Entries are keyed by the producing
+// node's cumulative Merkle signature, so an operator edit anywhere upstream
+// changes the key and stale results are never reused — this implements the
+// iterative change tracker's invalidation semantics at the storage layer.
+#ifndef HELIX_STORAGE_STORE_H_
+#define HELIX_STORAGE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/data_collection.h"
+
+namespace helix {
+namespace storage {
+
+/// Manifest record for one stored result.
+struct StoreEntry {
+  uint64_t signature = 0;
+  std::string node_name;
+  int64_t size_bytes = 0;     // on-disk size
+  int64_t write_micros = 0;   // measured materialization cost
+  int64_t load_micros = -1;   // last measured load cost (-1 = never loaded)
+  int64_t iteration = -1;     // iteration that wrote the entry
+  uint64_t fingerprint = 0;   // payload content hash (paranoid re-checks)
+};
+
+/// Options for opening a store.
+struct StoreOptions {
+  /// Maximum total bytes of materialized results; Put is refused beyond it.
+  int64_t budget_bytes = 1LL << 30;
+  /// Clock used to measure write/load costs (real I/O always happens; a
+  /// virtual clock simply won't observe it, callers then charge synthetic
+  /// costs themselves).
+  Clock* clock = SystemClock::Default();
+};
+
+/// A directory-backed result store with a manifest.
+///
+/// Layout: <dir>/MANIFEST plus one <16-hex-digit-signature>.dat file per
+/// entry (a DataCollection envelope with trailing checksum). All writes are
+/// atomic (temp file + rename). Corrupt or missing entry files are detected
+/// on Get and self-heal by evicting the entry, so callers fall back to
+/// recomputation.
+class IntermediateStore {
+ public:
+  /// Opens (creating if needed) a store rooted at `dir`.
+  static Result<std::unique_ptr<IntermediateStore>> Open(
+      const std::string& dir, const StoreOptions& options);
+
+  /// True if a valid manifest entry exists for `signature`.
+  bool Has(uint64_t signature) const;
+
+  /// Entry metadata, or nullptr.
+  const StoreEntry* Find(uint64_t signature) const;
+
+  /// Reads and verifies the stored result. On corruption the entry is
+  /// evicted and Corruption is returned. `load_micros_out` (optional)
+  /// receives the measured wall time of the read.
+  Result<dataflow::DataCollection> Get(uint64_t signature,
+                                       int64_t* load_micros_out = nullptr);
+
+  /// Persists `data` under `signature` if it fits the remaining budget;
+  /// returns ResourceExhausted if it does not, AlreadyExists if present.
+  /// `write_micros_out` (optional) receives the measured write time.
+  Status Put(uint64_t signature, const std::string& node_name,
+             const dataflow::DataCollection& data, int64_t iteration,
+             int64_t* write_micros_out = nullptr);
+
+  /// Removes one entry (no-op if absent).
+  Status Remove(uint64_t signature);
+
+  /// Removes all entries.
+  Status Clear();
+
+  int64_t TotalBytes() const { return total_bytes_; }
+  int64_t BudgetBytes() const { return options_.budget_bytes; }
+  int64_t RemainingBytes() const {
+    return options_.budget_bytes - total_bytes_;
+  }
+  size_t NumEntries() const { return entries_.size(); }
+
+  /// Entries ordered by signature (deterministic iteration for reporting).
+  std::vector<StoreEntry> Entries() const;
+
+  /// Predicts the cost of loading `size_bytes` from this store, from the
+  /// bandwidth observed on previous reads/writes. Used by the planner for
+  /// results that have never been loaded. Returns a conservative default
+  /// when no I/O has been observed yet.
+  int64_t EstimateLoadMicros(int64_t size_bytes) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  IntermediateStore(std::string dir, const StoreOptions& options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  std::string EntryPath(uint64_t signature) const;
+  Status SaveManifest() const;
+  Status LoadManifest();
+
+  std::string dir_;
+  StoreOptions options_;
+  std::map<uint64_t, StoreEntry> entries_;
+  int64_t total_bytes_ = 0;
+
+  // Observed throughput for load-cost estimation. Reads (load +
+  // deserialize) and writes (serialize + flush) have very different
+  // throughput, so they are tracked separately; load estimation prefers
+  // read observations.
+  int64_t observed_read_bytes_ = 0;
+  int64_t observed_read_micros_ = 0;
+  int64_t observed_write_bytes_ = 0;
+  int64_t observed_write_micros_ = 0;
+};
+
+}  // namespace storage
+}  // namespace helix
+
+#endif  // HELIX_STORAGE_STORE_H_

@@ -1,0 +1,369 @@
+// Unit tests for src/dataflow: values, schemas, payload types, and the
+// DataCollection serialization envelope (including corruption handling).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "dataflow/data_collection.h"
+
+namespace helix {
+namespace dataflow {
+namespace {
+
+// --- Value -------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{7}).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, ToNumericWidens) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).ToNumeric().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(true).ToNumeric().value(), 1.0);
+  EXPECT_FALSE(Value("x").ToNumeric().ok());
+  EXPECT_FALSE(Value::Null().ToNumeric().ok());
+}
+
+TEST(ValueTest, OrderingByTypeThenValue) {
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value("a") < Value("a"));
+}
+
+TEST(ValueTest, HashDistinguishesTypesAndValues) {
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+  EXPECT_NE(Value("1").Hash(), Value(int64_t{1}).Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+}
+
+TEST(ValueTest, SerializationRoundTrip) {
+  std::vector<Value> values = {Value::Null(), Value(int64_t{-5}),
+                               Value(3.75), Value(false), Value("text")};
+  ByteWriter w;
+  for (const Value& v : values) {
+    v.Serialize(&w);
+  }
+  ByteReader r(w.data());
+  for (const Value& expected : values) {
+    auto got = Value::Deserialize(&r);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), expected);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ValueTest, DeserializeBadTagIsCorruption) {
+  ByteWriter w;
+  w.PutU8(99);
+  ByteReader r(w.data());
+  EXPECT_TRUE(Value::Deserialize(&r).status().IsCorruption());
+}
+
+// --- Schema ------------------------------------------------------------------
+
+TEST(SchemaTest, LookupByName) {
+  Schema schema({{"a", ValueType::kInt}, {"b", ValueType::kString}});
+  EXPECT_EQ(schema.num_fields(), 2);
+  EXPECT_EQ(schema.IndexOf("a"), 0);
+  EXPECT_EQ(schema.IndexOf("b"), 1);
+  EXPECT_EQ(schema.IndexOf("c"), -1);
+  EXPECT_TRUE(schema.Contains("a"));
+}
+
+TEST(SchemaTest, WithFieldRejectsDuplicates) {
+  Schema schema({{"a", ValueType::kInt}});
+  EXPECT_TRUE(schema.WithField({"b", ValueType::kBool}).ok());
+  EXPECT_TRUE(
+      schema.WithField({"a", ValueType::kBool}).status().IsAlreadyExists());
+}
+
+TEST(SchemaTest, HashSensitiveToNameAndType) {
+  Schema a({{"x", ValueType::kInt}});
+  Schema b({{"x", ValueType::kDouble}});
+  Schema c({{"y", ValueType::kInt}});
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_NE(a.Hash(), c.Hash());
+  EXPECT_EQ(a.Hash(), Schema({{"x", ValueType::kInt}}).Hash());
+}
+
+TEST(SchemaTest, SerializationRoundTrip) {
+  Schema schema({{"a", ValueType::kInt}, {"b", ValueType::kString}});
+  ByteWriter w;
+  schema.Serialize(&w);
+  ByteReader r(w.data());
+  auto got = Schema::Deserialize(&r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), schema);
+}
+
+// --- TableData ------------------------------------------------------------------
+
+TEST(TableTest, AppendAndAccess) {
+  TableData table(Schema::AllStrings({"x", "y"}));
+  ASSERT_TRUE(table.AppendRow({Value("1"), Value("2")}).ok());
+  EXPECT_EQ(table.num_rows(), 1);
+  EXPECT_EQ(table.at(0, 1).AsString(), "2");
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  TableData table(Schema::AllStrings({"x", "y"}));
+  EXPECT_TRUE(table.AppendRow({Value("1")}).IsInvalidArgument());
+}
+
+TEST(TableTest, ColumnExtraction) {
+  TableData table(Schema::AllStrings({"x", "y"}));
+  ASSERT_TRUE(table.AppendRow({Value("a"), Value("b")}).ok());
+  ASSERT_TRUE(table.AppendRow({Value("c"), Value("d")}).ok());
+  auto col = table.Column("y");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col.value().size(), 2u);
+  EXPECT_EQ(col.value()[1].AsString(), "d");
+  EXPECT_TRUE(table.Column("z").status().IsNotFound());
+}
+
+TEST(TableTest, FingerprintSensitiveToContent) {
+  TableData a(Schema::AllStrings({"x"}));
+  TableData b(Schema::AllStrings({"x"}));
+  ASSERT_TRUE(a.AppendRow({Value("1")}).ok());
+  ASSERT_TRUE(b.AppendRow({Value("2")}).ok());
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(TableTest, SizeGrowsWithRows) {
+  TableData table(Schema::AllStrings({"x"}));
+  int64_t before = table.SizeBytes();
+  ASSERT_TRUE(table.AppendRow({Value("payload string")}).ok());
+  EXPECT_GT(table.SizeBytes(), before);
+}
+
+// --- FeatureDict / SparseVector ----------------------------------------------------
+
+TEST(FeatureDictTest, InternIsIdempotent) {
+  FeatureDict dict;
+  int32_t a = dict.Intern("f1");
+  int32_t b = dict.Intern("f2");
+  EXPECT_EQ(dict.Intern("f1"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.size(), 2);
+  EXPECT_EQ(dict.NameOf(a), "f1");
+  EXPECT_EQ(dict.Lookup("f2"), b);
+  EXPECT_EQ(dict.Lookup("nope"), -1);
+}
+
+TEST(FeatureDictTest, SerializationPreservesOrder) {
+  FeatureDict dict;
+  dict.Intern("z");
+  dict.Intern("a");
+  ByteWriter w;
+  dict.Serialize(&w);
+  ByteReader r(w.data());
+  auto got = FeatureDict::Deserialize(&r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().NameOf(0), "z");
+  EXPECT_EQ(got.value().NameOf(1), "a");
+  EXPECT_EQ(got.value().Fingerprint(), dict.Fingerprint());
+}
+
+TEST(SparseVectorTest, SetGetAndSortedEntries) {
+  SparseVector v;
+  v.Set(5, 1.0);
+  v.Set(1, 2.0);
+  v.Set(5, 3.0);  // overwrite
+  EXPECT_EQ(v.num_entries(), 2);
+  EXPECT_DOUBLE_EQ(v.Get(5), 3.0);
+  EXPECT_DOUBLE_EQ(v.Get(1), 2.0);
+  EXPECT_DOUBLE_EQ(v.Get(99), 0.0);
+  EXPECT_EQ(v.entries()[0].first, 1);
+  EXPECT_EQ(v.entries()[1].first, 5);
+  EXPECT_EQ(v.MaxIndex(), 5);
+}
+
+TEST(SparseVectorTest, AddAccumulates) {
+  SparseVector v;
+  v.Add(3, 1.5);
+  v.Add(3, 0.5);
+  EXPECT_DOUBLE_EQ(v.Get(3), 2.0);
+}
+
+TEST(SparseVectorTest, DotIgnoresOutOfRange) {
+  SparseVector v;
+  v.Set(0, 2.0);
+  v.Set(10, 100.0);
+  std::vector<double> dense = {3.0};
+  EXPECT_DOUBLE_EQ(v.Dot(dense), 6.0);
+}
+
+TEST(SparseVectorTest, AddToGrowsDense) {
+  SparseVector v;
+  v.Set(4, 2.0);
+  std::vector<double> dense = {1.0};
+  v.AddTo(&dense, 0.5);
+  ASSERT_EQ(dense.size(), 5u);
+  EXPECT_DOUBLE_EQ(dense[4], 1.0);
+  EXPECT_DOUBLE_EQ(dense[0], 1.0);
+}
+
+TEST(SparseVectorTest, SerializationRoundTrip) {
+  SparseVector v;
+  v.Set(2, -1.5);
+  v.Set(7, 3.25);
+  ByteWriter w;
+  v.Serialize(&w);
+  ByteReader r(w.data());
+  auto got = SparseVector::Deserialize(&r);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().Fingerprint(), v.Fingerprint());
+}
+
+TEST(SparseVectorTest, DeserializeRejectsUnsortedIndices) {
+  ByteWriter w;
+  w.PutU64(2);
+  w.PutI64(5);
+  w.PutDouble(1.0);
+  w.PutI64(3);  // decreasing index
+  w.PutDouble(1.0);
+  ByteReader r(w.data());
+  EXPECT_TRUE(SparseVector::Deserialize(&r).status().IsCorruption());
+}
+
+// --- Payload round trips through the envelope ----------------------------------------
+
+TEST(DataCollectionTest, TableRoundTrip) {
+  auto table = std::make_shared<TableData>(Schema::AllStrings({"a", "b"}));
+  ASSERT_TRUE(table->AppendRow({Value("x"), Value("y")}).ok());
+  DataCollection original = DataCollection::FromTable(table);
+
+  auto restored =
+      DataCollection::DeserializeFromString(original.SerializeToString());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().kind(), PayloadKind::kTable);
+  EXPECT_EQ(restored.value().Fingerprint(), original.Fingerprint());
+}
+
+TEST(DataCollectionTest, TextRoundTrip) {
+  auto text = std::make_shared<TextData>();
+  text->AddDoc({"d1", "Alice met Bob.", {{0, 5, "PERSON"}}});
+  DataCollection original = DataCollection::FromText(text);
+  auto restored =
+      DataCollection::DeserializeFromString(original.SerializeToString());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(restored.value().AsText().ok());
+  const TextData* t = restored.value().AsText().value();
+  EXPECT_EQ(t->doc(0).spans[0].label, "PERSON");
+  EXPECT_EQ(restored.value().Fingerprint(), original.Fingerprint());
+}
+
+TEST(DataCollectionTest, ExamplesRoundTrip) {
+  auto examples = std::make_shared<ExamplesData>();
+  examples->mutable_dict()->Intern("f0");
+  Example e;
+  e.features.Set(0, 1.0);
+  e.label = 1.0;
+  e.id = 42;
+  e.is_test = true;
+  examples->Add(e);
+  DataCollection original = DataCollection::FromExamples(examples);
+  auto restored =
+      DataCollection::DeserializeFromString(original.SerializeToString());
+  ASSERT_TRUE(restored.ok());
+  const ExamplesData* got = restored.value().AsExamples().value();
+  EXPECT_EQ(got->num_examples(), 1);
+  EXPECT_TRUE(got->example(0).is_test);
+  EXPECT_EQ(restored.value().Fingerprint(), original.Fingerprint());
+}
+
+TEST(DataCollectionTest, ModelRoundTrip) {
+  auto model =
+      std::make_shared<ModelData>("logistic_regression",
+                                  std::vector<double>{0.5, -1.5}, 0.25);
+  model->SetInfo("epochs", 20);
+  DataCollection original = DataCollection::FromModel(model);
+  auto restored =
+      DataCollection::DeserializeFromString(original.SerializeToString());
+  ASSERT_TRUE(restored.ok());
+  const ModelData* got = restored.value().AsModel().value();
+  EXPECT_EQ(got->model_type(), "logistic_regression");
+  EXPECT_DOUBLE_EQ(got->bias(), 0.25);
+  EXPECT_DOUBLE_EQ(got->InfoOr("epochs", 0), 20);
+  EXPECT_EQ(restored.value().Fingerprint(), original.Fingerprint());
+}
+
+TEST(DataCollectionTest, MetricsRoundTrip) {
+  auto metrics = std::make_shared<MetricsData>();
+  metrics->Set("accuracy", 0.91);
+  DataCollection original = DataCollection::FromMetrics(metrics);
+  auto restored =
+      DataCollection::DeserializeFromString(original.SerializeToString());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(
+      restored.value().AsMetrics().value()->GetOr("accuracy", 0), 0.91);
+}
+
+TEST(DataCollectionTest, WrongKindAccessorFails) {
+  auto metrics = std::make_shared<MetricsData>();
+  DataCollection c = DataCollection::FromMetrics(metrics);
+  EXPECT_FALSE(c.AsTable().ok());
+  EXPECT_FALSE(c.AsModel().ok());
+  EXPECT_TRUE(c.AsMetrics().ok());
+}
+
+TEST(DataCollectionTest, BitFlipDetected) {
+  auto table = std::make_shared<TableData>(Schema::AllStrings({"a"}));
+  ASSERT_TRUE(table->AppendRow({Value("payload")}).ok());
+  std::string bytes = DataCollection::FromTable(table).SerializeToString();
+  // Flip one bit in the middle of the payload.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  EXPECT_TRUE(
+      DataCollection::DeserializeFromString(bytes).status().IsCorruption());
+}
+
+TEST(DataCollectionTest, TruncationDetected) {
+  auto table = std::make_shared<TableData>(Schema::AllStrings({"a"}));
+  ASSERT_TRUE(table->AppendRow({Value("payload")}).ok());
+  std::string bytes = DataCollection::FromTable(table).SerializeToString();
+  for (size_t keep : {size_t{0}, size_t{5}, bytes.size() - 1}) {
+    EXPECT_TRUE(DataCollection::DeserializeFromString(bytes.substr(0, keep))
+                    .status()
+                    .IsCorruption())
+        << "kept " << keep;
+  }
+}
+
+TEST(DataCollectionTest, GarbageRejected) {
+  std::string garbage(64, 'q');
+  EXPECT_FALSE(DataCollection::DeserializeFromString(garbage).ok());
+}
+
+class DataCollectionFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DataCollectionFuzzTest, RandomCorruptionNeverCrashes) {
+  Rng rng(GetParam());
+  auto table = std::make_shared<TableData>(Schema::AllStrings({"a", "b"}));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table
+                    ->AppendRow({Value(StrFormat("r%d", i)),
+                                 Value(static_cast<int64_t>(i))})
+                    .ok());
+  }
+  std::string bytes = DataCollection::FromTable(table).SerializeToString();
+  // Corrupt a few random bytes; deserialization must fail cleanly (or, if
+  // the corruption cancels out, succeed) — never crash.
+  for (int k = 0; k < 4; ++k) {
+    size_t pos = rng.NextBelow(bytes.size());
+    bytes[pos] = static_cast<char>(rng.NextU64());
+  }
+  auto result = DataCollection::DeserializeFromString(bytes);
+  (void)result;
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, DataCollectionFuzzTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace dataflow
+}  // namespace helix

@@ -1,0 +1,353 @@
+// Behavioral tests for the execution engine: cost charging on a virtual
+// clock, cross-iteration reuse through the store, fallback on corruption,
+// plan invariance across planners, and statistics recording.
+#include <gtest/gtest.h>
+
+#include "common/file_util.h"
+#include "common/hash.h"
+#include "core/executor.h"
+#include "core/std_ops.h"
+#include "core/workflow.h"
+#include "core/workflow_dag.h"
+
+namespace helix {
+namespace core {
+namespace {
+
+namespace ops = core::ops;
+
+// A linear pipeline source -> prep -> train -> eval with controllable
+// synthetic costs, mimicking the census shape at hour scale.
+struct Pipeline {
+  int64_t source_tag = 1;
+  int64_t prep_tag = 2;
+  int64_t train_tag = 3;
+  int64_t eval_tag = 4;
+
+  // Costs in micros; loads cheap relative to computes.
+  int64_t source_cost = 1000;
+  int64_t prep_cost = 100000;  // expensive pre-processing
+  int64_t train_cost = 50000;
+  int64_t eval_cost = 1000;
+  int64_t load_cost = 2000;
+
+  Workflow Build() const {
+    Workflow wf("pipeline");
+    SyntheticCosts source_costs{source_cost, load_cost, 0};
+    SyntheticCosts prep_costs{prep_cost, load_cost, 0};
+    SyntheticCosts train_costs{train_cost, load_cost, 0};
+    SyntheticCosts eval_costs{eval_cost, load_cost, 0};
+    NodeRef source = wf.Add(ops::Synthetic(
+        "source", Phase::kDataPreprocessing, source_tag, source_costs));
+    NodeRef prep = wf.Add(
+        ops::Synthetic("prep", Phase::kDataPreprocessing, prep_tag,
+                       prep_costs),
+        {source});
+    NodeRef train = wf.Add(
+        ops::Synthetic("train", Phase::kMachineLearning, train_tag,
+                       train_costs),
+        {prep});
+    NodeRef eval = wf.Add(
+        ops::Synthetic("eval", Phase::kPostprocessing, eval_tag, eval_costs),
+        {train});
+    wf.MarkOutput(eval);
+    return wf;
+  }
+};
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("helix-executor-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.value();
+    storage::StoreOptions store_options;
+    store_options.budget_bytes = 1 << 20;
+    store_options.clock = &clock_;
+    auto store = storage::IntermediateStore::Open(dir_, store_options);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  ExecutionOptions Options(int64_t iteration) {
+    ExecutionOptions options;
+    options.clock = &clock_;
+    options.store = store_.get();
+    options.stats = &stats_;
+    options.mat_policy = &policy_;
+    options.iteration = iteration;
+    return options;
+  }
+
+  ExecutionReport Run(const Workflow& wf, const ExecutionOptions& options) {
+    auto dag = WorkflowDag::Compile(wf);
+    EXPECT_TRUE(dag.ok()) << dag.status().ToString();
+    auto report = Execute(*dag, options);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  }
+
+  VirtualClock clock_;
+  std::string dir_;
+  std::unique_ptr<storage::IntermediateStore> store_;
+  storage::CostStatsRegistry stats_;
+  OnlineCostModelPolicy policy_;
+};
+
+TEST_F(ExecutorTest, FirstRunComputesEverythingAndChargesDeclaredCosts) {
+  Pipeline p;
+  ExecutionReport report = Run(p.Build(), Options(0));
+  EXPECT_EQ(report.num_computed, 4);
+  EXPECT_EQ(report.num_loaded, 0);
+  EXPECT_EQ(report.num_pruned, 0);
+  // Virtual total = sum of declared compute costs (+ zero write costs).
+  EXPECT_EQ(report.total_micros,
+            p.source_cost + p.prep_cost + p.train_cost + p.eval_cost);
+  // The expensive intermediates were materialized under the online rule.
+  EXPECT_GT(report.num_materialized, 0);
+  const NodeExecution* prep = report.FindNode("prep");
+  ASSERT_NE(prep, nullptr);
+  EXPECT_TRUE(prep->materialized);
+  EXPECT_EQ(prep->cost_micros, p.prep_cost);
+}
+
+TEST_F(ExecutorTest, IdenticalRerunLoadsCheapestCut) {
+  Pipeline p;
+  Run(p.Build(), Options(0));
+  ExecutionReport second = Run(p.Build(), Options(1));
+  // The final output is stored; OPT loads just it (or an equally cheap
+  // cut) instead of recomputing the chain.
+  EXPECT_EQ(second.num_computed, 0);
+  EXPECT_EQ(second.num_loaded, 1);
+  EXPECT_EQ(second.total_micros, p.load_cost);
+  const NodeExecution* eval = second.FindNode("eval");
+  ASSERT_NE(eval, nullptr);
+  EXPECT_EQ(eval->state, NodeState::kLoad);
+}
+
+TEST_F(ExecutorTest, MlEditReusesPreprocessing) {
+  Pipeline p;
+  Run(p.Build(), Options(0));
+  // Edit the trainer (hyperparameter change).
+  Pipeline edited = p;
+  edited.train_tag = 33;
+  ExecutionReport report = Run(edited.Build(), Options(1));
+  // prep is loaded (2ms) instead of recomputed (100ms); train+eval rerun.
+  const NodeExecution* prep = report.FindNode("prep");
+  ASSERT_NE(prep, nullptr);
+  EXPECT_EQ(prep->state, NodeState::kLoad);
+  EXPECT_EQ(report.FindNode("train")->state, NodeState::kCompute);
+  EXPECT_EQ(report.FindNode("eval")->state, NodeState::kCompute);
+  EXPECT_EQ(report.FindNode("source")->state, NodeState::kPrune);
+  EXPECT_EQ(report.total_micros,
+            p.load_cost + p.train_cost + p.eval_cost);
+}
+
+TEST_F(ExecutorTest, UpstreamEditInvalidatesStoredDownstream) {
+  Pipeline p;
+  Run(p.Build(), Options(0));
+  // Edit the source: every cumulative signature changes, nothing stored is
+  // valid, so everything recomputes.
+  Pipeline edited = p;
+  edited.source_tag = 99;
+  ExecutionReport report = Run(edited.Build(), Options(1));
+  EXPECT_EQ(report.num_loaded, 0);
+  EXPECT_EQ(report.num_computed, 4);
+}
+
+TEST_F(ExecutorTest, NoStoreMeansNoReuse) {
+  Pipeline p;
+  ExecutionOptions options = Options(0);
+  options.store = nullptr;
+  options.mat_policy = nullptr;
+  Run(p.Build(), options);
+  ExecutionReport second = Run(p.Build(), options);
+  EXPECT_EQ(second.num_loaded, 0);
+  EXPECT_EQ(second.num_computed, 4);
+}
+
+TEST_F(ExecutorTest, SlicingPrunesDeadBranch) {
+  Pipeline p;
+  Workflow wf = p.Build();
+  // Dangling expensive node: never contributes to the output.
+  wf.Add(ops::Synthetic("dead", Phase::kDataPreprocessing, 7,
+                        SyntheticCosts{1000000, -1, -1}),
+         {wf.Find("source")});
+  ExecutionReport report = Run(wf, Options(0));
+  const NodeExecution* dead = report.FindNode("dead");
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->state, NodeState::kPrune);
+  EXPECT_TRUE(dead->sliced);
+  // Its cost is NOT part of the iteration.
+  EXPECT_EQ(report.total_micros,
+            p.source_cost + p.prep_cost + p.train_cost + p.eval_cost);
+}
+
+TEST_F(ExecutorTest, SlicingDisabledComputesDeadBranch) {
+  Pipeline p;
+  Workflow wf = p.Build();
+  wf.Add(ops::Synthetic("dead", Phase::kDataPreprocessing, 7,
+                        SyntheticCosts{500, -1, -1}),
+         {wf.Find("source")});
+  ExecutionOptions options = Options(0);
+  options.enable_slicing = false;
+  ExecutionReport report = Run(wf, options);
+  // Without slicing the planner has no required-output exemption for the
+  // dead node... it is still not required, so the optimal planner prunes
+  // it anyway. The slicer flag controls only the `sliced` attribution.
+  const NodeExecution* dead = report.FindNode("dead");
+  ASSERT_NE(dead, nullptr);
+  EXPECT_FALSE(dead->sliced);
+}
+
+TEST_F(ExecutorTest, CorruptStoreEntryFallsBackToRecompute) {
+  Pipeline p;
+  ExecutionReport first = Run(p.Build(), Options(0));
+  ASSERT_TRUE(first.FindNode("eval")->materialized ||
+              first.FindNode("prep")->materialized);
+
+  // Corrupt every stored entry on disk.
+  for (const storage::StoreEntry& entry : store_->Entries()) {
+    std::string path = JoinPath(dir_, HashToHex(entry.signature) + ".dat");
+    ASSERT_TRUE(WriteStringToFile(path, "corrupted bytes").ok());
+  }
+
+  ExecutionReport second = Run(p.Build(), Options(1));
+  // All loads failed; the executor recomputed on demand and the outputs
+  // are still produced.
+  EXPECT_EQ(second.outputs.count("eval"), 1u);
+  EXPECT_EQ(second.num_loaded, 0);
+  EXPECT_GT(second.num_computed, 0);
+  // Identical results despite the fallback.
+  EXPECT_EQ(second.outputs.at("eval").Fingerprint(),
+            first.outputs.at("eval").Fingerprint());
+}
+
+TEST_F(ExecutorTest, OutputsIdenticalAcrossPlanners) {
+  Pipeline p;
+  Run(p.Build(), Options(0));  // populate the store
+
+  uint64_t expected = 0;
+  for (PlannerKind planner :
+       {PlannerKind::kOptimal, PlannerKind::kNaiveReuse,
+        PlannerKind::kNoReuse, PlannerKind::kGreedy}) {
+    ExecutionOptions options = Options(1);
+    options.planner = planner;
+    ExecutionReport report = Run(p.Build(), options);
+    ASSERT_EQ(report.outputs.count("eval"), 1u)
+        << PlannerKindToString(planner);
+    uint64_t fp = report.outputs.at("eval").Fingerprint();
+    if (expected == 0) {
+      expected = fp;
+    }
+    EXPECT_EQ(fp, expected) << PlannerKindToString(planner);
+  }
+}
+
+TEST_F(ExecutorTest, StatsRecordedForComputedAndLoadedNodes) {
+  Pipeline p;
+  Run(p.Build(), Options(0));
+  auto dag = WorkflowDag::Compile(p.Build());
+  ASSERT_TRUE(dag.ok());
+  uint64_t prep_sig = dag->cumulative_signature(dag->FindNode("prep"));
+  auto prep_stats = stats_.Get(prep_sig);
+  ASSERT_TRUE(prep_stats.has_value());
+  EXPECT_EQ(prep_stats->compute_micros, p.prep_cost);
+  EXPECT_GT(prep_stats->size_bytes, 0);
+
+  // After an ML edit the loaded prep gets a load-cost measurement.
+  Pipeline edited = p;
+  edited.train_tag = 34;
+  Run(edited.Build(), Options(1));
+  prep_stats = stats_.Get(prep_sig);
+  ASSERT_TRUE(prep_stats.has_value());
+  EXPECT_EQ(prep_stats->load_micros, p.load_cost);
+}
+
+TEST_F(ExecutorTest, ZeroBudgetNeverMaterializes) {
+  storage::StoreOptions store_options;
+  store_options.budget_bytes = 0;
+  store_options.clock = &clock_;
+  auto tiny_dir = MakeTempDir("helix-zero-budget");
+  ASSERT_TRUE(tiny_dir.ok());
+  auto store = storage::IntermediateStore::Open(tiny_dir.value(),
+                                                store_options);
+  ASSERT_TRUE(store.ok());
+
+  Pipeline p;
+  ExecutionOptions options = Options(0);
+  options.store = store.value().get();
+  ExecutionReport report = Run(p.Build(), options);
+  EXPECT_EQ(report.num_materialized, 0);
+  EXPECT_EQ(store.value()->NumEntries(), 0u);
+  (void)RemoveDirRecursively(tiny_dir.value());
+}
+
+TEST_F(ExecutorTest, MaterializeWriteCostCharged) {
+  Pipeline p;
+  Workflow wf("write-cost");
+  // Expensive node whose declared write cost must appear in the total.
+  SyntheticCosts costs;
+  costs.compute_micros = 100000;
+  costs.load_micros = 10;
+  costs.write_micros = 7777;
+  NodeRef a = wf.Add(
+      ops::Synthetic("a", Phase::kDataPreprocessing, 1, costs));
+  wf.MarkOutput(a);
+  ExecutionReport report = Run(wf, Options(0));
+  const NodeExecution* node = report.FindNode("a");
+  ASSERT_NE(node, nullptr);
+  ASSERT_TRUE(node->materialized);
+  EXPECT_EQ(node->materialize_micros, 7777);
+  EXPECT_EQ(report.materialize_micros, 7777);
+  EXPECT_EQ(report.total_micros, 100000 + 7777);
+}
+
+TEST_F(ExecutorTest, FailingOperatorPropagatesError) {
+  Workflow wf("fails");
+  NodeRef bad = wf.Add(ops::Reducer(
+      "bad", Phase::kPostprocessing, 0,
+      [](const auto&) -> Result<dataflow::DataCollection> {
+        return Status::Internal("intentional failure");
+      }));
+  wf.MarkOutput(bad);
+  auto dag = WorkflowDag::Compile(wf);
+  ASSERT_TRUE(dag.ok());
+  auto report = Execute(*dag, Options(0));
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsInternal());
+  EXPECT_NE(report.status().message().find("bad"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ParanoidChecksCatchFingerprintTampering) {
+  Pipeline p;
+  ExecutionReport first = Run(p.Build(), Options(0));
+  ASSERT_GT(first.num_materialized, 0);
+
+  // Replace each stored entry with a VALID envelope of different content
+  // (checksum passes; only the fingerprint check can catch it).
+  auto table = std::make_shared<dataflow::TableData>(
+      dataflow::Schema::AllStrings({"v"}));
+  ASSERT_TRUE(table->AppendRow({dataflow::Value("tampered")}).ok());
+  std::string valid_other =
+      dataflow::DataCollection::FromTable(table).SerializeToString();
+  for (const storage::StoreEntry& entry : store_->Entries()) {
+    ASSERT_TRUE(WriteStringToFile(
+                    JoinPath(dir_, HashToHex(entry.signature) + ".dat"),
+                    valid_other)
+                    .ok());
+  }
+
+  ExecutionOptions options = Options(1);
+  options.paranoid_checks = true;
+  ExecutionReport second = Run(p.Build(), options);
+  // Tampered loads rejected -> recomputed -> same results as the first run.
+  EXPECT_EQ(second.outputs.at("eval").Fingerprint(),
+            first.outputs.at("eval").Fingerprint());
+  EXPECT_EQ(second.num_loaded, 0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace helix

@@ -1,0 +1,366 @@
+// Unit + property tests for src/graph: DAG utilities, Dinic max-flow, and
+// the project-selection (max-weight closure) solver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+#include "graph/dag.h"
+#include "graph/maxflow.h"
+#include "graph/project_selection.h"
+
+namespace helix {
+namespace graph {
+namespace {
+
+// --- Dag ---------------------------------------------------------------------
+
+TEST(DagTest, AddNodesAndEdges) {
+  Dag dag;
+  NodeId a = dag.AddNode();
+  NodeId b = dag.AddNode();
+  NodeId c = dag.AddNode();
+  ASSERT_TRUE(dag.AddEdge(a, b).ok());
+  ASSERT_TRUE(dag.AddEdge(b, c).ok());
+  EXPECT_EQ(dag.num_nodes(), 3);
+  EXPECT_EQ(dag.num_edges(), 2);
+  EXPECT_TRUE(dag.HasEdge(a, b));
+  EXPECT_FALSE(dag.HasEdge(b, a));
+  EXPECT_EQ(dag.Parents(c), (std::vector<NodeId>{b}));
+  EXPECT_EQ(dag.Children(a), (std::vector<NodeId>{b}));
+}
+
+TEST(DagTest, DuplicateEdgeIgnored) {
+  Dag dag;
+  dag.AddNodes(2);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_EQ(dag.num_edges(), 1);
+}
+
+TEST(DagTest, RejectsSelfLoopAndOutOfRange) {
+  Dag dag;
+  dag.AddNodes(2);
+  EXPECT_TRUE(dag.AddEdge(0, 0).IsInvalidArgument());
+  EXPECT_TRUE(dag.AddEdge(0, 5).IsInvalidArgument());
+  EXPECT_TRUE(dag.AddEdge(-1, 1).IsInvalidArgument());
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag;
+  dag.AddNodes(4);
+  ASSERT_TRUE(dag.AddEdge(2, 0).ok());
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(2, 3).ok());
+  auto order = dag.TopologicalOrder();
+  ASSERT_TRUE(order.ok());
+  std::vector<int> position(4);
+  for (size_t i = 0; i < order.value().size(); ++i) {
+    position[static_cast<size_t>(order.value()[i])] = static_cast<int>(i);
+  }
+  EXPECT_LT(position[2], position[0]);
+  EXPECT_LT(position[0], position[1]);
+  EXPECT_LT(position[2], position[3]);
+}
+
+TEST(DagTest, CycleDetected) {
+  Dag dag;
+  dag.AddNodes(3);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 2).ok());
+  ASSERT_TRUE(dag.AddEdge(2, 0).ok());
+  EXPECT_FALSE(dag.IsAcyclic());
+  EXPECT_FALSE(dag.TopologicalOrder().ok());
+}
+
+TEST(DagTest, AncestorsAndDescendants) {
+  // 0 -> 1 -> 3, 2 -> 3, 3 -> 4
+  Dag dag;
+  dag.AddNodes(5);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  ASSERT_TRUE(dag.AddEdge(1, 3).ok());
+  ASSERT_TRUE(dag.AddEdge(2, 3).ok());
+  ASSERT_TRUE(dag.AddEdge(3, 4).ok());
+
+  std::vector<bool> anc = dag.Ancestors(3);
+  EXPECT_TRUE(anc[0] && anc[1] && anc[2]);
+  EXPECT_FALSE(anc[3]);
+  EXPECT_FALSE(anc[4]);
+
+  std::vector<bool> desc = dag.Descendants(0);
+  EXPECT_TRUE(desc[1] && desc[3] && desc[4]);
+  EXPECT_FALSE(desc[0]);
+  EXPECT_FALSE(desc[2]);
+}
+
+TEST(DagTest, BackwardAndForwardReachableIncludeSeeds) {
+  Dag dag;
+  dag.AddNodes(3);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  std::vector<bool> back = dag.BackwardReachable({1});
+  EXPECT_TRUE(back[0] && back[1]);
+  EXPECT_FALSE(back[2]);
+  std::vector<bool> fwd = dag.ForwardReachable({0});
+  EXPECT_TRUE(fwd[0] && fwd[1]);
+  EXPECT_FALSE(fwd[2]);
+}
+
+TEST(DagTest, RootsAndLeaves) {
+  Dag dag;
+  dag.AddNodes(3);
+  ASSERT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_EQ(dag.Roots(), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(dag.Leaves(), (std::vector<NodeId>{1, 2}));
+}
+
+// --- MaxFlow -------------------------------------------------------------------
+
+TEST(MaxFlowTest, SingleEdge) {
+  MaxFlow flow(2);
+  flow.AddEdge(0, 1, 5);
+  EXPECT_EQ(flow.Solve(0, 1), 5);
+}
+
+TEST(MaxFlowTest, ClassicDiamond) {
+  // s=0, t=3; two paths with a cross edge.
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 10);
+  flow.AddEdge(0, 2, 10);
+  flow.AddEdge(1, 3, 10);
+  flow.AddEdge(2, 3, 10);
+  flow.AddEdge(1, 2, 1);
+  EXPECT_EQ(flow.Solve(0, 3), 20);
+}
+
+TEST(MaxFlowTest, BottleneckRespected) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 100);
+  flow.AddEdge(1, 2, 3);
+  flow.AddEdge(2, 3, 100);
+  EXPECT_EQ(flow.Solve(0, 3), 3);
+}
+
+TEST(MaxFlowTest, DisconnectedIsZero) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 5);
+  flow.AddEdge(2, 3, 5);
+  EXPECT_EQ(flow.Solve(0, 3), 0);
+}
+
+TEST(MaxFlowTest, MinCutSeparatesSourceAndSink) {
+  MaxFlow flow(4);
+  flow.AddEdge(0, 1, 2);
+  flow.AddEdge(1, 2, 1);
+  flow.AddEdge(2, 3, 2);
+  EXPECT_EQ(flow.Solve(0, 3), 1);
+  std::vector<bool> cut = flow.MinCutSourceSide(0);
+  EXPECT_TRUE(cut[0]);
+  EXPECT_TRUE(cut[1]);  // reachable through residual of 0->1
+  EXPECT_FALSE(cut[2]);
+  EXPECT_FALSE(cut[3]);
+}
+
+TEST(MaxFlowTest, EdgeFlowReported) {
+  MaxFlow flow(3);
+  int e01 = flow.AddEdge(0, 1, 7);
+  int e12 = flow.AddEdge(1, 2, 4);
+  EXPECT_EQ(flow.Solve(0, 2), 4);
+  EXPECT_EQ(flow.EdgeFlow(e01), 4);
+  EXPECT_EQ(flow.EdgeFlow(e12), 4);
+}
+
+TEST(MaxFlowTest, InfiniteCapacitySaturates) {
+  MaxFlow flow(2);
+  flow.AddEdge(0, 1, kCapInfinity);
+  flow.AddEdge(0, 1, kCapInfinity);
+  int64_t f = flow.Solve(0, 1);
+  EXPECT_GE(f, kCapInfinity);
+  EXPECT_LT(f, std::numeric_limits<int64_t>::max() / 2);
+}
+
+// Brute-force min cut by enumerating all 2^n partitions (s fixed on the
+// source side, t on the sink side).
+int64_t BruteForceMinCut(int n, int s, int t,
+                         const std::vector<std::array<int64_t, 3>>& edges) {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    if (!(mask & (1 << s)) || (mask & (1 << t))) {
+      continue;
+    }
+    int64_t cut = 0;
+    for (const auto& [u, v, c] : edges) {
+      if ((mask & (1 << u)) && !(mask & (1 << v))) {
+        cut += c;
+      }
+    }
+    best = std::min(best, cut);
+  }
+  return best;
+}
+
+class MaxFlowRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaxFlowRandomTest, MatchesBruteForceMinCut) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.NextInt(4, 8));
+  std::vector<std::array<int64_t, 3>> edges;
+  const int num_edges = static_cast<int>(rng.NextInt(n, 3 * n));
+  for (int i = 0; i < num_edges; ++i) {
+    int64_t u = rng.NextInt(0, n - 1);
+    int64_t v = rng.NextInt(0, n - 1);
+    if (u == v) {
+      continue;
+    }
+    edges.push_back({u, v, rng.NextInt(0, 20)});
+  }
+  MaxFlow flow(n);
+  for (const auto& [u, v, c] : edges) {
+    flow.AddEdge(static_cast<int>(u), static_cast<int>(v), c);
+  }
+  int64_t max_flow = flow.Solve(0, n - 1);
+  int64_t min_cut = BruteForceMinCut(n, 0, n - 1, edges);
+  EXPECT_EQ(max_flow, min_cut) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MaxFlowRandomTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+// --- Project selection -----------------------------------------------------------
+
+TEST(ProjectSelectionTest, TakesAllPositiveWithoutPrereqs) {
+  ProjectSelection psp;
+  psp.AddProject(5);
+  psp.AddProject(-3);
+  psp.AddProject(7);
+  auto solution = psp.Solve();
+  EXPECT_EQ(solution.max_profit, 12);
+  EXPECT_TRUE(solution.selected[0]);
+  EXPECT_FALSE(solution.selected[1]);
+  EXPECT_TRUE(solution.selected[2]);
+}
+
+TEST(ProjectSelectionTest, PrerequisiteWorthPaying) {
+  ProjectSelection psp;
+  int profit = psp.AddProject(10);
+  int cost = psp.AddProject(-4);
+  psp.AddPrerequisite(profit, cost);
+  auto solution = psp.Solve();
+  EXPECT_EQ(solution.max_profit, 6);
+  EXPECT_TRUE(solution.selected[static_cast<size_t>(profit)]);
+  EXPECT_TRUE(solution.selected[static_cast<size_t>(cost)]);
+}
+
+TEST(ProjectSelectionTest, PrerequisiteNotWorthPaying) {
+  ProjectSelection psp;
+  int profit = psp.AddProject(3);
+  int cost = psp.AddProject(-5);
+  psp.AddPrerequisite(profit, cost);
+  auto solution = psp.Solve();
+  EXPECT_EQ(solution.max_profit, 0);
+  EXPECT_FALSE(solution.selected[static_cast<size_t>(profit)]);
+}
+
+TEST(ProjectSelectionTest, ChainOfPrerequisites) {
+  ProjectSelection psp;
+  int a = psp.AddProject(10);
+  int b = psp.AddProject(-3);
+  int c = psp.AddProject(-3);
+  psp.AddPrerequisite(a, b);
+  psp.AddPrerequisite(b, c);
+  auto solution = psp.Solve();
+  EXPECT_EQ(solution.max_profit, 4);
+  EXPECT_TRUE(solution.selected[static_cast<size_t>(a)]);
+  EXPECT_TRUE(solution.selected[static_cast<size_t>(b)]);
+  EXPECT_TRUE(solution.selected[static_cast<size_t>(c)]);
+}
+
+TEST(ProjectSelectionTest, SharedPrerequisitePaidOnce) {
+  ProjectSelection psp;
+  int a = psp.AddProject(4);
+  int b = psp.AddProject(4);
+  int shared = psp.AddProject(-6);
+  psp.AddPrerequisite(a, shared);
+  psp.AddPrerequisite(b, shared);
+  auto solution = psp.Solve();
+  // Individually 4 < 6, but together 8 > 6.
+  EXPECT_EQ(solution.max_profit, 2);
+}
+
+// Brute force over all closed subsets.
+int64_t BruteForceClosure(const std::vector<int64_t>& profits,
+                          const std::vector<std::pair<int, int>>& prereqs) {
+  const int n = static_cast<int>(profits.size());
+  int64_t best = 0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool closed = true;
+    for (const auto& [p, q] : prereqs) {
+      if ((mask & (1 << p)) && !(mask & (1 << q))) {
+        closed = false;
+        break;
+      }
+    }
+    if (!closed) {
+      continue;
+    }
+    int64_t profit = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        profit += profits[static_cast<size_t>(i)];
+      }
+    }
+    best = std::max(best, profit);
+  }
+  return best;
+}
+
+class ProjectSelectionRandomTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ProjectSelectionRandomTest, MatchesBruteForce) {
+  Rng rng(GetParam() * 7919 + 1);
+  const int n = static_cast<int>(rng.NextInt(2, 10));
+  std::vector<int64_t> profits;
+  ProjectSelection psp;
+  for (int i = 0; i < n; ++i) {
+    profits.push_back(rng.NextInt(-15, 15));
+    psp.AddProject(profits.back());
+  }
+  std::vector<std::pair<int, int>> prereqs;
+  const int num_edges = static_cast<int>(rng.NextInt(0, 2 * n));
+  for (int i = 0; i < num_edges; ++i) {
+    int p = static_cast<int>(rng.NextInt(0, n - 1));
+    int q = static_cast<int>(rng.NextInt(0, n - 1));
+    if (p == q) {
+      continue;
+    }
+    prereqs.emplace_back(p, q);
+    psp.AddPrerequisite(p, q);
+  }
+  auto solution = psp.Solve();
+  EXPECT_EQ(solution.max_profit, BruteForceClosure(profits, prereqs))
+      << "seed " << GetParam();
+
+  // The returned selection must be closed and achieve the reported profit.
+  for (const auto& [p, q] : prereqs) {
+    if (solution.selected[static_cast<size_t>(p)]) {
+      EXPECT_TRUE(solution.selected[static_cast<size_t>(q)]);
+    }
+  }
+  int64_t achieved = 0;
+  for (int i = 0; i < n; ++i) {
+    if (solution.selected[static_cast<size_t>(i)]) {
+      achieved += profits[static_cast<size_t>(i)];
+    }
+  }
+  EXPECT_EQ(achieved, solution.max_profit);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ProjectSelectionRandomTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace graph
+}  // namespace helix

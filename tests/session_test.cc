@@ -1,0 +1,251 @@
+// Tests for Session (the iterative driver) and VersionManager, using
+// synthetic workloads on a virtual clock plus a small real census run.
+#include <gtest/gtest.h>
+
+#include "apps/census_app.h"
+#include "baselines/baselines.h"
+#include "common/file_util.h"
+#include "core/plan_viz.h"
+#include "core/session.h"
+#include "core/std_ops.h"
+#include "datagen/census_gen.h"
+
+namespace helix {
+namespace core {
+namespace {
+
+namespace ops = core::ops;
+
+Workflow MakeSyntheticWorkflow(int64_t prep_tag, int64_t ml_tag) {
+  Workflow wf("synth");
+  NodeRef source = wf.Add(ops::Synthetic("source", Phase::kDataPreprocessing,
+                                         1, SyntheticCosts{1000, 500, 0}));
+  NodeRef prep =
+      wf.Add(ops::Synthetic("prep", Phase::kDataPreprocessing, prep_tag,
+                            SyntheticCosts{80000, 1500, 0}),
+             {source});
+  NodeRef model = wf.Add(ops::Synthetic("model", Phase::kMachineLearning,
+                                        ml_tag, SyntheticCosts{40000, 1500, 0}),
+                         {prep});
+  NodeRef eval =
+      wf.Add(ops::Synthetic("eval", Phase::kPostprocessing, 10,
+                            SyntheticCosts{500, 400, 0}),
+             {model});
+  wf.MarkOutput(eval);
+  return wf;
+}
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("helix-session-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.value();
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::unique_ptr<Session> OpenHelix() {
+    SessionOptions options;
+    options.workspace_dir = dir_;
+    options.clock = &clock_;
+    auto session = Session::Open(options);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    return std::move(session).value();
+  }
+
+  VirtualClock clock_;
+  std::string dir_;
+};
+
+TEST_F(SessionTest, IterationsAccumulateVersionsAndRuntime) {
+  auto session = OpenHelix();
+  auto v0 = session->RunIteration(MakeSyntheticWorkflow(2, 3), "initial",
+                                  ChangeCategory::kInitial);
+  ASSERT_TRUE(v0.ok()) << v0.status().ToString();
+  auto v1 = session->RunIteration(MakeSyntheticWorkflow(2, 33), "ml edit",
+                                  ChangeCategory::kMachineLearning);
+  ASSERT_TRUE(v1.ok());
+
+  EXPECT_EQ(session->versions().num_versions(), 2);
+  EXPECT_EQ(v0->version_id, 0);
+  EXPECT_EQ(v1->version_id, 1);
+  EXPECT_EQ(session->cumulative_micros(),
+            v0->report.total_micros + v1->report.total_micros);
+  // The ML edit reuses the expensive prep: far cheaper than the initial.
+  EXPECT_LT(v1->report.total_micros, v0->report.total_micros / 2);
+}
+
+TEST_F(SessionTest, DiffReportedPerIteration) {
+  auto session = OpenHelix();
+  ASSERT_TRUE(session
+                  ->RunIteration(MakeSyntheticWorkflow(2, 3), "initial",
+                                 ChangeCategory::kInitial)
+                  .ok());
+  auto v1 = session->RunIteration(MakeSyntheticWorkflow(22, 3), "prep edit",
+                                  ChangeCategory::kDataPreprocessing);
+  ASSERT_TRUE(v1.ok());
+  int prep = v1->dag.FindNode("prep");
+  int model = v1->dag.FindNode("model");
+  EXPECT_EQ(v1->diff.node_changes[static_cast<size_t>(prep)],
+            NodeChange::kParamChanged);
+  EXPECT_EQ(v1->diff.node_changes[static_cast<size_t>(model)],
+            NodeChange::kUpstream);
+}
+
+TEST_F(SessionTest, WorkspacePersistsAcrossSessions) {
+  {
+    auto session = OpenHelix();
+    ASSERT_TRUE(session
+                    ->RunIteration(MakeSyntheticWorkflow(2, 3), "initial",
+                                   ChangeCategory::kInitial)
+                    .ok());
+  }
+  // A fresh Session over the same workspace resumes with the store and
+  // stats intact: an identical workflow mostly loads.
+  auto session = OpenHelix();
+  auto v = session->RunIteration(MakeSyntheticWorkflow(2, 3), "rerun",
+                                 ChangeCategory::kInitial);
+  ASSERT_TRUE(v.ok());
+  EXPECT_GT(v->report.num_loaded, 0);
+  EXPECT_EQ(v->report.num_computed, 0);
+}
+
+TEST_F(SessionTest, UnoptimizedSessionNeverReuses) {
+  SessionOptions options = baselines::MakeSessionOptions(
+      baselines::SystemKind::kHelixUnopt, "", 0, &clock_);
+  auto session = Session::Open(options);
+  ASSERT_TRUE(session.ok());
+  auto v0 = (*session)->RunIteration(MakeSyntheticWorkflow(2, 3), "a",
+                                     ChangeCategory::kInitial);
+  auto v1 = (*session)->RunIteration(MakeSyntheticWorkflow(2, 3), "b",
+                                     ChangeCategory::kMachineLearning);
+  ASSERT_TRUE(v0.ok());
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->report.num_loaded, 0);
+  EXPECT_EQ(v1->report.total_micros, v0->report.total_micros);
+}
+
+TEST_F(SessionTest, DeepDiveMaterializesAllPreprocessButRerunsMl) {
+  SessionOptions options = baselines::MakeSessionOptions(
+      baselines::SystemKind::kDeepDive, dir_, 1 << 20, &clock_);
+  auto session = Session::Open(options);
+  ASSERT_TRUE(session.ok());
+  auto v0 = (*session)->RunIteration(MakeSyntheticWorkflow(2, 3), "a",
+                                     ChangeCategory::kInitial);
+  ASSERT_TRUE(v0.ok());
+  // All preprocess nodes materialized, ML/eval not.
+  EXPECT_TRUE(v0->report.FindNode("source")->materialized);
+  EXPECT_TRUE(v0->report.FindNode("prep")->materialized);
+  EXPECT_FALSE(v0->report.FindNode("model")->materialized);
+  EXPECT_FALSE(v0->report.FindNode("eval")->materialized);
+
+  auto v1 = (*session)->RunIteration(MakeSyntheticWorkflow(2, 3), "rerun",
+                                     ChangeCategory::kMachineLearning);
+  ASSERT_TRUE(v1.ok());
+  // DeepDive reuses stored prep but recomputes ML+eval every time.
+  EXPECT_EQ(v1->report.FindNode("prep")->state, NodeState::kLoad);
+  EXPECT_EQ(v1->report.FindNode("model")->state, NodeState::kCompute);
+  EXPECT_EQ(v1->report.FindNode("eval")->state, NodeState::kCompute);
+}
+
+// --- VersionManager ------------------------------------------------------------
+
+TEST_F(SessionTest, VersionManagerTracksMetricsAndBest) {
+  auto session = OpenHelix();
+  // Synthetic workflows don't produce metrics; attach a metrics Reducer.
+  auto make = [](double accuracy) {
+    Workflow wf("m");
+    NodeRef a = wf.Add(ops::Synthetic("a", Phase::kDataPreprocessing, 1,
+                                      SyntheticCosts{100, 50, 0}));
+    NodeRef metrics = wf.Add(
+        ops::Reducer("metrics", Phase::kPostprocessing,
+                     static_cast<int>(accuracy * 1000),
+                     [accuracy](const auto&)
+                         -> Result<dataflow::DataCollection> {
+                       auto m = std::make_shared<dataflow::MetricsData>();
+                       m->Set("accuracy", accuracy);
+                       return dataflow::DataCollection::FromMetrics(m);
+                     }),
+        {a});
+    wf.MarkOutput(metrics);
+    return wf;
+  };
+  ASSERT_TRUE(
+      session->RunIteration(make(0.7), "v0", ChangeCategory::kInitial).ok());
+  ASSERT_TRUE(session
+                  ->RunIteration(make(0.9), "v1",
+                                 ChangeCategory::kMachineLearning)
+                  .ok());
+  ASSERT_TRUE(
+      session->RunIteration(make(0.8), "v2", ChangeCategory::kEvaluation)
+          .ok());
+
+  const VersionManager& versions = session->versions();
+  EXPECT_EQ(versions.num_versions(), 3);
+  EXPECT_EQ(versions.LatestId(), 2);
+  EXPECT_EQ(versions.BestVersion("accuracy").value(), 1);
+  EXPECT_TRUE(versions.BestVersion("bogus").status().IsNotFound());
+
+  auto trend = versions.MetricTrend("accuracy");
+  ASSERT_EQ(trend.size(), 3u);
+  EXPECT_DOUBLE_EQ(trend[1].second, 0.9);
+
+  auto diff = versions.Diff(0, 1);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->changed, std::vector<std::string>{"metrics"});
+  EXPECT_TRUE(diff->added.empty());
+
+  EXPECT_FALSE(versions.Diff(0, 99).ok());
+
+  std::string log = versions.RenderLog();
+  EXPECT_NE(log.find("version 2"), std::string::npos);
+  EXPECT_NE(log.find("accuracy=0.9000"), std::string::npos);
+
+  std::string plot = versions.RenderMetricTrend("accuracy");
+  EXPECT_NE(plot.find("*"), std::string::npos);
+  EXPECT_NE(versions.RenderMetricTrend("bogus").find("no data"),
+            std::string::npos);
+
+  std::string json = versions.ExportJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"category\":\"ml\""), std::string::npos);
+}
+
+// --- Real census smoke test ------------------------------------------------------
+
+TEST_F(SessionTest, CensusEndToEndProducesSensibleAccuracy) {
+  datagen::CensusGenOptions gen;
+  gen.num_rows = 1500;
+  std::string train = JoinPath(dir_, "train.csv");
+  std::string test = JoinPath(dir_, "test.csv");
+  ASSERT_TRUE(datagen::WriteCensusFiles(gen, train, test).ok());
+
+  SessionOptions options;
+  options.workspace_dir = JoinPath(dir_, "ws");
+  auto session = Session::Open(options);
+  ASSERT_TRUE(session.ok());
+
+  apps::CensusConfig config;
+  config.train_path = train;
+  config.test_path = test;
+  config.learner.epochs = 8;
+  auto v = (*session)->RunIteration(apps::BuildCensusWorkflow(config),
+                                    "initial", ChangeCategory::kInitial);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const auto& metrics = (*session)->versions().version(0).metrics;
+  ASSERT_TRUE(metrics.count("accuracy"));
+  double accuracy = metrics.at("accuracy");
+  // Better than majority-class guessing on the planted data.
+  EXPECT_GT(accuracy, 0.7);
+  EXPECT_LT(accuracy, 1.0);
+
+  // Plan rendering works on a real report.
+  std::string ascii = RenderPlanAscii(v->dag, v->report);
+  EXPECT_NE(ascii.find("income"), std::string::npos);
+  std::string dot = RenderPlanDot(v->dag, v->report);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace helix

@@ -1,0 +1,286 @@
+// Tests for src/storage: the budget-gated materialization store (with
+// failure injection) and the cost statistics registry.
+#include <gtest/gtest.h>
+
+#include "common/file_util.h"
+#include "common/hash.h"
+#include "dataflow/data_collection.h"
+#include "storage/cost_stats.h"
+#include "storage/store.h"
+
+namespace helix {
+namespace storage {
+namespace {
+
+using dataflow::DataCollection;
+using dataflow::Schema;
+using dataflow::TableData;
+using dataflow::Value;
+
+DataCollection MakeCollection(const std::string& content, int rows = 1) {
+  auto table = std::make_shared<TableData>(Schema::AllStrings({"v"}));
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(table->AppendRow({Value(content)}).ok());
+  }
+  return DataCollection::FromTable(table);
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("helix-store-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.value();
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::unique_ptr<IntermediateStore> OpenStore(int64_t budget = 1 << 20) {
+    StoreOptions options;
+    options.budget_bytes = budget;
+    auto store = IntermediateStore::Open(dir_, options);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return std::move(store).value();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StoreTest, PutGetRoundTrip) {
+  auto store = OpenStore();
+  DataCollection data = MakeCollection("hello");
+  ASSERT_TRUE(store->Put(0xAB, "node", data, 0).ok());
+  EXPECT_TRUE(store->Has(0xAB));
+  EXPECT_EQ(store->NumEntries(), 1u);
+
+  int64_t load_micros = -1;
+  auto got = store->Get(0xAB, &load_micros);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().Fingerprint(), data.Fingerprint());
+  EXPECT_GE(load_micros, 0);
+}
+
+TEST_F(StoreTest, GetMissingIsNotFound) {
+  auto store = OpenStore();
+  EXPECT_TRUE(store->Get(123).status().IsNotFound());
+}
+
+TEST_F(StoreTest, DuplicatePutIsAlreadyExists) {
+  auto store = OpenStore();
+  DataCollection data = MakeCollection("x");
+  ASSERT_TRUE(store->Put(1, "n", data, 0).ok());
+  EXPECT_TRUE(store->Put(1, "n", data, 0).IsAlreadyExists());
+}
+
+TEST_F(StoreTest, BudgetEnforced) {
+  auto store = OpenStore(/*budget=*/100);
+  DataCollection big = MakeCollection(std::string(500, 'x'));
+  Status s = store->Put(1, "big", big, 0);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(store->NumEntries(), 0u);
+  EXPECT_EQ(store->TotalBytes(), 0);
+}
+
+TEST_F(StoreTest, BudgetAccountsAcrossEntries) {
+  auto store = OpenStore(/*budget=*/1 << 12);
+  DataCollection data = MakeCollection(std::string(1000, 'a'));
+  int64_t size = static_cast<int64_t>(data.SerializeToString().size());
+  int fits = static_cast<int>((1 << 12) / size);
+  int stored = 0;
+  for (int i = 0; i < fits + 3; ++i) {
+    if (store->Put(static_cast<uint64_t>(i), "n", data, 0).ok()) {
+      ++stored;
+    }
+  }
+  EXPECT_EQ(stored, fits);
+  EXPECT_LE(store->TotalBytes(), 1 << 12);
+  EXPECT_GE(store->RemainingBytes(), 0);
+}
+
+TEST_F(StoreTest, RemoveFreesBudget) {
+  auto store = OpenStore();
+  DataCollection data = MakeCollection("y");
+  ASSERT_TRUE(store->Put(7, "n", data, 0).ok());
+  int64_t used = store->TotalBytes();
+  EXPECT_GT(used, 0);
+  ASSERT_TRUE(store->Remove(7).ok());
+  EXPECT_EQ(store->TotalBytes(), 0);
+  EXPECT_FALSE(store->Has(7));
+  // Removing again is a no-op.
+  EXPECT_TRUE(store->Remove(7).ok());
+}
+
+TEST_F(StoreTest, ClearRemovesEverything) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put(1, "a", MakeCollection("1"), 0).ok());
+  ASSERT_TRUE(store->Put(2, "b", MakeCollection("2"), 0).ok());
+  ASSERT_TRUE(store->Clear().ok());
+  EXPECT_EQ(store->NumEntries(), 0u);
+  EXPECT_FALSE(store->Has(1));
+}
+
+TEST_F(StoreTest, PersistsAcrossReopen) {
+  DataCollection data = MakeCollection("persist me");
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->Put(0xFEED, "node", data, 3).ok());
+  }
+  auto store = OpenStore();
+  EXPECT_TRUE(store->Has(0xFEED));
+  const StoreEntry* entry = store->Find(0xFEED);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->node_name, "node");
+  EXPECT_EQ(entry->iteration, 3);
+  auto got = store->Get(0xFEED);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().Fingerprint(), data.Fingerprint());
+}
+
+TEST_F(StoreTest, CorruptEntryEvictedOnGet) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put(0xC0, "node", MakeCollection("data"), 0).ok());
+  // Corrupt the entry file on disk.
+  std::string path = JoinPath(dir_, HashToHex(0xC0) + ".dat");
+  ASSERT_TRUE(WriteStringToFile(path, "garbage").ok());
+
+  EXPECT_TRUE(store->Get(0xC0).status().IsCorruption());
+  // Self-healed: entry evicted so the caller recomputes.
+  EXPECT_FALSE(store->Has(0xC0));
+}
+
+TEST_F(StoreTest, MissingEntryFileEvictedOnGet) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put(0xD0, "node", MakeCollection("data"), 0).ok());
+  ASSERT_TRUE(
+      RemoveFileIfExists(JoinPath(dir_, HashToHex(0xD0) + ".dat")).ok());
+  EXPECT_FALSE(store->Get(0xD0).ok());
+  EXPECT_FALSE(store->Has(0xD0));
+}
+
+TEST_F(StoreTest, CorruptManifestStartsEmpty) {
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->Put(1, "n", MakeCollection("v"), 0).ok());
+  }
+  ASSERT_TRUE(WriteStringToFile(JoinPath(dir_, "MANIFEST"), "junk").ok());
+  auto store = OpenStore();  // must not fail
+  EXPECT_EQ(store->NumEntries(), 0u);
+}
+
+TEST_F(StoreTest, ManifestDropsEntriesWithMissingFiles) {
+  {
+    auto store = OpenStore();
+    ASSERT_TRUE(store->Put(1, "keep", MakeCollection("1"), 0).ok());
+    ASSERT_TRUE(store->Put(2, "lost", MakeCollection("2"), 0).ok());
+  }
+  ASSERT_TRUE(
+      RemoveFileIfExists(JoinPath(dir_, HashToHex(2) + ".dat")).ok());
+  auto store = OpenStore();
+  EXPECT_TRUE(store->Has(1));
+  EXPECT_FALSE(store->Has(2));
+}
+
+TEST_F(StoreTest, EstimateLoadMicrosMonotonicInSize) {
+  auto store = OpenStore();
+  EXPECT_LE(store->EstimateLoadMicros(1000),
+            store->EstimateLoadMicros(1000000));
+  EXPECT_GE(store->EstimateLoadMicros(0), 0);
+}
+
+TEST_F(StoreTest, FingerprintRecordedInEntry) {
+  auto store = OpenStore();
+  DataCollection data = MakeCollection("fp");
+  ASSERT_TRUE(store->Put(9, "n", data, 0).ok());
+  const StoreEntry* entry = store->Find(9);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->fingerprint, data.Fingerprint());
+}
+
+TEST_F(StoreTest, EntriesDeterministicOrder) {
+  auto store = OpenStore();
+  ASSERT_TRUE(store->Put(5, "e", MakeCollection("5"), 0).ok());
+  ASSERT_TRUE(store->Put(3, "c", MakeCollection("3"), 0).ok());
+  ASSERT_TRUE(store->Put(4, "d", MakeCollection("4"), 0).ok());
+  auto entries = store->Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].signature, 3u);
+  EXPECT_EQ(entries[1].signature, 4u);
+  EXPECT_EQ(entries[2].signature, 5u);
+}
+
+TEST_F(StoreTest, NegativeBudgetRejected) {
+  StoreOptions options;
+  options.budget_bytes = -1;
+  EXPECT_FALSE(IntermediateStore::Open(dir_, options).ok());
+}
+
+// --- CostStatsRegistry -----------------------------------------------------------
+
+TEST(CostStatsTest, RecordAndGet) {
+  CostStatsRegistry registry;
+  registry.RecordCompute(1, "op", 500, 0);
+  registry.RecordSize(1, "op", 1024, 0);
+  auto stats = registry.Get(1);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->compute_micros, 500);
+  EXPECT_EQ(stats->size_bytes, 1024);
+  EXPECT_EQ(stats->load_micros, -1);
+  EXPECT_EQ(stats->node_name, "op");
+}
+
+TEST(CostStatsTest, MergeKeepsUnsetFields) {
+  CostStatsRegistry registry;
+  registry.RecordCompute(1, "op", 500, 0);
+  registry.RecordLoad(1, "op", 90, 1);
+  auto stats = registry.Get(1);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->compute_micros, 500);
+  EXPECT_EQ(stats->load_micros, 90);
+  EXPECT_EQ(stats->last_iteration, 1);
+}
+
+TEST(CostStatsTest, GetLatestByNamePrefersNewest) {
+  CostStatsRegistry registry;
+  registry.RecordCompute(1, "learner", 100, 0);
+  registry.RecordCompute(2, "learner", 200, 5);  // newer signature
+  auto latest = registry.GetLatestByName("learner");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->compute_micros, 200);
+  EXPECT_FALSE(registry.GetLatestByName("ghost").has_value());
+}
+
+TEST(CostStatsTest, SaveLoadRoundTrip) {
+  auto dir = MakeTempDir("helix-stats-test");
+  ASSERT_TRUE(dir.ok());
+  std::string path = JoinPath(dir.value(), "STATS");
+
+  CostStatsRegistry registry;
+  registry.RecordCompute(11, "a", 100, 0);
+  registry.RecordLoad(12, "b", 30, 1);
+  ASSERT_TRUE(registry.Save(path).ok());
+
+  auto loaded = CostStatsRegistry::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().Get(11)->compute_micros, 100);
+  EXPECT_EQ(loaded.value().Get(12)->load_micros, 30);
+  EXPECT_EQ(loaded.value().GetLatestByName("b")->load_micros, 30);
+  (void)RemoveDirRecursively(dir.value());
+}
+
+TEST(CostStatsTest, LoadMissingIsNotFound) {
+  EXPECT_TRUE(
+      CostStatsRegistry::Load("/nonexistent/STATS").status().IsNotFound());
+}
+
+TEST(CostStatsTest, LoadCorruptIsCorruption) {
+  auto dir = MakeTempDir("helix-stats-corrupt");
+  ASSERT_TRUE(dir.ok());
+  std::string path = JoinPath(dir.value(), "STATS");
+  ASSERT_TRUE(WriteStringToFile(path, "not a stats file").ok());
+  EXPECT_TRUE(CostStatsRegistry::Load(path).status().IsCorruption());
+  (void)RemoveDirRecursively(dir.value());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace helix

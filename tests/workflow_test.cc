@@ -1,0 +1,289 @@
+// Tests for the workflow builder, compiler (cumulative signatures),
+// program slicer, and iterative change tracker.
+#include <gtest/gtest.h>
+
+#include "core/change_tracker.h"
+#include "core/program_slicer.h"
+#include "core/std_ops.h"
+#include "core/workflow.h"
+#include "core/workflow_dag.h"
+
+namespace helix {
+namespace core {
+namespace {
+
+namespace ops = core::ops;
+
+Operator Op(const std::string& name, int64_t tag = 0) {
+  return ops::Synthetic(name, Phase::kDataPreprocessing, tag, {});
+}
+
+// --- Workflow builder -------------------------------------------------------
+
+TEST(WorkflowTest, AddAndFind) {
+  Workflow wf("t");
+  NodeRef a = wf.Add(Op("a"));
+  NodeRef b = wf.Add(Op("b"), {a});
+  EXPECT_EQ(wf.num_nodes(), 2);
+  EXPECT_EQ(wf.Find("a").index, a.index);
+  EXPECT_EQ(wf.Find("b").index, b.index);
+  EXPECT_FALSE(wf.Find("zzz").valid());
+  EXPECT_EQ(wf.inputs_of(b.index), (std::vector<int>{a.index}));
+}
+
+TEST(WorkflowTest, MarkOutputDeduplicates) {
+  Workflow wf("t");
+  NodeRef a = wf.Add(Op("a"));
+  wf.MarkOutput(a);
+  wf.MarkOutput(a);
+  EXPECT_EQ(wf.outputs().size(), 1u);
+}
+
+TEST(WorkflowTest, ToDslMentionsEveryOperator) {
+  Workflow wf("census_mini");
+  NodeRef a = wf.Add(Op("source"));
+  NodeRef b = wf.Add(Op("model"), {a});
+  wf.MarkOutput(b);
+  std::string dsl = wf.ToDsl();
+  EXPECT_NE(dsl.find("source refers_to Synthetic"), std::string::npos);
+  EXPECT_NE(dsl.find("model refers_to Synthetic"), std::string::npos);
+  EXPECT_NE(dsl.find("model is_output()"), std::string::npos);
+}
+
+// --- Compilation ---------------------------------------------------------------
+
+TEST(WorkflowDagTest, CompileBuildsTopologyAndSignatures) {
+  Workflow wf("t");
+  NodeRef a = wf.Add(Op("a", 1));
+  NodeRef b = wf.Add(Op("b", 2), {a});
+  NodeRef c = wf.Add(Op("c", 3), {a, b});
+  wf.MarkOutput(c);
+
+  auto dag = WorkflowDag::Compile(wf);
+  ASSERT_TRUE(dag.ok()) << dag.status().ToString();
+  EXPECT_EQ(dag->num_nodes(), 3);
+  EXPECT_TRUE(dag->dag().HasEdge(a.index, b.index));
+  EXPECT_TRUE(dag->dag().HasEdge(a.index, c.index));
+  EXPECT_TRUE(dag->dag().HasEdge(b.index, c.index));
+  EXPECT_TRUE(dag->is_output(c.index));
+  EXPECT_EQ(dag->FindNode("b"), b.index);
+
+  // Cumulative signatures are distinct and deterministic.
+  EXPECT_NE(dag->cumulative_signature(a.index),
+            dag->cumulative_signature(b.index));
+  auto dag2 = WorkflowDag::Compile(wf);
+  ASSERT_TRUE(dag2.ok());
+  EXPECT_EQ(dag->cumulative_signature(c.index),
+            dag2->cumulative_signature(c.index));
+}
+
+TEST(WorkflowDagTest, CompileRejectsEmptyAndOutputless) {
+  Workflow empty("e");
+  EXPECT_FALSE(WorkflowDag::Compile(empty).ok());
+
+  Workflow no_output("n");
+  no_output.Add(Op("a"));
+  EXPECT_FALSE(WorkflowDag::Compile(no_output).ok());
+}
+
+TEST(WorkflowDagTest, UpstreamEditChangesDownstreamCumulativeSignature) {
+  auto build = [](int64_t source_tag) {
+    Workflow wf("t");
+    NodeRef a = wf.Add(Op("a", source_tag));
+    NodeRef b = wf.Add(Op("b", 2), {a});
+    wf.MarkOutput(b);
+    return WorkflowDag::Compile(wf);
+  };
+  auto v1 = build(1);
+  auto v2 = build(99);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  // b's own operator is identical, but its cumulative signature changes
+  // because its ancestor changed (Merkle propagation).
+  EXPECT_EQ(v1->op(1).Signature(), v2->op(1).Signature());
+  EXPECT_NE(v1->cumulative_signature(1), v2->cumulative_signature(1));
+}
+
+TEST(WorkflowDagTest, SignatureIgnoresNodeName) {
+  Operator a = Op("name1", 7);
+  Operator b = Op("name2", 7);
+  EXPECT_EQ(a.Signature(), b.Signature());
+}
+
+TEST(WorkflowDagTest, UdfVersionBumpChangesSignature) {
+  Operator a = ops::Reducer("r", Phase::kPostprocessing, 1,
+                            [](const auto&) -> Result<dataflow::DataCollection> {
+                              return Status::Unimplemented("x");
+                            });
+  Operator b = ops::Reducer("r", Phase::kPostprocessing, 2,
+                            [](const auto&) -> Result<dataflow::DataCollection> {
+                              return Status::Unimplemented("x");
+                            });
+  EXPECT_NE(a.Signature(), b.Signature());
+}
+
+// --- Program slicing --------------------------------------------------------------
+
+TEST(SlicerTest, PrunesNodesNotFeedingOutputs) {
+  Workflow wf("t");
+  NodeRef a = wf.Add(Op("a"));
+  NodeRef b = wf.Add(Op("b"), {a});
+  NodeRef dead1 = wf.Add(Op("dead1"), {a});
+  NodeRef dead2 = wf.Add(Op("dead2"), {dead1});
+  wf.MarkOutput(b);
+
+  auto dag = WorkflowDag::Compile(wf);
+  ASSERT_TRUE(dag.ok());
+  Slice slice = SliceFromOutputs(*dag);
+  EXPECT_TRUE(slice.IsLive(a.index));
+  EXPECT_TRUE(slice.IsLive(b.index));
+  EXPECT_FALSE(slice.IsLive(dead1.index));
+  EXPECT_FALSE(slice.IsLive(dead2.index));
+  EXPECT_EQ(slice.num_live, 2);
+  EXPECT_EQ(slice.num_sliced, 2);
+  EXPECT_EQ(SlicedNodeNames(*dag, slice),
+            (std::vector<std::string>{"dead1", "dead2"}));
+}
+
+TEST(SlicerTest, EverythingLiveWhenOutputIsSink) {
+  Workflow wf("t");
+  NodeRef a = wf.Add(Op("a"));
+  NodeRef b = wf.Add(Op("b"), {a});
+  NodeRef c = wf.Add(Op("c"), {b});
+  wf.MarkOutput(c);
+  auto dag = WorkflowDag::Compile(wf);
+  ASSERT_TRUE(dag.ok());
+  Slice slice = SliceFromOutputs(*dag);
+  EXPECT_EQ(slice.num_sliced, 0);
+}
+
+TEST(SlicerTest, MultipleOutputsUnionTheirSlices) {
+  Workflow wf("t");
+  NodeRef a = wf.Add(Op("a"));
+  NodeRef b = wf.Add(Op("b"));
+  NodeRef out_a = wf.Add(Op("outA"), {a});
+  NodeRef out_b = wf.Add(Op("outB"), {b});
+  wf.MarkOutput(out_a);
+  wf.MarkOutput(out_b);
+  auto dag = WorkflowDag::Compile(wf);
+  ASSERT_TRUE(dag.ok());
+  Slice slice = SliceFromOutputs(*dag);
+  EXPECT_EQ(slice.num_sliced, 0);
+  EXPECT_TRUE(slice.IsLive(a.index));
+  EXPECT_TRUE(slice.IsLive(b.index));
+}
+
+// --- Change tracking ----------------------------------------------------------------
+
+WorkflowDag CompileOrDie(const Workflow& wf) {
+  auto dag = WorkflowDag::Compile(wf);
+  EXPECT_TRUE(dag.ok()) << dag.status().ToString();
+  return std::move(dag).value();
+}
+
+TEST(ChangeTrackerTest, InitialDiffMarksEverythingAdded) {
+  Workflow wf("t");
+  NodeRef a = wf.Add(Op("a"));
+  wf.MarkOutput(a);
+  WorkflowDag dag = CompileOrDie(wf);
+  WorkflowDiff diff = InitialDiff(dag);
+  EXPECT_EQ(diff.num_changed, 1);
+  EXPECT_EQ(diff.num_invalidated, 1);
+  EXPECT_EQ(diff.node_changes[0], NodeChange::kAdded);
+}
+
+TEST(ChangeTrackerTest, NoChangesDetectedOnIdenticalVersions) {
+  auto build = [] {
+    Workflow wf("t");
+    NodeRef a = wf.Add(Op("a", 1));
+    NodeRef b = wf.Add(Op("b", 2), {a});
+    wf.MarkOutput(b);
+    return wf;
+  };
+  WorkflowDag v1 = CompileOrDie(build());
+  WorkflowDag v2 = CompileOrDie(build());
+  WorkflowDiff diff = DiffWorkflows(v1, v2);
+  EXPECT_EQ(diff.num_changed, 0);
+  EXPECT_EQ(diff.num_invalidated, 0);
+}
+
+TEST(ChangeTrackerTest, ParamChangeInvalidatesDownstreamOnly) {
+  auto build = [](int64_t mid_tag) {
+    Workflow wf("t");
+    NodeRef a = wf.Add(Op("a", 1));
+    NodeRef b = wf.Add(Op("b", mid_tag), {a});
+    NodeRef c = wf.Add(Op("c", 3), {b});
+    wf.MarkOutput(c);
+    return wf;
+  };
+  WorkflowDag v1 = CompileOrDie(build(2));
+  WorkflowDag v2 = CompileOrDie(build(22));
+  WorkflowDiff diff = DiffWorkflows(v1, v2);
+  EXPECT_EQ(diff.node_changes[0], NodeChange::kUnchanged);
+  EXPECT_EQ(diff.node_changes[1], NodeChange::kParamChanged);
+  EXPECT_EQ(diff.node_changes[2], NodeChange::kUpstream);
+  EXPECT_FALSE(diff.IsInvalidated(0));
+  EXPECT_TRUE(diff.IsInvalidated(1));
+  EXPECT_TRUE(diff.IsInvalidated(2));
+}
+
+TEST(ChangeTrackerTest, AddedAndRemovedNodes) {
+  Workflow v1("t");
+  NodeRef a1 = v1.Add(Op("a"));
+  NodeRef gone = v1.Add(Op("gone"), {a1});
+  NodeRef out1 = v1.Add(Op("out"), {gone});
+  v1.MarkOutput(out1);
+
+  Workflow v2("t");
+  NodeRef a2 = v2.Add(Op("a"));
+  NodeRef fresh = v2.Add(Op("fresh"), {a2});
+  NodeRef out2 = v2.Add(Op("out"), {fresh});
+  v2.MarkOutput(out2);
+
+  WorkflowDiff diff = DiffWorkflows(CompileOrDie(v1), CompileOrDie(v2));
+  EXPECT_EQ(diff.node_changes[fresh.index], NodeChange::kAdded);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0], "gone");
+  // `out` has the same operator but a different input name -> rewired.
+  EXPECT_EQ(diff.node_changes[out2.index], NodeChange::kRewired);
+}
+
+TEST(ChangeTrackerTest, RewiringDetectedWhenInputOrderChanges) {
+  Workflow v1("t");
+  NodeRef a1 = v1.Add(Op("a"));
+  NodeRef b1 = v1.Add(Op("b"));
+  NodeRef j1 = v1.Add(Op("join"), {a1, b1});
+  v1.MarkOutput(j1);
+
+  Workflow v2("t");
+  NodeRef a2 = v2.Add(Op("a"));
+  NodeRef b2 = v2.Add(Op("b"));
+  NodeRef j2 = v2.Add(Op("join"), {b2, a2});  // swapped argument order
+  v2.MarkOutput(j2);
+
+  WorkflowDiff diff = DiffWorkflows(CompileOrDie(v1), CompileOrDie(v2));
+  EXPECT_EQ(diff.node_changes[j2.index], NodeChange::kRewired);
+}
+
+TEST(ChangeTrackerTest, RenderDiffShowsGlyphs) {
+  auto build = [](int64_t tag) {
+    Workflow wf("t");
+    NodeRef a = wf.Add(Op("a", tag));
+    NodeRef b = wf.Add(Op("b"), {a});
+    wf.MarkOutput(b);
+    return wf;
+  };
+  WorkflowDag v1 = CompileOrDie(build(1));
+  WorkflowDag v2 = CompileOrDie(build(2));
+  WorkflowDiff diff = DiffWorkflows(v1, v2);
+  std::string rendered = RenderDiff(v2, diff);
+  EXPECT_NE(rendered.find("~ a"), std::string::npos);
+  EXPECT_NE(rendered.find("^ b"), std::string::npos);
+
+  WorkflowDiff clean = DiffWorkflows(v2, v2);
+  EXPECT_EQ(RenderDiff(v2, clean), "(no changes)\n");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace helix
