@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/file_util.h"
+#include "common/json.h"
 #include "common/status.h"
 
 namespace helix {
@@ -99,6 +100,13 @@ inline void PrintFigure(const std::string& title,
     }
     std::printf("\n");
   }
+}
+
+/// Prints one machine-readable JSON document on its own line, prefixed
+/// with "json," so harnesses can grep it out of mixed human output (the
+/// same convention as the "csv," rows above).
+inline void PrintJsonLine(const JsonWriter& json) {
+  std::printf("json,%s\n", json.str().c_str());
 }
 
 }  // namespace bench

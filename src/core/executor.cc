@@ -1,10 +1,18 @@
 #include "core/executor.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <mutex>
+#include <optional>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/program_slicer.h"
+#include "runtime/async_materializer.h"
+#include "runtime/parallel_scheduler.h"
+#include "runtime/thread_pool.h"
 
 namespace helix {
 namespace core {
@@ -32,24 +40,57 @@ const NodeExecution* ExecutionReport::FindNode(const std::string& name) const {
   return nullptr;
 }
 
+int ResolveParallelism(const ExecutionOptions& options, int num_nodes) {
+  if (options.clock != nullptr && options.clock->is_virtual()) {
+    return 1;
+  }
+  int p = options.max_parallelism;
+  if (p == 0) {
+    p = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  p = std::max(1, p);
+  return std::min(p, std::max(1, num_nodes));
+}
+
 namespace {
 
-// Mutable execution context shared by the main loop and the fallback path.
+// Mutable execution context shared by the sequential loop, the parallel
+// scheduler's workers, and the fallback path.
+//
+// Concurrency contract (parallel mode): each node's task writes only its
+// own results/records slot; a dependent node's reads are ordered after
+// those writes by the scheduler's internal synchronization. Everything
+// cross-node goes through the atomics / mutexes below. In sequential mode
+// the mutexes are uncontended and the code path is identical.
 struct ExecState {
   const WorkflowDag* dag;
   const ExecutionOptions* opts;
   std::vector<dataflow::DataCollection> results;
   std::vector<int64_t> compute_estimate;  // planner's view, per node
-  std::vector<int64_t> measured_compute;  // -1 until computed this iteration
+  // -1 until computed this iteration. Atomic: pruned ancestors computed
+  // under the fallback path may race with cost summation elsewhere.
+  std::vector<std::atomic<int64_t>> measured_compute;
   std::vector<NodeExecution> records;
   int64_t materialize_total = 0;
+
+  // Guards the (thread-compatible) CostStatsRegistry and materialize_total.
+  std::mutex stats_mu;
+  // Serializes on-demand recomputation of plan-pruned ancestors after a
+  // failed load: two concurrent fallbacks may share pruned ancestors.
+  std::mutex fallback_mu;
+  // Non-null in parallel mode when materialization is enabled: Put runs on
+  // the background writer instead of the compute path.
+  runtime::AsyncMaterializer* materializer = nullptr;
 };
 
 // Best-known compute cost of `node`: measured this iteration, else the
 // planning estimate (stats history or default).
 int64_t KnownComputeCost(const ExecState& st, int node) {
-  if (st.measured_compute[static_cast<size_t>(node)] >= 0) {
-    return st.measured_compute[static_cast<size_t>(node)];
+  int64_t measured =
+      st.measured_compute[static_cast<size_t>(node)].load(
+          std::memory_order_acquire);
+  if (measured >= 0) {
+    return measured;
   }
   return st.compute_estimate[static_cast<size_t>(node)];
 }
@@ -66,7 +107,9 @@ int64_t ChargeAndMeasure(Clock* clock, int64_t start_micros,
   return clock->NowMicros() - start_micros;
 }
 
-// Decides and performs materialization of a freshly computed result.
+// Decides materialization of a freshly computed result and either performs
+// it inline (sequential mode) or hands it to the background writer
+// (parallel mode; the outcome is applied to the record at drain time).
 void MaybeMaterialize(ExecState* st, int node,
                       const dataflow::DataCollection& data,
                       NodeExecution* record) {
@@ -100,6 +143,18 @@ void MaybeMaterialize(ExecState* st, int node,
   if (!opts.mat_policy->ShouldMaterialize(ctx)) {
     return;
   }
+
+  if (st->materializer != nullptr) {
+    runtime::AsyncMaterializer::Request request;
+    request.node = node;
+    request.signature = sig;
+    request.node_name = op.name();
+    request.data = data;  // shares the payload; copies a pointer
+    request.iteration = opts.iteration;
+    st->materializer->Enqueue(std::move(request));
+    return;
+  }
+
   int64_t start = opts.clock->NowMicros();
   Status put = opts.store->Put(sig, op.name(), data, opts.iteration);
   if (!put.ok()) {
@@ -114,8 +169,8 @@ void MaybeMaterialize(ExecState* st, int node,
       opts.clock, start, op.synthetic_costs().write_micros);
   st->materialize_total += record->materialize_micros;
   if (opts.stats != nullptr) {
-    const storage::StoreEntry* entry = opts.store->Find(sig);
-    if (entry != nullptr) {
+    std::optional<storage::StoreEntry> entry = opts.store->GetEntry(sig);
+    if (entry.has_value()) {
       opts.stats->RecordSize(sig, op.name(), entry->size_bytes,
                              opts.iteration);
     }
@@ -152,10 +207,12 @@ Status ComputeNode(ExecState* st, int node) {
   record.state = NodeState::kCompute;
   record.cost_micros = cost;
   record.output_bytes = data.SizeBytes();
-  st->measured_compute[static_cast<size_t>(node)] = cost;
+  st->measured_compute[static_cast<size_t>(node)].store(
+      cost, std::memory_order_release);
 
   uint64_t sig = st->dag->cumulative_signature(node);
   if (opts.stats != nullptr) {
+    std::lock_guard<std::mutex> lock(st->stats_mu);
     opts.stats->RecordCompute(sig, op.name(), cost, opts.iteration);
     opts.stats->RecordSize(sig, op.name(), record.output_bytes,
                            opts.iteration);
@@ -163,6 +220,83 @@ Status ComputeNode(ExecState* st, int node) {
   st->results[static_cast<size_t>(node)] = data;
   MaybeMaterialize(st, node, data, &record);
   return Status::OK();
+}
+
+// Runs one planned node (the body of the execution loop). Called in
+// topological order by the sequential strategy and from worker threads —
+// with all active parents already finished — by the parallel scheduler.
+Status ExecutePlannedNode(ExecState* st, int i, NodeState state) {
+  const ExecutionOptions& options = *st->opts;
+  if (state == NodeState::kPrune) {
+    return Status::OK();
+  }
+  if (state == NodeState::kLoad) {
+    const WorkflowDag& dag = *st->dag;
+    NodeExecution& record = st->records[static_cast<size_t>(i)];
+    const Operator& op = dag.op(i);
+    uint64_t sig = dag.cumulative_signature(i);
+    int64_t start = options.clock->NowMicros();
+    auto loaded = options.store->Get(sig);
+    if (loaded.ok() && options.paranoid_checks) {
+      std::optional<storage::StoreEntry> entry = options.store->GetEntry(sig);
+      if (entry.has_value() && entry->fingerprint != 0 &&
+          entry->fingerprint != loaded.value().Fingerprint()) {
+        (void)options.store->Remove(sig);
+        loaded = Status::Corruption("fingerprint mismatch for " + op.name());
+      }
+    }
+    if (loaded.ok()) {
+      record.state = NodeState::kLoad;
+      record.cost_micros = ChargeAndMeasure(
+          options.clock, start, op.synthetic_costs().load_micros);
+      record.output_bytes = loaded.value().SizeBytes();
+      st->results[static_cast<size_t>(i)] = std::move(loaded).value();
+      if (options.stats != nullptr) {
+        std::lock_guard<std::mutex> lock(st->stats_mu);
+        options.stats->RecordLoad(sig, op.name(), record.cost_micros,
+                                  options.iteration);
+      }
+      return Status::OK();
+    }
+    // Corrupt or vanished entry: degrade to recomputation. Ancestors the
+    // plan pruned are computed on demand, serialized across workers —
+    // concurrent fallbacks may share pruned ancestors.
+    HELIX_LOG(Warning) << "load of " << op.name()
+                       << " failed, recomputing: "
+                       << loaded.status().ToString();
+    std::lock_guard<std::mutex> lock(st->fallback_mu);
+    return ComputeNode(st, i);
+  }
+  // kCompute.
+  return ComputeNode(st, i);
+}
+
+// Applies the background writer's outcomes to the per-node records after
+// the scheduler joined (single-threaded by then).
+void ApplyMaterializationOutcomes(
+    ExecState* st, std::vector<runtime::AsyncMaterializer::Outcome> outcomes) {
+  const ExecutionOptions& opts = *st->opts;
+  for (const runtime::AsyncMaterializer::Outcome& outcome : outcomes) {
+    if (!outcome.status.ok()) {
+      // Same semantics as the inline path: an over-budget (or duplicate)
+      // Put demotes the decision to a skip.
+      HELIX_LOG(Info) << "materialization of " << outcome.node_name
+                      << " skipped: " << outcome.status.ToString();
+      continue;
+    }
+    NodeExecution& record = st->records[static_cast<size_t>(outcome.node)];
+    record.materialized = true;
+    record.materialize_micros = outcome.write_micros;
+    st->materialize_total += outcome.write_micros;
+    if (opts.stats != nullptr) {
+      std::optional<storage::StoreEntry> entry =
+          opts.store->GetEntry(outcome.signature);
+      if (entry.has_value()) {
+        opts.stats->RecordSize(outcome.signature, outcome.node_name,
+                               entry->size_bytes, opts.iteration);
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -218,11 +352,11 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
       if (op.synthetic_costs().load_micros >= 0) {
         c.load_micros = op.synthetic_costs().load_micros;
       } else {
-        const storage::StoreEntry* entry = options.store->Find(sig);
-        c.load_micros = (entry != nullptr && entry->load_micros >= 0)
+        std::optional<storage::StoreEntry> entry = options.store->GetEntry(sig);
+        c.load_micros = (entry.has_value() && entry->load_micros >= 0)
                             ? entry->load_micros
                             : options.store->EstimateLoadMicros(
-                                  entry != nullptr ? entry->size_bytes : 0);
+                                  entry.has_value() ? entry->size_bytes : 0);
       }
     }
     problem.required[static_cast<size_t>(i)] =
@@ -255,11 +389,14 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
   st.opts = &options;
   st.results.resize(static_cast<size_t>(n));
   st.compute_estimate.resize(static_cast<size_t>(n));
-  st.measured_compute.assign(static_cast<size_t>(n), -1);
+  st.measured_compute = std::vector<std::atomic<int64_t>>(
+      static_cast<size_t>(n));
   st.records.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     st.compute_estimate[static_cast<size_t>(i)] =
         problem.costs[static_cast<size_t>(i)].compute_micros;
+    st.measured_compute[static_cast<size_t>(i)].store(
+        -1, std::memory_order_relaxed);
     NodeExecution& record = st.records[static_cast<size_t>(i)];
     record.name = dag.op(i).name();
     record.phase = dag.op(i).phase();
@@ -268,48 +405,68 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
     record.sliced = !slice.IsLive(i);
   }
 
-  for (int i : dag.topo_order()) {
-    NodeState state = plan.state(i);
-    NodeExecution& record = st.records[static_cast<size_t>(i)];
-    if (state == NodeState::kPrune) {
-      continue;
+  const int parallelism = ResolveParallelism(options, n);
+  if (parallelism <= 1) {
+    // Sequential strategy: the classic topological loop.
+    for (int i : dag.topo_order()) {
+      HELIX_RETURN_IF_ERROR(ExecutePlannedNode(&st, i, plan.state(i)));
     }
-    if (state == NodeState::kLoad) {
-      const Operator& op = dag.op(i);
-      uint64_t sig = dag.cumulative_signature(i);
-      int64_t start = options.clock->NowMicros();
-      auto loaded = options.store->Get(sig);
-      if (loaded.ok() && options.paranoid_checks) {
-        const storage::StoreEntry* entry = options.store->Find(sig);
-        if (entry != nullptr && entry->fingerprint != 0 &&
-            entry->fingerprint != loaded.value().Fingerprint()) {
-          (void)options.store->Remove(sig);
-          loaded = Status::Corruption("fingerprint mismatch for " +
-                                      op.name());
-        }
-      }
-      if (loaded.ok()) {
-        record.state = NodeState::kLoad;
-        record.cost_micros = ChargeAndMeasure(
-            options.clock, start, op.synthetic_costs().load_micros);
-        record.output_bytes = loaded.value().SizeBytes();
-        st.results[static_cast<size_t>(i)] = std::move(loaded).value();
-        if (options.stats != nullptr) {
-          options.stats->RecordLoad(sig, op.name(), record.cost_micros,
-                                    options.iteration);
-        }
+  } else {
+    // Parallel strategy: dependency-driven scheduling over a worker pool,
+    // with materialization on a background writer.
+    std::optional<runtime::AsyncMaterializer> materializer;
+    if (options.store != nullptr && options.mat_policy != nullptr) {
+      materializer.emplace(options.store);
+      st.materializer = &*materializer;
+    }
+    std::vector<bool> active(static_cast<size_t>(n), false);
+    for (int i = 0; i < n; ++i) {
+      active[static_cast<size_t>(i)] = plan.state(i) != NodeState::kPrune;
+    }
+    // The sequential loop implicitly runs a node after *every* earlier
+    // topological node; the scheduler must keep the orderings that carry
+    // data: a node can reach active ancestors hiding behind pruned chains
+    // (the load-failure fallback recurses through them, and cost summation
+    // reads their measured costs), so route a dependency edge through each
+    // pruned chain to the nearest active ancestors.
+    graph::Dag sched_dag;
+    sched_dag.AddNodes(n);
+    for (int i = 0; i < n; ++i) {
+      if (!active[static_cast<size_t>(i)]) {
         continue;
       }
-      // Corrupt or vanished entry: degrade to recomputation. Ancestors the
-      // plan pruned are computed on demand.
-      HELIX_LOG(Warning) << "load of " << op.name()
-                         << " failed, recomputing: "
-                         << loaded.status().ToString();
-      HELIX_RETURN_IF_ERROR(ComputeNode(&st, i));
-      continue;
+      std::vector<bool> visited(static_cast<size_t>(n), false);
+      std::vector<graph::NodeId> frontier(dag.dag().Parents(i).begin(),
+                                          dag.dag().Parents(i).end());
+      while (!frontier.empty()) {
+        graph::NodeId p = frontier.back();
+        frontier.pop_back();
+        if (visited[static_cast<size_t>(p)]) {
+          continue;
+        }
+        visited[static_cast<size_t>(p)] = true;
+        if (active[static_cast<size_t>(p)]) {
+          (void)sched_dag.AddEdge(p, i);
+        } else {
+          for (graph::NodeId gp : dag.dag().Parents(p)) {
+            frontier.push_back(gp);
+          }
+        }
+      }
     }
-    // kCompute.
-    HELIX_RETURN_IF_ERROR(ComputeNode(&st, i));
+    runtime::ThreadPool pool(parallelism);
+    runtime::ParallelDagScheduler scheduler(&sched_dag, std::move(active));
+    Status exec_status =
+        scheduler.Run(&pool, [&st, &plan](int node) {
+          return ExecutePlannedNode(&st, node, plan.state(node));
+        });
+    if (st.materializer != nullptr) {
+      // Wait out the write pipeline before closing the books: the report's
+      // total time honestly includes any tail of unfinished writes.
+      ApplyMaterializationOutcomes(&st, st.materializer->Drain());
+      st.materializer = nullptr;
+    }
+    HELIX_RETURN_IF_ERROR(exec_status);
   }
 
   // --- 5. Report ----------------------------------------------------------

@@ -2,11 +2,20 @@
 //
 // Executes a compiled workflow DAG: slices away operators that do not feed
 // outputs, plans {load, compute, prune} states with the recomputation
-// optimizer against the materialization store, runs operators in
-// topological order, and — immediately as each computed result becomes
+// optimizer against the materialization store, runs operators as their
+// dependencies resolve, and — immediately as each computed result becomes
 // available — asks the materialization policy whether to persist it.
 // Runtime statistics (compute cost, size, load cost) are recorded in the
 // CostStatsRegistry for planning in subsequent iterations.
+//
+// Two execution strategies share all planning and bookkeeping:
+//   * sequential — the classic topological-order loop; exact legacy
+//     behavior, used when the effective parallelism is 1 and always under
+//     a virtual clock (deterministic simulated timing);
+//   * parallel — a thread-pool DAG scheduler (runtime/parallel_scheduler)
+//     that starts a node the moment its last parent finishes, with
+//     materialization writes moved off the compute path onto a background
+//     writer (runtime/async_materializer).
 #ifndef HELIX_CORE_EXECUTOR_H_
 #define HELIX_CORE_EXECUTOR_H_
 
@@ -61,7 +70,17 @@ struct ExecutionOptions {
   /// Verify loaded results' fingerprints against recorded ones when
   /// available (defense against silent store corruption).
   bool paranoid_checks = false;
+  /// DAG-level parallelism: 0 = one worker per hardware thread, 1 = the
+  /// exact sequential legacy behavior, N > 1 = at most N nodes in flight.
+  /// Virtual clocks force sequential execution regardless — simulated
+  /// time advances have no meaningful interleaving across threads, and
+  /// the benchmark/virtual-clock paths rely on deterministic charging.
+  int max_parallelism = 0;
 };
+
+/// The worker count Execute will actually use under `options` for a DAG of
+/// `num_nodes` nodes (exposed for tests and benchmarks).
+int ResolveParallelism(const ExecutionOptions& options, int num_nodes);
 
 /// Per-node record of what the executor did.
 struct NodeExecution {

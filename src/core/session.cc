@@ -67,6 +67,7 @@ Result<IterationResult> Session::RunIteration(const Workflow& workflow,
   exec.default_compute_estimate_micros =
       options_.default_compute_estimate_micros;
   exec.paranoid_checks = options_.paranoid_checks;
+  exec.max_parallelism = options_.max_parallelism;
 
   HELIX_ASSIGN_OR_RETURN(ExecutionReport report, Execute(dag, exec));
 

@@ -46,6 +46,11 @@ struct SessionOptions {
   bool enable_cse = true;
   int64_t default_compute_estimate_micros = 1000000;
   bool paranoid_checks = false;
+  /// DAG-level execution parallelism, forwarded to the executor:
+  /// 0 = one worker per hardware thread, 1 = sequential legacy behavior,
+  /// N > 1 = at most N operators in flight. Sessions on a virtual clock
+  /// always execute sequentially (see ExecutionOptions::max_parallelism).
+  int max_parallelism = 0;
 };
 
 /// Result of one iteration.

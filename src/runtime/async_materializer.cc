@@ -1,0 +1,73 @@
+#include "runtime/async_materializer.h"
+
+#include <utility>
+
+namespace helix {
+namespace runtime {
+
+AsyncMaterializer::AsyncMaterializer(storage::IntermediateStore* store)
+    : store_(store), writer_([this]() { WriterLoop(); }) {}
+
+AsyncMaterializer::~AsyncMaterializer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  writer_.join();
+}
+
+void AsyncMaterializer::Enqueue(Request request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(request));
+  }
+  work_cv_.notify_one();
+}
+
+std::vector<AsyncMaterializer::Outcome> AsyncMaterializer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this]() { return queue_.empty() && !writing_; });
+  std::vector<Outcome> out = std::move(outcomes_);
+  outcomes_.clear();
+  return out;
+}
+
+size_t AsyncMaterializer::Pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + (writing_ ? 1 : 0);
+}
+
+void AsyncMaterializer::WriterLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // Shutdown with a drained queue: exit. Pending requests are always
+      // written first, so ~AsyncMaterializer never loses work.
+      return;
+    }
+    Request request = std::move(queue_.front());
+    queue_.pop_front();
+    writing_ = true;
+    lock.unlock();
+
+    Outcome outcome;
+    outcome.node = request.node;
+    outcome.signature = request.signature;
+    outcome.node_name = request.node_name;
+    outcome.status =
+        store_->Put(request.signature, request.node_name, request.data,
+                    request.iteration, &outcome.write_micros);
+
+    lock.lock();
+    writing_ = false;
+    outcomes_.push_back(std::move(outcome));
+    if (queue_.empty()) {
+      drained_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace runtime
+}  // namespace helix

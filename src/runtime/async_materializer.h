@@ -1,0 +1,93 @@
+// Asynchronous materialization pipeline.
+//
+// HELIX materializes intermediate results *while* the workflow executes
+// (paper Section 2.3, the online constraint). Done inline, every
+// store->Put stalls the operator that produced the result — serialization
+// plus disk write sit on the critical path. The related-work challenges
+// paper calls out overlapping computation with I/O as a key acceleration
+// opportunity; this pipeline is that overlap: a single background writer
+// thread owns the actual Put, compute threads only enqueue a (cheap,
+// shared-payload) DataCollection handle and move on. Outcomes are
+// collected and applied to execution records when the caller drains the
+// pipeline at the end of the iteration.
+#ifndef HELIX_RUNTIME_ASYNC_MATERIALIZER_H_
+#define HELIX_RUNTIME_ASYNC_MATERIALIZER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/data_collection.h"
+#include "storage/store.h"
+
+namespace helix {
+namespace runtime {
+
+/// Background writer that persists results to an IntermediateStore off the
+/// compute critical path. The store must be thread-safe (it is — see
+/// storage/store.h); the writer is a single thread, so writes retain
+/// enqueue order.
+class AsyncMaterializer {
+ public:
+  /// One pending materialization. `data` shares its payload with the
+  /// executor's in-memory result — enqueueing copies a pointer, not data.
+  struct Request {
+    int node = -1;  // caller-defined tag (executor: DAG node id)
+    uint64_t signature = 0;
+    std::string node_name;
+    dataflow::DataCollection data;
+    int64_t iteration = 0;
+  };
+
+  /// Result of one attempted write.
+  struct Outcome {
+    int node = -1;
+    uint64_t signature = 0;
+    std::string node_name;
+    Status status;             // Put's verdict (may be ResourceExhausted)
+    int64_t write_micros = 0;  // measured write cost when status is OK
+  };
+
+  /// `store` must outlive the materializer.
+  explicit AsyncMaterializer(storage::IntermediateStore* store);
+
+  /// Drains outstanding writes, then stops the writer thread.
+  ~AsyncMaterializer();
+
+  AsyncMaterializer(const AsyncMaterializer&) = delete;
+  AsyncMaterializer& operator=(const AsyncMaterializer&) = delete;
+
+  /// Queues a write; returns immediately.
+  void Enqueue(Request request);
+
+  /// Blocks until every write enqueued so far has been attempted, then
+  /// returns (and clears) their outcomes in enqueue order.
+  std::vector<Outcome> Drain();
+
+  /// Writes queued or executing right now (diagnostics).
+  size_t Pending() const;
+
+ private:
+  void WriterLoop();
+
+  storage::IntermediateStore* store_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;     // wakes the writer
+  std::condition_variable drained_cv_;  // wakes Drain
+  std::deque<Request> queue_;
+  std::vector<Outcome> outcomes_;
+  bool writing_ = false;   // writer is executing a Put right now
+  bool shutdown_ = false;
+  std::thread writer_;
+};
+
+}  // namespace runtime
+}  // namespace helix
+
+#endif  // HELIX_RUNTIME_ASYNC_MATERIALIZER_H_

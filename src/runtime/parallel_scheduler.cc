@@ -1,0 +1,102 @@
+#include "runtime/parallel_scheduler.h"
+
+#include <utility>
+
+namespace helix {
+namespace runtime {
+
+ParallelDagScheduler::ParallelDagScheduler(const graph::Dag* dag,
+                                           std::vector<bool> active)
+    : dag_(dag), active_(std::move(active)) {
+  active_.resize(static_cast<size_t>(dag_->num_nodes()), false);
+}
+
+Status ParallelDagScheduler::Run(ThreadPool* pool, const NodeRunner& runner) {
+  const int n = dag_->num_nodes();
+  std::vector<int> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    unsatisfied_.assign(static_cast<size_t>(n), 0);
+    remaining_ = 0;
+    in_flight_ = 0;
+    first_error_ = Status::OK();
+    for (int i = 0; i < n; ++i) {
+      if (!active_[static_cast<size_t>(i)]) {
+        continue;
+      }
+      ++remaining_;
+      for (graph::NodeId p : dag_->Parents(i)) {
+        if (active_[static_cast<size_t>(p)]) {
+          ++unsatisfied_[static_cast<size_t>(i)];
+        }
+      }
+    }
+    if (remaining_ == 0) {
+      return Status::OK();
+    }
+    for (int i = 0; i < n; ++i) {
+      if (active_[static_cast<size_t>(i)] &&
+          unsatisfied_[static_cast<size_t>(i)] == 0) {
+        ready.push_back(i);
+      }
+    }
+    in_flight_ = static_cast<int>(ready.size());
+  }
+  for (int node : ready) {
+    RunNode(pool, runner, node);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this]() {
+    return in_flight_ == 0 && (remaining_ == 0 || !first_error_.ok());
+  });
+  return first_error_;
+}
+
+void ParallelDagScheduler::RunNode(ThreadPool* pool, const NodeRunner& runner,
+                                   int node) {
+  // `runner` is owned by Run's caller; Run does not return while any
+  // submitted task is in flight, so capturing the pointer is safe.
+  const NodeRunner* runner_ptr = &runner;
+  bool scheduled = pool->Schedule([this, pool, runner_ptr, node]() {
+    Status s = (*runner_ptr)(node);
+    std::vector<int> ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      --remaining_;
+      if (!s.ok()) {
+        if (first_error_.ok()) {
+          first_error_ = s;
+        }
+      } else if (first_error_.ok()) {
+        // Resolve this node for its children; newly satisfied ones start.
+        for (graph::NodeId child : dag_->Children(node)) {
+          if (active_[static_cast<size_t>(child)] &&
+              --unsatisfied_[static_cast<size_t>(child)] == 0) {
+            ready.push_back(child);
+          }
+        }
+      }
+      in_flight_ += static_cast<int>(ready.size());
+      if (in_flight_ == 0 && (remaining_ == 0 || !first_error_.ok())) {
+        done_cv_.notify_all();
+      }
+    }
+    for (int next : ready) {
+      RunNode(pool, *runner_ptr, next);
+    }
+  });
+  if (!scheduled) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    if (first_error_.ok()) {
+      first_error_ = Status::Internal("thread pool rejected DAG node");
+    }
+    if (in_flight_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace runtime
+}  // namespace helix

@@ -1,0 +1,72 @@
+// Dependency-driven parallel DAG execution.
+//
+// The HELIX executor (paper Section 2.3) runs the optimized workflow DAG;
+// operators whose inputs do not depend on each other are independent and
+// can run concurrently. This scheduler tracks a per-node count of
+// unsatisfied dependencies and submits a node to the thread pool the
+// moment its last parent resolves — the standard Kahn-style wavefront,
+// but event-driven rather than level-synchronous, so a long-running node
+// in one branch never stalls progress in another.
+#ifndef HELIX_RUNTIME_PARALLEL_SCHEDULER_H_
+#define HELIX_RUNTIME_PARALLEL_SCHEDULER_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/dag.h"
+#include "runtime/thread_pool.h"
+
+namespace helix {
+namespace runtime {
+
+/// Runs one node on a worker thread. A non-OK return aborts the schedule:
+/// no new nodes are submitted and Run returns the first error observed.
+using NodeRunner = std::function<Status(int node)>;
+
+/// One-shot scheduler for a single DAG execution.
+///
+/// `active` selects the nodes to run; inactive nodes (pruned by the plan)
+/// are treated as already satisfied, so an active node waits only on its
+/// active parents. Callers guarantee — as the recomputation plan does by
+/// feasibility — that every input an active node actually reads is either
+/// produced by an active parent or otherwise available. A runner that can
+/// reach an active ancestor *through* inactive nodes must be given an
+/// explicit edge for it: the scheduler orders direct parents only, so
+/// callers route such dependencies to the nearest active ancestors when
+/// building the graph (as the executor does for its fallback path).
+///
+/// Memory ordering: all writes made by a node's runner happen-before the
+/// runner of every dependent node (synchronized through the scheduler's
+/// internal mutex), so runners may communicate results through plain
+/// per-node slots without additional synchronization.
+class ParallelDagScheduler {
+ public:
+  ParallelDagScheduler(const graph::Dag* dag, std::vector<bool> active);
+
+  /// Executes all active nodes on `pool` in dependency order; blocks until
+  /// every submitted node finished. Returns OK when all active nodes ran
+  /// successfully, otherwise the first error (descendants of a failed node
+  /// are never started; unrelated in-flight nodes run to completion).
+  Status Run(ThreadPool* pool, const NodeRunner& runner);
+
+ private:
+  void RunNode(ThreadPool* pool, const NodeRunner& runner, int node);
+
+  const graph::Dag* dag_;
+  std::vector<bool> active_;
+
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::vector<int> unsatisfied_;  // remaining active parents per node
+  int in_flight_ = 0;             // submitted but not finished
+  int remaining_ = 0;             // active nodes not yet finished
+  Status first_error_;
+};
+
+}  // namespace runtime
+}  // namespace helix
+
+#endif  // HELIX_RUNTIME_PARALLEL_SCHEDULER_H_

@@ -1,0 +1,73 @@
+#include "runtime/thread_pool.h"
+
+namespace helix {
+namespace runtime {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) {
+    num_threads = 1;
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+bool ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return false;
+    }
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [this]() { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // shutdown_ is set and the queue is drained: exit. (While tasks
+      // remain, shutdown keeps the workers running — drain semantics.)
+      return;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace runtime
+}  // namespace helix

@@ -1,0 +1,95 @@
+// Fixed-size worker pool over a FIFO task queue.
+//
+// The parallel DAG runtime (scheduler + async materializer) needs a place
+// to run work; this is it. Deliberately minimal: a fixed number of worker
+// threads started in the constructor, a mutex-protected deque of
+// std::function tasks, and futures (via Submit) for callers that need a
+// result or an exception channel. No work stealing, no priorities — DAG
+// workloads here have at most a few dozen nodes in flight, so a single
+// shared queue is never the bottleneck.
+#ifndef HELIX_RUNTIME_THREAD_POOL_H_
+#define HELIX_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace helix {
+namespace runtime {
+
+/// A fixed-size thread pool.
+///
+/// Shutdown semantics: the destructor *drains* the queue — every task that
+/// was accepted before destruction began runs to completion before the
+/// workers join. A future obtained from Submit is therefore always
+/// eventually satisfied (with a value or an exception). Tasks offered after
+/// shutdown began are rejected: Schedule returns false, Submit returns a
+/// future carrying a std::runtime_error.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a fire-and-forget task. Returns false (task dropped) if the
+  /// pool is shutting down. Tasks must not throw; use Submit when an
+  /// exception channel is needed.
+  bool Schedule(std::function<void()> fn);
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` propagate through future::get(); so do error values such as
+  /// Status returns.
+  template <typename F>
+  auto Submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    if (!Schedule([task]() { (*task)(); })) {
+      // Rejected: satisfy the future with an error instead of leaving the
+      // caller to block forever on a broken promise.
+      std::promise<R> rejected;
+      rejected.set_exception(std::make_exception_ptr(
+          std::runtime_error("ThreadPool is shut down")));
+      return rejected.get_future();
+    }
+    return future;
+  }
+
+  /// Blocks until the queue is empty and no worker is running a task.
+  /// Tasks scheduled by other threads (or by running tasks) after this
+  /// returns are not waited for.
+  void WaitIdle();
+
+  /// Number of tasks queued but not yet started (diagnostics).
+  size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task ready/shutdown
+  std::condition_variable idle_cv_;  // signals WaitIdle: pool went idle
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;       // tasks currently executing
+  bool shutdown_ = false;
+};
+
+}  // namespace runtime
+}  // namespace helix
+
+#endif  // HELIX_RUNTIME_THREAD_POOL_H_

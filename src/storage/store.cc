@@ -56,21 +56,38 @@ std::string IntermediateStore::EntryPath(uint64_t signature) const {
 }
 
 bool IntermediateStore::Has(uint64_t signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return entries_.count(signature) > 0;
 }
 
 const StoreEntry* IntermediateStore::Find(uint64_t signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(signature);
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-Result<dataflow::DataCollection> IntermediateStore::Get(
-    uint64_t signature, int64_t* load_micros_out) {
+std::optional<StoreEntry> IntermediateStore::GetEntry(
+    uint64_t signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(signature);
   if (it == entries_.end()) {
-    return Status::NotFound(
-        StrFormat("no stored result for signature %s",
-                  HashToHex(signature).c_str()));
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+Result<dataflow::DataCollection> IntermediateStore::Get(
+    uint64_t signature, int64_t* load_micros_out) {
+  // The file read and deserialization — the expensive parts — run
+  // unlocked so concurrent loads (the parallel executor's warm path)
+  // actually overlap; only the manifest lookups/updates take the mutex.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.count(signature) == 0) {
+      return Status::NotFound(
+          StrFormat("no stored result for signature %s",
+                    HashToHex(signature).c_str()));
+    }
   }
   ScopedTimer timer(options_.clock);
   auto file = ReadFileToString(EntryPath(signature));
@@ -79,7 +96,8 @@ Result<dataflow::DataCollection> IntermediateStore::Get(
     HELIX_LOG(Warning) << "store entry unreadable, evicting "
                        << HashToHex(signature) << ": "
                        << file.status().ToString();
-    (void)Remove(signature);
+    std::lock_guard<std::mutex> lock(mu_);
+    (void)RemoveLocked(signature);
     return Status::Corruption("store entry unreadable: " +
                               file.status().ToString());
   }
@@ -88,11 +106,13 @@ Result<dataflow::DataCollection> IntermediateStore::Get(
     HELIX_LOG(Warning) << "store entry corrupt, evicting "
                        << HashToHex(signature) << ": "
                        << data.status().ToString();
-    (void)Remove(signature);
+    std::lock_guard<std::mutex> lock(mu_);
+    (void)RemoveLocked(signature);
     return data.status();
   }
   int64_t elapsed = timer.ElapsedMicros();
-  it = entries_.find(signature);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(signature);
   if (it != entries_.end()) {
     it->second.load_micros = elapsed;
   }
@@ -110,21 +130,34 @@ Status IntermediateStore::Put(uint64_t signature,
                               const std::string& node_name,
                               const dataflow::DataCollection& data,
                               int64_t iteration, int64_t* write_micros_out) {
+  // Cheap early rejection before paying for serialization; the locked
+  // re-check below stays authoritative.
   if (Has(signature)) {
     return Status::AlreadyExists(
         StrFormat("signature %s already stored",
                   HashToHex(signature).c_str()));
   }
-  ScopedTimer timer(options_.clock);
+  // Serialization is the expensive CPU part; do it before taking the lock
+  // so concurrent Puts at least serialize their payloads in parallel.
   std::string serialized = data.SerializeToString();
   int64_t size = static_cast<int64_t>(serialized.size());
-  if (size > RemainingBytes()) {
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(signature) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("signature %s already stored",
+                  HashToHex(signature).c_str()));
+  }
+  // Budget check and manifest insertion are atomic under mu_: concurrent
+  // Puts cannot both pass the check and jointly overshoot the budget.
+  if (size > RemainingBytesLocked()) {
     return Status::ResourceExhausted(StrFormat(
         "result %s (%s) exceeds remaining store budget (%s of %s left)",
         node_name.c_str(), HumanBytes(size).c_str(),
-        HumanBytes(RemainingBytes()).c_str(),
+        HumanBytes(RemainingBytesLocked()).c_str(),
         HumanBytes(options_.budget_bytes).c_str()));
   }
+  ScopedTimer timer(options_.clock);
   HELIX_RETURN_IF_ERROR(WriteStringToFile(EntryPath(signature), serialized));
   int64_t elapsed = timer.ElapsedMicros();
 
@@ -144,10 +177,15 @@ Status IntermediateStore::Put(uint64_t signature,
   if (write_micros_out != nullptr) {
     *write_micros_out = elapsed;
   }
-  return SaveManifest();
+  return SaveManifestLocked();
 }
 
 Status IntermediateStore::Remove(uint64_t signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RemoveLocked(signature);
+}
+
+Status IntermediateStore::RemoveLocked(uint64_t signature) {
   auto it = entries_.find(signature);
   if (it == entries_.end()) {
     return Status::OK();
@@ -155,20 +193,22 @@ Status IntermediateStore::Remove(uint64_t signature) {
   total_bytes_ -= it->second.size_bytes;
   entries_.erase(it);
   HELIX_RETURN_IF_ERROR(RemoveFileIfExists(EntryPath(signature)));
-  return SaveManifest();
+  return SaveManifestLocked();
 }
 
 Status IntermediateStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [sig, entry] : entries_) {
     (void)entry;
     HELIX_RETURN_IF_ERROR(RemoveFileIfExists(EntryPath(sig)));
   }
   entries_.clear();
   total_bytes_ = 0;
-  return SaveManifest();
+  return SaveManifestLocked();
 }
 
 std::vector<StoreEntry> IntermediateStore::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<StoreEntry> out;
   out.reserve(entries_.size());
   for (const auto& [sig, entry] : entries_) {
@@ -182,7 +222,11 @@ int64_t IntermediateStore::EstimateLoadMicros(int64_t size_bytes) const {
   if (size_bytes < 0) {
     size_bytes = 0;
   }
-  double bytes_per_micro;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Guarded ratio: zero observed micros (e.g. measurements taken under a
+  // virtual clock) must never divide; such observations fall through to
+  // the next source.
+  double bytes_per_micro = 0;
   if (observed_read_micros_ > 0 && observed_read_bytes_ > 0) {
     bytes_per_micro = static_cast<double>(observed_read_bytes_) /
                       static_cast<double>(observed_read_micros_);
@@ -191,18 +235,16 @@ int64_t IntermediateStore::EstimateLoadMicros(int64_t size_bytes) const {
     // almost always faster: page-cache hits and no flush).
     bytes_per_micro = static_cast<double>(observed_write_bytes_) /
                       static_cast<double>(observed_write_micros_);
-  } else {
-    bytes_per_micro = static_cast<double>(kDefaultReadBytesPerSecond) / 1e6;
   }
   if (bytes_per_micro <= 0) {
-    bytes_per_micro = 1.0;
+    bytes_per_micro = static_cast<double>(kDefaultReadBytesPerSecond) / 1e6;
   }
   return kFixedIoOverheadMicros +
          static_cast<int64_t>(static_cast<double>(size_bytes) /
                               bytes_per_micro);
 }
 
-Status IntermediateStore::SaveManifest() const {
+Status IntermediateStore::SaveManifestLocked() const {
   ByteWriter w;
   w.PutU32(kManifestMagic);
   w.PutU32(kManifestVersion);

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,16 @@ struct StoreOptions {
 /// atomic (temp file + rename). Corrupt or missing entry files are detected
 /// on Get and self-heal by evicting the entry, so callers fall back to
 /// recomputation.
+///
+/// Thread safety: all public methods are safe to call concurrently; one
+/// internal mutex guards the manifest, the budget accounting, and the
+/// bandwidth estimator. In particular the budget check in Put happens
+/// atomically with the manifest insertion, so concurrent Puts can never
+/// jointly overshoot the budget. Get reads and deserializes the entry
+/// file outside the mutex, so concurrent loads overlap; Put holds the
+/// mutex across its file write (budget atomicity beats write concurrency
+/// — the parallel runtime keeps writes off the compute path with a single
+/// background writer, runtime/async_materializer.h, instead).
 class IntermediateStore {
  public:
   /// Opens (creating if needed) a store rooted at `dir`.
@@ -61,8 +73,12 @@ class IntermediateStore {
   /// True if a valid manifest entry exists for `signature`.
   bool Has(uint64_t signature) const;
 
-  /// Entry metadata, or nullptr.
+  /// Entry metadata, or nullptr. The pointer is invalidated by any
+  /// concurrent mutation of the store; under concurrency prefer GetEntry.
   const StoreEntry* Find(uint64_t signature) const;
+
+  /// Copy of the entry metadata, or nullopt. Safe under concurrency.
+  std::optional<StoreEntry> GetEntry(uint64_t signature) const;
 
   /// Reads and verifies the stored result. On corruption the entry is
   /// evicted and Corruption is returned. `load_micros_out` (optional)
@@ -83,12 +99,19 @@ class IntermediateStore {
   /// Removes all entries.
   Status Clear();
 
-  int64_t TotalBytes() const { return total_bytes_; }
+  int64_t TotalBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
   int64_t BudgetBytes() const { return options_.budget_bytes; }
   int64_t RemainingBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return options_.budget_bytes - total_bytes_;
   }
-  size_t NumEntries() const { return entries_.size(); }
+  size_t NumEntries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// Entries ordered by signature (deterministic iteration for reporting).
   std::vector<StoreEntry> Entries() const;
@@ -106,11 +129,17 @@ class IntermediateStore {
       : dir_(std::move(dir)), options_(options) {}
 
   std::string EntryPath(uint64_t signature) const;
-  Status SaveManifest() const;
-  Status LoadManifest();
+  // *Locked methods require mu_ to be held by the caller.
+  Status SaveManifestLocked() const;
+  Status LoadManifest();  // only called from Open, pre-concurrency
+  Status RemoveLocked(uint64_t signature);
+  int64_t RemainingBytesLocked() const {
+    return options_.budget_bytes - total_bytes_;
+  }
 
   std::string dir_;
   StoreOptions options_;
+  mutable std::mutex mu_;
   std::map<uint64_t, StoreEntry> entries_;
   int64_t total_bytes_ = 0;
 

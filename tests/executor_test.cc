@@ -3,6 +3,11 @@
 // plan invariance across planners, and statistics recording.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/file_util.h"
 #include "common/hash.h"
 #include "core/executor.h"
@@ -346,6 +351,303 @@ TEST_F(ExecutorTest, ParanoidChecksCatchFingerprintTampering) {
   EXPECT_EQ(second.outputs.at("eval").Fingerprint(),
             first.outputs.at("eval").Fingerprint());
   EXPECT_EQ(second.num_loaded, 0);
+}
+
+// --- Parallel execution -----------------------------------------------------
+//
+// The parallel strategy must be an implementation detail: same outputs,
+// same plan, same record states as the sequential executor — only the wall
+// time may differ. These tests run both strategies side by side on
+// separate workspaces and compare everything observable.
+
+// Diamond source -> {left, right} -> join; every non-source node is an
+// output so re-runs exercise concurrent loads. Declared costs steer the
+// planner (compute expensive, loads cheap); the real clock measures the
+// actual (tiny) execution.
+Workflow ParallelDiamond() {
+  Workflow wf("par-diamond");
+  SyntheticCosts costs{/*compute=*/100000, /*load=*/100, /*write=*/-1};
+  NodeRef source = wf.Add(
+      ops::Synthetic("source", Phase::kDataPreprocessing, 21, costs));
+  NodeRef left = wf.Add(
+      ops::Synthetic("left", Phase::kDataPreprocessing, 22, costs), {source});
+  NodeRef right = wf.Add(
+      ops::Synthetic("right", Phase::kDataPreprocessing, 23, costs), {source});
+  NodeRef join = wf.Add(
+      ops::Synthetic("join", Phase::kMachineLearning, 24, costs),
+      {left, right});
+  wf.MarkOutput(left);
+  wf.MarkOutput(right);
+  wf.MarkOutput(join);
+  return wf;
+}
+
+class ParallelExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("helix-parallel-executor-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.value();
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  // A self-contained execution environment (store + stats) for one mode.
+  struct Env {
+    std::unique_ptr<storage::IntermediateStore> store;
+    storage::CostStatsRegistry stats;
+    AlwaysMaterializePolicy policy;  // deterministic decisions
+  };
+
+  std::unique_ptr<Env> OpenEnv(const std::string& name) {
+    auto env = std::make_unique<Env>();
+    storage::StoreOptions store_options;
+    store_options.budget_bytes = 1 << 20;
+    auto store =
+        storage::IntermediateStore::Open(JoinPath(dir_, name), store_options);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    env->store = std::move(store).value();
+    return env;
+  }
+
+  ExecutionOptions Options(Env* env, int parallelism, int64_t iteration) {
+    ExecutionOptions options;
+    options.clock = SystemClock::Default();
+    options.store = env->store.get();
+    options.stats = &env->stats;
+    options.mat_policy = &env->policy;
+    options.max_parallelism = parallelism;
+    options.iteration = iteration;
+    return options;
+  }
+
+  ExecutionReport Run(const Workflow& wf, const ExecutionOptions& options) {
+    auto dag = WorkflowDag::Compile(wf);
+    EXPECT_TRUE(dag.ok()) << dag.status().ToString();
+    auto report = Execute(*dag, options);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  }
+
+  // name -> (state, sliced) for every node; the full decision surface.
+  static std::map<std::string, std::pair<NodeState, bool>> States(
+      const ExecutionReport& report) {
+    std::map<std::string, std::pair<NodeState, bool>> out;
+    for (const NodeExecution& node : report.nodes) {
+      out[node.name] = {node.state, node.sliced};
+    }
+    return out;
+  }
+
+  static std::map<std::string, std::string> SerializedOutputs(
+      const ExecutionReport& report) {
+    std::map<std::string, std::string> out;
+    for (const auto& [name, data] : report.outputs) {
+      out[name] = data.SerializeToString();
+    }
+    return out;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ParallelExecutorTest, ResolveParallelismHonorsClockAndBounds) {
+  VirtualClock virtual_clock;
+  ExecutionOptions options;
+  options.clock = &virtual_clock;
+  options.max_parallelism = 8;
+  // Virtual clocks force the sequential strategy.
+  EXPECT_EQ(ResolveParallelism(options, 100), 1);
+
+  options.clock = SystemClock::Default();
+  EXPECT_EQ(ResolveParallelism(options, 100), 8);
+  // Never more workers than nodes, never fewer than one.
+  EXPECT_EQ(ResolveParallelism(options, 3), 3);
+  options.max_parallelism = 1;
+  EXPECT_EQ(ResolveParallelism(options, 100), 1);
+  options.max_parallelism = 0;
+  EXPECT_GE(ResolveParallelism(options, 100), 1);
+}
+
+// The determinism contract: byte-identical outputs and identical
+// computed/loaded/pruned node sets across strategies, on both a cold run
+// (everything computed + materialized) and a warm re-run (loads).
+TEST_F(ParallelExecutorTest, ParallelAndSequentialAreByteIdentical) {
+  Workflow wf = ParallelDiamond();
+  auto seq_env = OpenEnv("seq");
+  auto par_env = OpenEnv("par");
+
+  // Iteration 0: cold. Everything computes in both modes.
+  ExecutionReport seq0 = Run(wf, Options(seq_env.get(), 1, 0));
+  ExecutionReport par0 = Run(wf, Options(par_env.get(), 4, 0));
+  EXPECT_EQ(States(seq0), States(par0));
+  EXPECT_EQ(SerializedOutputs(seq0), SerializedOutputs(par0));
+  EXPECT_EQ(seq0.num_computed, par0.num_computed);
+  EXPECT_EQ(seq0.num_loaded, par0.num_loaded);
+  EXPECT_EQ(seq0.num_pruned, par0.num_pruned);
+  EXPECT_EQ(seq0.num_computed, 4);
+  // AlwaysMaterialize + fresh store: all four results persisted, by the
+  // background writer in parallel mode, inline in sequential mode.
+  EXPECT_EQ(seq_env->store->NumEntries(), 4u);
+  EXPECT_EQ(par_env->store->NumEntries(), 4u);
+  EXPECT_EQ(seq0.num_materialized, 4);
+  EXPECT_EQ(par0.num_materialized, 4);
+
+  // Iteration 1: warm. The planner loads the three required outputs
+  // (declared load cost 100us vs compute 100000us) in both modes —
+  // concurrently in parallel mode.
+  ExecutionReport seq1 = Run(wf, Options(seq_env.get(), 1, 1));
+  ExecutionReport par1 = Run(wf, Options(par_env.get(), 4, 1));
+  EXPECT_EQ(States(seq1), States(par1));
+  EXPECT_EQ(SerializedOutputs(seq1), SerializedOutputs(par1));
+  EXPECT_EQ(seq1.num_computed, 0);
+  EXPECT_EQ(par1.num_computed, 0);
+  EXPECT_EQ(seq1.num_loaded, 3);
+  EXPECT_EQ(par1.num_loaded, 3);
+
+  // And the warm outputs equal the cold outputs: reuse is lossless.
+  EXPECT_EQ(SerializedOutputs(par1), SerializedOutputs(par0));
+}
+
+TEST_F(ParallelExecutorTest, WideDagMatchesSequentialWithoutStore) {
+  // 4 lanes x depth 3 of synthetic work feeding one sink, no store: the
+  // pure compute path through the scheduler.
+  Workflow wf("wide");
+  std::vector<NodeRef> heads;
+  NodeRef source = wf.Add(
+      ops::Synthetic("source", Phase::kDataPreprocessing, 1,
+                     SyntheticCosts{}));
+  for (int lane = 0; lane < 4; ++lane) {
+    NodeRef prev = source;
+    for (int depth = 0; depth < 3; ++depth) {
+      prev = wf.Add(
+          ops::Synthetic(
+              "lane" + std::to_string(lane) + "_" + std::to_string(depth),
+              Phase::kDataPreprocessing, 100 + lane * 10 + depth,
+              SyntheticCosts{}),
+          {prev});
+    }
+    heads.push_back(prev);
+  }
+  NodeRef sink = wf.Add(
+      ops::Synthetic("sink", Phase::kMachineLearning, 999, SyntheticCosts{}),
+      heads);
+  wf.MarkOutput(sink);
+
+  ExecutionOptions seq_options;
+  seq_options.clock = SystemClock::Default();
+  seq_options.max_parallelism = 1;
+  ExecutionOptions par_options = seq_options;
+  par_options.max_parallelism = 4;
+
+  ExecutionReport seq = Run(wf, seq_options);
+  ExecutionReport par = Run(wf, par_options);
+  EXPECT_EQ(seq.num_computed, 14);
+  EXPECT_EQ(par.num_computed, 14);
+  EXPECT_EQ(States(seq), States(par));
+  EXPECT_EQ(SerializedOutputs(seq), SerializedOutputs(par));
+}
+
+// The nasty fallback shape: P (active, output) -> A (pruned) -> I (load).
+// When I's store entry is corrupt, its fallback recomputes the pruned A,
+// which reads P — an active ancestor I has no *direct* edge to. The
+// parallel scheduler must order I after P anyway (dependencies are routed
+// through pruned chains), and the result must match the sequential run.
+TEST_F(ParallelExecutorTest, LoadFallbackThroughPrunedAncestorMatchesSequential) {
+  auto row_from_inputs = [](const std::string& tag) {
+    return [tag](const std::vector<const dataflow::DataCollection*>& inputs)
+               -> Result<dataflow::DataCollection> {
+      uint64_t acc = 0;
+      for (const dataflow::DataCollection* input : inputs) {
+        acc ^= input->Fingerprint();
+      }
+      auto table = std::make_shared<dataflow::TableData>(
+          dataflow::Schema::AllStrings({"v"}));
+      EXPECT_TRUE(
+          table->AppendRow({dataflow::Value(tag + std::to_string(acc))})
+              .ok());
+      return dataflow::DataCollection::FromTable(table);
+    };
+  };
+  // Declared costs steer the planner toward loads (compute nominally
+  // expensive, loads cheap); the real fns above still run in microseconds.
+  SyntheticCosts costs{/*compute=*/100000, /*load=*/100, /*write=*/-1};
+  Workflow wf("fallback");
+  NodeRef p = wf.Add(
+      ops::Reducer("P", Phase::kDataPreprocessing, 0, row_from_inputs("p"))
+          .SetSyntheticCosts(costs));
+  NodeRef a = wf.Add(
+      ops::Reducer("A", Phase::kMachineLearning, 0, row_from_inputs("a"))
+          .SetSyntheticCosts(costs),
+      {p});
+  NodeRef i = wf.Add(
+      ops::Reducer("I", Phase::kDataPreprocessing, 0, row_from_inputs("i"))
+          .SetSyntheticCosts(costs),
+      {a});
+  wf.MarkOutput(p);
+  wf.MarkOutput(i);
+
+  // Materialize only the pre-processing nodes (P and I): A stays
+  // unpersisted, so the warm plan loads P and I and prunes A.
+  PhaseFilterPolicy policy(std::make_shared<AlwaysMaterializePolicy>(),
+                           {Phase::kDataPreprocessing});
+
+  std::map<int, ExecutionReport> warm;  // parallelism -> iteration-1 report
+  for (int parallelism : {1, 4}) {
+    std::string name = "fb-" + std::to_string(parallelism);
+    auto env = OpenEnv(name);
+    ExecutionOptions options = Options(env.get(), parallelism, 0);
+    options.mat_policy = &policy;
+    ExecutionReport cold = Run(wf, options);
+    EXPECT_EQ(cold.num_computed, 3);
+    ASSERT_TRUE(cold.FindNode("P")->materialized);
+    ASSERT_TRUE(cold.FindNode("I")->materialized);
+    EXPECT_FALSE(cold.FindNode("A")->materialized);
+
+    // Corrupt I's entry file in place; the manifest still advertises it.
+    uint64_t sig = cold.FindNode("I")->signature;
+    ASSERT_TRUE(WriteStringToFile(
+                    JoinPath(JoinPath(dir_, name), HashToHex(sig) + ".dat"),
+                    "garbage that fails the envelope checksum")
+                    .ok());
+
+    ExecutionOptions warm_options = Options(env.get(), parallelism, 1);
+    warm_options.mat_policy = &policy;
+    warm[parallelism] = Run(wf, warm_options);
+  }
+
+  for (int parallelism : {1, 4}) {
+    const ExecutionReport& report = warm[parallelism];
+    EXPECT_EQ(report.FindNode("P")->state, NodeState::kLoad);
+    EXPECT_EQ(report.FindNode("A")->state, NodeState::kCompute);  // fallback
+    EXPECT_EQ(report.FindNode("I")->state, NodeState::kCompute);  // fallback
+  }
+  EXPECT_EQ(States(warm[1]), States(warm[4]));
+  EXPECT_EQ(SerializedOutputs(warm[1]), SerializedOutputs(warm[4]));
+}
+
+TEST_F(ParallelExecutorTest, FailingOperatorPropagatesFromWorker) {
+  Workflow wf("fails-parallel");
+  NodeRef source = wf.Add(
+      ops::Synthetic("source", Phase::kDataPreprocessing, 1,
+                     SyntheticCosts{}));
+  wf.Add(ops::Synthetic("ok", Phase::kDataPreprocessing, 2,
+                        SyntheticCosts{}),
+         {source});
+  NodeRef bad = wf.Add(
+      ops::Reducer("bad", Phase::kPostprocessing, 0,
+                   [](const auto&) -> Result<dataflow::DataCollection> {
+                     return Status::Internal("parallel failure");
+                   }),
+      {source});
+  wf.MarkOutput(bad);
+  auto dag = WorkflowDag::Compile(wf);
+  ASSERT_TRUE(dag.ok());
+  ExecutionOptions options;
+  options.clock = SystemClock::Default();
+  options.max_parallelism = 4;
+  auto report = Execute(*dag, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsInternal());
 }
 
 }  // namespace

@@ -1,0 +1,378 @@
+// Tests for the parallel DAG runtime (src/runtime): thread pool semantics
+// (futures, exception and Status propagation, drain-on-shutdown), the
+// dependency-driven parallel scheduler (ordering, error cut-off, inactive
+// nodes), and the asynchronous materialization pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/status.h"
+#include "dataflow/data_collection.h"
+#include "graph/dag.h"
+#include "runtime/async_materializer.h"
+#include "runtime/parallel_scheduler.h"
+#include "runtime/thread_pool.h"
+#include "storage/store.h"
+
+namespace helix {
+namespace runtime {
+namespace {
+
+using dataflow::DataCollection;
+using dataflow::Schema;
+using dataflow::TableData;
+using dataflow::Value;
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, WorkersRunConcurrently) {
+  // Two tasks that can only both finish if they overlap in time: each
+  // waits for the other to have started. A serial pool would deadlock;
+  // the generous timeout turns that deadlock into a test failure.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int started = 0;
+  auto task = [&]() {
+    std::unique_lock<std::mutex> lock(mu);
+    ++started;
+    cv.notify_all();
+    return cv.wait_for(lock, std::chrono::seconds(10),
+                       [&]() { return started >= 2; });
+  };
+  auto a = pool.Submit(task);
+  auto b = pool.Submit(task);
+  EXPECT_TRUE(a.get());
+  EXPECT_TRUE(b.get());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);  // single worker: tasks queue up behind each other
+    for (int i = 0; i < 16; ++i) {
+      pool.Schedule([&done]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+    // Destruction begins with most tasks still queued.
+  }
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("operator exploded"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, StatusPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([]() { return Status::OK(); });
+  auto err = pool.Submit(
+      []() { return Status::ResourceExhausted("budget gone"); });
+  EXPECT_TRUE(ok.get().ok());
+  Status status = err.get();
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(status.message(), "budget gone");
+}
+
+TEST(ThreadPoolTest, WaitIdleObservesCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Schedule([&done]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+// --- ParallelDagScheduler ---------------------------------------------------
+
+// Builds the diamond a -> {b, c} -> d.
+graph::Dag Diamond() {
+  graph::Dag dag;
+  dag.AddNodes(4);
+  EXPECT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_TRUE(dag.AddEdge(0, 2).ok());
+  EXPECT_TRUE(dag.AddEdge(1, 3).ok());
+  EXPECT_TRUE(dag.AddEdge(2, 3).ok());
+  return dag;
+}
+
+TEST(ParallelDagSchedulerTest, RespectsDependencyOrderOnDiamond) {
+  graph::Dag dag = Diamond();
+  std::mutex mu;
+  std::vector<int> order;
+  ThreadPool pool(4);
+  ParallelDagScheduler scheduler(&dag, std::vector<bool>(4, true));
+  Status status = scheduler.Run(&pool, [&](int node) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(node);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0);
+  EXPECT_EQ(order.back(), 3);
+  EXPECT_EQ(std::set<int>(order.begin(), order.end()),
+            (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(ParallelDagSchedulerTest, EachNodeRunsExactlyOnce) {
+  // A wider DAG: 2 roots, 8 mids, 1 sink.
+  graph::Dag dag;
+  dag.AddNodes(11);
+  for (int mid = 2; mid < 10; ++mid) {
+    EXPECT_TRUE(dag.AddEdge(mid % 2, mid).ok());
+    EXPECT_TRUE(dag.AddEdge(mid, 10).ok());
+  }
+  std::vector<std::atomic<int>> runs(11);
+  ThreadPool pool(4);
+  ParallelDagScheduler scheduler(&dag, std::vector<bool>(11, true));
+  Status status = scheduler.Run(&pool, [&](int node) {
+    runs[static_cast<size_t>(node)].fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok());
+  for (int i = 0; i < 11; ++i) {
+    EXPECT_EQ(runs[static_cast<size_t>(i)].load(), 1) << "node " << i;
+  }
+}
+
+TEST(ParallelDagSchedulerTest, ErrorStopsDescendants) {
+  // Chain 0 -> 1 -> 2; node 1 fails, node 2 must never start.
+  graph::Dag dag;
+  dag.AddNodes(3);
+  EXPECT_TRUE(dag.AddEdge(0, 1).ok());
+  EXPECT_TRUE(dag.AddEdge(1, 2).ok());
+  std::atomic<bool> tail_ran{false};
+  ThreadPool pool(2);
+  ParallelDagScheduler scheduler(&dag, std::vector<bool>(3, true));
+  Status status = scheduler.Run(&pool, [&](int node) -> Status {
+    if (node == 1) {
+      return Status::Internal("node 1 died");
+    }
+    if (node == 2) {
+      tail_ran.store(true);
+    }
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_EQ(status.message(), "node 1 died");
+  EXPECT_FALSE(tail_ran.load());
+}
+
+TEST(ParallelDagSchedulerTest, InactiveNodesAreSkippedAndUnblockChildren) {
+  // Diamond with node 1 inactive: 3 still runs once 2 is done.
+  graph::Dag dag = Diamond();
+  std::vector<bool> active = {true, false, true, true};
+  std::mutex mu;
+  std::vector<int> order;
+  ThreadPool pool(2);
+  ParallelDagScheduler scheduler(&dag, active);
+  Status status = scheduler.Run(&pool, [&](int node) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(node);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(std::set<int>(order.begin(), order.end()),
+            (std::set<int>{0, 2, 3}));
+}
+
+TEST(ParallelDagSchedulerTest, EmptyActiveSetReturnsOk) {
+  graph::Dag dag = Diamond();
+  ThreadPool pool(2);
+  ParallelDagScheduler scheduler(&dag, std::vector<bool>(4, false));
+  Status status = scheduler.Run(&pool, [](int) {
+    return Status::Internal("must not run");
+  });
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(ParallelDagSchedulerTest, WideFanoutOverlapsWork) {
+  // 8 independent nodes each sleeping 20ms on a 8-wide pool: total must be
+  // well under the 160ms a serial execution would take. Generous margin to
+  // survive noisy CI machines.
+  graph::Dag dag;
+  dag.AddNodes(8);
+  ThreadPool pool(8);
+  ParallelDagScheduler scheduler(&dag, std::vector<bool>(8, true));
+  auto start = std::chrono::steady_clock::now();
+  Status status = scheduler.Run(&pool, [](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return Status::OK();
+  });
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_TRUE(status.ok());
+  EXPECT_LT(elapsed.count(), 120);
+}
+
+// --- AsyncMaterializer ------------------------------------------------------
+
+DataCollection MakeCollection(const std::string& content, int rows = 1) {
+  auto table = std::make_shared<TableData>(Schema::AllStrings({"v"}));
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(table->AppendRow({Value(content)}).ok());
+  }
+  return DataCollection::FromTable(table);
+}
+
+class AsyncMaterializerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("helix-async-mat-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.value();
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::unique_ptr<storage::IntermediateStore> OpenStore(
+      int64_t budget = 1 << 20) {
+    storage::StoreOptions options;
+    options.budget_bytes = budget;
+    auto store = storage::IntermediateStore::Open(dir_, options);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    return std::move(store).value();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(AsyncMaterializerTest, WritesLandInStoreAndDrainReportsThem) {
+  auto store = OpenStore();
+  AsyncMaterializer materializer(store.get());
+  for (int i = 0; i < 4; ++i) {
+    AsyncMaterializer::Request request;
+    request.node = i;
+    request.signature = 100 + static_cast<uint64_t>(i);
+    request.node_name = "node" + std::to_string(i);
+    request.data = MakeCollection("payload" + std::to_string(i));
+    request.iteration = 7;
+    materializer.Enqueue(std::move(request));
+  }
+  std::vector<AsyncMaterializer::Outcome> outcomes = materializer.Drain();
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto& outcome = outcomes[static_cast<size_t>(i)];
+    EXPECT_EQ(outcome.node, i);  // single writer: enqueue order preserved
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_GE(outcome.write_micros, 0);
+    EXPECT_TRUE(store->Has(outcome.signature));
+    auto entry = store->GetEntry(outcome.signature);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->iteration, 7);
+  }
+  EXPECT_EQ(materializer.Pending(), 0u);
+}
+
+TEST_F(AsyncMaterializerTest, OverBudgetWriteSurfacesResourceExhausted) {
+  auto store = OpenStore(/*budget=*/16);  // nothing real fits
+  AsyncMaterializer materializer(store.get());
+  AsyncMaterializer::Request request;
+  request.node = 0;
+  request.signature = 42;
+  request.node_name = "big";
+  request.data = MakeCollection("way too large for sixteen bytes", 64);
+  materializer.Enqueue(std::move(request));
+  std::vector<AsyncMaterializer::Outcome> outcomes = materializer.Drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].status.IsResourceExhausted());
+  EXPECT_FALSE(store->Has(42));
+  EXPECT_EQ(store->TotalBytes(), 0);
+}
+
+TEST_F(AsyncMaterializerTest, DestructorFinishesOutstandingWrites) {
+  auto store = OpenStore();
+  {
+    AsyncMaterializer materializer(store.get());
+    for (int i = 0; i < 8; ++i) {
+      AsyncMaterializer::Request request;
+      request.node = i;
+      request.signature = 200 + static_cast<uint64_t>(i);
+      request.node_name = "n" + std::to_string(i);
+      request.data = MakeCollection("data", 4);
+      materializer.Enqueue(std::move(request));
+    }
+    // Destroyed with writes likely still queued.
+  }
+  EXPECT_EQ(store->NumEntries(), 8u);
+}
+
+TEST_F(AsyncMaterializerTest, DuplicateSignatureReportsAlreadyExists) {
+  auto store = OpenStore();
+  AsyncMaterializer materializer(store.get());
+  for (int i = 0; i < 2; ++i) {
+    AsyncMaterializer::Request request;
+    request.node = i;
+    request.signature = 7;  // same key twice
+    request.node_name = "dup";
+    request.data = MakeCollection("same");
+    materializer.Enqueue(std::move(request));
+  }
+  std::vector<AsyncMaterializer::Outcome> outcomes = materializer.Drain();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_TRUE(outcomes[1].status.IsAlreadyExists());
+  EXPECT_EQ(store->NumEntries(), 1u);
+}
+
+// Concurrent store hammering: the mutex-protected manifest/budget must
+// stay consistent under parallel Put/Get/Remove from many threads.
+TEST_F(AsyncMaterializerTest, StoreSurvivesConcurrentAccess) {
+  auto store = OpenStore();
+  ThreadPool pool(8);
+  std::vector<std::future<Status>> puts;
+  for (int i = 0; i < 32; ++i) {
+    uint64_t sig = 1000 + static_cast<uint64_t>(i);
+    puts.push_back(pool.Submit([&store, sig]() {
+      return store->Put(sig, "n", MakeCollection("x", 8), 0);
+    }));
+  }
+  for (auto& f : puts) {
+    EXPECT_TRUE(f.get().ok());
+  }
+  std::vector<std::future<bool>> gets;
+  for (int i = 0; i < 32; ++i) {
+    uint64_t sig = 1000 + static_cast<uint64_t>(i);
+    gets.push_back(pool.Submit([&store, sig]() {
+      return store->Get(sig).ok() && store->Remove(sig).ok();
+    }));
+  }
+  for (auto& f : gets) {
+    EXPECT_TRUE(f.get());
+  }
+  EXPECT_EQ(store->NumEntries(), 0u);
+  EXPECT_EQ(store->TotalBytes(), 0);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace helix

@@ -186,6 +186,26 @@ TEST_F(StoreTest, EstimateLoadMicrosMonotonicInSize) {
   EXPECT_GE(store->EstimateLoadMicros(0), 0);
 }
 
+TEST_F(StoreTest, EstimateLoadMicrosSurvivesZeroObservedMicros) {
+  // Under a virtual clock every measured I/O takes zero micros; the
+  // bandwidth estimator must fall back to its default instead of dividing
+  // by the observed (zero) time.
+  VirtualClock clock;
+  StoreOptions options;
+  options.budget_bytes = 64 << 20;
+  options.clock = &clock;
+  auto opened = IntermediateStore::Open(dir_, options);
+  ASSERT_TRUE(opened.ok());
+  auto& store = opened.value();
+  // Large enough payloads to pass the estimator's observability threshold
+  // (64 KiB) with zero observed micros — the hazardous combination.
+  ASSERT_TRUE(store->Put(1, "big", MakeCollection("x", 100000), 0).ok());
+  ASSERT_TRUE(store->Get(1).ok());
+  int64_t estimate = store->EstimateLoadMicros(1 << 20);
+  EXPECT_GT(estimate, 0);
+  EXPECT_LT(estimate, 60LL * 1000 * 1000);  // sane, not overflow garbage
+}
+
 TEST_F(StoreTest, FingerprintRecordedInEntry) {
   auto store = OpenStore();
   DataCollection data = MakeCollection("fp");
