@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1b_plan.dir/bench/bench_fig1b_plan.cc.o"
+  "CMakeFiles/bench_fig1b_plan.dir/bench/bench_fig1b_plan.cc.o.d"
+  "bench_fig1b_plan"
+  "bench_fig1b_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

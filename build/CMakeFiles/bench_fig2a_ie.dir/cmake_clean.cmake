@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2a_ie.dir/bench/bench_fig2a_ie.cc.o"
+  "CMakeFiles/bench_fig2a_ie.dir/bench/bench_fig2a_ie.cc.o.d"
+  "bench_fig2a_ie"
+  "bench_fig2a_ie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_ie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

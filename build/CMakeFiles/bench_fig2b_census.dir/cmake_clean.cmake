@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_census.dir/bench/bench_fig2b_census.cc.o"
+  "CMakeFiles/bench_fig2b_census.dir/bench/bench_fig2b_census.cc.o.d"
+  "bench_fig2b_census"
+  "bench_fig2b_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_materialization.dir/bench/bench_materialization.cc.o"
+  "CMakeFiles/bench_materialization.dir/bench/bench_materialization.cc.o.d"
+  "bench_materialization"
+  "bench_materialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recompute.dir/bench/bench_recompute.cc.o"
+  "CMakeFiles/bench_recompute.dir/bench/bench_recompute.cc.o.d"
+  "bench_recompute"
+  "bench_recompute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

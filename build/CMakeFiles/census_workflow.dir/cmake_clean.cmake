@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_workflow.dir/examples/census_workflow.cpp.o"
+  "CMakeFiles/census_workflow.dir/examples/census_workflow.cpp.o.d"
+  "census_workflow"
+  "census_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

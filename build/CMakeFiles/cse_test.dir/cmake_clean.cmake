@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cse_test.dir/tests/cse_test.cc.o"
+  "CMakeFiles/cse_test.dir/tests/cse_test.cc.o.d"
+  "cse_test"
+  "cse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

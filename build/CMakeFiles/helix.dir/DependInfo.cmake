@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/census_app.cc" "CMakeFiles/helix.dir/src/apps/census_app.cc.o" "gcc" "CMakeFiles/helix.dir/src/apps/census_app.cc.o.d"
+  "/root/repo/src/apps/ie_app.cc" "CMakeFiles/helix.dir/src/apps/ie_app.cc.o" "gcc" "CMakeFiles/helix.dir/src/apps/ie_app.cc.o.d"
+  "/root/repo/src/baselines/baselines.cc" "CMakeFiles/helix.dir/src/baselines/baselines.cc.o" "gcc" "CMakeFiles/helix.dir/src/baselines/baselines.cc.o.d"
+  "/root/repo/src/common/clock.cc" "CMakeFiles/helix.dir/src/common/clock.cc.o" "gcc" "CMakeFiles/helix.dir/src/common/clock.cc.o.d"
+  "/root/repo/src/common/csv.cc" "CMakeFiles/helix.dir/src/common/csv.cc.o" "gcc" "CMakeFiles/helix.dir/src/common/csv.cc.o.d"
+  "/root/repo/src/common/file_util.cc" "CMakeFiles/helix.dir/src/common/file_util.cc.o" "gcc" "CMakeFiles/helix.dir/src/common/file_util.cc.o.d"
+  "/root/repo/src/common/hash.cc" "CMakeFiles/helix.dir/src/common/hash.cc.o" "gcc" "CMakeFiles/helix.dir/src/common/hash.cc.o.d"
+  "/root/repo/src/common/json.cc" "CMakeFiles/helix.dir/src/common/json.cc.o" "gcc" "CMakeFiles/helix.dir/src/common/json.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/helix.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/helix.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/helix.dir/src/common/status.cc.o" "gcc" "CMakeFiles/helix.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "CMakeFiles/helix.dir/src/common/strings.cc.o" "gcc" "CMakeFiles/helix.dir/src/common/strings.cc.o.d"
+  "/root/repo/src/core/change_tracker.cc" "CMakeFiles/helix.dir/src/core/change_tracker.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/change_tracker.cc.o.d"
+  "/root/repo/src/core/cse.cc" "CMakeFiles/helix.dir/src/core/cse.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/cse.cc.o.d"
+  "/root/repo/src/core/executor.cc" "CMakeFiles/helix.dir/src/core/executor.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/executor.cc.o.d"
+  "/root/repo/src/core/materialization.cc" "CMakeFiles/helix.dir/src/core/materialization.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/materialization.cc.o.d"
+  "/root/repo/src/core/operator.cc" "CMakeFiles/helix.dir/src/core/operator.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/operator.cc.o.d"
+  "/root/repo/src/core/plan_viz.cc" "CMakeFiles/helix.dir/src/core/plan_viz.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/plan_viz.cc.o.d"
+  "/root/repo/src/core/program_slicer.cc" "CMakeFiles/helix.dir/src/core/program_slicer.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/program_slicer.cc.o.d"
+  "/root/repo/src/core/recompute.cc" "CMakeFiles/helix.dir/src/core/recompute.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/recompute.cc.o.d"
+  "/root/repo/src/core/session.cc" "CMakeFiles/helix.dir/src/core/session.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/session.cc.o.d"
+  "/root/repo/src/core/std_ops.cc" "CMakeFiles/helix.dir/src/core/std_ops.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/std_ops.cc.o.d"
+  "/root/repo/src/core/version_manager.cc" "CMakeFiles/helix.dir/src/core/version_manager.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/version_manager.cc.o.d"
+  "/root/repo/src/core/workflow.cc" "CMakeFiles/helix.dir/src/core/workflow.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/workflow.cc.o.d"
+  "/root/repo/src/core/workflow_dag.cc" "CMakeFiles/helix.dir/src/core/workflow_dag.cc.o" "gcc" "CMakeFiles/helix.dir/src/core/workflow_dag.cc.o.d"
+  "/root/repo/src/dataflow/data_collection.cc" "CMakeFiles/helix.dir/src/dataflow/data_collection.cc.o" "gcc" "CMakeFiles/helix.dir/src/dataflow/data_collection.cc.o.d"
+  "/root/repo/src/dataflow/examples.cc" "CMakeFiles/helix.dir/src/dataflow/examples.cc.o" "gcc" "CMakeFiles/helix.dir/src/dataflow/examples.cc.o.d"
+  "/root/repo/src/dataflow/features.cc" "CMakeFiles/helix.dir/src/dataflow/features.cc.o" "gcc" "CMakeFiles/helix.dir/src/dataflow/features.cc.o.d"
+  "/root/repo/src/dataflow/metrics.cc" "CMakeFiles/helix.dir/src/dataflow/metrics.cc.o" "gcc" "CMakeFiles/helix.dir/src/dataflow/metrics.cc.o.d"
+  "/root/repo/src/dataflow/model.cc" "CMakeFiles/helix.dir/src/dataflow/model.cc.o" "gcc" "CMakeFiles/helix.dir/src/dataflow/model.cc.o.d"
+  "/root/repo/src/dataflow/schema.cc" "CMakeFiles/helix.dir/src/dataflow/schema.cc.o" "gcc" "CMakeFiles/helix.dir/src/dataflow/schema.cc.o.d"
+  "/root/repo/src/dataflow/table.cc" "CMakeFiles/helix.dir/src/dataflow/table.cc.o" "gcc" "CMakeFiles/helix.dir/src/dataflow/table.cc.o.d"
+  "/root/repo/src/dataflow/text.cc" "CMakeFiles/helix.dir/src/dataflow/text.cc.o" "gcc" "CMakeFiles/helix.dir/src/dataflow/text.cc.o.d"
+  "/root/repo/src/dataflow/value.cc" "CMakeFiles/helix.dir/src/dataflow/value.cc.o" "gcc" "CMakeFiles/helix.dir/src/dataflow/value.cc.o.d"
+  "/root/repo/src/datagen/census_gen.cc" "CMakeFiles/helix.dir/src/datagen/census_gen.cc.o" "gcc" "CMakeFiles/helix.dir/src/datagen/census_gen.cc.o.d"
+  "/root/repo/src/datagen/news_gen.cc" "CMakeFiles/helix.dir/src/datagen/news_gen.cc.o" "gcc" "CMakeFiles/helix.dir/src/datagen/news_gen.cc.o.d"
+  "/root/repo/src/graph/dag.cc" "CMakeFiles/helix.dir/src/graph/dag.cc.o" "gcc" "CMakeFiles/helix.dir/src/graph/dag.cc.o.d"
+  "/root/repo/src/graph/maxflow.cc" "CMakeFiles/helix.dir/src/graph/maxflow.cc.o" "gcc" "CMakeFiles/helix.dir/src/graph/maxflow.cc.o.d"
+  "/root/repo/src/graph/project_selection.cc" "CMakeFiles/helix.dir/src/graph/project_selection.cc.o" "gcc" "CMakeFiles/helix.dir/src/graph/project_selection.cc.o.d"
+  "/root/repo/src/ml/evaluation.cc" "CMakeFiles/helix.dir/src/ml/evaluation.cc.o" "gcc" "CMakeFiles/helix.dir/src/ml/evaluation.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "CMakeFiles/helix.dir/src/ml/logistic_regression.cc.o" "gcc" "CMakeFiles/helix.dir/src/ml/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "CMakeFiles/helix.dir/src/ml/naive_bayes.cc.o" "gcc" "CMakeFiles/helix.dir/src/ml/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/perceptron.cc" "CMakeFiles/helix.dir/src/ml/perceptron.cc.o" "gcc" "CMakeFiles/helix.dir/src/ml/perceptron.cc.o.d"
+  "/root/repo/src/nlp/gazetteer.cc" "CMakeFiles/helix.dir/src/nlp/gazetteer.cc.o" "gcc" "CMakeFiles/helix.dir/src/nlp/gazetteer.cc.o.d"
+  "/root/repo/src/nlp/mention_decoder.cc" "CMakeFiles/helix.dir/src/nlp/mention_decoder.cc.o" "gcc" "CMakeFiles/helix.dir/src/nlp/mention_decoder.cc.o.d"
+  "/root/repo/src/nlp/token_features.cc" "CMakeFiles/helix.dir/src/nlp/token_features.cc.o" "gcc" "CMakeFiles/helix.dir/src/nlp/token_features.cc.o.d"
+  "/root/repo/src/nlp/tokenizer.cc" "CMakeFiles/helix.dir/src/nlp/tokenizer.cc.o" "gcc" "CMakeFiles/helix.dir/src/nlp/tokenizer.cc.o.d"
+  "/root/repo/src/runtime/async_materializer.cc" "CMakeFiles/helix.dir/src/runtime/async_materializer.cc.o" "gcc" "CMakeFiles/helix.dir/src/runtime/async_materializer.cc.o.d"
+  "/root/repo/src/runtime/parallel_scheduler.cc" "CMakeFiles/helix.dir/src/runtime/parallel_scheduler.cc.o" "gcc" "CMakeFiles/helix.dir/src/runtime/parallel_scheduler.cc.o.d"
+  "/root/repo/src/runtime/thread_pool.cc" "CMakeFiles/helix.dir/src/runtime/thread_pool.cc.o" "gcc" "CMakeFiles/helix.dir/src/runtime/thread_pool.cc.o.d"
+  "/root/repo/src/storage/cost_stats.cc" "CMakeFiles/helix.dir/src/storage/cost_stats.cc.o" "gcc" "CMakeFiles/helix.dir/src/storage/cost_stats.cc.o.d"
+  "/root/repo/src/storage/store.cc" "CMakeFiles/helix.dir/src/storage/store.cc.o" "gcc" "CMakeFiles/helix.dir/src/storage/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

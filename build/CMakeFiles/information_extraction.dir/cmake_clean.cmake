@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/information_extraction.dir/examples/information_extraction.cpp.o"
+  "CMakeFiles/information_extraction.dir/examples/information_extraction.cpp.o.d"
+  "information_extraction"
+  "information_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/information_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialization_test.dir/tests/materialization_test.cc.o"
+  "CMakeFiles/materialization_test.dir/tests/materialization_test.cc.o.d"
+  "materialization_test"
+  "materialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/std_ops_test.dir/tests/std_ops_test.cc.o"
+  "CMakeFiles/std_ops_test.dir/tests/std_ops_test.cc.o.d"
+  "std_ops_test"
+  "std_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/std_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_browser.dir/examples/version_browser.cpp.o"
+  "CMakeFiles/version_browser.dir/examples/version_browser.cpp.o.d"
+  "version_browser"
+  "version_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_test.dir/tests/workflow_test.cc.o"
+  "CMakeFiles/workflow_test.dir/tests/workflow_test.cc.o.d"
+  "workflow_test"
+  "workflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
