@@ -128,7 +128,9 @@ void MaybeMaterialize(ExecState* st, int node,
   ctx.phase = op.phase();
   ctx.compute_micros = record->cost_micros;
   ctx.size_bytes = data.SizeBytes();
-  ctx.remaining_budget_bytes = opts.store->RemainingBytes();
+  // With eviction enabled the store can make room up to the whole budget;
+  // the policy gates on what is admissible, Put enforces the fine print.
+  ctx.remaining_budget_bytes = opts.store->AdmissibleBytes();
   ctx.est_load_micros = op.synthetic_costs().load_micros >= 0
                             ? op.synthetic_costs().load_micros
                             : opts.store->EstimateLoadMicros(ctx.size_bytes);
@@ -151,12 +153,15 @@ void MaybeMaterialize(ExecState* st, int node,
     request.node_name = op.name();
     request.data = data;  // shares the payload; copies a pointer
     request.iteration = opts.iteration;
+    request.compute_micros = record->cost_micros;
     st->materializer->Enqueue(std::move(request));
     return;
   }
 
   int64_t start = opts.clock->NowMicros();
-  Status put = opts.store->Put(sig, op.name(), data, opts.iteration);
+  Status put = opts.store->Put(sig, op.name(), data, opts.iteration,
+                               /*write_micros_out=*/nullptr,
+                               /*compute_micros=*/record->cost_micros);
   if (!put.ok()) {
     // The policy checked the (approximate) size, but the serialized size
     // is authoritative; treat an over-budget Put as a skipped decision.

@@ -18,6 +18,13 @@ Result<std::unique_ptr<Session>> Session::Open(
     storage::StoreOptions store_options;
     store_options.budget_bytes = options.storage_budget_bytes;
     store_options.clock = options.clock;
+    store_options.backend = options.storage_backend;
+    store_options.enable_eviction = options.storage_eviction;
+    store_options.default_compute_estimate_micros =
+        options.default_compute_estimate_micros;
+    if (options.storage_shard_count > 0) {
+      store_options.shard_count = options.storage_shard_count;
+    }
     HELIX_ASSIGN_OR_RETURN(
         session->store_,
         storage::IntermediateStore::Open(

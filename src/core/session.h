@@ -34,6 +34,18 @@ struct SessionOptions {
   std::string workspace_dir;
   /// Maximum bytes of materialized intermediate results.
   int64_t storage_budget_bytes = 1LL << 30;
+  /// Payload backend for the materialization store. kDisk (default)
+  /// persists intermediates on disk, so a Session closed and reopened
+  /// over the same workspace serves them as loads instead of
+  /// recomputing; kMemory confines reuse to this process.
+  storage::StorageBackendKind storage_backend =
+      storage::StorageBackendKind::kDisk;
+  /// Lock-striping width of the store's metadata index (0 = store
+  /// default; 1 = the legacy single-mutex behavior).
+  int storage_shard_count = 0;
+  /// Cost-based eviction: over-budget materializations evict
+  /// lowest-retention-score entries instead of being refused.
+  bool storage_eviction = true;
   Clock* clock = SystemClock::Default();
   /// Materialization decision rule; nullptr selects the paper's online
   /// cost-model policy. Ignored when materialization is disabled.

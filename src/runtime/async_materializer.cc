@@ -58,7 +58,8 @@ void AsyncMaterializer::WriterLoop() {
     outcome.node_name = request.node_name;
     outcome.status =
         store_->Put(request.signature, request.node_name, request.data,
-                    request.iteration, &outcome.write_micros);
+                    request.iteration, &outcome.write_micros,
+                    request.compute_micros);
 
     lock.lock();
     writing_ = false;

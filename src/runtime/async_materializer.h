@@ -32,6 +32,14 @@ namespace runtime {
 /// compute critical path. The store must be thread-safe (it is — see
 /// storage/store.h); the writer is a single thread, so writes retain
 /// enqueue order.
+///
+/// Thread safety: Enqueue/Drain/Pending are safe from any thread;
+/// multiple producers may enqueue concurrently. Ownership: the store is
+/// borrowed and must outlive the materializer; Requests (and their
+/// shared-payload DataCollections) are owned by the queue until written.
+/// Failure modes: a failed Put never aborts the pipeline — the Status is
+/// carried in the corresponding Outcome and the caller decides (the
+/// executor demotes it to a skipped materialization).
 class AsyncMaterializer {
  public:
   /// One pending materialization. `data` shares its payload with the
@@ -42,6 +50,9 @@ class AsyncMaterializer {
     std::string node_name;
     dataflow::DataCollection data;
     int64_t iteration = 0;
+    /// Producer's measured compute cost, forwarded to the store for
+    /// eviction retention scoring (-1 = unknown).
+    int64_t compute_micros = -1;
   };
 
   /// Result of one attempted write.

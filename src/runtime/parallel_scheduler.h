@@ -44,6 +44,9 @@ using NodeRunner = std::function<Status(int node)>;
 /// per-node slots without additional synchronization.
 class ParallelDagScheduler {
  public:
+  /// `dag` must outlive the scheduler (borrowed, not owned); `active`
+  /// must have one flag per DAG node. The scheduler itself is one-shot:
+  /// construct, Run once, discard.
   ParallelDagScheduler(const graph::Dag* dag, std::vector<bool> active);
 
   /// Executes all active nodes on `pool` in dependency order; blocks until

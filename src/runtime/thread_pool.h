@@ -26,6 +26,11 @@ namespace runtime {
 
 /// A fixed-size thread pool.
 ///
+/// Thread safety: every public method is safe to call from any thread,
+/// including from tasks running on the pool (a task may Schedule more
+/// work). Ownership: the pool owns its worker threads; enqueued
+/// std::functions are owned by the queue until executed.
+///
 /// Shutdown semantics: the destructor *drains* the queue — every task that
 /// was accepted before destruction began runs to completion before the
 /// workers join. A future obtained from Submit is therefore always
@@ -43,6 +48,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Number of worker threads (fixed at construction).
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues a fire-and-forget task. Returns false (task dropped) if the

@@ -1,0 +1,103 @@
+// StorageBackend: the pluggable payload layer under the sharded
+// IntermediateStore.
+//
+// The store separates *what* is cached (the sharded metadata index, budget
+// accounting, eviction policy — storage/store.h) from *where* payload bytes
+// live. A backend is a flat keyed blob space: serialized DataCollection
+// envelopes keyed by the producing node's cumulative Merkle signature.
+// Two implementations ship today: MemoryBackend (storage/memory_backend.h)
+// and DiskBackend (storage/disk_backend.h, append-only segment files).
+#ifndef HELIX_STORAGE_BACKEND_H_
+#define HELIX_STORAGE_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace helix {
+namespace storage {
+
+/// Selects the payload backend an IntermediateStore runs on.
+enum class StorageBackendKind : uint8_t {
+  /// Append-only segment files on disk; survives process restart.
+  kDisk = 0,
+  /// In-process map; fastest, forgets everything at destruction.
+  kMemory = 1,
+};
+
+const char* StorageBackendKindToString(StorageBackendKind kind);
+
+/// Manifest record for one stored result. The store keeps these in its
+/// sharded index; persistent backends also embed them in their on-disk
+/// records so the index can be rebuilt on open.
+struct StoreEntry {
+  uint64_t signature = 0;      // cumulative Merkle signature (the key)
+  std::string node_name;       // producing operator (diagnostics/reports)
+  int64_t size_bytes = 0;      // serialized payload size
+  int64_t write_micros = 0;    // measured materialization cost
+  int64_t load_micros = -1;    // last measured load cost (-1 = never loaded)
+  int64_t compute_micros = -1; // producer's compute cost (-1 = unknown);
+                               // feeds the eviction retention score
+  int64_t iteration = -1;      // iteration that wrote the entry
+  uint64_t fingerprint = 0;    // payload content hash (paranoid re-checks)
+};
+
+/// Flat blob storage keyed by signature.
+///
+/// Contract for implementations:
+///   * Thread safety — every method must be safe to call concurrently;
+///     the sharded store deliberately performs backend I/O outside its
+///     shard locks so reads of different entries can overlap.
+///   * Ownership — backends own their resources (maps, file handles);
+///     the store owns the backend and destroys it on close. Destruction
+///     must not lose writes that already returned OK.
+///   * Failure modes — Read returns NotFound for unknown signatures and
+///     Corruption when stored bytes fail verification; the store reacts
+///     to either by evicting the index entry so callers fall back to
+///     recomputation. Write/Delete return IOError on environmental
+///     failure; the store surfaces those to the materialization path,
+///     which degrades to "skip persisting" rather than aborting.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Enumerates the entries that survived in this backend, called exactly
+  /// once — at store open, before any concurrency. Volatile backends
+  /// return an empty vector; persistent backends replay their on-disk
+  /// state (tolerating a torn tail from a crash) and return every entry
+  /// whose payload is intact.
+  virtual Result<std::vector<StoreEntry>> Recover() = 0;
+
+  /// Durably associates `payload` with `meta.signature`, overwriting any
+  /// previous association. `meta` must describe `payload` (in particular
+  /// meta.size_bytes == payload.size()); persistent backends store the
+  /// metadata alongside the payload for Recover.
+  virtual Status Write(const StoreEntry& meta, std::string_view payload) = 0;
+
+  /// Returns the payload bytes for `signature`. NotFound if absent;
+  /// Corruption if present but failing verification (checksums).
+  virtual Result<std::string> Read(uint64_t signature) = 0;
+
+  /// Removes `signature`; OK if absent. Persistent backends make the
+  /// removal durable (tombstones) so deleted entries stay deleted across
+  /// restart.
+  virtual Status Delete(uint64_t signature) = 0;
+
+  /// Removes everything, including on-disk state.
+  virtual Status DeleteAll() = 0;
+
+  /// True if data written here survives process restart.
+  virtual bool persistent() const = 0;
+
+  /// Stable human-readable backend name ("disk", "memory").
+  virtual const char* name() const = 0;
+};
+
+}  // namespace storage
+}  // namespace helix
+
+#endif  // HELIX_STORAGE_BACKEND_H_

@@ -29,7 +29,14 @@ struct NodeStats {
 };
 
 /// In-memory registry with binary persistence, keyed by cumulative
-/// signature. Thread-compatible (external synchronization if shared).
+/// signature.
+///
+/// Thread safety: thread-compatible — callers provide external
+/// synchronization when sharing (the executor serializes access through
+/// ExecState::stats_mu). Ownership: plain value type; copy/move freely.
+/// Failure modes: Load returns NotFound for a missing file and Corruption
+/// for a damaged one (callers start fresh); Save is atomic
+/// (temp + rename) and returns IOError on filesystem failure.
 class CostStatsRegistry {
  public:
   CostStatsRegistry() = default;
@@ -53,6 +60,7 @@ class CostStatsRegistry {
   /// Merges a measurement: fields >= 0 overwrite, -1 fields are kept.
   void Record(uint64_t signature, const NodeStats& stats);
 
+  /// Single-field conveniences over Record.
   void RecordCompute(uint64_t signature, const std::string& name,
                      int64_t micros, int64_t iteration);
   void RecordLoad(uint64_t signature, const std::string& name, int64_t micros,
@@ -60,7 +68,9 @@ class CostStatsRegistry {
   void RecordSize(uint64_t signature, const std::string& name, int64_t bytes,
                   int64_t iteration);
 
+  /// Number of signatures with recorded stats.
   size_t size() const { return stats_.size(); }
+  /// Read-only view of all entries (invalidated by Record*).
   const std::unordered_map<uint64_t, NodeStats>& entries() const {
     return stats_;
   }

@@ -1,19 +1,20 @@
 #include "storage/store.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/bytes.h"
-#include "common/file_util.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "storage/disk_backend.h"
+#include "storage/eviction.h"
+#include "storage/memory_backend.h"
 
 namespace helix {
 namespace storage {
 
 namespace {
-constexpr uint32_t kManifestMagic = 0x4D584C48;  // "HLXM"
-constexpr uint32_t kManifestVersion = 1;
-constexpr char kManifestName[] = "MANIFEST";
-
 // Defaults when no I/O has been observed: reads (including
 // deserialization) around 400 MiB/s, plus a fixed per-file overhead.
 // Writes are typically slower but are not used for load estimates.
@@ -24,53 +25,91 @@ constexpr int64_t kFixedIoOverheadMicros = 200;
 constexpr int64_t kMinObservableBytes = 64 * 1024;
 }  // namespace
 
+const char* StorageBackendKindToString(StorageBackendKind kind) {
+  switch (kind) {
+    case StorageBackendKind::kDisk:
+      return "disk";
+    case StorageBackendKind::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
 Result<std::unique_ptr<IntermediateStore>> IntermediateStore::Open(
     const std::string& dir, const StoreOptions& options) {
   if (options.budget_bytes < 0) {
     return Status::InvalidArgument("store budget must be non-negative");
   }
-  HELIX_RETURN_IF_ERROR(MakeDirs(dir));
   std::unique_ptr<IntermediateStore> store(
       new IntermediateStore(dir, options));
-  Status s = store->LoadManifest();
-  if (s.IsNotFound()) {
-    // Fresh store.
-    return store;
+
+  switch (options.backend) {
+    case StorageBackendKind::kDisk: {
+      if (dir.empty()) {
+        return Status::InvalidArgument(
+            "disk-backed store requires a directory");
+      }
+      DiskBackendOptions disk_options;
+      disk_options.segment_max_bytes = options.segment_max_bytes;
+      HELIX_ASSIGN_OR_RETURN(store->backend_,
+                             DiskBackend::Open(dir, disk_options));
+      break;
+    }
+    case StorageBackendKind::kMemory:
+      store->backend_ = std::make_unique<MemoryBackend>();
+      break;
   }
-  if (s.IsCorruption()) {
-    // A damaged manifest must not take the whole system down: start empty
-    // (results will be recomputed) but keep the old entry files out of the
-    // way.
-    HELIX_LOG(Warning) << "store manifest corrupt, starting empty: "
-                       << s.ToString();
-    store->entries_.clear();
-    store->total_bytes_ = 0;
-    return store;
+
+  int shards = std::max(1, options.shard_count);
+  store->shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    store->shards_.push_back(std::make_unique<Shard>());
   }
-  HELIX_RETURN_IF_ERROR(s);
+
+  // Rebuild the index from whatever the backend recovered. No locks
+  // needed: the store is not yet visible to any other thread.
+  HELIX_ASSIGN_OR_RETURN(std::vector<StoreEntry> recovered,
+                         store->backend_->Recover());
+  int64_t total = 0;
+  for (StoreEntry& entry : recovered) {
+    total += entry.size_bytes;
+    uint64_t sig = entry.signature;
+    store->ShardFor(sig).entries[sig] = std::move(entry);
+  }
+  store->total_bytes_.store(total, std::memory_order_relaxed);
+
+  // A shrunk budget (or a crash that resurrected tombstoned entries) can
+  // leave the recovered set over budget: trim it lowest-retention-first.
+  if (total > options.budget_bytes) {
+    std::lock_guard<std::mutex> lock(store->budget_mu_);
+    Status trimmed = store->EvictForLocked(
+        total - options.budget_bytes, std::numeric_limits<double>::infinity());
+    if (!trimmed.ok()) {
+      return trimmed;
+    }
+  }
   return store;
 }
 
-std::string IntermediateStore::EntryPath(uint64_t signature) const {
-  return JoinPath(dir_, HashToHex(signature) + ".dat");
-}
-
 bool IntermediateStore::Has(uint64_t signature) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_.count(signature) > 0;
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.count(signature) > 0;
 }
 
 const StoreEntry* IntermediateStore::Find(uint64_t signature) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(signature);
-  return it == entries_.end() ? nullptr : &it->second;
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(signature);
+  return it == shard.entries.end() ? nullptr : &it->second;
 }
 
 std::optional<StoreEntry> IntermediateStore::GetEntry(
     uint64_t signature) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(signature);
-  if (it == entries_.end()) {
+  Shard& shard = ShardFor(signature);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(signature);
+  if (it == shard.entries.end()) {
     return std::nullopt;
   }
   return it->second;
@@ -78,48 +117,49 @@ std::optional<StoreEntry> IntermediateStore::GetEntry(
 
 Result<dataflow::DataCollection> IntermediateStore::Get(
     uint64_t signature, int64_t* load_micros_out) {
-  // The file read and deserialization — the expensive parts — run
-  // unlocked so concurrent loads (the parallel executor's warm path)
-  // actually overlap; only the manifest lookups/updates take the mutex.
+  // The backend read and deserialization — the expensive parts — run
+  // outside any shard lock so concurrent loads (the parallel executor's
+  // warm path) actually overlap; only index lookups/updates take the
+  // owning shard's mutex.
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (entries_.count(signature) == 0) {
+    Shard& shard = ShardFor(signature);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.count(signature) == 0) {
       return Status::NotFound(
           StrFormat("no stored result for signature %s",
                     HashToHex(signature).c_str()));
     }
   }
   ScopedTimer timer(options_.clock);
-  auto file = ReadFileToString(EntryPath(signature));
-  if (!file.ok()) {
-    // Entry file vanished or unreadable: self-heal by evicting.
+  auto payload = backend_->Read(signature);
+  if (!payload.ok()) {
+    // Payload vanished or failed verification: self-heal by evicting.
     HELIX_LOG(Warning) << "store entry unreadable, evicting "
                        << HashToHex(signature) << ": "
-                       << file.status().ToString();
-    std::lock_guard<std::mutex> lock(mu_);
-    (void)RemoveLocked(signature);
+                       << payload.status().ToString();
+    (void)EvictOne(signature);
     return Status::Corruption("store entry unreadable: " +
-                              file.status().ToString());
+                              payload.status().ToString());
   }
-  auto data = dataflow::DataCollection::DeserializeFromString(file.value());
+  auto data =
+      dataflow::DataCollection::DeserializeFromString(payload.value());
   if (!data.ok()) {
     HELIX_LOG(Warning) << "store entry corrupt, evicting "
                        << HashToHex(signature) << ": "
                        << data.status().ToString();
-    std::lock_guard<std::mutex> lock(mu_);
-    (void)RemoveLocked(signature);
+    (void)EvictOne(signature);
     return data.status();
   }
   int64_t elapsed = timer.ElapsedMicros();
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(signature);
-  if (it != entries_.end()) {
-    it->second.load_micros = elapsed;
+  {
+    Shard& shard = ShardFor(signature);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(signature);
+    if (it != shard.entries.end()) {
+      it->second.load_micros = elapsed;
+    }
   }
-  if (static_cast<int64_t>(file.value().size()) >= kMinObservableBytes) {
-    observed_read_bytes_ += static_cast<int64_t>(file.value().size());
-    observed_read_micros_ += elapsed;
-  }
+  ObserveRead(static_cast<int64_t>(payload.value().size()), elapsed);
   if (load_micros_out != nullptr) {
     *load_micros_out = elapsed;
   }
@@ -129,100 +169,214 @@ Result<dataflow::DataCollection> IntermediateStore::Get(
 Status IntermediateStore::Put(uint64_t signature,
                               const std::string& node_name,
                               const dataflow::DataCollection& data,
-                              int64_t iteration, int64_t* write_micros_out) {
-  // Cheap early rejection before paying for serialization; the locked
+                              int64_t iteration, int64_t* write_micros_out,
+                              int64_t compute_micros) {
+  // Cheap early rejection before paying for serialization; the post-write
   // re-check below stays authoritative.
   if (Has(signature)) {
     return Status::AlreadyExists(
         StrFormat("signature %s already stored",
                   HashToHex(signature).c_str()));
   }
-  // Serialization is the expensive CPU part; do it before taking the lock
-  // so concurrent Puts at least serialize their payloads in parallel.
+  // Serialization is the expensive CPU part; do it before any admission
+  // work so concurrent Puts serialize their payloads in parallel.
   std::string serialized = data.SerializeToString();
   int64_t size = static_cast<int64_t>(serialized.size());
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (entries_.count(signature) > 0) {
-    return Status::AlreadyExists(
-        StrFormat("signature %s already stored",
-                  HashToHex(signature).c_str()));
-  }
-  // Budget check and manifest insertion are atomic under mu_: concurrent
-  // Puts cannot both pass the check and jointly overshoot the budget.
-  if (size > RemainingBytesLocked()) {
+  if (size > options_.budget_bytes) {
     return Status::ResourceExhausted(StrFormat(
-        "result %s (%s) exceeds remaining store budget (%s of %s left)",
+        "result %s (%s) exceeds the whole store budget (%s)",
         node_name.c_str(), HumanBytes(size).c_str(),
-        HumanBytes(RemainingBytesLocked()).c_str(),
         HumanBytes(options_.budget_bytes).c_str()));
   }
-  ScopedTimer timer(options_.clock);
-  HELIX_RETURN_IF_ERROR(WriteStringToFile(EntryPath(signature), serialized));
-  int64_t elapsed = timer.ElapsedMicros();
 
   StoreEntry entry;
   entry.signature = signature;
   entry.node_name = node_name;
   entry.size_bytes = size;
-  entry.write_micros = elapsed;
+  entry.compute_micros = compute_micros;
   entry.iteration = iteration;
   entry.fingerprint = data.Fingerprint();
-  entries_[signature] = entry;
-  total_bytes_ += size;
-  if (size >= kMinObservableBytes) {
-    observed_write_bytes_ += size;
-    observed_write_micros_ += elapsed;
+
+  // Admission: budget check, eviction, and reservation are atomic under
+  // budget_mu_, so concurrent Puts can never jointly overshoot the
+  // budget. The backend write happens after, off this lock.
+  {
+    std::lock_guard<std::mutex> lock(budget_mu_);
+    int64_t remaining =
+        options_.budget_bytes - total_bytes_.load(std::memory_order_relaxed);
+    if (size > remaining) {
+      if (!options_.enable_eviction) {
+        return Status::ResourceExhausted(StrFormat(
+            "result %s (%s) exceeds remaining store budget (%s of %s left)",
+            node_name.c_str(), HumanBytes(size).c_str(),
+            HumanBytes(remaining).c_str(),
+            HumanBytes(options_.budget_bytes).c_str()));
+      }
+      double incoming_score =
+          RetentionScore(entry, EstimateLoadMicros(size),
+                         options_.default_compute_estimate_micros);
+      HELIX_RETURN_IF_ERROR(EvictForLocked(size - remaining, incoming_score));
+    }
+    total_bytes_.fetch_add(size, std::memory_order_relaxed);
   }
+
+  ScopedTimer timer(options_.clock);
+  Status written = backend_->Write(entry, serialized);
+  if (!written.ok()) {
+    total_bytes_.fetch_sub(size, std::memory_order_relaxed);  // unreserve
+    return written;
+  }
+  int64_t elapsed = timer.ElapsedMicros();
+  entry.write_micros = elapsed;
+
+  {
+    Shard& shard = ShardFor(signature);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.count(signature) > 0) {
+      // A concurrent Put of the same signature won the race. Signatures
+      // are content-determined, so the backend holds identical bytes —
+      // only the double-reserved budget needs undoing.
+      total_bytes_.fetch_sub(size, std::memory_order_relaxed);
+      return Status::AlreadyExists(
+          StrFormat("signature %s already stored",
+                    HashToHex(signature).c_str()));
+    }
+    shard.entries[signature] = entry;
+  }
+  ObserveWrite(size, elapsed);
   if (write_micros_out != nullptr) {
     *write_micros_out = elapsed;
   }
-  return SaveManifestLocked();
+  return Status::OK();
+}
+
+Status IntermediateStore::EvictForLocked(int64_t bytes_needed,
+                                         double incoming_score) {
+  std::vector<EvictionCandidate> candidates;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [sig, entry] : shard->entries) {
+      (void)sig;
+      // Copy only the scoring inputs — node_name in particular stays put;
+      // this scan runs under budget_mu_ on every over-budget Put.
+      EvictionCandidate c;
+      c.entry.signature = entry.signature;
+      c.entry.size_bytes = entry.size_bytes;
+      c.entry.load_micros = entry.load_micros;
+      c.entry.compute_micros = entry.compute_micros;
+      c.entry.iteration = entry.iteration;
+      c.est_load_micros = EstimateLoadMicros(entry.size_bytes);
+      candidates.push_back(std::move(c));
+    }
+  }
+  EvictionPlan plan =
+      PlanEviction(candidates, bytes_needed, incoming_score,
+                   options_.default_compute_estimate_micros);
+  if (!plan.feasible) {
+    return Status::ResourceExhausted(StrFormat(
+        "making %s of room would evict higher-value entries",
+        HumanBytes(bytes_needed).c_str()));
+  }
+  for (uint64_t victim : plan.victims) {
+    int64_t freed = EvictOne(victim);
+    if (freed > 0) {
+      num_evictions_.fetch_add(1, std::memory_order_relaxed);
+      HELIX_LOG(Info) << "evicted " << HashToHex(victim) << " ("
+                      << HumanBytes(freed) << ") to make room";
+    }
+  }
+  return Status::OK();
+}
+
+int64_t IntermediateStore::EvictOne(uint64_t signature) {
+  int64_t freed = 0;
+  {
+    Shard& shard = ShardFor(signature);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(signature);
+    if (it == shard.entries.end()) {
+      return 0;
+    }
+    freed = it->second.size_bytes;
+    shard.entries.erase(it);
+  }
+  total_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  Status deleted = backend_->Delete(signature);
+  if (!deleted.ok()) {
+    HELIX_LOG(Warning) << "backend delete of " << HashToHex(signature)
+                       << " failed: " << deleted.ToString();
+  }
+  return freed;
 }
 
 Status IntermediateStore::Remove(uint64_t signature) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return RemoveLocked(signature);
-}
-
-Status IntermediateStore::RemoveLocked(uint64_t signature) {
-  auto it = entries_.find(signature);
-  if (it == entries_.end()) {
-    return Status::OK();
-  }
-  total_bytes_ -= it->second.size_bytes;
-  entries_.erase(it);
-  HELIX_RETURN_IF_ERROR(RemoveFileIfExists(EntryPath(signature)));
-  return SaveManifestLocked();
+  (void)EvictOne(signature);
+  return Status::OK();
 }
 
 Status IntermediateStore::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [sig, entry] : entries_) {
-    (void)entry;
-    HELIX_RETURN_IF_ERROR(RemoveFileIfExists(EntryPath(sig)));
+  std::lock_guard<std::mutex> budget_lock(budget_mu_);
+  int64_t cleared = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [sig, entry] : shard->entries) {
+      (void)sig;
+      cleared += entry.size_bytes;
+    }
+    shard->entries.clear();
   }
-  entries_.clear();
-  total_bytes_ = 0;
-  return SaveManifestLocked();
+  total_bytes_.fetch_sub(cleared, std::memory_order_relaxed);
+  return backend_->DeleteAll();
+}
+
+size_t IntermediateStore::NumEntries() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->entries.size();
+  }
+  return n;
 }
 
 std::vector<StoreEntry> IntermediateStore::Entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<StoreEntry> out;
-  out.reserve(entries_.size());
-  for (const auto& [sig, entry] : entries_) {
-    (void)sig;
-    out.push_back(entry);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [sig, entry] : shard->entries) {
+      (void)sig;
+      out.push_back(entry);
+    }
   }
+  std::sort(out.begin(), out.end(),
+            [](const StoreEntry& a, const StoreEntry& b) {
+              return a.signature < b.signature;
+            });
   return out;
+}
+
+void IntermediateStore::ObserveRead(int64_t bytes, int64_t micros) {
+  if (bytes < kMinObservableBytes) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(est_mu_);
+  observed_read_bytes_ += bytes;
+  observed_read_micros_ += micros;
+}
+
+void IntermediateStore::ObserveWrite(int64_t bytes, int64_t micros) {
+  if (bytes < kMinObservableBytes) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(est_mu_);
+  observed_write_bytes_ += bytes;
+  observed_write_micros_ += micros;
 }
 
 int64_t IntermediateStore::EstimateLoadMicros(int64_t size_bytes) const {
   if (size_bytes < 0) {
     size_bytes = 0;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(est_mu_);
   // Guarded ratio: zero observed micros (e.g. measurements taken under a
   // virtual clock) must never divide; such observations fall through to
   // the next source.
@@ -242,73 +396,6 @@ int64_t IntermediateStore::EstimateLoadMicros(int64_t size_bytes) const {
   return kFixedIoOverheadMicros +
          static_cast<int64_t>(static_cast<double>(size_bytes) /
                               bytes_per_micro);
-}
-
-Status IntermediateStore::SaveManifestLocked() const {
-  ByteWriter w;
-  w.PutU32(kManifestMagic);
-  w.PutU32(kManifestVersion);
-  w.PutU64(entries_.size());
-  for (const auto& [sig, e] : entries_) {
-    w.PutU64(sig);
-    w.PutString(e.node_name);
-    w.PutI64(e.size_bytes);
-    w.PutI64(e.write_micros);
-    w.PutI64(e.load_micros);
-    w.PutI64(e.iteration);
-    w.PutU64(e.fingerprint);
-  }
-  // Trailing checksum over the body.
-  w.PutU64(FnvHash64(w.data().data(), w.data().size()));
-  return WriteStringToFile(JoinPath(dir_, kManifestName), w.data());
-}
-
-Status IntermediateStore::LoadManifest() {
-  HELIX_ASSIGN_OR_RETURN(std::string data,
-                         ReadFileToString(JoinPath(dir_, kManifestName)));
-  if (data.size() < 8) {
-    return Status::Corruption("manifest too short");
-  }
-  std::string_view body(data.data(), data.size() - 8);
-  ByteReader checksum_reader(
-      std::string_view(data.data() + data.size() - 8, 8));
-  HELIX_ASSIGN_OR_RETURN(uint64_t stored, checksum_reader.GetU64());
-  if (stored != FnvHash64(body.data(), body.size())) {
-    return Status::Corruption("manifest checksum mismatch");
-  }
-  ByteReader r(body);
-  HELIX_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
-  if (magic != kManifestMagic) {
-    return Status::Corruption("bad manifest magic");
-  }
-  HELIX_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
-  if (version != kManifestVersion) {
-    return Status::Corruption("unsupported manifest version");
-  }
-  HELIX_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
-  if (count > (1ULL << 24)) {
-    return Status::Corruption("implausible manifest entry count");
-  }
-  entries_.clear();
-  total_bytes_ = 0;
-  for (uint64_t i = 0; i < count; ++i) {
-    StoreEntry e;
-    HELIX_ASSIGN_OR_RETURN(e.signature, r.GetU64());
-    HELIX_ASSIGN_OR_RETURN(e.node_name, r.GetString());
-    HELIX_ASSIGN_OR_RETURN(e.size_bytes, r.GetI64());
-    HELIX_ASSIGN_OR_RETURN(e.write_micros, r.GetI64());
-    HELIX_ASSIGN_OR_RETURN(e.load_micros, r.GetI64());
-    HELIX_ASSIGN_OR_RETURN(e.iteration, r.GetI64());
-    HELIX_ASSIGN_OR_RETURN(e.fingerprint, r.GetU64());
-    // Entries whose data file is gone are dropped silently; Get would
-    // evict them anyway.
-    if (!FileExists(EntryPath(e.signature))) {
-      continue;
-    }
-    total_bytes_ += e.size_bytes;
-    entries_[e.signature] = std::move(e);
-  }
-  return Status::OK();
 }
 
 }  // namespace storage

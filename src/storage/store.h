@@ -1,5 +1,4 @@
-// The materialization store: persistent intermediate results under a
-// storage budget.
+// The materialization store: intermediate results under a storage budget.
 //
 // The HELIX execution engine "chooses intermediate results to persist (with
 // a maximum storage constraint) in order to minimize the latency of future
@@ -7,9 +6,23 @@
 // node's cumulative Merkle signature, so an operator edit anywhere upstream
 // changes the key and stale results are never reused — this implements the
 // iterative change tracker's invalidation semantics at the storage layer.
+//
+// Architecture (this layer's three jobs):
+//   * sharding  — the metadata index is striped over N independently
+//     locked shards keyed by signature, so concurrent lookups/loads from
+//     the parallel runtime do not serialize on one mutex;
+//   * backends  — payload bytes live behind the StorageBackend interface
+//     (storage/backend.h): a persistent append-only-segment disk backend
+//     (storage/disk_backend.h) or a volatile in-memory one
+//     (storage/memory_backend.h);
+//   * eviction  — when a Put does not fit the remaining budget, the store
+//     evicts lowest-retention-score entries (storage/eviction.h) instead
+//     of rejecting, turning the budget into an online cache constraint as
+//     in the HELIX follow-up work (arXiv:1812.05762).
 #ifndef HELIX_STORAGE_STORE_H_
 #define HELIX_STORAGE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -22,55 +35,68 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "dataflow/data_collection.h"
+#include "storage/backend.h"
 
 namespace helix {
 namespace storage {
 
-/// Manifest record for one stored result.
-struct StoreEntry {
-  uint64_t signature = 0;
-  std::string node_name;
-  int64_t size_bytes = 0;     // on-disk size
-  int64_t write_micros = 0;   // measured materialization cost
-  int64_t load_micros = -1;   // last measured load cost (-1 = never loaded)
-  int64_t iteration = -1;     // iteration that wrote the entry
-  uint64_t fingerprint = 0;   // payload content hash (paranoid re-checks)
-};
-
 /// Options for opening a store.
 struct StoreOptions {
-  /// Maximum total bytes of materialized results; Put is refused beyond it.
+  /// Maximum total bytes of materialized results. With eviction enabled
+  /// (default) this is an online cache budget: an over-budget Put evicts
+  /// low-value entries to make room. With eviction disabled it is a hard
+  /// admission limit: Put is refused beyond it (legacy behavior).
   int64_t budget_bytes = 1LL << 30;
   /// Clock used to measure write/load costs (real I/O always happens; a
   /// virtual clock simply won't observe it, callers then charge synthetic
   /// costs themselves).
   Clock* clock = SystemClock::Default();
+  /// Where payload bytes live. kDisk persists across process restart;
+  /// kMemory is an in-process map (reuse within one process only).
+  StorageBackendKind backend = StorageBackendKind::kDisk;
+  /// Lock-striping width of the metadata index (clamped to >= 1).
+  /// shard_count == 1 reproduces the legacy single-mutex store exactly.
+  int shard_count = 8;
+  /// Enables cost-based eviction on over-budget Puts.
+  bool enable_eviction = true;
+  /// Compute-cost fallback for retention scoring of entries whose
+  /// producer cost was never recorded (mirrors
+  /// ExecutionOptions::default_compute_estimate_micros).
+  int64_t default_compute_estimate_micros = 1000000;
+  /// Disk backend: roll to a new segment file past this size.
+  int64_t segment_max_bytes = 64LL << 20;
 };
 
-/// A directory-backed result store with a manifest.
+/// A sharded, budget-gated result store over a pluggable payload backend.
 ///
-/// Layout: <dir>/MANIFEST plus one <16-hex-digit-signature>.dat file per
-/// entry (a DataCollection envelope with trailing checksum). All writes are
-/// atomic (temp file + rename). Corrupt or missing entry files are detected
-/// on Get and self-heal by evicting the entry, so callers fall back to
-/// recomputation.
+/// Thread safety: all public methods are safe to call concurrently.
+/// Metadata operations take only the owning shard's mutex; payload I/O
+/// (backend Read/Write) runs outside shard locks so concurrent loads
+/// overlap; budget admission and eviction are serialized on one budget
+/// mutex, so concurrent Puts can never jointly overshoot the budget.
+/// Lock order: budget mutex -> shard mutex -> backend internals; shard
+/// mutexes are leaf locks with respect to each other (never nested).
 ///
-/// Thread safety: all public methods are safe to call concurrently; one
-/// internal mutex guards the manifest, the budget accounting, and the
-/// bandwidth estimator. In particular the budget check in Put happens
-/// atomically with the manifest insertion, so concurrent Puts can never
-/// jointly overshoot the budget. Get reads and deserializes the entry
-/// file outside the mutex, so concurrent loads overlap; Put holds the
-/// mutex across its file write (budget atomicity beats write concurrency
-/// — the parallel runtime keeps writes off the compute path with a single
-/// background writer, runtime/async_materializer.h, instead).
+/// Ownership: the store owns its backend; a Session owns the store. The
+/// Clock in StoreOptions must outlive the store.
+///
+/// Failure modes: corrupt or missing payloads are detected on Get and
+/// self-heal by evicting the entry, so callers fall back to
+/// recomputation; a failed backend write surfaces as a failed Put (the
+/// executor demotes that to "skip persisting"). Crash recovery is the
+/// backend's job — reopening a disk-backed store serves every entry whose
+/// write completed before the crash.
 class IntermediateStore {
  public:
-  /// Opens (creating if needed) a store rooted at `dir`.
+  /// Opens a store rooted at `dir` (created if needed). For the disk
+  /// backend the directory holds the segment files and `dir` must be
+  /// non-empty; reopening the same directory resumes with all previously
+  /// persisted entries (recovered entries beyond the budget are evicted
+  /// lowest-retention-first). The memory backend ignores `dir`.
   static Result<std::unique_ptr<IntermediateStore>> Open(
       const std::string& dir, const StoreOptions& options);
 
-  /// True if a valid manifest entry exists for `signature`.
+  /// True if a valid index entry exists for `signature`.
   bool Has(uint64_t signature) const;
 
   /// Entry metadata, or nullptr. The pointer is invalidated by any
@@ -81,36 +107,53 @@ class IntermediateStore {
   std::optional<StoreEntry> GetEntry(uint64_t signature) const;
 
   /// Reads and verifies the stored result. On corruption the entry is
-  /// evicted and Corruption is returned. `load_micros_out` (optional)
-  /// receives the measured wall time of the read.
+  /// evicted and Corruption is returned (NotFound if never stored).
+  /// `load_micros_out` (optional) receives the measured read time.
   Result<dataflow::DataCollection> Get(uint64_t signature,
                                        int64_t* load_micros_out = nullptr);
 
-  /// Persists `data` under `signature` if it fits the remaining budget;
-  /// returns ResourceExhausted if it does not, AlreadyExists if present.
-  /// `write_micros_out` (optional) receives the measured write time.
+  /// Persists `data` under `signature`. Returns AlreadyExists if present.
+  /// If the result does not fit the remaining budget, eviction (when
+  /// enabled) frees room by dropping entries with strictly lower
+  /// retention scores; returns ResourceExhausted when the result exceeds
+  /// the whole budget, when eviction is disabled and the result does not
+  /// fit, or when making room would evict higher-value entries.
+  /// `write_micros_out` (optional) receives the measured write time;
+  /// `compute_micros` (optional) is the producer's measured compute cost,
+  /// recorded for retention scoring (-1 = unknown).
   Status Put(uint64_t signature, const std::string& node_name,
              const dataflow::DataCollection& data, int64_t iteration,
-             int64_t* write_micros_out = nullptr);
+             int64_t* write_micros_out = nullptr,
+             int64_t compute_micros = -1);
 
   /// Removes one entry (no-op if absent).
   Status Remove(uint64_t signature);
 
-  /// Removes all entries.
+  /// Removes all entries. Not linearizable with respect to concurrent
+  /// Puts: an overlapping Put may survive (with its payload intact) or be
+  /// reduced to an index entry whose payload self-heals on first Get.
   Status Clear();
 
+  /// Sum of stored entries' payload sizes.
   int64_t TotalBytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return total_bytes_;
+    return total_bytes_.load(std::memory_order_relaxed);
   }
   int64_t BudgetBytes() const { return options_.budget_bytes; }
   int64_t RemainingBytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return options_.budget_bytes - total_bytes_;
+    return options_.budget_bytes - TotalBytes();
   }
-  size_t NumEntries() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return entries_.size();
+  /// Largest result Put could currently admit: the whole budget when
+  /// eviction can make room, the remaining budget otherwise. The
+  /// executor's materialization policies gate on this.
+  int64_t AdmissibleBytes() const {
+    return options_.enable_eviction ? options_.budget_bytes
+                                    : RemainingBytes();
+  }
+  size_t NumEntries() const;
+
+  /// Entries evicted to make room since open (diagnostics/tests).
+  int64_t NumEvictions() const {
+    return num_evictions_.load(std::memory_order_relaxed);
   }
 
   /// Entries ordered by signature (deterministic iteration for reporting).
@@ -123,30 +166,47 @@ class IntermediateStore {
   int64_t EstimateLoadMicros(int64_t size_bytes) const;
 
   const std::string& dir() const { return dir_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  const char* backend_name() const { return backend_->name(); }
 
  private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<uint64_t, StoreEntry> entries;
+  };
+
   IntermediateStore(std::string dir, const StoreOptions& options)
       : dir_(std::move(dir)), options_(options) {}
 
-  std::string EntryPath(uint64_t signature) const;
-  // *Locked methods require mu_ to be held by the caller.
-  Status SaveManifestLocked() const;
-  Status LoadManifest();  // only called from Open, pre-concurrency
-  Status RemoveLocked(uint64_t signature);
-  int64_t RemainingBytesLocked() const {
-    return options_.budget_bytes - total_bytes_;
+  Shard& ShardFor(uint64_t signature) const {
+    return *shards_[signature % shards_.size()];
   }
+
+  // Frees at least `bytes_needed` by evicting entries scoring strictly
+  // below `incoming_score`; requires budget_mu_. ResourceExhausted when
+  // the eligible victims cannot free enough.
+  Status EvictForLocked(int64_t bytes_needed, double incoming_score);
+  // Drops one entry from index + backend; returns bytes actually freed.
+  int64_t EvictOne(uint64_t signature);
+  void ObserveRead(int64_t bytes, int64_t micros);
+  void ObserveWrite(int64_t bytes, int64_t micros);
 
   std::string dir_;
   StoreOptions options_;
-  mutable std::mutex mu_;
-  std::map<uint64_t, StoreEntry> entries_;
-  int64_t total_bytes_ = 0;
+  std::unique_ptr<StorageBackend> backend_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Budget accounting. total_bytes_ is authoritative and updated under
+  // budget_mu_ for admission (reserve/unreserve) but read lock-free.
+  std::mutex budget_mu_;
+  std::atomic<int64_t> total_bytes_{0};
+  std::atomic<int64_t> num_evictions_{0};
 
   // Observed throughput for load-cost estimation. Reads (load +
   // deserialize) and writes (serialize + flush) have very different
   // throughput, so they are tracked separately; load estimation prefers
   // read observations.
+  mutable std::mutex est_mu_;
   int64_t observed_read_bytes_ = 0;
   int64_t observed_read_micros_ = 0;
   int64_t observed_write_bytes_ = 0;

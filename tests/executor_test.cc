@@ -14,12 +14,29 @@
 #include "core/std_ops.h"
 #include "core/workflow.h"
 #include "core/workflow_dag.h"
+#include "storage/disk_backend.h"
 
 namespace helix {
 namespace core {
 namespace {
 
 namespace ops = core::ops;
+
+// Rewrites stored payloads through the disk backend's own API: appends a
+// well-formed segment record per entry (same signature and metadata, new
+// payload bytes); on the next store open, last-record-wins replay serves
+// the tampered bytes. The store must be closed while tampering.
+void TamperPayloads(const std::string& store_dir,
+                    const std::vector<storage::StoreEntry>& entries,
+                    const std::string& payload) {
+  auto backend =
+      storage::DiskBackend::Open(store_dir, storage::DiskBackendOptions());
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+  ASSERT_TRUE(backend.value()->Recover().ok());
+  for (const storage::StoreEntry& entry : entries) {
+    ASSERT_TRUE(backend.value()->Write(entry, payload).ok());
+  }
+}
 
 // A linear pipeline source -> prep -> train -> eval with controllable
 // synthetic costs, mimicking the census shape at hour scale.
@@ -66,6 +83,10 @@ class ExecutorTest : public ::testing::Test {
     auto dir = MakeTempDir("helix-executor-test");
     ASSERT_TRUE(dir.ok());
     dir_ = dir.value();
+    ReopenStore();
+  }
+
+  void ReopenStore() {
     storage::StoreOptions store_options;
     store_options.budget_bytes = 1 << 20;
     store_options.clock = &clock_;
@@ -212,11 +233,15 @@ TEST_F(ExecutorTest, CorruptStoreEntryFallsBackToRecompute) {
   ASSERT_TRUE(first.FindNode("eval")->materialized ||
               first.FindNode("prep")->materialized);
 
-  // Corrupt every stored entry on disk.
-  for (const storage::StoreEntry& entry : store_->Entries()) {
-    std::string path = JoinPath(dir_, HashToHex(entry.signature) + ".dat");
-    ASSERT_TRUE(WriteStringToFile(path, "corrupted bytes").ok());
-  }
+  // Corrupt every stored entry: close the store, overwrite each payload
+  // with bytes that are not a valid DataCollection envelope (the segment
+  // record itself stays well-formed, so only deserialization can catch
+  // it), and reopen — a simulated restart against a silently damaged
+  // store.
+  std::vector<storage::StoreEntry> entries = store_->Entries();
+  store_.reset();
+  TamperPayloads(dir_, entries, "corrupted bytes");
+  ReopenStore();
 
   ExecutionReport second = Run(p.Build(), Options(1));
   // All loads failed; the executor recomputed on demand and the outputs
@@ -331,18 +356,17 @@ TEST_F(ExecutorTest, ParanoidChecksCatchFingerprintTampering) {
   ASSERT_GT(first.num_materialized, 0);
 
   // Replace each stored entry with a VALID envelope of different content
-  // (checksum passes; only the fingerprint check can catch it).
+  // while keeping the recorded fingerprint (every checksum passes; only
+  // the executor's fingerprint check can catch the swap).
   auto table = std::make_shared<dataflow::TableData>(
       dataflow::Schema::AllStrings({"v"}));
   ASSERT_TRUE(table->AppendRow({dataflow::Value("tampered")}).ok());
   std::string valid_other =
       dataflow::DataCollection::FromTable(table).SerializeToString();
-  for (const storage::StoreEntry& entry : store_->Entries()) {
-    ASSERT_TRUE(WriteStringToFile(
-                    JoinPath(dir_, HashToHex(entry.signature) + ".dat"),
-                    valid_other)
-                    .ok());
-  }
+  std::vector<storage::StoreEntry> entries = store_->Entries();
+  store_.reset();
+  TamperPayloads(dir_, entries, valid_other);
+  ReopenStore();
 
   ExecutionOptions options = Options(1);
   options.paranoid_checks = true;
@@ -603,12 +627,16 @@ TEST_F(ParallelExecutorTest, LoadFallbackThroughPrunedAncestorMatchesSequential)
     ASSERT_TRUE(cold.FindNode("I")->materialized);
     EXPECT_FALSE(cold.FindNode("A")->materialized);
 
-    // Corrupt I's entry file in place; the manifest still advertises it.
+    // Corrupt I's payload via a tampering record, then reopen: the
+    // rebuilt index still advertises I as loadable, but the stored bytes
+    // no longer deserialize.
     uint64_t sig = cold.FindNode("I")->signature;
-    ASSERT_TRUE(WriteStringToFile(
-                    JoinPath(JoinPath(dir_, name), HashToHex(sig) + ".dat"),
-                    "garbage that fails the envelope checksum")
-                    .ok());
+    auto tampered = env->store->GetEntry(sig);
+    ASSERT_TRUE(tampered.has_value());
+    env->store.reset();
+    TamperPayloads(JoinPath(dir_, name), {*tampered},
+                   "garbage that fails the envelope checksum");
+    env = OpenEnv(name);
 
     ExecutionOptions warm_options = Options(env.get(), parallelism, 1);
     warm_options.mat_policy = &policy;

@@ -110,6 +110,88 @@ TEST_F(SessionTest, WorkspacePersistsAcrossSessions) {
   EXPECT_EQ(v->report.num_computed, 0);
 }
 
+TEST_F(SessionTest, DiskBackendReopenServesLoadsWithZeroRecompute) {
+  // The acceptance bar for persistent materialization: a session closed
+  // and reopened over the same workspace (a simulated process restart —
+  // the first Session object is destroyed, nothing in memory survives)
+  // must serve previously materialized intermediates as loads, with zero
+  // recomputation of unchanged upstream operators.
+  {
+    SessionOptions options;
+    options.workspace_dir = dir_;
+    options.clock = &clock_;
+    options.storage_backend = storage::StorageBackendKind::kDisk;
+    auto session = Session::Open(options);
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE((*session)
+                    ->RunIteration(MakeSyntheticWorkflow(2, 3), "initial",
+                                   ChangeCategory::kInitial)
+                    .ok());
+  }
+  SessionOptions options;
+  options.workspace_dir = dir_;
+  options.clock = &clock_;
+  options.storage_backend = storage::StorageBackendKind::kDisk;
+  auto session = Session::Open(options);
+  ASSERT_TRUE(session.ok());
+  auto v = (*session)->RunIteration(MakeSyntheticWorkflow(2, 3), "rerun",
+                                    ChangeCategory::kInitial);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->report.num_computed, 0);
+  for (const char* name : {"source", "prep", "model"}) {
+    const NodeExecution* node = v->report.FindNode(name);
+    ASSERT_NE(node, nullptr) << name;
+    EXPECT_NE(node->state, NodeState::kCompute) << name;
+  }
+}
+
+TEST_F(SessionTest, MemoryBackendReusesInProcessButNotAcrossSessions) {
+  SessionOptions options;
+  options.workspace_dir = dir_;
+  options.clock = &clock_;
+  options.storage_backend = storage::StorageBackendKind::kMemory;
+  {
+    auto session = Session::Open(options);
+    ASSERT_TRUE(session.ok());
+    auto v0 = (*session)->RunIteration(MakeSyntheticWorkflow(2, 3), "initial",
+                                       ChangeCategory::kInitial);
+    ASSERT_TRUE(v0.ok());
+    // Within the process the store serves reuse as usual.
+    auto v1 = (*session)->RunIteration(MakeSyntheticWorkflow(2, 33), "edit",
+                                       ChangeCategory::kMachineLearning);
+    ASSERT_TRUE(v1.ok());
+    EXPECT_GT(v1->report.num_loaded, 0);
+  }
+  // A new session finds an empty store: everything recomputes.
+  auto session = Session::Open(options);
+  ASSERT_TRUE(session.ok());
+  auto v = (*session)->RunIteration(MakeSyntheticWorkflow(2, 3), "rerun",
+                                    ChangeCategory::kInitial);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->report.num_loaded, 0);
+  EXPECT_GT(v->report.num_computed, 0);
+}
+
+TEST_F(SessionTest, TinyBudgetSessionEvictsInsteadOfStalling) {
+  // A budget too small for the whole workflow's intermediates: the store
+  // evicts by retention score instead of refusing every new result, and
+  // iterations keep completing correctly.
+  SessionOptions options;
+  options.workspace_dir = dir_;
+  options.clock = &clock_;
+  options.storage_budget_bytes = 600;  // roughly one small entry
+  auto session = Session::Open(options);
+  ASSERT_TRUE(session.ok());
+  auto v0 = (*session)->RunIteration(MakeSyntheticWorkflow(2, 3), "initial",
+                                     ChangeCategory::kInitial);
+  ASSERT_TRUE(v0.ok());
+  auto v1 = (*session)->RunIteration(MakeSyntheticWorkflow(2, 33), "edit",
+                                     ChangeCategory::kMachineLearning);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_LE((*session)->store()->TotalBytes(),
+            (*session)->store()->BudgetBytes());
+}
+
 TEST_F(SessionTest, UnoptimizedSessionNeverReuses) {
   SessionOptions options = baselines::MakeSessionOptions(
       baselines::SystemKind::kHelixUnopt, "", 0, &clock_);

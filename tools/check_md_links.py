@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Fails when any *.md file in the repo contains a broken relative link.
+
+Checks inline markdown links `[text](target)` whose target is a relative
+path (external URLs and pure #anchors are skipped; a #fragment on a
+relative path is stripped before the existence check). Run from anywhere;
+paths resolve against the repo root (this script's parent directory).
+"""
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {".git", "build", ".github"}
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def md_files():
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not any(part in SKIP_DIRS or part.startswith("build")
+                   for part in path.relative_to(REPO_ROOT).parts):
+            yield path
+
+
+def main():
+    broken = []
+    for md in md_files():
+        text = md.read_text(encoding="utf-8", errors="replace")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (md.parent / rel).resolve()
+            if not resolved.exists():
+                line = text[: match.start()].count("\n") + 1
+                broken.append(f"{md.relative_to(REPO_ROOT)}:{line}: {target}")
+    if broken:
+        print("broken relative links:")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"checked {sum(1 for _ in md_files())} markdown files: all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
