@@ -1,0 +1,364 @@
+// Benchmark: row-loop vs columnar dataflow kernels.
+//
+// Workload: a synthetic census table (all-string columns, the CSV
+// ingestion shape) at 10k / 100k / 1M rows. Three kernels, each written
+// twice with identical semantics:
+//
+//   filter    — keep rows with hours_per_week > 40;
+//   derive    — bucketize age into 10 labeled bins (the Bucketizer scan);
+//   featurize — numeric-detect + standardize age/hours, one-hot
+//               education/occupation into sparse vectors (the
+//               AssembleExamples featurization scan).
+//
+// The "row" variant drives the row-compatibility API (TableData::at, one
+// materialized Value per cell — what the retired row store's operators
+// paid per cell, plus nothing the columnar engine can skip for them). The
+// "col" variant reads typed columns (string views off the arena) and uses
+// selection vectors. Outputs are cross-checked between the two variants,
+// then per-kernel and whole-pipeline timings are reported as aligned rows
+// and machine-readable JSON lines (grep '^json,'), same convention as the
+// other self-driving benches.
+//
+// Run: ./bench_dataflow [--rows=10000,100000,1000000]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "dataflow/data_collection.h"
+#include "dataflow/features.h"
+#include "datagen/census_gen.h"
+
+namespace helix {
+namespace bench {
+namespace {
+
+using dataflow::Column;
+using dataflow::ColumnBuilder;
+using dataflow::FeatureDict;
+using dataflow::SelectionVector;
+using dataflow::SparseVector;
+using dataflow::StringColumn;
+using dataflow::TableData;
+using dataflow::Value;
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const StringColumn& StringCol(const TableData& t, const char* name) {
+  auto col = t.Column(name);
+  CheckOk(col.status(), "column lookup");
+  const auto* s = dynamic_cast<const StringColumn*>(col.value().get());
+  if (s == nullptr) {
+    std::fprintf(stderr, "FATAL: column %s is not string-typed\n", name);
+    std::abort();
+  }
+  return *s;
+}
+
+// --- filter: hours_per_week > 40 ---------------------------------------------
+
+int64_t FilterRowLoop(const TableData& t, int hours_col) {
+  // Row path: materialize each cell, parse, and deep-copy survivors row
+  // by row — how every operator in the row store moved data.
+  auto out = std::make_shared<TableData>(t.schema());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    double hours = 0;
+    if (!ParseDouble(t.at(r, hours_col).AsString(), &hours) || hours <= 40) {
+      continue;
+    }
+    dataflow::Row row;
+    row.reserve(static_cast<size_t>(t.schema().num_fields()));
+    for (int c = 0; c < t.schema().num_fields(); ++c) {
+      row.push_back(t.at(r, c));
+    }
+    CheckOk(out->AppendRow(std::move(row)), "filter append");
+  }
+  return out->num_rows();
+}
+
+int64_t FilterColumnar(const TableData& t, const StringColumn& hours) {
+  SelectionVector sel;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    double h = 0;
+    if (ParseDouble(hours.view(r), &h) && h > 40) {
+      sel.push_back(r);
+    }
+  }
+  return t.Filter(sel)->num_rows();
+}
+
+// --- derive: bucketize age into 10 bins --------------------------------------
+
+constexpr int kBins = 10;
+
+uint64_t DeriveRowLoop(const TableData& t, int age_col) {
+  std::vector<double> parsed(static_cast<size_t>(t.num_rows()));
+  double lo = 0;
+  double hi = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    double x = 0;
+    ParseDouble(t.at(r, age_col).AsString(), &x);
+    parsed[static_cast<size_t>(r)] = x;
+    lo = r == 0 ? x : std::min(lo, x);
+    hi = r == 0 ? x : std::max(hi, x);
+  }
+  double width = std::max((hi - lo) / kBins, 1e-9);
+  auto out = std::make_shared<TableData>(
+      dataflow::Schema::AllStrings({"bucket"}));
+  out->Reserve(t.num_rows());
+  uint64_t check = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    int b = std::clamp(
+        static_cast<int>((parsed[static_cast<size_t>(r)] - lo) / width), 0,
+        kBins - 1);
+    CheckOk(out->AppendRow({Value(StrFormat("b%d", b))}), "derive append");
+    check += static_cast<uint64_t>(b);
+  }
+  return check;
+}
+
+uint64_t DeriveColumnar(const TableData& t, const StringColumn& age) {
+  std::vector<double> parsed(static_cast<size_t>(t.num_rows()));
+  double lo = 0;
+  double hi = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    double x = 0;
+    ParseDouble(age.view(r), &x);
+    parsed[static_cast<size_t>(r)] = x;
+    lo = r == 0 ? x : std::min(lo, x);
+    hi = r == 0 ? x : std::max(hi, x);
+  }
+  double width = std::max((hi - lo) / kBins, 1e-9);
+  std::vector<std::string> labels;
+  for (int b = 0; b < kBins; ++b) {
+    labels.push_back(StrFormat("b%d", b));
+  }
+  ColumnBuilder bucket(dataflow::ValueType::kString);
+  bucket.Reserve(t.num_rows());
+  uint64_t check = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    int b = std::clamp(
+        static_cast<int>((parsed[static_cast<size_t>(r)] - lo) / width), 0,
+        kBins - 1);
+    bucket.AppendString(labels[static_cast<size_t>(b)]);
+    check += static_cast<uint64_t>(b);
+  }
+  auto out = TableData::FromColumns(dataflow::Schema::AllStrings({"bucket"}),
+                                    {bucket.Finish()});
+  CheckOk(out.status(), "derive table");
+  return check;
+}
+
+// --- featurize: standardize numerics, one-hot categoricals -------------------
+
+const char* const kNumericCols[] = {"age", "hours_per_week"};
+const char* const kOneHotCols[] = {"education", "occupation"};
+
+double FeaturizeRowLoop(const TableData& t,
+                        const std::vector<int>& numeric_idx,
+                        const std::vector<int>& onehot_idx) {
+  FeatureDict dict;
+  // Pass 1: means/stddevs off display strings, like the row-wise scan.
+  std::vector<double> mean(numeric_idx.size(), 0);
+  std::vector<double> stddev(numeric_idx.size(), 1);
+  std::vector<int32_t> index(numeric_idx.size(), 0);
+  for (size_t f = 0; f < numeric_idx.size(); ++f) {
+    double sum = 0;
+    double sum_sq = 0;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      double x = 0;
+      ParseDouble(t.at(r, numeric_idx[f]).ToDisplayString(), &x);
+      sum += x;
+      sum_sq += x * x;
+    }
+    mean[f] = sum / static_cast<double>(t.num_rows());
+    double variance =
+        sum_sq / static_cast<double>(t.num_rows()) - mean[f] * mean[f];
+    stddev[f] = variance > 1e-12 ? std::sqrt(variance) : 1.0;
+    index[f] = dict.Intern(t.schema().field(numeric_idx[f]).name);
+  }
+  double check = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    SparseVector features;
+    for (size_t f = 0; f < numeric_idx.size(); ++f) {
+      double x = 0;
+      ParseDouble(t.at(r, numeric_idx[f]).ToDisplayString(), &x);
+      features.Set(index[f], (x - mean[f]) / stddev[f]);
+    }
+    for (int c : onehot_idx) {
+      features.Set(dict.Intern(t.schema().field(c).name + "=" +
+                               t.at(r, c).ToDisplayString()),
+                   1.0);
+    }
+    check += features.Get(index[0]);
+  }
+  return check;
+}
+
+double FeaturizeColumnar(const TableData& t,
+                         const std::vector<int>& numeric_idx,
+                         const std::vector<int>& onehot_idx) {
+  FeatureDict dict;
+  std::vector<const StringColumn*> numeric_cols;
+  std::vector<const StringColumn*> onehot_cols;
+  for (int c : numeric_idx) {
+    numeric_cols.push_back(
+        static_cast<const StringColumn*>(t.column(c).get()));
+  }
+  for (int c : onehot_idx) {
+    onehot_cols.push_back(
+        static_cast<const StringColumn*>(t.column(c).get()));
+  }
+  std::vector<std::vector<double>> parsed(numeric_idx.size());
+  std::vector<double> mean(numeric_idx.size(), 0);
+  std::vector<double> stddev(numeric_idx.size(), 1);
+  std::vector<int32_t> index(numeric_idx.size(), 0);
+  for (size_t f = 0; f < numeric_idx.size(); ++f) {
+    parsed[f].resize(static_cast<size_t>(t.num_rows()));
+    double sum = 0;
+    double sum_sq = 0;
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      double x = 0;
+      ParseDouble(numeric_cols[f]->view(r), &x);
+      parsed[f][static_cast<size_t>(r)] = x;
+      sum += x;
+      sum_sq += x * x;
+    }
+    mean[f] = sum / static_cast<double>(t.num_rows());
+    double variance =
+        sum_sq / static_cast<double>(t.num_rows()) - mean[f] * mean[f];
+    stddev[f] = variance > 1e-12 ? std::sqrt(variance) : 1.0;
+    index[f] = dict.Intern(t.schema().field(numeric_idx[f]).name);
+  }
+  double check = 0;
+  std::string feature_name;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    SparseVector features;
+    for (size_t f = 0; f < numeric_idx.size(); ++f) {
+      features.Set(index[f],
+                   (parsed[f][static_cast<size_t>(r)] - mean[f]) / stddev[f]);
+    }
+    for (size_t f = 0; f < onehot_cols.size(); ++f) {
+      feature_name.assign(t.schema().field(onehot_idx[f]).name);
+      feature_name += '=';
+      feature_name.append(onehot_cols[f]->view(r));
+      features.Set(dict.Intern(feature_name), 1.0);
+    }
+    check += features.Get(index[0]);
+  }
+  return check;
+}
+
+// --- harness -----------------------------------------------------------------
+
+template <typename Fn>
+double BestOfMs(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    double t0 = NowMs();
+    fn();
+    best = std::min(best, NowMs() - t0);
+  }
+  return best;
+}
+
+void ReportKernel(const char* kernel, int64_t rows, double row_ms,
+                  double col_ms) {
+  double speedup = col_ms > 0 ? row_ms / col_ms : 0;
+  std::printf("%-10s %9lld rows   row %9.2f ms   col %9.2f ms   %5.2fx\n",
+              kernel, static_cast<long long>(rows), row_ms, col_ms, speedup);
+  JsonWriter json;
+  json.BeginObject()
+      .KV("bench", "dataflow")
+      .KV("kernel", kernel)
+      .KV("rows", rows)
+      .KV("row_ms", row_ms)
+      .KV("col_ms", col_ms)
+      .KV("speedup", speedup)
+      .EndObject();
+  PrintJsonLine(json);
+}
+
+void RunAt(int64_t rows) {
+  datagen::CensusGenOptions opts;
+  opts.num_rows = rows;
+  auto table = datagen::GenerateCensusTable(opts);
+  int hours_col = table->schema().IndexOf("hours_per_week");
+  int age_col = table->schema().IndexOf("age");
+  std::vector<int> numeric_idx;
+  std::vector<int> onehot_idx;
+  for (const char* c : kNumericCols) {
+    numeric_idx.push_back(table->schema().IndexOf(c));
+  }
+  for (const char* c : kOneHotCols) {
+    onehot_idx.push_back(table->schema().IndexOf(c));
+  }
+  const StringColumn& hours = StringCol(*table, "hours_per_week");
+  const StringColumn& age = StringCol(*table, "age");
+  const int reps = rows >= 1000000 ? 2 : 3;
+
+  // Cross-check semantics once before timing.
+  int64_t kept_row = FilterRowLoop(*table, hours_col);
+  int64_t kept_col = FilterColumnar(*table, hours);
+  uint64_t derive_row = DeriveRowLoop(*table, age_col);
+  uint64_t derive_col = DeriveColumnar(*table, age);
+  double feat_row = FeaturizeRowLoop(*table, numeric_idx, onehot_idx);
+  double feat_col = FeaturizeColumnar(*table, numeric_idx, onehot_idx);
+  if (kept_row != kept_col || derive_row != derive_col ||
+      feat_row != feat_col) {
+    std::fprintf(stderr, "FATAL: row/columnar kernels disagree\n");
+    std::abort();
+  }
+
+  double filter_row_ms =
+      BestOfMs(reps, [&] { FilterRowLoop(*table, hours_col); });
+  double filter_col_ms = BestOfMs(reps, [&] { FilterColumnar(*table, hours); });
+  ReportKernel("filter", rows, filter_row_ms, filter_col_ms);
+
+  double derive_row_ms = BestOfMs(reps, [&] { DeriveRowLoop(*table, age_col); });
+  double derive_col_ms = BestOfMs(reps, [&] { DeriveColumnar(*table, age); });
+  ReportKernel("derive", rows, derive_row_ms, derive_col_ms);
+
+  double feat_row_ms = BestOfMs(
+      reps, [&] { FeaturizeRowLoop(*table, numeric_idx, onehot_idx); });
+  double feat_col_ms = BestOfMs(
+      reps, [&] { FeaturizeColumnar(*table, numeric_idx, onehot_idx); });
+  ReportKernel("featurize", rows, feat_row_ms, feat_col_ms);
+
+  ReportKernel("pipeline", rows, filter_row_ms + derive_row_ms + feat_row_ms,
+               filter_col_ms + derive_col_ms + feat_col_ms);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace helix
+
+int main(int argc, char** argv) {
+  std::vector<long long> row_counts = {10000, 100000, 1000000};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      row_counts.clear();
+      for (const std::string& part :
+           helix::Split(std::string(argv[i] + 7), ',')) {
+        if (!part.empty()) {
+          row_counts.push_back(std::atoll(part.c_str()));
+        }
+      }
+    }
+  }
+  std::printf("bench_dataflow: row-loop vs columnar kernels\n");
+  for (long long rows : row_counts) {
+    helix::bench::RunAt(rows);
+  }
+  return 0;
+}

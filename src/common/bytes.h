@@ -57,10 +57,33 @@ class ByteWriter {
     buf_.append(s.data(), s.size());
   }
 
-  /// Raw bytes, no length prefix.
+  /// Raw bytes, no length prefix. A zero-length write is a no-op (and may
+  /// pass a null pointer, e.g. an empty vector's data()).
   void PutRaw(const void* data, size_t len) {
+    if (len == 0) {
+      return;
+    }
     buf_.append(static_cast<const char*>(data), len);
   }
+
+  /// Packed little-endian u64 array (columnar bodies). On little-endian
+  /// hosts this is one memcpy; the portable fallback loops.
+  void PutU64Array(const uint64_t* v, size_t n) {
+    if (n == 0) {
+      return;  // empty vectors may hand over a null data() pointer
+    }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    PutRaw(v, n * sizeof(uint64_t));
+#else
+    for (size_t i = 0; i < n; ++i) {
+      PutU64(v[i]);
+    }
+#endif
+  }
+
+  /// Grows the buffer's capacity by `additional` bytes up front, so a
+  /// serializer with a good size estimate appends without reallocating.
+  void Reserve(size_t additional) { buf_.reserve(buf_.size() + additional); }
 
   const std::string& data() const { return buf_; }
   std::string&& TakeData() { return std::move(buf_); }
@@ -136,6 +159,40 @@ class ByteReader {
     std::string out(data_.substr(pos_, len));
     pos_ += len;
     return out;
+  }
+
+  /// Borrowed view of the next `len` raw bytes (no copy); the view aliases
+  /// the reader's underlying buffer, which must outlive it.
+  Result<std::string_view> GetRawView(size_t len) {
+    if (len > data_.size() - pos_) {
+      return Truncated("raw bytes");
+    }
+    std::string_view out = data_.substr(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  /// Packed little-endian u64 array written by PutU64Array.
+  Status GetU64Array(uint64_t* out, size_t n) {
+    if (n == 0) {
+      return Status::OK();  // `out` may be an empty vector's null data()
+    }
+    if (n * sizeof(uint64_t) > data_.size() - pos_) {
+      return Status::Corruption("truncated buffer reading u64 array");
+    }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::memcpy(out, data_.data() + pos_, n * sizeof(uint64_t));
+    pos_ += n * sizeof(uint64_t);
+#else
+    for (size_t i = 0; i < n; ++i) {
+      Result<uint64_t> v = GetU64();
+      if (!v.ok()) {
+        return v.status();
+      }
+      out[i] = v.value();
+    }
+#endif
+    return Status::OK();
   }
 
   size_t remaining() const { return data_.size() - pos_; }

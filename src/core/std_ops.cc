@@ -19,12 +19,17 @@ const char kSplitColumn[] = "__split";
 
 namespace {
 
+using dataflow::Column;
+using dataflow::ColumnBuilder;
 using dataflow::DataCollection;
+using dataflow::DoubleColumn;
 using dataflow::ExamplesData;
+using dataflow::Int64Column;
 using dataflow::MetricsData;
 using dataflow::ModelData;
 using dataflow::Row;
 using dataflow::Schema;
+using dataflow::StringColumn;
 using dataflow::TableData;
 using dataflow::TextData;
 using dataflow::Value;
@@ -36,6 +41,127 @@ Result<const TableData*> InputTable(
         StrFormat("missing input #%zu (have %zu)", i, inputs.size()));
   }
   return inputs[i]->AsTable();
+}
+
+// --- Columnar cell readers ---------------------------------------------------
+// Typed fast paths with a generic Value fallback. The fallbacks keep the
+// retired row store's accessor semantics exactly: AsString/AsInt/AsDouble
+// on a mismatched cell throws, like Value::As* always did.
+
+std::string_view StringAt(const Column& col, int64_t r,
+                          std::string* scratch) {
+  if (const auto* s = dynamic_cast<const StringColumn*>(&col)) {
+    if (!s->IsNull(r)) {
+      return s->view(r);
+    }
+  }
+  *scratch = col.GetValue(r).AsString();
+  return *scratch;
+}
+
+int64_t IntAt(const Column& col, int64_t r) {
+  if (const auto* c = dynamic_cast<const Int64Column*>(&col)) {
+    if (!c->IsNull(r)) {
+      return c->value(r);
+    }
+  }
+  return col.GetValue(r).AsInt();
+}
+
+double DoubleAt(const Column& col, int64_t r) {
+  if (const auto* c = dynamic_cast<const DoubleColumn*>(&col)) {
+    if (!c->IsNull(r)) {
+      return c->value(r);
+    }
+  }
+  return col.GetValue(r).AsDouble();
+}
+
+// Renders cells like Value::ToDisplayString (null -> "<null>") without
+// materializing Values on the string fast path.
+class DisplayReader {
+ public:
+  explicit DisplayReader(const Column& col)
+      : col_(&col), str_(dynamic_cast<const StringColumn*>(&col)) {}
+
+  void AppendTo(int64_t r, std::string* out) const {
+    if (str_ != nullptr && !col_->IsNull(r)) {
+      out->append(str_->view(r));
+      return;
+    }
+    out->append(col_->GetValue(r).ToDisplayString());
+  }
+
+  std::string_view View(int64_t r, std::string* scratch) const {
+    if (str_ != nullptr && !col_->IsNull(r)) {
+      return str_->view(r);
+    }
+    *scratch = col_->GetValue(r).ToDisplayString();
+    return *scratch;
+  }
+
+ private:
+  const Column* col_;
+  const StringColumn* str_;
+};
+
+// Numeric feature detection for the featurization scan: every cell's
+// display form must parse as a double (so any null or bool cell rules a
+// column out, exactly as the row-wise scan did). On success `out` holds
+// the parsed values.
+bool TryParseNumericColumn(const Column& col, std::vector<double>* out) {
+  int64_t n = col.length();
+  if (col.null_count() > 0) {
+    return false;  // "<null>" never parses
+  }
+  if (col.storage() == Column::Storage::kBool) {
+    return n == 0;  // "true"/"false" never parse
+  }
+  out->resize(static_cast<size_t>(n));
+  switch (col.storage()) {
+    case Column::Storage::kInt64: {
+      const auto& c = static_cast<const Int64Column&>(col);
+      for (int64_t r = 0; r < n; ++r) {
+        (*out)[static_cast<size_t>(r)] = static_cast<double>(c.value(r));
+      }
+      return true;
+    }
+    case Column::Storage::kDouble: {
+      // The row-wise scan parsed ToDisplayString()'s "%g" rendering, which
+      // rounds; reproduce that exactly so standardized features (and thus
+      // fingerprints) match across the row/columnar boundary.
+      const auto& c = static_cast<const DoubleColumn&>(col);
+      for (int64_t r = 0; r < n; ++r) {
+        double x;
+        if (!ParseDouble(StrFormat("%g", c.value(r)), &x)) {
+          return false;
+        }
+        (*out)[static_cast<size_t>(r)] = x;
+      }
+      return true;
+    }
+    case Column::Storage::kBool:
+      break;  // handled above
+    case Column::Storage::kString: {
+      const auto& c = static_cast<const StringColumn&>(col);
+      for (int64_t r = 0; r < n; ++r) {
+        if (!ParseDouble(c.view(r), &(*out)[static_cast<size_t>(r)])) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Column::Storage::kMixed: {
+      for (int64_t r = 0; r < n; ++r) {
+        if (!ParseDouble(col.GetValue(r).ToDisplayString(),
+                         &(*out)[static_cast<size_t>(r)])) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 Result<const TextData*> InputText(
@@ -68,20 +194,24 @@ Operator FileSource(const std::string& name, const std::string& train_path,
   OperatorFn fn = [train_path, test_path](
                       const std::vector<const DataCollection*>&)
       -> Result<DataCollection> {
-    auto table = std::make_shared<TableData>(
-        Schema::AllStrings({kSplitColumn, "line"}));
+    ColumnBuilder split_b(dataflow::ValueType::kString);
+    ColumnBuilder line_b(dataflow::ValueType::kString);
     for (const auto& [path, split] :
          {std::pair<std::string, const char*>{train_path, "train"},
           std::pair<std::string, const char*>{test_path, "test"}}) {
       HELIX_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
-      for (std::string& line : Split(data, '\n')) {
+      for (const std::string& line : Split(data, '\n')) {
         if (line.empty()) {
           continue;
         }
-        HELIX_RETURN_IF_ERROR(
-            table->AppendRow({Value(std::string(split)), Value(std::move(line))}));
+        split_b.AppendString(split);
+        line_b.AppendString(line);
       }
     }
+    HELIX_ASSIGN_OR_RETURN(
+        auto table,
+        TableData::FromColumns(Schema::AllStrings({kSplitColumn, "line"}),
+                               {split_b.Finish(), line_b.Finish()}));
     return DataCollection::FromTable(std::move(table));
   };
   return Operator(name, "FileSource", params, Phase::kDataPreprocessing,
@@ -102,10 +232,17 @@ Operator CsvScanner(const std::string& name,
     }
     std::vector<std::string> out_columns = {kSplitColumn};
     out_columns.insert(out_columns.end(), columns.begin(), columns.end());
-    auto table = std::make_shared<TableData>(Schema::AllStrings(out_columns));
-    table->Reserve(in->num_rows());
+    std::shared_ptr<const Column> lines = in->column(line_col);
+    // One typed builder per parsed column; the split column passes
+    // through zero-copy.
+    std::vector<ColumnBuilder> builders(
+        columns.size(), ColumnBuilder(dataflow::ValueType::kString));
+    for (ColumnBuilder& b : builders) {
+      b.Reserve(in->num_rows());
+    }
+    std::string scratch;
     for (int64_t r = 0; r < in->num_rows(); ++r) {
-      auto fields = ParseCsvLine(in->at(r, line_col).AsString());
+      auto fields = ParseCsvLine(StringAt(*lines, r, &scratch));
       if (!fields.ok()) {
         return fields.status().WithContext(
             StrFormat("CSV parse error at row %lld",
@@ -117,14 +254,19 @@ Operator CsvScanner(const std::string& name,
             static_cast<long long>(r), fields.value().size(),
             columns.size()));
       }
-      Row row;
-      row.reserve(columns.size() + 1);
-      row.push_back(in->at(r, split_col));
-      for (std::string& f : fields.value()) {
-        row.emplace_back(Trim(f));
+      for (size_t c = 0; c < columns.size(); ++c) {
+        builders[c].AppendString(Trim(fields.value()[c]));
       }
-      HELIX_RETURN_IF_ERROR(table->AppendRow(std::move(row)));
     }
+    std::vector<std::shared_ptr<const Column>> out_cols;
+    out_cols.reserve(columns.size() + 1);
+    out_cols.push_back(in->column(split_col));
+    for (ColumnBuilder& b : builders) {
+      out_cols.push_back(b.Finish());
+    }
+    HELIX_ASSIGN_OR_RETURN(
+        auto table, TableData::FromColumns(Schema::AllStrings(out_columns),
+                                           std::move(out_cols)));
     return DataCollection::FromTable(std::move(table));
   };
   return Operator(name, "CSVScanner", params, Phase::kDataPreprocessing,
@@ -141,13 +283,12 @@ Operator FieldExtractor(const std::string& name, const std::string& field) {
     if (col < 0 || split_col < 0) {
       return Status::InvalidArgument("no column named " + field);
     }
-    auto table = std::make_shared<TableData>(
-        Schema::AllStrings({kSplitColumn, field}));
-    table->Reserve(in->num_rows());
-    for (int64_t r = 0; r < in->num_rows(); ++r) {
-      HELIX_RETURN_IF_ERROR(
-          table->AppendRow({in->at(r, split_col), in->at(r, col)}));
-    }
+    // Pure projection: both output columns are shared with the input,
+    // zero-copy — the row store deep-copied every cell here.
+    HELIX_ASSIGN_OR_RETURN(
+        auto table,
+        TableData::FromColumns(Schema::AllStrings({kSplitColumn, field}),
+                               {in->column(split_col), in->column(col)}));
     return DataCollection::FromTable(std::move(table));
   };
   return Operator(name, "FieldExtractor", params, Phase::kDataPreprocessing,
@@ -165,24 +306,38 @@ Operator Bucketizer(const std::string& name, int bins) {
     }
     HELIX_ASSIGN_OR_RETURN(const TableData* in, InputTable(inputs, 0));
     HELIX_RETURN_IF_ERROR(CheckFeatureTable(*in, "Bucketizer"));
-    // Pass 1: numeric range.
+    // Pass 1 (column-wise): parse the value column numerically and find
+    // its range. String cells parse; other cells widen via ToNumeric.
+    std::shared_ptr<const Column> values = in->column(1);
+    int64_t n = in->num_rows();
+    std::vector<double> parsed(static_cast<size_t>(n), 0.0);
+    const auto* str = dynamic_cast<const StringColumn*>(values.get());
+    for (int64_t r = 0; r < n; ++r) {
+      double x = 0;
+      if (str != nullptr && !str->IsNull(r)) {
+        if (!ParseDouble(str->view(r), &x)) {
+          return Status::InvalidArgument(StrFormat(
+              "Bucketizer: non-numeric value '%s' at row %lld",
+              std::string(str->view(r)).c_str(), static_cast<long long>(r)));
+        }
+      } else {
+        Value v = values->GetValue(r);
+        if (v.type() == dataflow::ValueType::kString) {
+          if (!ParseDouble(v.AsString(), &x)) {
+            return Status::InvalidArgument(StrFormat(
+                "Bucketizer: non-numeric value '%s' at row %lld",
+                v.AsString().c_str(), static_cast<long long>(r)));
+          }
+        } else {
+          HELIX_ASSIGN_OR_RETURN(x, v.ToNumeric());
+        }
+      }
+      parsed[static_cast<size_t>(r)] = x;
+    }
     double lo = 0;
     double hi = 0;
     bool any = false;
-    std::vector<double> parsed(static_cast<size_t>(in->num_rows()), 0.0);
-    for (int64_t r = 0; r < in->num_rows(); ++r) {
-      const Value& v = in->at(r, 1);
-      double x = 0;
-      if (v.type() == dataflow::ValueType::kString) {
-        if (!ParseDouble(v.AsString(), &x)) {
-          return Status::InvalidArgument(StrFormat(
-              "Bucketizer: non-numeric value '%s' at row %lld",
-              v.AsString().c_str(), static_cast<long long>(r)));
-        }
-      } else {
-        HELIX_ASSIGN_OR_RETURN(x, v.ToNumeric());
-      }
-      parsed[static_cast<size_t>(r)] = x;
+    for (double x : parsed) {
       lo = any ? std::min(lo, x) : x;
       hi = any ? std::max(hi, x) : x;
       any = true;
@@ -191,16 +346,25 @@ Operator Bucketizer(const std::string& name, int bins) {
     if (width <= 0) {
       width = 1;
     }
-    auto table = std::make_shared<TableData>(
-        Schema::AllStrings({kSplitColumn, out_col}));
-    table->Reserve(in->num_rows());
-    for (int64_t r = 0; r < in->num_rows(); ++r) {
+    // Pass 2: emit bucket labels from a precomputed label table; the
+    // split column passes through zero-copy.
+    std::vector<std::string> labels;
+    labels.reserve(static_cast<size_t>(bins));
+    for (int b = 0; b < bins; ++b) {
+      labels.push_back(StrFormat("b%d", b));
+    }
+    ColumnBuilder bucket_b(dataflow::ValueType::kString);
+    bucket_b.Reserve(n);
+    for (int64_t r = 0; r < n; ++r) {
       int bucket = static_cast<int>(
           (parsed[static_cast<size_t>(r)] - lo) / width);
       bucket = std::clamp(bucket, 0, bins - 1);
-      HELIX_RETURN_IF_ERROR(table->AppendRow(
-          {in->at(r, 0), Value(StrFormat("b%d", bucket))}));
+      bucket_b.AppendString(labels[static_cast<size_t>(bucket)]);
     }
+    HELIX_ASSIGN_OR_RETURN(
+        auto table,
+        TableData::FromColumns(Schema::AllStrings({kSplitColumn, out_col}),
+                               {in->column(0), bucket_b.Finish()}));
     return DataCollection::FromTable(std::move(table));
   };
   return Operator(name, "Bucketizer", params, Phase::kDataPreprocessing,
@@ -225,20 +389,29 @@ Operator InteractionFeature(const std::string& name) {
       }
       tables.push_back(t);
     }
-    auto table = std::make_shared<TableData>(
-        Schema::AllStrings({kSplitColumn, out_col}));
-    table->Reserve(tables[0]->num_rows());
-    for (int64_t r = 0; r < tables[0]->num_rows(); ++r) {
-      std::string joined;
-      for (size_t i = 0; i < tables.size(); ++i) {
+    std::vector<DisplayReader> readers;
+    readers.reserve(tables.size());
+    for (const TableData* t : tables) {
+      readers.emplace_back(*t->column(1));
+    }
+    ColumnBuilder joined_b(dataflow::ValueType::kString);
+    int64_t n = tables[0]->num_rows();
+    joined_b.Reserve(n);
+    std::string joined;
+    for (int64_t r = 0; r < n; ++r) {
+      joined.clear();
+      for (size_t i = 0; i < readers.size(); ++i) {
         if (i > 0) {
           joined += "&";
         }
-        joined += tables[i]->at(r, 1).ToDisplayString();
+        readers[i].AppendTo(r, &joined);
       }
-      HELIX_RETURN_IF_ERROR(
-          table->AppendRow({tables[0]->at(r, 0), Value(std::move(joined))}));
+      joined_b.AppendString(joined);
     }
+    HELIX_ASSIGN_OR_RETURN(
+        auto table,
+        TableData::FromColumns(Schema::AllStrings({kSplitColumn, out_col}),
+                               {tables[0]->column(0), joined_b.Finish()}));
     return DataCollection::FromTable(std::move(table));
   };
   return Operator(name, "InteractionFeature", "", Phase::kDataPreprocessing,
@@ -276,33 +449,30 @@ Operator AssembleExamples(const std::string& name,
     data->Reserve(rows);
     dataflow::FeatureDict* dict = data->mutable_dict();
 
-    // Per feature column: numeric if every value parses as a double; then
-    // standardize. Otherwise one-hot.
+    // Per feature column (the featurization scan, now column-at-a-time):
+    // numeric if every cell's display form parses as a double; then
+    // standardize from a single parsed array. Otherwise one-hot.
     struct ColumnPlan {
       bool numeric = false;
       double mean = 0;
       double stddev = 1;
       int32_t numeric_index = -1;
+      std::vector<double> parsed;  // filled when numeric
     };
     std::vector<ColumnPlan> plans(features.size());
     for (size_t f = 0; f < features.size(); ++f) {
       const TableData& t = *features[f];
       const std::string& col = t.schema().field(1).name;
-      bool numeric = rows > 0;
-      double sum = 0;
-      double sum_sq = 0;
-      for (int64_t r = 0; r < rows && numeric; ++r) {
-        double x;
-        if (!ParseDouble(t.at(r, 1).ToDisplayString(), &x)) {
-          numeric = false;
-          break;
-        }
-        sum += x;
-        sum_sq += x * x;
-      }
       ColumnPlan& plan = plans[f];
-      plan.numeric = numeric;
-      if (numeric) {
+      plan.numeric = rows > 0 && TryParseNumericColumn(*t.column(1),
+                                                       &plan.parsed);
+      if (plan.numeric) {
+        double sum = 0;
+        double sum_sq = 0;
+        for (double x : plan.parsed) {
+          sum += x;
+          sum_sq += x * x;
+        }
         plan.mean = sum / static_cast<double>(rows);
         double variance =
             sum_sq / static_cast<double>(rows) - plan.mean * plan.mean;
@@ -311,23 +481,32 @@ Operator AssembleExamples(const std::string& name,
       }
     }
 
+    std::shared_ptr<const Column> split = target->column(0);
+    DisplayReader label_reader(*target->column(1));
+    std::vector<DisplayReader> onehot_readers;
+    onehot_readers.reserve(features.size());
+    for (size_t f = 0; f < features.size(); ++f) {
+      onehot_readers.emplace_back(*features[f]->column(1));
+    }
+    std::string scratch;
+    std::string feature_name;
     for (int64_t r = 0; r < rows; ++r) {
       dataflow::Example e;
       e.id = r;
-      e.is_test = target->at(r, 0).AsString() == "test";
+      e.is_test = StringAt(*split, r, &scratch) == "test";
       e.label =
-          target->at(r, 1).ToDisplayString() == positive_label ? 1.0 : 0.0;
+          label_reader.View(r, &scratch) == positive_label ? 1.0 : 0.0;
       for (size_t f = 0; f < features.size(); ++f) {
-        const TableData& t = *features[f];
         const ColumnPlan& plan = plans[f];
         if (plan.numeric) {
-          double x;
-          ParseDouble(t.at(r, 1).ToDisplayString(), &x);
+          double x = plan.parsed[static_cast<size_t>(r)];
           e.features.Set(plan.numeric_index, (x - plan.mean) / plan.stddev);
         } else {
-          const std::string& col = t.schema().field(1).name;
-          e.features.Set(
-              dict->Intern(col + "=" + t.at(r, 1).ToDisplayString()), 1.0);
+          const std::string& col = features[f]->schema().field(1).name;
+          feature_name.assign(col);
+          feature_name += '=';
+          onehot_readers[f].AppendTo(r, &feature_name);
+          e.features.Set(dict->Intern(feature_name), 1.0);
         }
       }
       data->Add(std::move(e));
@@ -392,20 +571,33 @@ Operator Predictor(const std::string& name) {
     HELIX_ASSIGN_OR_RETURN(const ModelData* model, inputs[0]->AsModel());
     HELIX_ASSIGN_OR_RETURN(const ExamplesData* examples,
                            inputs[1]->AsExamples());
-    auto table = std::make_shared<TableData>(Schema({
-        {"id", dataflow::ValueType::kInt},
-        {kSplitColumn, dataflow::ValueType::kString},
-        {"gold", dataflow::ValueType::kDouble},
-        {"prob", dataflow::ValueType::kDouble},
-    }));
-    table->Reserve(examples->num_examples());
-    for (int64_t i = 0; i < examples->num_examples(); ++i) {
+    ColumnBuilder id_b(dataflow::ValueType::kInt);
+    ColumnBuilder split_b(dataflow::ValueType::kString);
+    ColumnBuilder gold_b(dataflow::ValueType::kDouble);
+    ColumnBuilder prob_b(dataflow::ValueType::kDouble);
+    int64_t n = examples->num_examples();
+    id_b.Reserve(n);
+    split_b.Reserve(n);
+    gold_b.Reserve(n);
+    prob_b.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
       const dataflow::Example& e = examples->example(i);
-      double prob = ml::PredictProbability(*model, e.features);
-      HELIX_RETURN_IF_ERROR(table->AppendRow(
-          {Value(e.id), Value(std::string(e.is_test ? "test" : "train")),
-           Value(e.label), Value(prob)}));
+      id_b.AppendInt(e.id);
+      split_b.AppendString(e.is_test ? "test" : "train");
+      gold_b.AppendDouble(e.label);
+      prob_b.AppendDouble(ml::PredictProbability(*model, e.features));
     }
+    HELIX_ASSIGN_OR_RETURN(
+        auto table,
+        TableData::FromColumns(
+            Schema({
+                {"id", dataflow::ValueType::kInt},
+                {kSplitColumn, dataflow::ValueType::kString},
+                {"gold", dataflow::ValueType::kDouble},
+                {"prob", dataflow::ValueType::kDouble},
+            }),
+            {id_b.Finish(), split_b.Finish(), gold_b.Finish(),
+             prob_b.Finish()}));
     return DataCollection::FromTable(std::move(table));
   };
   return Operator(name, "Predictor", "", Phase::kMachineLearning,
@@ -428,13 +620,22 @@ Operator Evaluator(const std::string& name,
       return Status::InvalidArgument(
           "Evaluator expects (id, __split, gold, prob) predictions");
     }
-    std::vector<ml::ScoredLabel> rows;
+    // Selection + gather, column-wise: pick test rows off the split
+    // column, then read gold/prob through typed columns.
+    std::shared_ptr<const Column> split = preds->column(split_col);
+    std::shared_ptr<const Column> gold = preds->column(gold_col);
+    std::shared_ptr<const Column> prob = preds->column(prob_col);
+    dataflow::SelectionVector sel;
+    std::string scratch;
     for (int64_t r = 0; r < preds->num_rows(); ++r) {
-      if (preds->at(r, split_col).AsString() != "test") {
-        continue;
+      if (StringAt(*split, r, &scratch) == "test") {
+        sel.push_back(r);
       }
-      rows.push_back(ml::ScoredLabel{preds->at(r, gold_col).AsDouble(),
-                                     preds->at(r, prob_col).AsDouble()});
+    }
+    std::vector<ml::ScoredLabel> rows;
+    rows.reserve(sel.size());
+    for (int64_t r : sel) {
+      rows.push_back(ml::ScoredLabel{DoubleAt(*gold, r), DoubleAt(*prob, r)});
     }
     HELIX_ASSIGN_OR_RETURN(auto metrics,
                            ml::ComputeBinaryMetrics(rows, options));
@@ -471,27 +672,39 @@ Operator SentenceTokenizer(const std::string& name) {
   OperatorFn fn = [](const std::vector<const DataCollection*>& inputs)
       -> Result<DataCollection> {
     HELIX_ASSIGN_OR_RETURN(const TextData* corpus, InputText(inputs, 0));
-    auto table = std::make_shared<TableData>(Schema({
-        {"doc", dataflow::ValueType::kInt},
-        {"tok", dataflow::ValueType::kInt},
-        {"text", dataflow::ValueType::kString},
-        {"begin", dataflow::ValueType::kInt},
-        {"end", dataflow::ValueType::kInt},
-        {"gold", dataflow::ValueType::kInt},
-    }));
+    ColumnBuilder doc_b(dataflow::ValueType::kInt);
+    ColumnBuilder tok_b(dataflow::ValueType::kInt);
+    ColumnBuilder text_b(dataflow::ValueType::kString);
+    ColumnBuilder begin_b(dataflow::ValueType::kInt);
+    ColumnBuilder end_b(dataflow::ValueType::kInt);
+    ColumnBuilder gold_b(dataflow::ValueType::kInt);
     for (int64_t d = 0; d < corpus->num_docs(); ++d) {
       const dataflow::Document& doc = corpus->doc(d);
       std::vector<nlp::Token> tokens = nlp::Tokenize(doc.text);
       std::vector<bool> labels =
           nlp::TokenLabelsFromSpans(tokens, doc.spans);
       for (size_t t = 0; t < tokens.size(); ++t) {
-        HELIX_RETURN_IF_ERROR(table->AppendRow(
-            {Value(d), Value(static_cast<int64_t>(t)),
-             Value(tokens[t].text), Value(int64_t{tokens[t].begin}),
-             Value(int64_t{tokens[t].end}),
-             Value(int64_t{labels[t] ? 1 : 0})}));
+        doc_b.AppendInt(d);
+        tok_b.AppendInt(static_cast<int64_t>(t));
+        text_b.AppendString(tokens[t].text);
+        begin_b.AppendInt(int64_t{tokens[t].begin});
+        end_b.AppendInt(int64_t{tokens[t].end});
+        gold_b.AppendInt(int64_t{labels[t] ? 1 : 0});
       }
     }
+    HELIX_ASSIGN_OR_RETURN(
+        auto table,
+        TableData::FromColumns(Schema({
+                                   {"doc", dataflow::ValueType::kInt},
+                                   {"tok", dataflow::ValueType::kInt},
+                                   {"text", dataflow::ValueType::kString},
+                                   {"begin", dataflow::ValueType::kInt},
+                                   {"end", dataflow::ValueType::kInt},
+                                   {"gold", dataflow::ValueType::kInt},
+                               }),
+                               {doc_b.Finish(), tok_b.Finish(),
+                                text_b.Finish(), begin_b.Finish(),
+                                end_b.Finish(), gold_b.Finish()}));
     return DataCollection::FromTable(std::move(table));
   };
   return Operator(name, "SentenceTokenizer", "", Phase::kDataPreprocessing,
@@ -519,9 +732,15 @@ Result<std::vector<DocTokens>> GroupTokensByDoc(const TableData& table) {
     return Status::InvalidArgument("not a token table: " +
                                    table.schema().ToString());
   }
+  std::shared_ptr<const Column> doc_c = table.column(doc_col);
+  std::shared_ptr<const Column> text_c = table.column(text_col);
+  std::shared_ptr<const Column> begin_c = table.column(begin_col);
+  std::shared_ptr<const Column> end_c = table.column(end_col);
+  std::shared_ptr<const Column> gold_c = table.column(gold_col);
   std::vector<DocTokens> docs;
+  std::string scratch;
   for (int64_t r = 0; r < table.num_rows(); ++r) {
-    int64_t d = table.at(r, doc_col).AsInt();
+    int64_t d = IntAt(*doc_c, r);
     if (d < 0) {
       return Status::InvalidArgument("negative doc index");
     }
@@ -530,10 +749,10 @@ Result<std::vector<DocTokens>> GroupTokensByDoc(const TableData& table) {
     }
     DocTokens& doc = docs[static_cast<size_t>(d)];
     doc.tokens.push_back(nlp::Token{
-        table.at(r, text_col).AsString(),
-        static_cast<int32_t>(table.at(r, begin_col).AsInt()),
-        static_cast<int32_t>(table.at(r, end_col).AsInt())});
-    doc.gold.push_back(table.at(r, gold_col).AsInt() != 0);
+        std::string(StringAt(*text_c, r, &scratch)),
+        static_cast<int32_t>(IntAt(*begin_c, r)),
+        static_cast<int32_t>(IntAt(*end_c, r))});
+    doc.gold.push_back(IntAt(*gold_c, r) != 0);
     doc.row_ids.push_back(r);
   }
   return docs;
@@ -594,13 +813,15 @@ Operator MentionDecoder(const std::string& name,
           "MentionDecoder expects a predictions table with (id, prob)");
     }
     // prob per global token-row id.
+    std::shared_ptr<const Column> ids = preds->column(id_col);
+    std::shared_ptr<const Column> pred_probs = preds->column(prob_col);
     std::vector<double> probs(static_cast<size_t>(tokens->num_rows()), 0.0);
     for (int64_t r = 0; r < preds->num_rows(); ++r) {
-      int64_t id = preds->at(r, id_col).AsInt();
+      int64_t id = IntAt(*ids, r);
       if (id < 0 || id >= tokens->num_rows()) {
         return Status::InvalidArgument("prediction id out of range");
       }
-      probs[static_cast<size_t>(id)] = preds->at(r, prob_col).AsDouble();
+      probs[static_cast<size_t>(id)] = DoubleAt(*pred_probs, r);
     }
     auto decoded = std::make_shared<TextData>();
     for (size_t d = 0; d < docs.size(); ++d) {

@@ -1,0 +1,659 @@
+#include "dataflow/column.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace helix {
+namespace dataflow {
+
+namespace {
+
+// Per-cell hashes, kept bit-identical to Value::Hash() so columnar tables
+// fingerprint exactly like the pre-columnar row store did.
+inline uint64_t NullCellHash() {
+  return Hasher().AddU64(static_cast<uint64_t>(ValueType::kNull)).Digest();
+}
+inline uint64_t IntCellHash(int64_t v) {
+  return Hasher()
+      .AddU64(static_cast<uint64_t>(ValueType::kInt))
+      .AddI64(v)
+      .Digest();
+}
+inline uint64_t DoubleCellHash(double v) {
+  return Hasher()
+      .AddU64(static_cast<uint64_t>(ValueType::kDouble))
+      .AddDouble(v)
+      .Digest();
+}
+inline uint64_t BoolCellHash(bool v) {
+  return Hasher()
+      .AddU64(static_cast<uint64_t>(ValueType::kBool))
+      .AddBool(v)
+      .Digest();
+}
+inline uint64_t StringCellHash(std::string_view v) {
+  return Hasher()
+      .AddU64(static_cast<uint64_t>(ValueType::kString))
+      .Add(v)
+      .Digest();
+}
+
+std::vector<uint8_t> GatherValidity(const std::vector<uint8_t>& validity,
+                                    const SelectionVector& sel,
+                                    int64_t* null_count_out) {
+  *null_count_out = 0;
+  if (validity.empty()) {
+    return {};
+  }
+  std::vector<uint8_t> out((sel.size() + 7) / 8, 0xFF);
+  for (size_t i = 0; i < sel.size(); ++i) {
+    size_t src = static_cast<size_t>(sel[i]);
+    if ((validity[src >> 3] & (1u << (src & 7))) == 0) {
+      out[i >> 3] = static_cast<uint8_t>(out[i >> 3] & ~(1u << (i & 7)));
+      ++*null_count_out;
+    }
+  }
+  if (*null_count_out == 0) {
+    return {};
+  }
+  // Clear padding bits past the last cell for deterministic bytes.
+  if (!sel.empty() && (sel.size() & 7) != 0) {
+    out.back() =
+        static_cast<uint8_t>(out.back() & ((1u << (sel.size() & 7)) - 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+void Column::CellHashes(int64_t begin, int64_t end, uint64_t* out) const {
+  for (int64_t i = begin; i < end; ++i) {
+    out[i - begin] = CellHash(i);
+  }
+}
+
+void Column::Serialize(ByteWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(storage()));
+  bool has_validity = !validity_.empty();
+  w->PutU8(has_validity ? 1 : 0);
+  if (has_validity) {
+    w->PutRaw(validity_.data(), validity_.size());
+  }
+  SerializeBody(w);
+}
+
+// --- Int64Column -------------------------------------------------------------
+
+Value Int64Column::GetValue(int64_t i) const {
+  return IsNull(i) ? Value::Null() : Value(value(i));
+}
+
+uint64_t Int64Column::CellHash(int64_t i) const {
+  return IsNull(i) ? NullCellHash() : IntCellHash(value(i));
+}
+
+int64_t Int64Column::SizeBytes() const {
+  return 32 + static_cast<int64_t>(values_.size() * sizeof(int64_t) +
+                                   validity_.size());
+}
+
+std::shared_ptr<const Column> Int64Column::Gather(
+    const SelectionVector& sel) const {
+  std::vector<int64_t> out;
+  out.reserve(sel.size());
+  for (int64_t i : sel) {
+    out.push_back(values_[static_cast<size_t>(i)]);
+  }
+  int64_t nulls = 0;
+  std::vector<uint8_t> validity = GatherValidity(validity_, sel, &nulls);
+  return std::make_shared<Int64Column>(std::move(out), std::move(validity),
+                                       nulls);
+}
+
+void Int64Column::SerializeBody(ByteWriter* w) const {
+  w->PutU64Array(reinterpret_cast<const uint64_t*>(values_.data()),
+                 values_.size());
+}
+
+// --- DoubleColumn ------------------------------------------------------------
+
+Value DoubleColumn::GetValue(int64_t i) const {
+  return IsNull(i) ? Value::Null() : Value(value(i));
+}
+
+uint64_t DoubleColumn::CellHash(int64_t i) const {
+  return IsNull(i) ? NullCellHash() : DoubleCellHash(value(i));
+}
+
+int64_t DoubleColumn::SizeBytes() const {
+  return 32 + static_cast<int64_t>(values_.size() * sizeof(double) +
+                                   validity_.size());
+}
+
+std::shared_ptr<const Column> DoubleColumn::Gather(
+    const SelectionVector& sel) const {
+  std::vector<double> out;
+  out.reserve(sel.size());
+  for (int64_t i : sel) {
+    out.push_back(values_[static_cast<size_t>(i)]);
+  }
+  int64_t nulls = 0;
+  std::vector<uint8_t> validity = GatherValidity(validity_, sel, &nulls);
+  return std::make_shared<DoubleColumn>(std::move(out), std::move(validity),
+                                        nulls);
+}
+
+void DoubleColumn::SerializeBody(ByteWriter* w) const {
+  static_assert(sizeof(double) == sizeof(uint64_t), "IEEE-754 doubles");
+  w->PutU64Array(reinterpret_cast<const uint64_t*>(values_.data()),
+                 values_.size());
+}
+
+// --- BoolColumn --------------------------------------------------------------
+
+Value BoolColumn::GetValue(int64_t i) const {
+  return IsNull(i) ? Value::Null() : Value(value(i));
+}
+
+uint64_t BoolColumn::CellHash(int64_t i) const {
+  return IsNull(i) ? NullCellHash() : BoolCellHash(value(i));
+}
+
+int64_t BoolColumn::SizeBytes() const {
+  return 32 + static_cast<int64_t>(values_.size() + validity_.size());
+}
+
+std::shared_ptr<const Column> BoolColumn::Gather(
+    const SelectionVector& sel) const {
+  std::vector<uint8_t> out;
+  out.reserve(sel.size());
+  for (int64_t i : sel) {
+    out.push_back(values_[static_cast<size_t>(i)]);
+  }
+  int64_t nulls = 0;
+  std::vector<uint8_t> validity = GatherValidity(validity_, sel, &nulls);
+  return std::make_shared<BoolColumn>(std::move(out), std::move(validity),
+                                      nulls);
+}
+
+void BoolColumn::SerializeBody(ByteWriter* w) const {
+  w->PutRaw(values_.data(), values_.size());
+}
+
+// --- StringColumn ------------------------------------------------------------
+
+Value StringColumn::GetValue(int64_t i) const {
+  return IsNull(i) ? Value::Null() : Value(std::string(view(i)));
+}
+
+uint64_t StringColumn::CellHash(int64_t i) const {
+  return IsNull(i) ? NullCellHash() : StringCellHash(view(i));
+}
+
+int64_t StringColumn::SizeBytes() const {
+  return 32 + static_cast<int64_t>(arena_.size() +
+                                   offsets_.size() * sizeof(uint64_t) +
+                                   validity_.size());
+}
+
+std::shared_ptr<const Column> StringColumn::Gather(
+    const SelectionVector& sel) const {
+  std::string arena;
+  std::vector<uint64_t> offsets;
+  offsets.reserve(sel.size() + 1);
+  offsets.push_back(0);
+  for (int64_t i : sel) {
+    arena.append(view(i));
+    offsets.push_back(arena.size());
+  }
+  int64_t nulls = 0;
+  std::vector<uint8_t> validity = GatherValidity(validity_, sel, &nulls);
+  return std::make_shared<StringColumn>(std::move(arena), std::move(offsets),
+                                        std::move(validity), nulls);
+}
+
+void StringColumn::SerializeBody(ByteWriter* w) const {
+  w->PutU64(arena_.size());
+  w->PutRaw(arena_.data(), arena_.size());
+  w->PutU64Array(offsets_.data(), offsets_.size());
+}
+
+// --- MixedColumn -------------------------------------------------------------
+
+MixedColumn::MixedColumn(std::vector<Value> values)
+    : Column(static_cast<int64_t>(values.size()), {}, 0),
+      values_(std::move(values)) {
+  for (const Value& v : values_) {
+    if (v.is_null()) {
+      ++null_count_;
+    }
+  }
+}
+
+Value MixedColumn::GetValue(int64_t i) const { return value(i); }
+
+uint64_t MixedColumn::CellHash(int64_t i) const { return value(i).Hash(); }
+
+int64_t MixedColumn::SizeBytes() const {
+  int64_t bytes = 32;
+  for (const Value& v : values_) {
+    bytes += 16;
+    if (v.type() == ValueType::kString) {
+      bytes += static_cast<int64_t>(v.AsString().size());
+    }
+  }
+  return bytes;
+}
+
+std::shared_ptr<const Column> MixedColumn::Gather(
+    const SelectionVector& sel) const {
+  std::vector<Value> out;
+  out.reserve(sel.size());
+  for (int64_t i : sel) {
+    out.push_back(values_[static_cast<size_t>(i)]);
+  }
+  return std::make_shared<MixedColumn>(std::move(out));
+}
+
+void MixedColumn::SerializeBody(ByteWriter* w) const {
+  for (const Value& v : values_) {
+    v.Serialize(w);
+  }
+}
+
+// --- Deserialization ---------------------------------------------------------
+
+Result<std::shared_ptr<const Column>> Column::Deserialize(ByteReader* r,
+                                                          int64_t num_rows) {
+  HELIX_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  HELIX_ASSIGN_OR_RETURN(uint8_t has_validity, r->GetU8());
+  if (has_validity > 1) {
+    return Status::Corruption("bad column validity flag");
+  }
+  size_t n = static_cast<size_t>(num_rows);
+  std::vector<uint8_t> validity;
+  int64_t null_count = 0;
+  if (has_validity == 1) {
+    HELIX_ASSIGN_OR_RETURN(std::string_view bits, r->GetRawView((n + 7) / 8));
+    validity.assign(bits.begin(), bits.end());
+    for (size_t i = 0; i < n; ++i) {
+      if ((validity[i >> 3] & (1u << (i & 7))) == 0) {
+        ++null_count;
+      }
+    }
+  }
+  switch (static_cast<Storage>(tag)) {
+    case Storage::kInt64: {
+      std::vector<int64_t> values(n);
+      HELIX_RETURN_IF_ERROR(
+          r->GetU64Array(reinterpret_cast<uint64_t*>(values.data()), n));
+      return std::shared_ptr<const Column>(std::make_shared<Int64Column>(
+          std::move(values), std::move(validity), null_count));
+    }
+    case Storage::kDouble: {
+      std::vector<double> values(n);
+      HELIX_RETURN_IF_ERROR(
+          r->GetU64Array(reinterpret_cast<uint64_t*>(values.data()), n));
+      return std::shared_ptr<const Column>(std::make_shared<DoubleColumn>(
+          std::move(values), std::move(validity), null_count));
+    }
+    case Storage::kBool: {
+      HELIX_ASSIGN_OR_RETURN(std::string_view bytes, r->GetRawView(n));
+      std::vector<uint8_t> values(bytes.begin(), bytes.end());
+      for (uint8_t b : values) {
+        if (b > 1) {
+          return Status::Corruption("bool cell byte out of range");
+        }
+      }
+      return std::shared_ptr<const Column>(std::make_shared<BoolColumn>(
+          std::move(values), std::move(validity), null_count));
+    }
+    case Storage::kString: {
+      HELIX_ASSIGN_OR_RETURN(uint64_t arena_size, r->GetU64());
+      if (arena_size > r->remaining()) {
+        return Status::Corruption("string arena exceeds buffer");
+      }
+      HELIX_ASSIGN_OR_RETURN(std::string_view arena_view,
+                             r->GetRawView(static_cast<size_t>(arena_size)));
+      std::string arena(arena_view);
+      std::vector<uint64_t> offsets(n + 1);
+      HELIX_RETURN_IF_ERROR(r->GetU64Array(offsets.data(), n + 1));
+      if (offsets[0] != 0 || offsets[n] != arena_size) {
+        return Status::Corruption("string offsets disagree with arena");
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (offsets[i] > offsets[i + 1]) {
+          return Status::Corruption("string offsets not ascending");
+        }
+      }
+      return std::shared_ptr<const Column>(std::make_shared<StringColumn>(
+          std::move(arena), std::move(offsets), std::move(validity),
+          null_count));
+    }
+    case Storage::kMixed: {
+      std::vector<Value> values;
+      values.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        HELIX_ASSIGN_OR_RETURN(Value v, Value::Deserialize(r));
+        values.push_back(std::move(v));
+      }
+      return std::shared_ptr<const Column>(
+          std::make_shared<MixedColumn>(std::move(values)));
+    }
+  }
+  return Status::Corruption(StrFormat("bad column storage tag %u", tag));
+}
+
+// --- ColumnBuilder -----------------------------------------------------------
+
+namespace {
+
+Column::Storage StorageForDeclared(ValueType t) {
+  switch (t) {
+    case ValueType::kInt:
+      return Column::Storage::kInt64;
+    case ValueType::kDouble:
+      return Column::Storage::kDouble;
+    case ValueType::kBool:
+      return Column::Storage::kBool;
+    case ValueType::kString:
+      return Column::Storage::kString;
+    case ValueType::kNull:
+      break;
+  }
+  return Column::Storage::kMixed;
+}
+
+}  // namespace
+
+ColumnBuilder::ColumnBuilder(ValueType declared_type)
+    : declared_type_(declared_type),
+      storage_(StorageForDeclared(declared_type)) {
+  if (storage_ == Column::Storage::kString) {
+    offsets_.push_back(0);
+  }
+}
+
+void ColumnBuilder::Reserve(int64_t n) {
+  size_t sn = static_cast<size_t>(n);
+  switch (storage_) {
+    case Column::Storage::kInt64:
+      ints_.reserve(sn);
+      break;
+    case Column::Storage::kDouble:
+      doubles_.reserve(sn);
+      break;
+    case Column::Storage::kBool:
+      bools_.reserve(sn);
+      break;
+    case Column::Storage::kString:
+      offsets_.reserve(sn + 1);
+      break;
+    case Column::Storage::kMixed:
+      values_.reserve(sn);
+      break;
+  }
+}
+
+void ColumnBuilder::MarkValid() {
+  if (!validity_.empty()) {
+    size_t i = static_cast<size_t>(length_);
+    if ((i >> 3) >= validity_.size()) {
+      validity_.push_back(0);
+    }
+    validity_[i >> 3] = static_cast<uint8_t>(validity_[i >> 3] |
+                                             (1u << (i & 7)));
+  }
+  ++length_;
+}
+
+void ColumnBuilder::MarkNull() {
+  if (validity_.empty()) {
+    // First null: backfill "valid" bits for every cell appended so far.
+    size_t cells = static_cast<size_t>(length_);
+    validity_.assign((cells + 8) / 8 + 1, 0);
+    for (size_t i = 0; i < cells; ++i) {
+      validity_[i >> 3] = static_cast<uint8_t>(validity_[i >> 3] |
+                                               (1u << (i & 7)));
+    }
+  }
+  size_t i = static_cast<size_t>(length_);
+  if ((i >> 3) >= validity_.size()) {
+    validity_.push_back(0);
+  }
+  // Bit already zero == null.
+  ++null_count_;
+  ++length_;
+}
+
+void ColumnBuilder::PromoteToMixed() {
+  std::vector<Value> promoted;
+  promoted.reserve(static_cast<size_t>(length_));
+  for (int64_t i = 0; i < length_; ++i) {
+    promoted.push_back(ValueAt(i));
+  }
+  values_ = std::move(promoted);
+  ints_.clear();
+  doubles_.clear();
+  bools_.clear();
+  arena_.clear();
+  offsets_.clear();
+  validity_.clear();
+  storage_ = Column::Storage::kMixed;
+}
+
+void ColumnBuilder::Append(const Value& v) {
+  if (mixed()) {
+    values_.push_back(v);
+    if (v.is_null()) {
+      ++null_count_;
+    }
+    ++length_;
+    return;
+  }
+  switch (v.type()) {
+    case ValueType::kNull:
+      AppendNull();
+      return;
+    case ValueType::kInt:
+      if (storage_ == Column::Storage::kInt64) {
+        ints_.push_back(v.AsInt());
+        MarkValid();
+        return;
+      }
+      break;
+    case ValueType::kDouble:
+      if (storage_ == Column::Storage::kDouble) {
+        doubles_.push_back(v.AsDouble());
+        MarkValid();
+        return;
+      }
+      break;
+    case ValueType::kBool:
+      if (storage_ == Column::Storage::kBool) {
+        bools_.push_back(v.AsBool() ? 1 : 0);
+        MarkValid();
+        return;
+      }
+      break;
+    case ValueType::kString:
+      if (storage_ == Column::Storage::kString) {
+        arena_.append(v.AsString());
+        offsets_.push_back(arena_.size());
+        MarkValid();
+        return;
+      }
+      break;
+  }
+  // Cell type disagrees with the typed layout: keep legacy row-store
+  // permissiveness by degrading this column to tagged Values.
+  PromoteToMixed();
+  Append(v);
+}
+
+void ColumnBuilder::AppendNull() {
+  if (mixed()) {
+    values_.push_back(Value::Null());
+    ++null_count_;
+    ++length_;
+    return;
+  }
+  switch (storage_) {
+    case Column::Storage::kInt64:
+      ints_.push_back(0);
+      break;
+    case Column::Storage::kDouble:
+      doubles_.push_back(0);
+      break;
+    case Column::Storage::kBool:
+      bools_.push_back(0);
+      break;
+    case Column::Storage::kString:
+      offsets_.push_back(arena_.size());
+      break;
+    case Column::Storage::kMixed:
+      break;
+  }
+  MarkNull();
+}
+
+void ColumnBuilder::AppendInt(int64_t v) {
+  if (storage_ == Column::Storage::kInt64) {
+    ints_.push_back(v);
+    MarkValid();
+    return;
+  }
+  Append(Value(v));
+}
+
+void ColumnBuilder::AppendDouble(double v) {
+  if (storage_ == Column::Storage::kDouble) {
+    doubles_.push_back(v);
+    MarkValid();
+    return;
+  }
+  Append(Value(v));
+}
+
+void ColumnBuilder::AppendBool(bool v) {
+  if (storage_ == Column::Storage::kBool) {
+    bools_.push_back(v ? 1 : 0);
+    MarkValid();
+    return;
+  }
+  Append(Value(v));
+}
+
+void ColumnBuilder::AppendString(std::string_view v) {
+  if (storage_ == Column::Storage::kString) {
+    arena_.append(v);
+    offsets_.push_back(arena_.size());
+    MarkValid();
+    return;
+  }
+  Append(Value(std::string(v)));
+}
+
+Value ColumnBuilder::ValueAt(int64_t i) const {
+  size_t si = static_cast<size_t>(i);
+  if (mixed()) {
+    return values_[si];
+  }
+  if (!validity_.empty() &&
+      (validity_[si >> 3] & (1u << (si & 7))) == 0) {
+    return Value::Null();
+  }
+  switch (storage_) {
+    case Column::Storage::kInt64:
+      return Value(ints_[si]);
+    case Column::Storage::kDouble:
+      return Value(doubles_[si]);
+    case Column::Storage::kBool:
+      return Value(bools_[si] != 0);
+    case Column::Storage::kString:
+      return Value(arena_.substr(static_cast<size_t>(offsets_[si]),
+                                 static_cast<size_t>(offsets_[si + 1]) -
+                                     static_cast<size_t>(offsets_[si])));
+    case Column::Storage::kMixed:
+      break;
+  }
+  return Value::Null();
+}
+
+std::shared_ptr<const Column> ColumnBuilder::Finish() {
+  // Trim the lazily-grown validity bitmap to exactly (length+7)/8 bytes
+  // with padding bits cleared, so sealed bytes are deterministic. Mixed
+  // columns carry nulls in their cells, not in a bitmap.
+  std::vector<uint8_t> validity;
+  if (null_count_ > 0 && !mixed()) {
+    size_t want = (static_cast<size_t>(length_) + 7) / 8;
+    validity.assign(validity_.begin(),
+                    validity_.begin() + static_cast<long>(want));
+    if ((length_ & 7) != 0) {
+      validity.back() = static_cast<uint8_t>(
+          validity.back() & ((1u << (length_ & 7)) - 1));
+    }
+  }
+  std::shared_ptr<const Column> out;
+  switch (storage_) {
+    case Column::Storage::kInt64:
+      out = std::make_shared<Int64Column>(std::move(ints_),
+                                          std::move(validity), null_count_);
+      break;
+    case Column::Storage::kDouble:
+      out = std::make_shared<DoubleColumn>(std::move(doubles_),
+                                           std::move(validity), null_count_);
+      break;
+    case Column::Storage::kBool:
+      out = std::make_shared<BoolColumn>(std::move(bools_),
+                                         std::move(validity), null_count_);
+      break;
+    case Column::Storage::kString:
+      out = std::make_shared<StringColumn>(std::move(arena_),
+                                           std::move(offsets_),
+                                           std::move(validity), null_count_);
+      break;
+    case Column::Storage::kMixed:
+      out = std::make_shared<MixedColumn>(std::move(values_));
+      break;
+  }
+  *this = ColumnBuilder(declared_type_);
+  return out;
+}
+
+std::unique_ptr<ColumnBuilder> ColumnBuilder::FromColumn(
+    const Column& column) {
+  ValueType declared = ValueType::kString;
+  switch (column.storage()) {
+    case Column::Storage::kInt64:
+      declared = ValueType::kInt;
+      break;
+    case Column::Storage::kDouble:
+      declared = ValueType::kDouble;
+      break;
+    case Column::Storage::kBool:
+      declared = ValueType::kBool;
+      break;
+    case Column::Storage::kString:
+      declared = ValueType::kString;
+      break;
+    case Column::Storage::kMixed:
+      declared = ValueType::kNull;  // maps to the mixed layout
+      break;
+  }
+  auto builder = std::make_unique<ColumnBuilder>(declared);
+  builder->Reserve(column.length());
+  for (int64_t i = 0; i < column.length(); ++i) {
+    if (column.IsNull(i)) {
+      builder->AppendNull();
+    } else {
+      builder->Append(column.GetValue(i));
+    }
+  }
+  return builder;
+}
+
+}  // namespace dataflow
+}  // namespace helix

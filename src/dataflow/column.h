@@ -1,0 +1,298 @@
+// Typed columnar storage for relational tables.
+//
+// A Column is an immutable, sealed vector of same-typed cells with an
+// optional validity bitmap (absent bitmap == no nulls). Tables hold columns
+// behind shared_ptr<const Column>, so operators that pass a column through
+// unchanged (projection, rename, derive-one-column) share it zero-copy
+// instead of deep-copying rows. Filters produce a SelectionVector of row
+// indices and Gather() the surviving rows per column.
+//
+// Four typed layouts cover the schema types (Int64Column, DoubleColumn,
+// BoolColumn, and StringColumn with offsets into a contiguous arena); a
+// fifth, MixedColumn, preserves the legacy row-store permissiveness for
+// cells that disagree with the declared column type. ColumnBuilder starts
+// typed and silently promotes to mixed on the first mismatched cell, so
+// AppendRow call sites keep their old semantics.
+#ifndef HELIX_DATAFLOW_COLUMN_H_
+#define HELIX_DATAFLOW_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "dataflow/value.h"
+
+namespace helix {
+namespace dataflow {
+
+/// Row indices selected by a filter kernel, ascending, in [0, num_rows).
+using SelectionVector = std::vector<int64_t>;
+
+/// Immutable same-typed cell vector with optional validity bitmap.
+///
+/// Thread safety: a Column is immutable after construction and safe to
+/// read concurrently. Ownership: columns are shared between tables via
+/// shared_ptr<const Column>; nothing ever mutates a published column.
+class Column {
+ public:
+  /// Physical layout discriminator; doubles as the format-v2 on-disk tag.
+  enum class Storage : uint8_t {
+    kInt64 = 1,
+    kDouble = 2,
+    kBool = 3,
+    kString = 4,
+    /// Heterogeneous cells stored as tagged Values (legacy row semantics).
+    kMixed = 5,
+  };
+
+  virtual ~Column() = default;
+
+  virtual Storage storage() const = 0;
+  int64_t length() const { return length_; }
+  int64_t null_count() const { return null_count_; }
+
+  /// True if cell `i` is null. Typed columns answer from the validity
+  /// bitmap; MixedColumn from the cell itself.
+  virtual bool IsNull(int64_t i) const {
+    return !validity_.empty() &&
+           (validity_[static_cast<size_t>(i) >> 3] &
+            (1u << (static_cast<size_t>(i) & 7))) == 0;
+  }
+
+  /// Materializes cell `i` as a Value (the row-compatibility path; typed
+  /// readers should downcast and read spans instead).
+  virtual Value GetValue(int64_t i) const = 0;
+
+  /// Stable per-cell hash, identical to Value::Hash() of GetValue(i).
+  /// Table fingerprints combine these row-major, which keeps fingerprints
+  /// byte-compatible with the pre-columnar row store (and thus with
+  /// StoreEntry fingerprints persisted by older builds).
+  virtual uint64_t CellHash(int64_t i) const = 0;
+
+  /// Bulk CellHash over [begin, end) into `out` (fingerprint fast path).
+  virtual void CellHashes(int64_t begin, int64_t end, uint64_t* out) const;
+
+  /// Approximate in-memory footprint.
+  virtual int64_t SizeBytes() const = 0;
+
+  /// New column holding rows `sel` of this one, in order.
+  virtual std::shared_ptr<const Column> Gather(
+      const SelectionVector& sel) const = 0;
+
+  /// Format-v2 wire form: storage tag, validity flag (+bitmap), packed
+  /// body. Row count comes from the enclosing table header.
+  void Serialize(ByteWriter* w) const;
+
+  /// Parses one format-v2 column of `num_rows` cells.
+  static Result<std::shared_ptr<const Column>> Deserialize(ByteReader* r,
+                                                           int64_t num_rows);
+
+ protected:
+  Column(int64_t length, std::vector<uint8_t> validity, int64_t null_count)
+      : length_(length),
+        validity_(std::move(validity)),
+        null_count_(null_count) {}
+
+  /// Packed cell body (everything after tag + validity).
+  virtual void SerializeBody(ByteWriter* w) const = 0;
+
+  int64_t length_ = 0;
+  /// Bit i set == cell i valid; empty == all valid. (length+7)/8 bytes.
+  std::vector<uint8_t> validity_;
+  int64_t null_count_ = 0;
+};
+
+/// int64 cells.
+class Int64Column final : public Column {
+ public:
+  Int64Column(std::vector<int64_t> values, std::vector<uint8_t> validity,
+              int64_t null_count)
+      : Column(static_cast<int64_t>(values.size()), std::move(validity),
+               null_count),
+        values_(std::move(values)) {}
+
+  Storage storage() const override { return Storage::kInt64; }
+  const int64_t* data() const { return values_.data(); }
+  int64_t value(int64_t i) const { return values_[static_cast<size_t>(i)]; }
+
+  Value GetValue(int64_t i) const override;
+  uint64_t CellHash(int64_t i) const override;
+  int64_t SizeBytes() const override;
+  std::shared_ptr<const Column> Gather(
+      const SelectionVector& sel) const override;
+
+ protected:
+  void SerializeBody(ByteWriter* w) const override;
+
+ private:
+  std::vector<int64_t> values_;
+};
+
+/// double cells.
+class DoubleColumn final : public Column {
+ public:
+  DoubleColumn(std::vector<double> values, std::vector<uint8_t> validity,
+               int64_t null_count)
+      : Column(static_cast<int64_t>(values.size()), std::move(validity),
+               null_count),
+        values_(std::move(values)) {}
+
+  Storage storage() const override { return Storage::kDouble; }
+  const double* data() const { return values_.data(); }
+  double value(int64_t i) const { return values_[static_cast<size_t>(i)]; }
+
+  Value GetValue(int64_t i) const override;
+  uint64_t CellHash(int64_t i) const override;
+  int64_t SizeBytes() const override;
+  std::shared_ptr<const Column> Gather(
+      const SelectionVector& sel) const override;
+
+ protected:
+  void SerializeBody(ByteWriter* w) const override;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// bool cells (one byte per cell).
+class BoolColumn final : public Column {
+ public:
+  BoolColumn(std::vector<uint8_t> values, std::vector<uint8_t> validity,
+             int64_t null_count)
+      : Column(static_cast<int64_t>(values.size()), std::move(validity),
+               null_count),
+        values_(std::move(values)) {}
+
+  Storage storage() const override { return Storage::kBool; }
+  bool value(int64_t i) const { return values_[static_cast<size_t>(i)] != 0; }
+
+  Value GetValue(int64_t i) const override;
+  uint64_t CellHash(int64_t i) const override;
+  int64_t SizeBytes() const override;
+  std::shared_ptr<const Column> Gather(
+      const SelectionVector& sel) const override;
+
+ protected:
+  void SerializeBody(ByteWriter* w) const override;
+
+ private:
+  std::vector<uint8_t> values_;
+};
+
+/// String cells: one contiguous arena plus length+1 offsets into it.
+class StringColumn final : public Column {
+ public:
+  StringColumn(std::string arena, std::vector<uint64_t> offsets,
+               std::vector<uint8_t> validity, int64_t null_count)
+      : Column(static_cast<int64_t>(offsets.empty() ? 0 : offsets.size() - 1),
+               std::move(validity), null_count),
+        arena_(std::move(arena)),
+        offsets_(std::move(offsets)) {}
+
+  Storage storage() const override { return Storage::kString; }
+  std::string_view view(int64_t i) const {
+    size_t b = static_cast<size_t>(offsets_[static_cast<size_t>(i)]);
+    size_t e = static_cast<size_t>(offsets_[static_cast<size_t>(i) + 1]);
+    return std::string_view(arena_).substr(b, e - b);
+  }
+  Value GetValue(int64_t i) const override;
+  uint64_t CellHash(int64_t i) const override;
+  int64_t SizeBytes() const override;
+  std::shared_ptr<const Column> Gather(
+      const SelectionVector& sel) const override;
+
+ protected:
+  void SerializeBody(ByteWriter* w) const override;
+
+ private:
+  std::string arena_;
+  std::vector<uint64_t> offsets_;  // length()+1, ascending, last == arena size
+};
+
+/// Tagged-Value cells: the escape hatch for columns whose cells disagree
+/// with the declared schema type (the old row store allowed this freely).
+class MixedColumn final : public Column {
+ public:
+  explicit MixedColumn(std::vector<Value> values);
+
+  Storage storage() const override { return Storage::kMixed; }
+  const Value& value(int64_t i) const {
+    return values_[static_cast<size_t>(i)];
+  }
+
+  bool IsNull(int64_t i) const override {
+    return values_[static_cast<size_t>(i)].is_null();
+  }
+  Value GetValue(int64_t i) const override;
+  uint64_t CellHash(int64_t i) const override;
+  int64_t SizeBytes() const override;
+  std::shared_ptr<const Column> Gather(
+      const SelectionVector& sel) const override;
+
+ protected:
+  void SerializeBody(ByteWriter* w) const override;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Accumulates cells for one column, then seals them into an immutable
+/// Column. Starts on the typed layout matching the declared schema type
+/// and promotes to MixedColumn on the first cell of another type.
+///
+/// Not thread-safe; builders are single-owner by construction.
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(ValueType declared_type);
+
+  int64_t length() const { return length_; }
+  void Reserve(int64_t n);
+
+  /// Generic append (row-compatibility path); never fails.
+  void Append(const Value& v);
+  void AppendNull();
+
+  /// Typed fast paths; a type mismatch with the current layout degrades
+  /// to the generic path (promoting to mixed) rather than erroring.
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendBool(bool v);
+  void AppendString(std::string_view v);
+
+  /// Cell read-back while still building (row-compatibility path).
+  Value ValueAt(int64_t i) const;
+
+  /// Seals accumulated cells into a column and resets the builder.
+  std::shared_ptr<const Column> Finish();
+
+  /// A builder pre-seeded with `column`'s cells (unseal-for-append path).
+  static std::unique_ptr<ColumnBuilder> FromColumn(const Column& column);
+
+ private:
+  void MarkValid();
+  void MarkNull();
+  void PromoteToMixed();
+  bool mixed() const { return storage_ == Column::Storage::kMixed; }
+
+  ValueType declared_type_;
+  Column::Storage storage_;
+  int64_t length_ = 0;
+  int64_t null_count_ = 0;
+  std::vector<uint8_t> validity_;  // built lazily on first null
+
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::string arena_;
+  std::vector<uint64_t> offsets_;
+  std::vector<Value> values_;  // mixed layout
+};
+
+}  // namespace dataflow
+}  // namespace helix
+
+#endif  // HELIX_DATAFLOW_COLUMN_H_

@@ -9,7 +9,16 @@ namespace dataflow {
 namespace {
 // "HLXD" little-endian.
 constexpr uint32_t kMagic = 0x44584C48;
-constexpr uint32_t kFormatVersion = 1;
+// Envelope format history:
+//   v1 — tables serialized row-major as tagged cells;
+//   v2 — tables serialized column-contiguous (type tag + validity +
+//        packed body per column); all other payload kinds unchanged.
+// Writers always emit kFormatVersion; readers accept every version in
+// [kMinSupportedVersion, kFormatVersion] so stores written by older
+// builds keep loading. Bump kFormatVersion only with a reader for every
+// still-supported older version.
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kMinSupportedVersion = 1;
 }  // namespace
 
 Result<const TableData*> DataCollection::AsTable() const {
@@ -49,6 +58,12 @@ Result<const MetricsData*> DataCollection::AsMetrics() const {
 
 std::string DataCollection::SerializeToString() const {
   ByteWriter w;
+  // SizeBytes approximates the serialized footprint closely for columnar
+  // payloads; reserving up front makes the whole serialization a single
+  // allocation instead of O(log size) grow-and-copy cycles. The result is
+  // then moved (never copied) into the caller — the materialization path
+  // hands it straight to the storage backend.
+  w.Reserve(static_cast<size_t>(SizeBytes()) + 64);
   w.PutU32(kMagic);
   w.PutU32(kFormatVersion);
   w.PutU8(static_cast<uint8_t>(kind()));
@@ -81,7 +96,7 @@ Result<DataCollection> DataCollection::DeserializeFromString(
     return Status::Corruption("bad magic in data collection envelope");
   }
   HELIX_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
-  if (version != kFormatVersion) {
+  if (version < kMinSupportedVersion || version > kFormatVersion) {
     return Status::Corruption(
         StrFormat("unsupported format version %u", version));
   }
@@ -89,7 +104,8 @@ Result<DataCollection> DataCollection::DeserializeFromString(
 
   switch (static_cast<PayloadKind>(kind_tag)) {
     case PayloadKind::kTable: {
-      HELIX_ASSIGN_OR_RETURN(auto t, TableData::Deserialize(&r));
+      // The only payload whose body changed between v1 and v2.
+      HELIX_ASSIGN_OR_RETURN(auto t, TableData::Deserialize(&r, version));
       return DataCollection::FromTable(std::move(t));
     }
     case PayloadKind::kText: {

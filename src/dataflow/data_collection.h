@@ -31,6 +31,12 @@ class DataCollection {
       : payload_(std::move(payload)) {}
 
   static DataCollection FromTable(std::shared_ptr<TableData> t) {
+    // Publishing a table freezes it: sealed tables are immutable and
+    // safe for the parallel executor / async materializer to read
+    // concurrently (see the mutation model in dataflow/table.h).
+    if (t != nullptr) {
+      t->Seal();
+    }
     return DataCollection(std::move(t));
   }
   static DataCollection FromText(std::shared_ptr<TextData> t) {
@@ -66,11 +72,16 @@ class DataCollection {
   Result<const MetricsData*> AsMetrics() const;
 
   /// Serializes with envelope (magic, format version, kind, body, FNV-64
-  /// checksum of everything before the checksum).
+  /// checksum of everything before the checksum). Always writes the
+  /// current format version (v2: column-contiguous tables); the buffer is
+  /// size-estimated and reserved up front so the materialization path
+  /// serializes in one allocation.
   std::string SerializeToString() const;
 
   /// Parses and checksum-verifies an envelope produced by
-  /// SerializeToString. Corruption on any mismatch.
+  /// SerializeToString — this version's (v2) or any still-supported older
+  /// one (v1 row-major tables), so stores persisted by previous builds
+  /// keep loading. Corruption on any mismatch.
   static Result<DataCollection> DeserializeFromString(std::string_view data);
 
  private:

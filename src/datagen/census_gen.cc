@@ -129,9 +129,14 @@ const std::vector<std::string>& CensusColumns() {
 std::shared_ptr<dataflow::TableData> GenerateCensusTable(
     const CensusGenOptions& options) {
   Rng rng(options.seed);
-  auto table = std::make_shared<dataflow::TableData>(
-      dataflow::Schema::AllStrings(CensusColumns()));
-  table->Reserve(options.num_rows);
+  // One string builder per census column; sealed into a columnar table at
+  // the end (the ingestion fast path — no per-cell Value churn).
+  std::vector<dataflow::ColumnBuilder> builders(
+      CensusColumns().size(),
+      dataflow::ColumnBuilder(dataflow::ValueType::kString));
+  for (dataflow::ColumnBuilder& b : builders) {
+    b.Reserve(options.num_rows);
+  }
 
   for (int64_t i = 0; i < options.num_rows; ++i) {
     int64_t age = 17 + static_cast<int64_t>(
@@ -185,39 +190,49 @@ std::shared_ptr<dataflow::TableData> GenerateCensusTable(
       over_50k = !over_50k;
     }
 
-    dataflow::Row row;
-    row.reserve(CensusColumns().size());
-    row.emplace_back(StrFormat("%lld", static_cast<long long>(age)));
-    row.emplace_back(std::string(Workclasses()[workclass].name));
-    row.emplace_back(std::string(Educations()[education].name));
-    row.emplace_back(
+    size_t c = 0;
+    builders[c++].AppendString(StrFormat("%lld", static_cast<long long>(age)));
+    builders[c++].AppendString(Workclasses()[workclass].name);
+    builders[c++].AppendString(Educations()[education].name);
+    builders[c++].AppendString(
         StrFormat("%lld", static_cast<long long>(education_num)));
-    row.emplace_back(std::string(MaritalStatuses()[marital].name));
-    row.emplace_back(std::string(Occupations()[occupation].name));
-    row.emplace_back(std::string(Relationships()[relationship].name));
-    row.emplace_back(std::string(Races()[race].name));
-    row.emplace_back(std::string(Sexes()[sex].name));
-    row.emplace_back(
+    builders[c++].AppendString(MaritalStatuses()[marital].name);
+    builders[c++].AppendString(Occupations()[occupation].name);
+    builders[c++].AppendString(Relationships()[relationship].name);
+    builders[c++].AppendString(Races()[race].name);
+    builders[c++].AppendString(Sexes()[sex].name);
+    builders[c++].AppendString(
         StrFormat("%lld", static_cast<long long>(capital_gain)));
-    row.emplace_back(
+    builders[c++].AppendString(
         StrFormat("%lld", static_cast<long long>(capital_loss)));
-    row.emplace_back(StrFormat("%lld", static_cast<long long>(hours)));
-    row.emplace_back(std::string(Countries()[country].name));
-    row.emplace_back(over_50k ? ">50K" : "<=50K");
+    builders[c++].AppendString(StrFormat("%lld", static_cast<long long>(hours)));
+    builders[c++].AppendString(Countries()[country].name);
+    builders[c++].AppendString(over_50k ? ">50K" : "<=50K");
     // Arity matches CensusColumns by construction.
-    (void)table->AppendRow(std::move(row));
   }
-  return table;
+  std::vector<std::shared_ptr<const dataflow::Column>> columns;
+  columns.reserve(builders.size());
+  for (dataflow::ColumnBuilder& b : builders) {
+    columns.push_back(b.Finish());
+  }
+  auto table = dataflow::TableData::FromColumns(
+      dataflow::Schema::AllStrings(CensusColumns()), std::move(columns));
+  // Column lengths match by construction.
+  return std::move(table).value();
 }
 
 std::string GenerateCensusCsv(const CensusGenOptions& options) {
   auto table = GenerateCensusTable(options);
+  // Row-cursor compatibility view: datagen emits whole CSV lines, so the
+  // per-cell Value materialization is fine here.
   std::string out;
-  for (int64_t i = 0; i < table->num_rows(); ++i) {
-    std::vector<std::string> fields;
-    fields.reserve(static_cast<size_t>(table->schema().num_fields()));
-    for (int c = 0; c < table->schema().num_fields(); ++c) {
-      fields.push_back(table->at(i, c).AsString());
+  int cols = table->schema().num_fields();
+  std::vector<std::string> fields;
+  for (dataflow::RowCursor cur(*table); cur.Valid(); cur.Next()) {
+    fields.clear();
+    fields.reserve(static_cast<size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      fields.push_back(cur.value(c).AsString());
     }
     out += FormatCsvLine(fields);
     out += '\n';
@@ -232,10 +247,12 @@ Status WriteCensusFiles(const CensusGenOptions& options,
   int64_t train_rows = table->num_rows() * 8 / 10;
   std::string train;
   std::string test;
+  int cols = table->schema().num_fields();
+  std::vector<std::string> fields;
   for (int64_t i = 0; i < table->num_rows(); ++i) {
-    std::vector<std::string> fields;
-    fields.reserve(static_cast<size_t>(table->schema().num_fields()));
-    for (int c = 0; c < table->schema().num_fields(); ++c) {
+    fields.clear();
+    fields.reserve(static_cast<size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
       fields.push_back(table->at(i, c).AsString());
     }
     std::string& sink = i < train_rows ? train : test;

@@ -7,9 +7,14 @@
 // paper calls out overlapping computation with I/O as a key acceleration
 // opportunity; this pipeline is that overlap: a single background writer
 // thread owns the actual Put, compute threads only enqueue a (cheap,
-// shared-payload) DataCollection handle and move on. Outcomes are
-// collected and applied to execution records when the caller drains the
-// pipeline at the end of the iteration.
+// shared-payload) DataCollection handle and move on. Serialization also
+// happens on the writer thread — once, into a size-reserved buffer that
+// is moved (never copied) into the storage backend (see
+// DataCollection::SerializeToString and StorageBackend::Write's
+// move-aware overload) — so neither the envelope build nor a buffer copy
+// ever lands on the compute path. Outcomes are collected and applied to
+// execution records when the caller drains the pipeline at the end of
+// the iteration.
 #ifndef HELIX_RUNTIME_ASYNC_MATERIALIZER_H_
 #define HELIX_RUNTIME_ASYNC_MATERIALIZER_H_
 

@@ -78,6 +78,14 @@ class StorageBackend {
   /// metadata alongside the payload for Recover.
   virtual Status Write(const StoreEntry& meta, std::string_view payload) = 0;
 
+  /// Move-aware Write: the materialization path serializes a payload
+  /// exactly once and hands the buffer over; backends that keep whole
+  /// payloads (MemoryBackend) adopt it instead of copying. Defaults to
+  /// the copying Write.
+  virtual Status Write(const StoreEntry& meta, std::string&& payload) {
+    return Write(meta, std::string_view(payload));
+  }
+
   /// Returns the payload bytes for `signature`. NotFound if absent;
   /// Corruption if present but failing verification (checksums).
   virtual Result<std::string> Read(uint64_t signature) = 0;

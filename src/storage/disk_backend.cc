@@ -26,6 +26,10 @@ constexpr int64_t kFrameOverhead = 4 + 8;
 
 std::string BuildPutBody(const StoreEntry& meta, std::string_view payload) {
   ByteWriter w;
+  // Exact-size reserve: the payload dominates, so building the framed
+  // record must not reallocate-and-copy it on the materialization path.
+  w.Reserve(1 + 8 + (8 + meta.node_name.size()) + 6 * 8 + 8 +
+            (8 + payload.size()));
   w.PutU8(kRecordPut);
   w.PutU64(meta.signature);
   w.PutString(meta.node_name);

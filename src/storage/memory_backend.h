@@ -39,6 +39,12 @@ class MemoryBackend final : public StorageBackend {
     return Status::OK();
   }
 
+  Status Write(const StoreEntry& meta, std::string&& payload) override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    payloads_[meta.signature] = std::move(payload);
+    return Status::OK();
+  }
+
   Result<std::string> Read(uint64_t signature) override {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = payloads_.find(signature);

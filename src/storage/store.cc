@@ -179,7 +179,9 @@ Status IntermediateStore::Put(uint64_t signature,
                   HashToHex(signature).c_str()));
   }
   // Serialization is the expensive CPU part; do it before any admission
-  // work so concurrent Puts serialize their payloads in parallel.
+  // work so concurrent Puts serialize their payloads in parallel. The
+  // envelope is built once into a size-reserved buffer and moved (never
+  // copied) into the backend below.
   std::string serialized = data.SerializeToString();
   int64_t size = static_cast<int64_t>(serialized.size());
   if (size > options_.budget_bytes) {
@@ -221,7 +223,7 @@ Status IntermediateStore::Put(uint64_t signature,
   }
 
   ScopedTimer timer(options_.clock);
-  Status written = backend_->Write(entry, serialized);
+  Status written = backend_->Write(entry, std::move(serialized));
   if (!written.ok()) {
     total_bytes_.fetch_sub(size, std::memory_order_relaxed);  // unreserve
     return written;

@@ -120,9 +120,17 @@ TEST(TableTest, ColumnExtraction) {
   ASSERT_TRUE(table.AppendRow({Value("c"), Value("d")}).ok());
   auto col = table.Column("y");
   ASSERT_TRUE(col.ok());
-  EXPECT_EQ(col.value().size(), 2u);
-  EXPECT_EQ(col.value()[1].AsString(), "d");
+  EXPECT_EQ(col.value()->length(), 2);
+  EXPECT_EQ(col.value()->GetValue(1).AsString(), "d");
   EXPECT_TRUE(table.Column("z").status().IsNotFound());
+}
+
+TEST(TableTest, ColumnHandleIsSharedNotCopied) {
+  TableData table(Schema::AllStrings({"x", "y"}));
+  ASSERT_TRUE(table.AppendRow({Value("a"), Value("b")}).ok());
+  // The same handle comes back on every call — no deep copy per request.
+  EXPECT_EQ(table.Column("y").value().get(), table.Column("y").value().get());
+  EXPECT_EQ(table.Column("y").value().get(), table.column(1).get());
 }
 
 TEST(TableTest, FingerprintSensitiveToContent) {

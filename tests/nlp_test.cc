@@ -295,7 +295,9 @@ TEST(CensusGenTest, LabelsAreBothClassesAndCorrelated) {
   for (int64_t r = 0; r < table->num_rows(); ++r) {
     bool over = table->at(r, target_col).AsString() == ">50K";
     positives += over;
-    const std::string& edu = table->at(r, edu_col).AsString();
+    // at() materializes a Value now; copy rather than bind a reference
+    // into the temporary.
+    const std::string edu = table->at(r, edu_col).AsString();
     if (edu == "Doctorate" || edu == "Prof-school") {
       ++doctorate_total;
       doctorate_pos += over;
