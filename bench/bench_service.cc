@@ -1,0 +1,228 @@
+// Multi-session service benchmark: K concurrent users running the census
+// workload over ONE shared store/service versus K fully isolated stores.
+//
+// The multi-tenant claim under test (arXiv:1804.05892's cross-session
+// reuse direction): when every user iterates on the same workflow, the
+// shared store computes each intermediate roughly once *globally* while
+// isolated stores compute it once *per user* — so aggregate throughput
+// scales with the user count. Reported as "json," lines:
+//   * one line per mode with wall time, throughput, p50/p99 iteration
+//     latency, and reuse counters;
+//   * one summary line with the shared/isolated speedup and the
+//     cross-session hit rate (loads + in-flight shares of results this
+//     session never computed, over all node resolutions).
+//
+// Usage: bench_service [--users=4] [--iterations=6] [--rows=4000]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/census_app.h"
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "datagen/census_gen.h"
+#include "service/session_service.h"
+
+namespace helix {
+namespace bench {
+namespace {
+
+struct ModeResult {
+  double wall_ms = 0;
+  double throughput = 0;  // iterations/sec, all users
+  double p50_ms = 0;
+  double p99_ms = 0;
+  service::SessionCounters totals;
+};
+
+double PercentileMs(std::vector<int64_t> sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(index, sorted.size() - 1)]) /
+         1e3;
+}
+
+ModeResult RunMode(bool shared, int users, int iterations,
+                   const TempWorkspace& workspace, const std::string& train,
+                   const std::string& test) {
+  std::vector<std::unique_ptr<service::SessionService>> services;
+  std::string tag = shared ? "shared" : "isolated";
+  if (shared) {
+    service::ServiceOptions options;
+    options.workspace_dir = workspace.Path("ws-" + tag);
+    options.num_threads = users;
+    services.push_back(
+        ValueOrDie(service::SessionService::Open(options), "open service"));
+  } else {
+    for (int u = 0; u < users; ++u) {
+      service::ServiceOptions options;
+      options.workspace_dir =
+          workspace.Path("ws-" + tag + "-" + std::to_string(u));
+      options.num_threads = 1;
+      services.push_back(
+          ValueOrDie(service::SessionService::Open(options), "open service"));
+    }
+  }
+
+  auto script = apps::MakeCensusIterationScript();
+  std::vector<std::vector<int64_t>> latencies(static_cast<size_t>(users));
+  std::vector<service::ServiceSession*> sessions;
+  for (int u = 0; u < users; ++u) {
+    service::SessionService* svc =
+        shared ? services[0].get() : services[static_cast<size_t>(u)].get();
+    sessions.push_back(ValueOrDie(
+        svc->CreateSession("user-" + std::to_string(u)), "create session"));
+  }
+
+  std::vector<std::thread> drivers;
+  int64_t wall_start = SystemClock::Default()->NowMicros();
+  for (int u = 0; u < users; ++u) {
+    service::SessionService* svc =
+        shared ? services[0].get() : services[static_cast<size_t>(u)].get();
+    drivers.emplace_back([&, svc, u]() {
+      apps::CensusConfig config;
+      config.train_path = train;
+      config.test_path = test;
+      config.learner.epochs = 8;
+      for (int i = 0; i < iterations; ++i) {
+        const auto& step = script[static_cast<size_t>(i) % script.size()];
+        step.mutate(&config);
+        int64_t start = SystemClock::Default()->NowMicros();
+        auto result =
+            svc->SubmitIteration(sessions[static_cast<size_t>(u)],
+                                 apps::BuildCensusWorkflow(config),
+                                 step.description, step.category)
+                .get();
+        CheckOk(result.ok() ? Status::OK() : result.status(), "iteration");
+        latencies[static_cast<size_t>(u)].push_back(
+            SystemClock::Default()->NowMicros() - start);
+      }
+    });
+  }
+  for (std::thread& t : drivers) {
+    t.join();
+  }
+  int64_t wall_micros = SystemClock::Default()->NowMicros() - wall_start;
+
+  ModeResult mode;
+  mode.wall_ms = static_cast<double>(wall_micros) / 1e3;
+  mode.throughput = wall_micros > 0
+                        ? static_cast<double>(users) *
+                              static_cast<double>(iterations) * 1e6 /
+                              static_cast<double>(wall_micros)
+                        : 0;
+  std::vector<int64_t> all;
+  for (const auto& user_latencies : latencies) {
+    all.insert(all.end(), user_latencies.begin(), user_latencies.end());
+  }
+  std::sort(all.begin(), all.end());
+  mode.p50_ms = PercentileMs(all, 0.5);
+  mode.p99_ms = PercentileMs(all, 0.99);
+  for (const auto& svc : services) {
+    service::SessionCounters c = svc->AggregateCounters();
+    mode.totals.iterations += c.iterations;
+    mode.totals.num_computed += c.num_computed;
+    mode.totals.num_loaded += c.num_loaded;
+    mode.totals.num_shared += c.num_shared;
+    mode.totals.cross_session_loads += c.cross_session_loads;
+    mode.totals.saved_micros += c.saved_micros;
+  }
+
+  JsonWriter json;
+  json.BeginObject()
+      .KV("record", "bench_service_mode")
+      .KV("mode", tag)
+      .KV("users", static_cast<int64_t>(users))
+      .KV("iterations_per_user", static_cast<int64_t>(iterations))
+      .KV("wall_ms", mode.wall_ms)
+      .KV("throughput_iters_per_sec", mode.throughput)
+      .KV("p50_ms", mode.p50_ms)
+      .KV("p99_ms", mode.p99_ms)
+      .KV("num_computed", mode.totals.num_computed)
+      .KV("num_loaded", mode.totals.num_loaded)
+      .KV("num_shared", mode.totals.num_shared)
+      .KV("cross_session_loads", mode.totals.cross_session_loads)
+      .KV("saved_ms", static_cast<double>(mode.totals.saved_micros) / 1e3)
+      .EndObject();
+  PrintJsonLine(json);
+  return mode;
+}
+
+void Run(int users, int iterations, int64_t rows) {
+  TempWorkspace workspace("helix-bench-service");
+  std::string train = workspace.Path("census.train.csv");
+  std::string test = workspace.Path("census.test.csv");
+  datagen::CensusGenOptions gen;
+  gen.num_rows = rows;
+  CheckOk(datagen::WriteCensusFiles(gen, train, test), "census datagen");
+
+  std::fprintf(stderr, "running isolated mode (%d users x %d iterations)\n",
+               users, iterations);
+  ModeResult isolated =
+      RunMode(/*shared=*/false, users, iterations, workspace, train, test);
+  std::fprintf(stderr, "running shared mode (%d users x %d iterations)\n",
+               users, iterations);
+  ModeResult shared =
+      RunMode(/*shared=*/true, users, iterations, workspace, train, test);
+
+  int64_t resolutions =
+      shared.totals.num_computed + shared.totals.num_loaded;
+  int64_t cross =
+      shared.totals.cross_session_loads + shared.totals.num_shared;
+  double cross_rate = resolutions > 0 ? static_cast<double>(cross) /
+                                            static_cast<double>(resolutions)
+                                      : 0;
+  double speedup = isolated.wall_ms > 0 && shared.wall_ms > 0
+                       ? isolated.wall_ms / shared.wall_ms
+                       : 0;
+  JsonWriter json;
+  json.BeginObject()
+      .KV("record", "bench_service_summary")
+      .KV("users", static_cast<int64_t>(users))
+      .KV("iterations_per_user", static_cast<int64_t>(iterations))
+      .KV("rows", rows)
+      .KV("isolated_wall_ms", isolated.wall_ms)
+      .KV("shared_wall_ms", shared.wall_ms)
+      .KV("throughput_speedup", speedup)
+      .KV("cross_session_hit_rate", cross_rate)
+      .KV("isolated_computed", isolated.totals.num_computed)
+      .KV("shared_computed", shared.totals.num_computed)
+      .EndObject();
+  PrintJsonLine(json);
+  std::printf("summary: shared %.1fms vs isolated %.1fms -> %.2fx "
+              "aggregate throughput, cross-session hit rate %.2f\n",
+              shared.wall_ms, isolated.wall_ms, speedup, cross_rate);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace helix
+
+int main(int argc, char** argv) {
+  int users = 4;
+  int iterations = 6;
+  long long rows = 4000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--users=", 8) == 0) {
+      users = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--iterations=", 13) == 0) {
+      iterations = std::atoi(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      rows = std::atoll(argv[i] + 7);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  helix::bench::Run(users, iterations, rows);
+  return 0;
+}

@@ -3,11 +3,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <functional>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
+#include <thread>
 
 #include "common/strings.h"
 
@@ -36,7 +38,16 @@ Result<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view data) {
-  std::string tmp = path + ".tmp";
+  // The temp name must be unique per concurrent writer: atomic writes to
+  // the same destination (e.g. two sessions persisting one shared stats
+  // registry) would otherwise interleave on a fixed ".tmp" and rename a
+  // torn file into place. pid + thread id distinguishes every live
+  // writer while staying *stable* per thread, so a crash mid-write
+  // orphans at most one temp per writer — overwritten, not accumulated,
+  // on the next write from the same identity.
+  std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -45,12 +56,14 @@ Status WriteStringToFile(const std::string& path, std::string_view data) {
     out.write(data.data(), static_cast<std::streamsize>(data.size()));
     out.flush();
     if (!out) {
+      std::remove(tmp.c_str());  // unique temps must not accumulate
       return Status::IOError("short write on file: " + tmp);
     }
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
+    std::remove(tmp.c_str());
     return Status::IOError("rename failed: " + tmp + " -> " + path + ": " +
                            ec.message());
   }

@@ -11,6 +11,7 @@
 #include "common/strings.h"
 #include "core/program_slicer.h"
 #include "runtime/async_materializer.h"
+#include "runtime/inflight_table.h"
 #include "runtime/parallel_scheduler.h"
 #include "runtime/thread_pool.h"
 
@@ -154,6 +155,7 @@ void MaybeMaterialize(ExecState* st, int node,
     request.data = data;  // shares the payload; copies a pointer
     request.iteration = opts.iteration;
     request.compute_micros = record->cost_micros;
+    request.owner = opts.materializer_owner;
     st->materializer->Enqueue(std::move(request));
     return;
   }
@@ -195,14 +197,14 @@ Status EnsureAvailable(ExecState* st, int node) {
   return ComputeNode(st, node);
 }
 
-Status ComputeNode(ExecState* st, int node) {
+// Invokes the operator and performs the bookkeeping of a locally computed
+// node: record, measured cost, stats, result slot, materialization.
+// Inputs must already be available.
+Status InvokeAndRecord(
+    ExecState* st, int node,
+    const std::vector<const dataflow::DataCollection*>& inputs) {
   const ExecutionOptions& opts = *st->opts;
   const Operator& op = st->dag->op(node);
-  std::vector<const dataflow::DataCollection*> inputs;
-  for (graph::NodeId p : st->dag->dag().Parents(node)) {
-    HELIX_RETURN_IF_ERROR(EnsureAvailable(st, p));
-    inputs.push_back(&st->results[static_cast<size_t>(p)]);
-  }
   int64_t start = opts.clock->NowMicros();
   HELIX_ASSIGN_OR_RETURN(dataflow::DataCollection data, op.Invoke(inputs));
   int64_t cost = ChargeAndMeasure(opts.clock, start,
@@ -225,6 +227,75 @@ Status ComputeNode(ExecState* st, int node) {
   st->results[static_cast<size_t>(node)] = data;
   MaybeMaterialize(st, node, data, &record);
   return Status::OK();
+}
+
+Status ComputeNode(ExecState* st, int node) {
+  const ExecutionOptions& opts = *st->opts;
+  const Operator& op = st->dag->op(node);
+  std::vector<const dataflow::DataCollection*> inputs;
+  for (graph::NodeId p : st->dag->dag().Parents(node)) {
+    HELIX_RETURN_IF_ERROR(EnsureAvailable(st, p));
+    inputs.push_back(&st->results[static_cast<size_t>(p)]);
+  }
+  if (opts.inflight == nullptr) {
+    return InvokeAndRecord(st, node, inputs);
+  }
+
+  // Cross-session block-and-share (service mode). Ordering matters for
+  // deadlock freedom: parents are resolved *before* Acquire, so ownership
+  // is never held while blocking on another signature (no hold-and-wait).
+  uint64_t sig = st->dag->cumulative_signature(node);
+  runtime::SignatureInflightTable::Ticket ticket = opts.inflight->Acquire(sig);
+  NodeExecution& record = st->records[static_cast<size_t>(node)];
+  if (!ticket.owner()) {
+    // A concurrent session is computing this exact intermediate: block
+    // and share its result instead of duplicating the work.
+    int64_t start = opts.clock->NowMicros();
+    Result<dataflow::DataCollection> shared = ticket.Wait();
+    if (shared.ok()) {
+      record.state = NodeState::kLoad;
+      record.shared = true;
+      record.cost_micros = opts.clock->NowMicros() - start;
+      record.output_bytes = shared.value().SizeBytes();
+      st->results[static_cast<size_t>(node)] = std::move(shared).value();
+      return Status::OK();
+    }
+    // The owner failed; recompute locally without taking ownership (this
+    // cold error path tolerates duplicated work).
+    HELIX_LOG(Warning) << "shared in-flight compute of " << op.name()
+                       << " failed, computing locally: "
+                       << shared.status().ToString();
+    return InvokeAndRecord(st, node, inputs);
+  }
+
+  // Owner. A sibling session may have materialized this signature after
+  // this iteration was planned (the plan said compute because the store
+  // was empty at planning time); re-check and serve a load instead.
+  if (opts.store != nullptr && opts.store->Has(sig)) {
+    int64_t start = opts.clock->NowMicros();
+    auto loaded = opts.store->Get(sig);
+    if (loaded.ok()) {
+      record.state = NodeState::kLoad;
+      record.cost_micros = ChargeAndMeasure(
+          opts.clock, start, op.synthetic_costs().load_micros);
+      record.output_bytes = loaded.value().SizeBytes();
+      st->results[static_cast<size_t>(node)] = std::move(loaded).value();
+      if (opts.stats != nullptr) {
+        std::lock_guard<std::mutex> lock(st->stats_mu);
+        opts.stats->RecordLoad(sig, op.name(), record.cost_micros,
+                               opts.iteration);
+      }
+      opts.inflight->Publish(sig, st->results[static_cast<size_t>(node)]);
+      return Status::OK();
+    }
+  }
+  Status computed = InvokeAndRecord(st, node, inputs);
+  if (computed.ok()) {
+    opts.inflight->Publish(sig, st->results[static_cast<size_t>(node)]);
+  } else {
+    opts.inflight->Publish(sig, computed);
+  }
+  return computed;
 }
 
 // Runs one planned node (the body of the execution loop). Called in
@@ -411,19 +482,30 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
   }
 
   const int parallelism = ResolveParallelism(options, n);
+  // Materialization writer selection: an externally shared writer (service
+  // layer) is used in both strategies; otherwise parallel mode creates a
+  // private one and sequential mode writes inline (legacy behavior).
+  std::optional<runtime::AsyncMaterializer> private_materializer;
+  const bool materializing =
+      options.store != nullptr && options.mat_policy != nullptr;
+  if (materializing && options.materializer != nullptr) {
+    st.materializer = options.materializer;
+  } else if (materializing && parallelism > 1) {
+    private_materializer.emplace(options.store);
+    st.materializer = &*private_materializer;
+  }
+  Status exec_status;
   if (parallelism <= 1) {
     // Sequential strategy: the classic topological loop.
     for (int i : dag.topo_order()) {
-      HELIX_RETURN_IF_ERROR(ExecutePlannedNode(&st, i, plan.state(i)));
+      exec_status = ExecutePlannedNode(&st, i, plan.state(i));
+      if (!exec_status.ok()) {
+        break;
+      }
     }
   } else {
     // Parallel strategy: dependency-driven scheduling over a worker pool,
     // with materialization on a background writer.
-    std::optional<runtime::AsyncMaterializer> materializer;
-    if (options.store != nullptr && options.mat_policy != nullptr) {
-      materializer.emplace(options.store);
-      st.materializer = &*materializer;
-    }
     std::vector<bool> active(static_cast<size_t>(n), false);
     for (int i = 0; i < n; ++i) {
       active[static_cast<size_t>(i)] = plan.state(i) != NodeState::kPrune;
@@ -461,18 +543,25 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
     }
     runtime::ThreadPool pool(parallelism);
     runtime::ParallelDagScheduler scheduler(&sched_dag, std::move(active));
-    Status exec_status =
-        scheduler.Run(&pool, [&st, &plan](int node) {
-          return ExecutePlannedNode(&st, node, plan.state(node));
-        });
-    if (st.materializer != nullptr) {
-      // Wait out the write pipeline before closing the books: the report's
-      // total time honestly includes any tail of unfinished writes.
-      ApplyMaterializationOutcomes(&st, st.materializer->Drain());
-      st.materializer = nullptr;
-    }
-    HELIX_RETURN_IF_ERROR(exec_status);
+    exec_status = scheduler.Run(&pool, [&st, &plan](int node) {
+      return ExecutePlannedNode(&st, node, plan.state(node));
+    });
   }
+  if (st.materializer != nullptr) {
+    // Wait out the write pipeline before closing the books — even on an
+    // execution error, so a shared writer never carries this iteration's
+    // outcomes (stale node ids) into the next Drain. The report's total
+    // time honestly includes any tail of unfinished writes. On a shared
+    // writer only this execution's owner tag is drained: sibling
+    // sessions' queued requests are neither awaited nor consumed.
+    std::vector<runtime::AsyncMaterializer::Outcome> outcomes =
+        options.materializer != nullptr
+            ? st.materializer->Drain(options.materializer_owner)
+            : st.materializer->Drain();
+    ApplyMaterializationOutcomes(&st, std::move(outcomes));
+    st.materializer = nullptr;
+  }
+  HELIX_RETURN_IF_ERROR(exec_status);
 
   // --- 5. Report ----------------------------------------------------------
   ExecutionReport report;
@@ -493,6 +582,9 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
     }
     if (record.materialized) {
       ++report.num_materialized;
+    }
+    if (record.shared) {
+      ++report.num_shared;
     }
   }
   for (int out : dag.outputs()) {

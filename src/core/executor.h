@@ -34,6 +34,11 @@
 #include "storage/store.h"
 
 namespace helix {
+namespace runtime {
+class AsyncMaterializer;
+class SignatureInflightTable;
+}  // namespace runtime
+
 namespace core {
 
 /// Which planner assigns node states.
@@ -76,6 +81,24 @@ struct ExecutionOptions {
   /// time advances have no meaningful interleaving across threads, and
   /// the benchmark/virtual-clock paths rely on deterministic charging.
   int max_parallelism = 0;
+  /// Cross-session block-and-share table (service layer; nullptr = off).
+  /// When set, a node about to be computed first registers its signature:
+  /// if another session is already computing it, this execution blocks and
+  /// receives the shared result (recorded as a load, `NodeExecution::
+  /// shared`); owners also re-check the store before computing, closing
+  /// the plan-staleness window where a sibling session materialized the
+  /// result after this iteration was planned. Requires a real clock
+  /// (cross-session blocking has no meaning in simulated time).
+  runtime::SignatureInflightTable* inflight = nullptr;
+  /// External (shared) background writer for materializations; nullptr =
+  /// the executor creates a private one in parallel mode and writes
+  /// inline in sequential mode. When set, all materializations of this
+  /// execution are enqueued tagged with `materializer_owner` and drained
+  /// per-owner at the end of the iteration, so concurrent sessions
+  /// sharing one writer never steal or drop each other's outcomes.
+  runtime::AsyncMaterializer* materializer = nullptr;
+  /// Owner tag for requests on the shared `materializer` (session id).
+  uint64_t materializer_owner = 0;
 };
 
 /// The worker count Execute will actually use under `options` for a DAG of
@@ -88,6 +111,10 @@ struct NodeExecution {
   Phase phase = Phase::kDataPreprocessing;
   NodeState state = NodeState::kPrune;
   bool sliced = false;           // pruned by the slicer (vs. by the planner)
+  /// Result was served by a concurrent session's in-flight computation
+  /// (block-and-share); counted under num_loaded, flagged for the
+  /// service's cross-session metrics.
+  bool shared = false;
   uint64_t signature = 0;        // cumulative signature
   int64_t cost_micros = 0;       // compute or load cost actually charged
   int64_t output_bytes = 0;      // serialized size (computed/loaded nodes)
@@ -112,6 +139,9 @@ struct ExecutionReport {
   int num_loaded = 0;
   int num_pruned = 0;
   int num_materialized = 0;
+  /// Results served by a concurrent session's in-flight computation
+  /// (subset of num_loaded).
+  int num_shared = 0;
 
   /// Node record by name (nullptr if absent).
   const NodeExecution* FindNode(const std::string& name) const;

@@ -13,8 +13,22 @@ std::string Session::StatsPath() const {
 
 Result<std::unique_ptr<Session>> Session::Open(
     const SessionOptions& options) {
+  if (options.inflight != nullptr && options.clock != nullptr &&
+      options.clock->is_virtual()) {
+    // Block-and-share waits real threads on each other; simulated time
+    // neither advances for the waiter nor means anything across sessions.
+    return Status::InvalidArgument(
+        "cross-session in-flight sharing requires a real clock");
+  }
   std::unique_ptr<Session> session(new Session(options));
-  if (!options.workspace_dir.empty() && options.enable_materialization) {
+  if (options.shared_store != nullptr) {
+    // Service mode: the store, stats registry, and writer belong to the
+    // service; this session only borrows them. Nothing to open or load.
+    if (options.shared_stats != nullptr) {
+      session->stats_ = options.shared_stats;
+    }
+  } else if (!options.workspace_dir.empty() &&
+             options.enable_materialization) {
     storage::StoreOptions store_options;
     store_options.budget_bytes = options.storage_budget_bytes;
     store_options.clock = options.clock;
@@ -31,7 +45,7 @@ Result<std::unique_ptr<Session>> Session::Open(
             JoinPath(options.workspace_dir, "store"), store_options));
     auto stats = storage::CostStatsRegistry::Load(session->StatsPath());
     if (stats.ok()) {
-      session->stats_ = std::move(stats).value();
+      session->owned_stats_ = std::move(stats).value();
     } else if (!stats.status().IsNotFound()) {
       HELIX_LOG(Warning) << "stats registry unreadable, starting fresh: "
                          << stats.status().ToString();
@@ -64,10 +78,13 @@ Result<IterationResult> Session::RunIteration(const Workflow& workflow,
 
   ExecutionOptions exec;
   exec.clock = options_.clock;
-  exec.store = store_.get();
-  exec.stats = &stats_;
+  exec.store = store();
+  exec.stats = stats_;
   exec.mat_policy =
       options_.enable_materialization ? policy_.get() : nullptr;
+  exec.inflight = options_.inflight;
+  exec.materializer = options_.shared_materializer;
+  exec.materializer_owner = options_.session_id;
   exec.planner = options_.planner;
   exec.enable_slicing = options_.enable_slicing;
   exec.iteration = iteration_;
@@ -102,8 +119,11 @@ Result<IterationResult> Session::RunIteration(const Workflow& workflow,
   previous_dag_ = std::move(dag);
   ++iteration_;
 
-  if (!options_.workspace_dir.empty() && options_.enable_materialization) {
-    Status saved = stats_.Save(StatsPath());
+  // Shared stats are persisted by their owner (the service); a session
+  // only saves the registry it owns.
+  if (stats_ == &owned_stats_ && !options_.workspace_dir.empty() &&
+      options_.enable_materialization) {
+    Status saved = stats_->Save(StatsPath());
     if (!saved.ok()) {
       HELIX_LOG(Warning) << "failed to persist stats: " << saved.ToString();
     }

@@ -63,6 +63,26 @@ struct SessionOptions {
   /// N > 1 = at most N operators in flight. Sessions on a virtual clock
   /// always execute sequentially (see ExecutionOptions::max_parallelism).
   int max_parallelism = 0;
+
+  // --- Shared-resource mode (service layer) -------------------------------
+  // All four pointers are borrowed and must outlive the Session; they are
+  // normally wired up by service::SessionService, which owns one of each
+  // and runs many Sessions against them. With shared_store set the
+  // session neither opens nor persists its own store/stats (workspace_dir
+  // may be empty); the owner of the shared registry persists it.
+
+  /// Shared materialization store (nullptr = open a private store from
+  /// workspace_dir as usual).
+  storage::IntermediateStore* shared_store = nullptr;
+  /// Shared cross-session statistics registry (internally synchronized).
+  storage::CostStatsRegistry* shared_stats = nullptr;
+  /// Cross-session block-and-share table (see ExecutionOptions::inflight).
+  runtime::SignatureInflightTable* inflight = nullptr;
+  /// Shared background materialization writer; iterations drain only
+  /// their own writes, tagged with `session_id`.
+  runtime::AsyncMaterializer* shared_materializer = nullptr;
+  /// Owner tag on the shared materializer (unique per session).
+  uint64_t session_id = 0;
 };
 
 /// Result of one iteration.
@@ -89,8 +109,13 @@ class Session {
   const VersionManager& versions() const { return versions_; }
   VersionManager* mutable_versions() { return &versions_; }
 
-  storage::IntermediateStore* store() { return store_.get(); }
-  storage::CostStatsRegistry* stats() { return &stats_; }
+  /// The effective store: shared (service mode) or privately owned.
+  storage::IntermediateStore* store() {
+    return options_.shared_store != nullptr ? options_.shared_store
+                                            : store_.get();
+  }
+  /// The effective stats registry: shared (service mode) or owned.
+  storage::CostStatsRegistry* stats() { return stats_; }
   Clock* clock() const { return options_.clock; }
 
   /// Total execution time across all iterations so far (the paper's
@@ -106,7 +131,9 @@ class Session {
 
   SessionOptions options_;
   std::unique_ptr<storage::IntermediateStore> store_;
-  storage::CostStatsRegistry stats_;
+  storage::CostStatsRegistry owned_stats_;
+  /// Points at owned_stats_, or at options_.shared_stats in service mode.
+  storage::CostStatsRegistry* stats_ = &owned_stats_;
   VersionManager versions_;
   std::shared_ptr<MaterializationPolicy> policy_;
   std::optional<WorkflowDag> previous_dag_;

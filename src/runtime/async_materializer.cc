@@ -1,5 +1,6 @@
 #include "runtime/async_materializer.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace helix {
@@ -20,6 +21,7 @@ AsyncMaterializer::~AsyncMaterializer() {
 void AsyncMaterializer::Enqueue(Request request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    ++pending_per_owner_[request.owner];
     queue_.push_back(std::move(request));
   }
   work_cv_.notify_one();
@@ -33,9 +35,33 @@ std::vector<AsyncMaterializer::Outcome> AsyncMaterializer::Drain() {
   return out;
 }
 
+std::vector<AsyncMaterializer::Outcome> AsyncMaterializer::Drain(
+    uint64_t owner) {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this, owner]() {
+    return pending_per_owner_.count(owner) == 0;
+  });
+  std::vector<Outcome> out;
+  auto mine = [owner](const Outcome& o) { return o.owner == owner; };
+  for (Outcome& o : outcomes_) {
+    if (mine(o)) {
+      out.push_back(std::move(o));
+    }
+  }
+  outcomes_.erase(std::remove_if(outcomes_.begin(), outcomes_.end(), mine),
+                  outcomes_.end());
+  return out;
+}
+
 size_t AsyncMaterializer::Pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size() + (writing_ ? 1 : 0);
+}
+
+size_t AsyncMaterializer::Pending(uint64_t owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_per_owner_.find(owner);
+  return it == pending_per_owner_.end() ? 0 : it->second;
 }
 
 void AsyncMaterializer::WriterLoop() {
@@ -56,6 +82,7 @@ void AsyncMaterializer::WriterLoop() {
     outcome.node = request.node;
     outcome.signature = request.signature;
     outcome.node_name = request.node_name;
+    outcome.owner = request.owner;
     outcome.status =
         store_->Put(request.signature, request.node_name, request.data,
                     request.iteration, &outcome.write_micros,
@@ -64,9 +91,13 @@ void AsyncMaterializer::WriterLoop() {
     lock.lock();
     writing_ = false;
     outcomes_.push_back(std::move(outcome));
-    if (queue_.empty()) {
-      drained_cv_.notify_all();
+    auto it = pending_per_owner_.find(request.owner);
+    if (it != pending_per_owner_.end() && --it->second == 0) {
+      pending_per_owner_.erase(it);
     }
+    // Per-owner drains must observe every completed write, not just the
+    // queue-empty edge.
+    drained_cv_.notify_all();
   }
 }
 

@@ -15,6 +15,13 @@
 // ever lands on the compute path. Outcomes are collected and applied to
 // execution records when the caller drains the pipeline at the end of
 // the iteration.
+//
+// Multi-session sharing: one materializer may serve many concurrent
+// sessions writing to one shared store (the service layer). Requests
+// carry an `owner` tag, and Drain(owner) waits only for that owner's
+// writes and returns only that owner's outcomes — one session finishing
+// its iteration neither blocks on another session's (possibly endless)
+// stream of requests nor steals its outcomes.
 #ifndef HELIX_RUNTIME_ASYNC_MATERIALIZER_H_
 #define HELIX_RUNTIME_ASYNC_MATERIALIZER_H_
 
@@ -24,6 +31,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -58,6 +66,9 @@ class AsyncMaterializer {
     /// Producer's measured compute cost, forwarded to the store for
     /// eviction retention scoring (-1 = unknown).
     int64_t compute_micros = -1;
+    /// Session tag for per-owner draining on a shared materializer
+    /// (0 = the single-session default).
+    uint64_t owner = 0;
   };
 
   /// Result of one attempted write.
@@ -67,12 +78,13 @@ class AsyncMaterializer {
     std::string node_name;
     Status status;             // Put's verdict (may be ResourceExhausted)
     int64_t write_micros = 0;  // measured write cost when status is OK
+    uint64_t owner = 0;        // echo of Request::owner
   };
 
   /// `store` must outlive the materializer.
   explicit AsyncMaterializer(storage::IntermediateStore* store);
 
-  /// Drains outstanding writes, then stops the writer thread.
+  /// Drains outstanding writes (all owners), then stops the writer thread.
   ~AsyncMaterializer();
 
   AsyncMaterializer(const AsyncMaterializer&) = delete;
@@ -81,12 +93,24 @@ class AsyncMaterializer {
   /// Queues a write; returns immediately.
   void Enqueue(Request request);
 
-  /// Blocks until every write enqueued so far has been attempted, then
-  /// returns (and clears) their outcomes in enqueue order.
+  /// Blocks until every write enqueued so far — any owner — has been
+  /// attempted, then returns (and clears) their outcomes in enqueue order.
+  /// Only meaningful for a single-owner materializer: under concurrent
+  /// producers this waits for a momentarily empty queue.
   std::vector<Outcome> Drain();
+
+  /// Blocks until every write enqueued so far *by `owner`* has been
+  /// attempted, then returns (and clears) that owner's outcomes in
+  /// enqueue order. Other owners' queued requests are untouched: they are
+  /// neither waited for (beyond FIFO requests already ahead of `owner`'s
+  /// last write) nor returned — their own Drain still sees them.
+  std::vector<Outcome> Drain(uint64_t owner);
 
   /// Writes queued or executing right now (diagnostics).
   size_t Pending() const;
+
+  /// Writes queued or executing right now for `owner` (diagnostics).
+  size_t Pending(uint64_t owner) const;
 
  private:
   void WriterLoop();
@@ -95,9 +119,12 @@ class AsyncMaterializer {
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;     // wakes the writer
-  std::condition_variable drained_cv_;  // wakes Drain
+  std::condition_variable drained_cv_;  // wakes Drain (any flavor)
   std::deque<Request> queue_;
   std::vector<Outcome> outcomes_;
+  // Queued + in-flight request count per owner; the entry is erased when
+  // it reaches zero, so the map stays bounded by live owners.
+  std::unordered_map<uint64_t, size_t> pending_per_owner_;
   bool writing_ = false;   // writer is executing a Put right now
   bool shutdown_ = false;
   std::thread writer_;

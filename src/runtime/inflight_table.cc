@@ -1,0 +1,69 @@
+#include "runtime/inflight_table.h"
+
+#include <utility>
+
+namespace helix {
+namespace runtime {
+
+/// Shared state between one owner and its waiters. The table's map entry
+/// and every outstanding Ticket hold a shared_ptr, so the slot outlives
+/// both the Publish and any late Wait.
+struct SignatureInflightTable::Ticket::Slot {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<dataflow::DataCollection> result =
+      Status::Internal("in-flight result not published");
+  std::atomic<int64_t>* shared_hits = nullptr;
+};
+
+Result<dataflow::DataCollection> SignatureInflightTable::Ticket::Wait() {
+  std::unique_lock<std::mutex> lock(slot_->mu);
+  slot_->cv.wait(lock, [this]() { return slot_->done; });
+  Result<dataflow::DataCollection> result = slot_->result;
+  if (result.ok() && slot_->shared_hits != nullptr) {
+    slot_->shared_hits->fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+SignatureInflightTable::Ticket SignatureInflightTable::Acquire(
+    uint64_t signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(signature);
+  if (it != slots_.end()) {
+    return Ticket(/*owner=*/false, it->second);
+  }
+  auto slot = std::make_shared<Ticket::Slot>();
+  slot->shared_hits = &shared_hits_;
+  slots_.emplace(signature, slot);
+  return Ticket(/*owner=*/true, std::move(slot));
+}
+
+void SignatureInflightTable::Publish(uint64_t signature,
+                                     Result<dataflow::DataCollection> result) {
+  std::shared_ptr<Ticket::Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(signature);
+    if (it == slots_.end()) {
+      return;  // tolerated misuse: publish without ownership
+    }
+    slot = it->second;
+    slots_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->result = std::move(result);
+    slot->done = true;
+  }
+  slot->cv.notify_all();
+}
+
+size_t SignatureInflightTable::InflightCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace runtime
+}  // namespace helix

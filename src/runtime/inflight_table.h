@@ -1,0 +1,102 @@
+// Per-signature in-flight computation table: block-and-share dedup.
+//
+// When many concurrent sessions iterate on the same workflow over one
+// shared materialization store (the multi-tenant reuse direction of the
+// Helix follow-up work, arXiv:1804.05892), two sessions frequently reach
+// the same intermediate — same cumulative Merkle signature — at the same
+// time, before either has materialized it. Without coordination both
+// compute it: duplicated work exactly where reuse should win. This table
+// closes that window: the first session to reach a signature becomes its
+// *owner* and computes; later arrivals block on the owner's ticket and
+// receive a shared handle to the finished result (DataCollection payloads
+// are shared_ptr-backed, so sharing copies a pointer, not data).
+//
+// Deadlock freedom: ownership is held only while the owner actively
+// executes one operator — owners never block on another signature while
+// holding one (the executor acquires a ticket only after its parents are
+// already available), so there is no hold-and-wait and no cycle.
+#ifndef HELIX_RUNTIME_INFLIGHT_TABLE_H_
+#define HELIX_RUNTIME_INFLIGHT_TABLE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/data_collection.h"
+
+namespace helix {
+namespace runtime {
+
+/// Coordination point for concurrent computations of the same signature.
+///
+/// Thread safety: all methods are safe from any thread. Ownership: the
+/// table owns its slots; waiters keep slots alive through shared_ptrs, so
+/// a Publish racing with late waiters is safe. Failure modes: the owner
+/// must Publish exactly once — a result on success, the error Status on
+/// failure. Waiters receiving an error fall back to computing locally
+/// (correctness never depends on sharing).
+class SignatureInflightTable {
+ public:
+  /// What Acquire tells the caller to do.
+  class Ticket {
+   public:
+    /// True: caller computes the result and must Publish it (also on
+    /// failure). False: another session is computing; call Wait.
+    bool owner() const { return owner_; }
+
+    /// Waiter-side: blocks until the owner publishes, then returns the
+    /// shared result (or the owner's error). Must not be called by the
+    /// owner.
+    Result<dataflow::DataCollection> Wait();
+
+   private:
+    friend class SignatureInflightTable;
+    struct Slot;
+    Ticket(bool owner, std::shared_ptr<Slot> slot)
+        : owner_(owner), slot_(std::move(slot)) {}
+
+    bool owner_ = false;
+    std::shared_ptr<Slot> slot_;
+  };
+
+  SignatureInflightTable() = default;
+  SignatureInflightTable(const SignatureInflightTable&) = delete;
+  SignatureInflightTable& operator=(const SignatureInflightTable&) = delete;
+
+  /// Registers interest in `signature`. First caller per signature gets
+  /// the owner ticket; everyone else a waiter ticket for the same slot.
+  /// After the owner publishes, the signature is vacant again — a later
+  /// Acquire starts a fresh ownership round (by then the result is
+  /// normally in the store, so callers check the store first).
+  Ticket Acquire(uint64_t signature);
+
+  /// Owner-side: delivers the computation's outcome to every waiter and
+  /// vacates the signature. Exactly one Publish per owner ticket.
+  void Publish(uint64_t signature, Result<dataflow::DataCollection> result);
+
+  /// Waits served a shared result since construction (the service's
+  /// cross-session sharing metric).
+  int64_t num_shared_hits() const {
+    return shared_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Signatures currently being computed (diagnostics).
+  size_t InflightCount() const;
+
+ private:
+  friend class Ticket;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Ticket::Slot>> slots_;
+  std::atomic<int64_t> shared_hits_{0};
+};
+
+}  // namespace runtime
+}  // namespace helix
+
+#endif  // HELIX_RUNTIME_INFLIGHT_TABLE_H_

@@ -11,6 +11,25 @@ constexpr uint32_t kStatsMagic = 0x53584C48;  // "HLXS"
 constexpr uint32_t kStatsVersion = 1;
 }  // namespace
 
+CostStatsRegistry::CostStatsRegistry(CostStatsRegistry&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  stats_ = std::move(other.stats_);
+  latest_by_name_ = std::move(other.latest_by_name_);
+}
+
+CostStatsRegistry& CostStatsRegistry::operator=(
+    CostStatsRegistry&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  std::lock(mu_, other.mu_);
+  std::lock_guard<std::mutex> self(mu_, std::adopt_lock);
+  std::lock_guard<std::mutex> theirs(other.mu_, std::adopt_lock);
+  stats_ = std::move(other.stats_);
+  latest_by_name_ = std::move(other.latest_by_name_);
+  return *this;
+}
+
 Result<CostStatsRegistry> CostStatsRegistry::Load(const std::string& path) {
   HELIX_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
   ByteReader r(data);
@@ -42,21 +61,25 @@ Result<CostStatsRegistry> CostStatsRegistry::Load(const std::string& path) {
 
 Status CostStatsRegistry::Save(const std::string& path) const {
   ByteWriter w;
-  w.PutU32(kStatsMagic);
-  w.PutU32(kStatsVersion);
-  w.PutU64(stats_.size());
-  for (const auto& [sig, s] : stats_) {
-    w.PutU64(sig);
-    w.PutString(s.node_name);
-    w.PutI64(s.compute_micros);
-    w.PutI64(s.load_micros);
-    w.PutI64(s.size_bytes);
-    w.PutI64(s.last_iteration);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    w.PutU32(kStatsMagic);
+    w.PutU32(kStatsVersion);
+    w.PutU64(stats_.size());
+    for (const auto& [sig, s] : stats_) {
+      w.PutU64(sig);
+      w.PutString(s.node_name);
+      w.PutI64(s.compute_micros);
+      w.PutI64(s.load_micros);
+      w.PutI64(s.size_bytes);
+      w.PutI64(s.last_iteration);
+    }
   }
   return WriteStringToFile(path, w.data());
 }
 
 std::optional<NodeStats> CostStatsRegistry::Get(uint64_t signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = stats_.find(signature);
   if (it == stats_.end()) {
     return std::nullopt;
@@ -66,14 +89,25 @@ std::optional<NodeStats> CostStatsRegistry::Get(uint64_t signature) const {
 
 std::optional<NodeStats> CostStatsRegistry::GetLatestByName(
     const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = latest_by_name_.find(name);
   if (it == latest_by_name_.end()) {
     return std::nullopt;
   }
-  return Get(it->second);
+  auto entry = stats_.find(it->second);
+  if (entry == stats_.end()) {
+    return std::nullopt;
+  }
+  return entry->second;
 }
 
 void CostStatsRegistry::Record(uint64_t signature, const NodeStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordLocked(signature, stats);
+}
+
+void CostStatsRegistry::RecordLocked(uint64_t signature,
+                                     const NodeStats& stats) {
   NodeStats& entry = stats_[signature];
   if (!stats.node_name.empty()) {
     entry.node_name = stats.node_name;
@@ -130,6 +164,22 @@ void CostStatsRegistry::RecordSize(uint64_t signature, const std::string& name,
   s.size_bytes = bytes;
   s.last_iteration = iteration;
   Record(signature, s);
+}
+
+size_t CostStatsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.size();
+}
+
+std::vector<std::pair<uint64_t, NodeStats>> CostStatsRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<uint64_t, NodeStats>> out;
+  out.reserve(stats_.size());
+  for (const auto& [sig, s] : stats_) {
+    out.emplace_back(sig, s);
+  }
+  return out;
 }
 
 }  // namespace storage

@@ -9,9 +9,12 @@
 #define HELIX_STORAGE_COST_STATS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -31,15 +34,23 @@ struct NodeStats {
 /// In-memory registry with binary persistence, keyed by cumulative
 /// signature.
 ///
-/// Thread safety: thread-compatible — callers provide external
-/// synchronization when sharing (the executor serializes access through
-/// ExecState::stats_mu). Ownership: plain value type; copy/move freely.
-/// Failure modes: Load returns NotFound for a missing file and Corruption
-/// for a damaged one (callers start fresh); Save is atomic
-/// (temp + rename) and returns IOError on filesystem failure.
+/// Thread safety: internally synchronized — one registry may be shared by
+/// many concurrent sessions (the service layer's shared-store path); every
+/// public method takes the registry's mutex. Individual reads are
+/// consistent; callers needing a multi-entry consistent view take
+/// Snapshot. Ownership: move-only value type (moves lock the source);
+/// a shared registry is referenced, never copied. Failure modes: Load
+/// returns NotFound for a missing file and Corruption for a damaged one
+/// (callers start fresh); Save is atomic (temp + rename, so a concurrent
+/// Load never observes a half-written file) and returns IOError on
+/// filesystem failure.
 class CostStatsRegistry {
  public:
   CostStatsRegistry() = default;
+  CostStatsRegistry(const CostStatsRegistry&) = delete;
+  CostStatsRegistry& operator=(const CostStatsRegistry&) = delete;
+  CostStatsRegistry(CostStatsRegistry&& other) noexcept;
+  CostStatsRegistry& operator=(CostStatsRegistry&& other) noexcept;
 
   /// Loads a registry previously saved with Save. NotFound if the file
   /// does not exist (callers typically treat that as an empty registry).
@@ -69,13 +80,14 @@ class CostStatsRegistry {
                   int64_t iteration);
 
   /// Number of signatures with recorded stats.
-  size_t size() const { return stats_.size(); }
-  /// Read-only view of all entries (invalidated by Record*).
-  const std::unordered_map<uint64_t, NodeStats>& entries() const {
-    return stats_;
-  }
+  size_t size() const;
+  /// Consistent copy of all entries (reporting/tests).
+  std::vector<std::pair<uint64_t, NodeStats>> Snapshot() const;
 
  private:
+  void RecordLocked(uint64_t signature, const NodeStats& stats);
+
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, NodeStats> stats_;
   /// name -> signature of the entry with the largest last_iteration.
   std::unordered_map<std::string, uint64_t> latest_by_name_;

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/file_util.h"
@@ -371,6 +372,93 @@ TEST_F(AsyncMaterializerTest, StoreSurvivesConcurrentAccess) {
   }
   EXPECT_EQ(store->NumEntries(), 0u);
   EXPECT_EQ(store->TotalBytes(), 0);
+}
+
+// --- Shared-writer (multi-session) semantics --------------------------------
+
+// Regression for the shared-pool shutdown-ordering bug: with one writer
+// serving several sessions, a session draining its own iteration must not
+// consume (drop) another session's outcomes. The legacy Drain() cleared
+// the whole outcome buffer — session 2's outcomes vanished into session
+// 1's drain.
+TEST_F(AsyncMaterializerTest, PerOwnerDrainPartitionsOutcomes) {
+  auto store = OpenStore();
+  AsyncMaterializer materializer(store.get());
+  for (int i = 0; i < 6; ++i) {
+    AsyncMaterializer::Request request;
+    request.node = i;
+    request.signature = 300 + static_cast<uint64_t>(i);
+    request.node_name = "n" + std::to_string(i);
+    request.data = MakeCollection("owner-tagged" + std::to_string(i));
+    request.owner = static_cast<uint64_t>(1 + i % 2);  // interleaved 1,2,1,2…
+    materializer.Enqueue(std::move(request));
+  }
+  std::vector<AsyncMaterializer::Outcome> one = materializer.Drain(1);
+  ASSERT_EQ(one.size(), 3u);
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].owner, 1u);
+    EXPECT_EQ(one[i].node, static_cast<int>(2 * i));  // enqueue order kept
+    EXPECT_TRUE(one[i].status.ok()) << one[i].status.ToString();
+  }
+  // Session 2's outcomes survived session 1's drain.
+  std::vector<AsyncMaterializer::Outcome> two = materializer.Drain(2);
+  ASSERT_EQ(two.size(), 3u);
+  for (const auto& outcome : two) {
+    EXPECT_EQ(outcome.owner, 2u);
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+  EXPECT_TRUE(materializer.Drain(1).empty());
+  EXPECT_TRUE(materializer.Drain(2).empty());
+  EXPECT_EQ(store->NumEntries(), 6u);
+  EXPECT_EQ(materializer.Pending(), 0u);
+}
+
+// Draining one owner must not wait on another owner's continuing stream
+// of requests: Drain(1) returns once owner 1's writes are attempted, even
+// while owner 2 keeps the queue busy.
+TEST_F(AsyncMaterializerTest, DrainOneOwnerWhileAnotherKeepsEnqueueing) {
+  auto store = OpenStore();
+  AsyncMaterializer materializer(store.get());
+  std::atomic<bool> stop{false};
+  std::atomic<int> enqueued_by_two{0};
+  std::thread other([&]() {
+    for (int i = 0; i < 400 && !stop.load(); ++i) {
+      AsyncMaterializer::Request request;
+      request.node = i;
+      request.signature = 10000 + static_cast<uint64_t>(i);
+      request.node_name = "bg";
+      request.data = MakeCollection("bg" + std::to_string(i));
+      request.owner = 2;
+      materializer.Enqueue(std::move(request));
+      enqueued_by_two.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    AsyncMaterializer::Request request;
+    request.node = i;
+    request.signature = 500 + static_cast<uint64_t>(i);
+    request.node_name = "fg";
+    request.data = MakeCollection("fg" + std::to_string(i));
+    request.owner = 1;
+    materializer.Enqueue(std::move(request));
+  }
+  std::vector<AsyncMaterializer::Outcome> mine = materializer.Drain(1);
+  stop.store(true);
+  other.join();
+  ASSERT_EQ(mine.size(), 5u);
+  for (const auto& outcome : mine) {
+    EXPECT_EQ(outcome.owner, 1u);
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+  // Owner 2's acknowledged writes are all eventually applied and
+  // drainable — nothing was dropped by owner 1's drain.
+  std::vector<AsyncMaterializer::Outcome> theirs = materializer.Drain(2);
+  EXPECT_EQ(theirs.size(),
+            static_cast<size_t>(enqueued_by_two.load()));
+  for (const auto& outcome : theirs) {
+    EXPECT_EQ(outcome.owner, 2u);
+  }
 }
 
 }  // namespace

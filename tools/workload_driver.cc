@@ -1,0 +1,307 @@
+// Multi-user workload driver for the session service.
+//
+// Simulates K users iterating concurrently on the paper's applications
+// (census classification, IE, or a mix) with randomized think time
+// between edits, either through one shared SessionService (cross-session
+// reuse on) or through fully isolated per-user services (the baseline).
+// Emits one "json,{...}" line per user and one aggregate line with
+// throughput, p50/p99 iteration latency, and the cross-session hit rate —
+// the service-layer counterpart of the paper's cumulative-runtime plots.
+//
+// Usage:
+//   workload_driver [--users=4] [--iterations=10] [--app=census|ie|mixed]
+//                   [--shared=1] [--threads=0] [--think-ms=20]
+//                   [--rows=8000] [--docs=80] [--budget-mb=1024] [--seed=1]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/census_app.h"
+#include "apps/ie_app.h"
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datagen/census_gen.h"
+#include "datagen/news_gen.h"
+#include "service/session_service.h"
+
+namespace helix {
+namespace tools {
+namespace {
+
+struct DriverConfig {
+  int users = 4;
+  int iterations = 10;
+  std::string app = "census";  // census | ie | mixed
+  bool shared = true;
+  int threads = 0;
+  int think_ms = 20;
+  int64_t rows = 8000;
+  int64_t docs = 80;
+  int64_t budget_mb = 1024;
+  uint64_t seed = 1;
+};
+
+struct UserResult {
+  std::string app;
+  std::vector<int64_t> latencies_micros;
+  service::SessionCounters counters;
+};
+
+double Percentile(std::vector<int64_t> sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(index, sorted.size() - 1)]);
+}
+
+// One user's life: M iterations of their app's scripted edits (cycling
+// past the script end), thinking between runs.
+void DriveUser(service::SessionService* svc, service::ServiceSession* session,
+               const DriverConfig& config, const std::string& app,
+               const std::string& train, const std::string& test,
+               const std::string& corpus, uint64_t user_seed,
+               UserResult* out) {
+  Rng rng(user_seed);
+  out->app = app;
+  if (app == "census") {
+    apps::CensusConfig census;
+    census.train_path = train;
+    census.test_path = test;
+    census.learner.epochs = 6;
+    auto script = apps::MakeCensusIterationScript();
+    for (int i = 0; i < config.iterations; ++i) {
+      const auto& step = script[static_cast<size_t>(i) % script.size()];
+      step.mutate(&census);
+      if (config.think_ms > 0 && i > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            rng.NextInt(0, 2 * config.think_ms)));
+      }
+      int64_t start = SystemClock::Default()->NowMicros();
+      // Through the shared pool, like a real service frontend would.
+      auto result = svc->SubmitIteration(session,
+                                         apps::BuildCensusWorkflow(census),
+                                         step.description, step.category)
+                        .get();
+      bench::CheckOk(result.ok() ? Status::OK() : result.status(),
+                     "census iteration");
+      out->latencies_micros.push_back(SystemClock::Default()->NowMicros() -
+                                      start);
+    }
+  } else {
+    apps::IeConfig ie;
+    ie.corpus_path = corpus;
+    ie.learner.epochs = 3;
+    auto script = apps::MakeIeIterationScript();
+    for (int i = 0; i < config.iterations; ++i) {
+      const auto& step = script[static_cast<size_t>(i) % script.size()];
+      step.mutate(&ie);
+      if (config.think_ms > 0 && i > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            rng.NextInt(0, 2 * config.think_ms)));
+      }
+      int64_t start = SystemClock::Default()->NowMicros();
+      auto result = svc->SubmitIteration(session, apps::BuildIeWorkflow(ie),
+                                         step.description, step.category)
+                        .get();
+      bench::CheckOk(result.ok() ? Status::OK() : result.status(),
+                     "ie iteration");
+      out->latencies_micros.push_back(SystemClock::Default()->NowMicros() -
+                                      start);
+    }
+  }
+  out->counters = session->counters();
+}
+
+std::unique_ptr<service::SessionService> OpenService(
+    const DriverConfig& config, const std::string& workspace) {
+  service::ServiceOptions options;
+  options.workspace_dir = workspace;
+  options.storage_budget_bytes = config.budget_mb << 20;
+  options.num_threads = config.threads > 0 ? config.threads : config.users;
+  return bench::ValueOrDie(service::SessionService::Open(options),
+                           "open service");
+}
+
+void Run(const DriverConfig& config) {
+  bench::TempWorkspace workspace("helix-workload");
+  std::string train = workspace.Path("census.train.csv");
+  std::string test = workspace.Path("census.test.csv");
+  std::string corpus = workspace.Path("news.dat");
+  bool uses_census = config.app != "ie";
+  bool uses_ie = config.app != "census";
+  if (uses_census) {
+    datagen::CensusGenOptions gen;
+    gen.num_rows = config.rows;
+    bench::CheckOk(datagen::WriteCensusFiles(gen, train, test),
+                   "census datagen");
+  }
+  if (uses_ie) {
+    datagen::NewsGenOptions gen;
+    gen.num_docs = config.docs;
+    bench::CheckOk(datagen::WriteNewsCorpus(gen, corpus), "news datagen");
+  }
+
+  // Shared mode: one service for everyone. Isolated mode: one service per
+  // user — same machinery, nothing shared, the multi-tenant ablation.
+  std::vector<std::unique_ptr<service::SessionService>> services;
+  if (config.shared) {
+    services.push_back(OpenService(config, workspace.Path("ws-shared")));
+  } else {
+    for (int u = 0; u < config.users; ++u) {
+      services.push_back(OpenService(
+          config, workspace.Path("ws-user-" + std::to_string(u))));
+    }
+  }
+
+  std::vector<UserResult> results(static_cast<size_t>(config.users));
+  std::vector<std::thread> users;
+  int64_t wall_start = SystemClock::Default()->NowMicros();
+  for (int u = 0; u < config.users; ++u) {
+    service::SessionService* svc =
+        config.shared ? services[0].get()
+                      : services[static_cast<size_t>(u)].get();
+    std::string app = config.app == "mixed"
+                          ? (u % 2 == 0 ? "census" : "ie")
+                          : config.app;
+    service::ServiceSession* session = bench::ValueOrDie(
+        svc->CreateSession("user-" + std::to_string(u)), "create session");
+    users.emplace_back([&, svc, session, app, u]() {
+      DriveUser(svc, session, config, app, train, test, corpus,
+                config.seed * 7919 + static_cast<uint64_t>(u),
+                &results[static_cast<size_t>(u)]);
+    });
+  }
+  for (std::thread& t : users) {
+    t.join();
+  }
+  int64_t wall_micros = SystemClock::Default()->NowMicros() - wall_start;
+
+  // Per-user lines + aggregate.
+  std::vector<int64_t> all_latencies;
+  service::SessionCounters totals;
+  for (int u = 0; u < config.users; ++u) {
+    const UserResult& r = results[static_cast<size_t>(u)];
+    std::vector<int64_t> sorted = r.latencies_micros;
+    std::sort(sorted.begin(), sorted.end());
+    all_latencies.insert(all_latencies.end(), sorted.begin(), sorted.end());
+    JsonWriter json;
+    json.BeginObject()
+        .KV("record", "workload_user")
+        .KV("user", static_cast<int64_t>(u))
+        .KV("app", r.app)
+        .KV("iterations", r.counters.iterations)
+        .KV("p50_ms", Percentile(sorted, 0.5) / 1e3)
+        .KV("p99_ms", Percentile(sorted, 0.99) / 1e3)
+        .KV("num_computed", r.counters.num_computed)
+        .KV("num_loaded", r.counters.num_loaded)
+        .KV("num_shared", r.counters.num_shared)
+        .KV("cross_session_loads", r.counters.cross_session_loads)
+        .KV("saved_ms", static_cast<double>(r.counters.saved_micros) / 1e3)
+        .EndObject();
+    bench::PrintJsonLine(json);
+    totals.iterations += r.counters.iterations;
+    totals.num_computed += r.counters.num_computed;
+    totals.num_loaded += r.counters.num_loaded;
+    totals.num_shared += r.counters.num_shared;
+    totals.cross_session_loads += r.counters.cross_session_loads;
+    totals.saved_micros += r.counters.saved_micros;
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  int64_t reuse_events = totals.num_loaded;  // includes shared waits
+  int64_t cross_session = totals.cross_session_loads + totals.num_shared;
+  double hit_rate =
+      totals.num_computed + reuse_events > 0
+          ? static_cast<double>(reuse_events) /
+                static_cast<double>(totals.num_computed + reuse_events)
+          : 0;
+  double cross_rate =
+      totals.num_computed + reuse_events > 0
+          ? static_cast<double>(cross_session) /
+                static_cast<double>(totals.num_computed + reuse_events)
+          : 0;
+  JsonWriter json;
+  json.BeginObject()
+      .KV("record", "workload_aggregate")
+      .KV("app", config.app)
+      .KV("users", static_cast<int64_t>(config.users))
+      .KV("iterations_per_user", static_cast<int64_t>(config.iterations))
+      .KV("shared_store", config.shared)
+      .KV("think_ms", static_cast<int64_t>(config.think_ms))
+      .KV("wall_ms", static_cast<double>(wall_micros) / 1e3)
+      .KV("throughput_iters_per_sec",
+          wall_micros > 0 ? static_cast<double>(totals.iterations) * 1e6 /
+                                static_cast<double>(wall_micros)
+                          : 0)
+      .KV("p50_ms", Percentile(all_latencies, 0.5) / 1e3)
+      .KV("p99_ms", Percentile(all_latencies, 0.99) / 1e3)
+      .KV("num_computed", totals.num_computed)
+      .KV("num_loaded", totals.num_loaded)
+      .KV("num_shared", totals.num_shared)
+      .KV("cross_session_loads", totals.cross_session_loads)
+      .KV("hit_rate", hit_rate)
+      .KV("cross_session_hit_rate", cross_rate)
+      .KV("saved_ms", static_cast<double>(totals.saved_micros) / 1e3)
+      .EndObject();
+  bench::PrintJsonLine(json);
+}
+
+int64_t FlagValue(const char* arg, const char* name) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::atoll(arg + len + 1);
+  }
+  return -1;
+}
+
+}  // namespace
+}  // namespace tools
+}  // namespace helix
+
+int main(int argc, char** argv) {
+  helix::tools::DriverConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    int64_t v;
+    if ((v = helix::tools::FlagValue(arg, "--users")) >= 0) {
+      config.users = static_cast<int>(v);
+    } else if ((v = helix::tools::FlagValue(arg, "--iterations")) >= 0) {
+      config.iterations = static_cast<int>(v);
+    } else if ((v = helix::tools::FlagValue(arg, "--shared")) >= 0) {
+      config.shared = v != 0;
+    } else if ((v = helix::tools::FlagValue(arg, "--threads")) >= 0) {
+      config.threads = static_cast<int>(v);
+    } else if ((v = helix::tools::FlagValue(arg, "--think-ms")) >= 0) {
+      config.think_ms = static_cast<int>(v);
+    } else if ((v = helix::tools::FlagValue(arg, "--rows")) >= 0) {
+      config.rows = v;
+    } else if ((v = helix::tools::FlagValue(arg, "--docs")) >= 0) {
+      config.docs = v;
+    } else if ((v = helix::tools::FlagValue(arg, "--budget-mb")) >= 0) {
+      config.budget_mb = v;
+    } else if ((v = helix::tools::FlagValue(arg, "--seed")) >= 0) {
+      config.seed = static_cast<uint64_t>(v);
+    } else if (std::strncmp(arg, "--app=", 6) == 0) {
+      config.app = arg + 6;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    }
+  }
+  if (config.app != "census" && config.app != "ie" && config.app != "mixed") {
+    std::fprintf(stderr, "--app must be census, ie, or mixed\n");
+    return 2;
+  }
+  helix::tools::Run(config);
+  return 0;
+}
