@@ -1,0 +1,243 @@
+// bench_net: what does the wire cost? In-process SessionService vs the
+// same service behind loopback TCP (HelixServer + one HelixClient per
+// user), same 4-user census workload, fresh workspace per mode. Emits one
+// "json,{...}" line per mode with aggregate throughput, p50/p99 iteration
+// latency, and the reuse hit rates — if remoting is correct, the hit
+// rates match and only the latency overhead differs.
+//
+// Usage: bench_net [--users=4] [--iterations=6] [--rows=4000] [--threads=0]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/census_app.h"
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "datagen/census_gen.h"
+#include "net/app_specs.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/session_service.h"
+
+namespace helix {
+namespace bench {
+namespace {
+
+struct Config {
+  int users = 4;
+  int iterations = 6;
+  int64_t rows = 4000;
+  int threads = 0;
+};
+
+struct ModeResult {
+  std::vector<int64_t> latencies_micros;  // all users, sorted
+  service::SessionCounters totals;
+  int64_t wall_micros = 0;
+};
+
+// Runs one user's census script, timing each iteration through `run`.
+template <typename RunFn>
+void DriveUser(const Config& config, const std::string& train,
+               const std::string& test, RunFn run,
+               std::vector<int64_t>* latencies) {
+  apps::CensusConfig census;
+  census.train_path = train;
+  census.test_path = test;
+  census.learner.epochs = 6;
+  auto script = apps::MakeCensusIterationScript();
+  for (int i = 0; i < config.iterations; ++i) {
+    const auto& step = script[static_cast<size_t>(i) % script.size()];
+    step.mutate(&census);
+    int64_t start = SystemClock::Default()->NowMicros();
+    CheckOk(run(census, step.description, step.category), "iteration");
+    latencies->push_back(SystemClock::Default()->NowMicros() - start);
+  }
+}
+
+ModeResult RunInProcess(const Config& config, const std::string& workspace,
+                        const std::string& train, const std::string& test) {
+  service::ServiceOptions options;
+  options.workspace_dir = workspace;
+  options.num_threads = config.threads > 0 ? config.threads : config.users;
+  auto service = ValueOrDie(service::SessionService::Open(options),
+                            "open service");
+  std::vector<service::ServiceSession*> sessions;
+  for (int u = 0; u < config.users; ++u) {
+    sessions.push_back(ValueOrDie(
+        service->CreateSession("user-" + std::to_string(u)), "session"));
+  }
+  std::vector<std::vector<int64_t>> latencies(
+      static_cast<size_t>(config.users));
+  std::vector<std::thread> users;
+  int64_t wall_start = SystemClock::Default()->NowMicros();
+  for (int u = 0; u < config.users; ++u) {
+    users.emplace_back([&, u]() {
+      DriveUser(config, train, test,
+                [&, u](const apps::CensusConfig& census,
+                       const std::string& description,
+                       core::ChangeCategory category) -> Status {
+                  auto result =
+                      service
+                          ->SubmitIteration(
+                              sessions[static_cast<size_t>(u)],
+                              apps::BuildCensusWorkflow(census),
+                              description, category)
+                          .get();
+                  return result.ok() ? Status::OK() : result.status();
+                },
+                &latencies[static_cast<size_t>(u)]);
+    });
+  }
+  for (std::thread& t : users) {
+    t.join();
+  }
+  ModeResult mode;
+  mode.wall_micros = SystemClock::Default()->NowMicros() - wall_start;
+  mode.totals = service->AggregateCounters();
+  for (const auto& user : latencies) {
+    mode.latencies_micros.insert(mode.latencies_micros.end(), user.begin(),
+                                 user.end());
+  }
+  std::sort(mode.latencies_micros.begin(), mode.latencies_micros.end());
+  return mode;
+}
+
+ModeResult RunOverTcp(const Config& config, const std::string& workspace,
+                      const std::string& train, const std::string& test) {
+  net::ServerOptions options;
+  options.service.workspace_dir = workspace;
+  options.service.num_threads =
+      config.threads > 0 ? config.threads : config.users;
+  auto server = ValueOrDie(
+      net::HelixServer::Start(options, net::MakeStandardResolver()),
+      "start server");
+  std::vector<std::unique_ptr<net::HelixClient>> clients;
+  std::vector<uint64_t> sessions;
+  for (int u = 0; u < config.users; ++u) {
+    clients.push_back(ValueOrDie(
+        net::HelixClient::Connect("127.0.0.1", server->port()), "connect"));
+    sessions.push_back(ValueOrDie(
+        clients.back()->OpenSession("user-" + std::to_string(u)),
+        "open session"));
+  }
+  std::vector<std::vector<int64_t>> latencies(
+      static_cast<size_t>(config.users));
+  std::vector<std::thread> users;
+  int64_t wall_start = SystemClock::Default()->NowMicros();
+  for (int u = 0; u < config.users; ++u) {
+    users.emplace_back([&, u]() {
+      DriveUser(config, train, test,
+                [&, u](const apps::CensusConfig& census,
+                       const std::string& description,
+                       core::ChangeCategory category) -> Status {
+                  auto result =
+                      clients[static_cast<size_t>(u)]->RunIteration(
+                          sessions[static_cast<size_t>(u)],
+                          net::MakeCensusSpec(census), description,
+                          category);
+                  return result.ok() ? Status::OK() : result.status();
+                },
+                &latencies[static_cast<size_t>(u)]);
+    });
+  }
+  for (std::thread& t : users) {
+    t.join();
+  }
+  ModeResult mode;
+  mode.wall_micros = SystemClock::Default()->NowMicros() - wall_start;
+  mode.totals = ValueOrDie(clients[0]->GetCounters(0), "aggregate counters");
+  for (const auto& user : latencies) {
+    mode.latencies_micros.insert(mode.latencies_micros.end(), user.begin(),
+                                 user.end());
+  }
+  std::sort(mode.latencies_micros.begin(), mode.latencies_micros.end());
+  server->Stop();
+  return mode;
+}
+
+void PrintMode(const Config& config, const char* mode,
+               const ModeResult& result) {
+  const service::SessionCounters& t = result.totals;
+  int64_t reuse = t.num_loaded;
+  int64_t cross = t.cross_session_loads + t.num_shared;
+  double denom = static_cast<double>(t.num_computed + reuse);
+  JsonWriter json;
+  json.BeginObject()
+      .KV("record", "bench_net")
+      .KV("mode", mode)
+      .KV("users", static_cast<int64_t>(config.users))
+      .KV("iterations_per_user", static_cast<int64_t>(config.iterations))
+      .KV("rows", config.rows)
+      .KV("wall_ms", static_cast<double>(result.wall_micros) / 1e3)
+      .KV("throughput_iters_per_sec",
+          result.wall_micros > 0
+              ? static_cast<double>(t.iterations) * 1e6 /
+                    static_cast<double>(result.wall_micros)
+              : 0)
+      .KV("p50_ms", PercentileSorted(result.latencies_micros, 0.5) / 1e3)
+      .KV("p99_ms", PercentileSorted(result.latencies_micros, 0.99) / 1e3)
+      .KV("num_computed", t.num_computed)
+      .KV("num_loaded", t.num_loaded)
+      .KV("num_shared", t.num_shared)
+      .KV("cross_session_loads", t.cross_session_loads)
+      .KV("hit_rate", denom > 0 ? static_cast<double>(reuse) / denom : 0)
+      .KV("cross_session_hit_rate",
+          denom > 0 ? static_cast<double>(cross) / denom : 0)
+      .EndObject();
+  PrintJsonLine(json);
+}
+
+void Run(const Config& config) {
+  TempWorkspace workspace("helix-bench-net");
+  std::string train = workspace.Path("census.train.csv");
+  std::string test = workspace.Path("census.test.csv");
+  datagen::CensusGenOptions gen;
+  gen.num_rows = config.rows;
+  CheckOk(datagen::WriteCensusFiles(gen, train, test), "census datagen");
+
+  ModeResult inproc =
+      RunInProcess(config, workspace.Path("ws-inproc"), train, test);
+  PrintMode(config, "inproc", inproc);
+  ModeResult tcp = RunOverTcp(config, workspace.Path("ws-tcp"), train, test);
+  PrintMode(config, "tcp", tcp);
+
+  double ratio = tcp.wall_micros > 0
+                     ? static_cast<double>(inproc.wall_micros) /
+                           static_cast<double>(tcp.wall_micros)
+                     : 0;
+  std::printf("loopback TCP at %.2fx the in-process aggregate throughput\n",
+              ratio);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace helix
+
+int main(int argc, char** argv) {
+  helix::bench::Config config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    int64_t v;
+    if ((v = helix::bench::FlagValue(arg, "--users")) >= 0) {
+      config.users = static_cast<int>(v);
+    } else if ((v = helix::bench::FlagValue(arg, "--iterations")) >= 0) {
+      config.iterations = static_cast<int>(v);
+    } else if ((v = helix::bench::FlagValue(arg, "--rows")) >= 0) {
+      config.rows = v;
+    } else if ((v = helix::bench::FlagValue(arg, "--threads")) >= 0) {
+      config.threads = static_cast<int>(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    }
+  }
+  helix::bench::Run(config);
+  return 0;
+}

@@ -2,8 +2,11 @@
 #ifndef HELIX_BENCH_BENCH_UTIL_H_
 #define HELIX_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -107,6 +110,27 @@ inline void PrintFigure(const std::string& title,
 /// same convention as the "csv," rows above).
 inline void PrintJsonLine(const JsonWriter& json) {
   std::printf("json,%s\n", json.str().c_str());
+}
+
+/// Parses "--name=123" style flags: returns the value when `arg` is
+/// exactly `name` followed by '=', -1 otherwise. Shared by the
+/// self-driving harnesses and tools (non-negative flag values only).
+inline int64_t FlagValue(const char* arg, const char* name) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::atoll(arg + len + 1);
+  }
+  return -1;
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency vector.
+inline double PercentileSorted(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(index, sorted.size() - 1)]);
 }
 
 }  // namespace bench

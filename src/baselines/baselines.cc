@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "common/hash.h"
+
 namespace helix {
 namespace baselines {
 
@@ -67,6 +69,23 @@ core::SessionOptions MakeSessionOptions(SystemKind kind,
       break;
   }
   return options;
+}
+
+void StampDeterministicCosts(core::Workflow* workflow) {
+  for (int i = 0; i < workflow->num_nodes(); ++i) {
+    core::Operator* op = workflow->mutable_op(i);
+    if (op->synthetic_costs().any()) {
+      continue;  // synthetic operators already declare their economics
+    }
+    // Signature-derived, so the same operator (same type, params, UDF
+    // version) costs the same in every system, session, and process.
+    uint64_t h = Mix64(op->Signature());
+    core::SyntheticCosts costs;
+    costs.compute_micros = 20000 + static_cast<int64_t>(h % 180000);
+    costs.load_micros = 2000 + costs.compute_micros / 10;
+    costs.write_micros = costs.load_micros;
+    op->SetSyntheticCosts(costs);
+  }
 }
 
 }  // namespace baselines

@@ -50,6 +50,17 @@ core::SessionOptions MakeSessionOptions(SystemKind kind,
                                         int64_t storage_budget_bytes,
                                         Clock* clock);
 
+/// Stamps every real operator of `workflow` (one with no declared
+/// synthetic costs) with deterministic costs derived from its signature:
+/// compute in [20ms, 200ms), load and write an order of magnitude below
+/// compute. On a VirtualClock the whole baseline comparison then becomes a
+/// pure function of planner policy — identical orderings on every machine,
+/// under any sanitizer, at any load — which is what lets the integration
+/// suite assert the paper's runtime orderings exactly instead of
+/// statistically. Costs do not enter operator signatures, so stamping
+/// never perturbs change tracking or store keys.
+void StampDeterministicCosts(core::Workflow* workflow);
+
 }  // namespace baselines
 }  // namespace helix
 

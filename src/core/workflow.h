@@ -57,6 +57,13 @@ class Workflow {
   const Operator& op(int index) const {
     return *operators_[static_cast<size_t>(index)];
   }
+  /// Mutable operator access, for annotations that do not change the
+  /// signature (declared synthetic costs, e.g. baselines::
+  /// StampDeterministicCosts). Changing signature-bearing fields through
+  /// this handle would desynchronize by_name_ — don't.
+  Operator* mutable_op(int index) {
+    return operators_[static_cast<size_t>(index)].get();
+  }
   const std::vector<int>& inputs_of(int index) const {
     return inputs_[static_cast<size_t>(index)];
   }

@@ -1,0 +1,122 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace helix {
+namespace net {
+
+Result<std::unique_ptr<HelixClient>> HelixClient::Connect(
+    const std::string& host, int port, uint32_t max_payload_bytes) {
+  HELIX_ASSIGN_OR_RETURN(std::unique_ptr<TcpConnection> conn,
+                         net::Connect(host, port));
+  return std::unique_ptr<HelixClient>(
+      new HelixClient(std::move(conn), max_payload_bytes));
+}
+
+Result<std::string> HelixClient::Call(Opcode opcode, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<TcpConnection> conn;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    conn = conn_;
+  }
+  if (conn == nullptr) {
+    return Status::IOError("client is closed");
+  }
+  Result<std::string> result = CallOn(conn.get(), opcode,
+                                      std::move(payload));
+  if (!result.ok()) {
+    // Any transport or framing failure leaves the request/reply stream in
+    // an unknown position; nothing sent later could be matched to its
+    // reply, so fail fast from here on instead of cascading mismatches.
+    DropConnection(conn);
+  }
+  return result;
+}
+
+Result<std::string> HelixClient::CallOn(TcpConnection* conn, Opcode opcode,
+                                        std::string payload) {
+  Frame request;
+  request.opcode = static_cast<uint8_t>(opcode);
+  request.request_id = next_request_id_++;
+  request.payload = std::move(payload);
+  HELIX_RETURN_IF_ERROR(WriteFrame(conn, request));
+  HELIX_ASSIGN_OR_RETURN(Frame reply,
+                         ReadFrame(conn, max_payload_bytes_));
+  if (reply.opcode != static_cast<uint8_t>(Opcode::kReply)) {
+    return Status::Corruption("server sent a non-reply frame (opcode " +
+                              std::to_string(reply.opcode) + ")");
+  }
+  if (reply.request_id != request.request_id) {
+    // One request in flight per connection, so a mismatched id means the
+    // stream is out of step.
+    return Status::Corruption("reply id mismatch: sent " +
+                              std::to_string(request.request_id) +
+                              ", got " + std::to_string(reply.request_id));
+  }
+  return std::move(reply.payload);
+}
+
+Result<uint64_t> HelixClient::OpenSession(const std::string& name) {
+  HELIX_ASSIGN_OR_RETURN(
+      std::string reply,
+      Call(Opcode::kOpenSession, EncodeOpenSessionRequest(name)));
+  return DecodeOpenSessionReply(reply);
+}
+
+Result<RemoteIterationResult> HelixClient::RunIteration(
+    uint64_t session_id, const WorkflowSpec& spec,
+    const std::string& description, core::ChangeCategory category) {
+  HELIX_ASSIGN_OR_RETURN(
+      std::string reply,
+      Call(Opcode::kRunIteration,
+           EncodeRunIterationRequest(session_id, spec, description,
+                                     category)));
+  return DecodeRunIterationReply(reply);
+}
+
+Result<service::SessionCounters> HelixClient::GetCounters(
+    uint64_t session_id) {
+  HELIX_ASSIGN_OR_RETURN(
+      std::string reply,
+      Call(Opcode::kGetCounters, EncodeGetCountersRequest(session_id)));
+  return DecodeCountersReply(reply);
+}
+
+Status HelixClient::Shutdown() {
+  HELIX_ASSIGN_OR_RETURN(std::string reply,
+                         Call(Opcode::kShutdown, std::string()));
+  return DecodeEmptyReply(reply);
+}
+
+void HelixClient::DropConnection(
+    const std::shared_ptr<TcpConnection>& expected) {
+  std::shared_ptr<TcpConnection> dropped;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    if (conn_ != expected) {
+      return;  // someone already swapped/closed it
+    }
+    dropped = std::move(conn_);
+  }
+  if (dropped != nullptr) {
+    // Unblocks a thread parked inside this connection's recv/send; the
+    // shared handle keeps the object alive until that thread lets go.
+    dropped->ShutdownBoth();
+  }
+}
+
+void HelixClient::Close() {
+  // Deliberately does NOT take mu_: a Call blocked on a dead server holds
+  // mu_ for the whole round trip, and Close must still be able to cut the
+  // socket out from under it.
+  std::shared_ptr<TcpConnection> conn;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    conn = conn_;
+  }
+  DropConnection(conn);
+}
+
+}  // namespace net
+}  // namespace helix

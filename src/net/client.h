@@ -1,0 +1,91 @@
+// HelixClient: blocking client library for the HELIX wire protocol.
+//
+// One client is one TCP connection and one in-order request/reply stream:
+// every call frames its request, sends it, and blocks for the reply with
+// the matching request id. Remote failures come back as the same Status
+// codes the in-process SessionService would produce (message prefixed
+// "remote: "); transport failures surface as IOError. A driver simulating
+// K users opens K clients — exactly one user's edit-and-run loop per
+// connection, mirroring one ServiceSession per user on the server.
+#ifndef HELIX_NET_CLIENT_H_
+#define HELIX_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "core/version_manager.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/session_service.h"
+
+namespace helix {
+namespace net {
+
+/// See the file comment. Thread safety: calls are internally serialized
+/// (one request in flight per connection); for concurrency open more
+/// clients. Ownership: owns its connection; Close() (or destruction) ends
+/// it.
+class HelixClient {
+ public:
+  static Result<std::unique_ptr<HelixClient>> Connect(
+      const std::string& host, int port,
+      uint32_t max_payload_bytes = kDefaultMaxPayloadBytes);
+
+  /// Registers a server-side session and returns its id (valid for this
+  /// server's lifetime, usable from any connection).
+  Result<uint64_t> OpenSession(const std::string& name);
+
+  /// Runs one iteration of `session_id` remotely. The spec is resolved
+  /// into a workflow on the server; the reply carries the iteration
+  /// summary and per-output fingerprints (payloads stay server-side).
+  Result<RemoteIterationResult> RunIteration(uint64_t session_id,
+                                             const WorkflowSpec& spec,
+                                             const std::string& description,
+                                             core::ChangeCategory category);
+
+  /// Counter snapshot of one session, or of the whole service when
+  /// `session_id` is 0.
+  Result<service::SessionCounters> GetCounters(uint64_t session_id);
+
+  /// Asks the server to shut down. OK means the server acked and will
+  /// drain; the connection is unusable afterwards.
+  Status Shutdown();
+
+  /// Closes the connection; subsequent calls fail with IOError. Safe to
+  /// call from another thread while a Call is blocked on an unresponsive
+  /// server — the blocked call is unblocked (and fails) rather than
+  /// holding Close hostage.
+  void Close();
+
+ private:
+  HelixClient(std::unique_ptr<TcpConnection> conn, uint32_t max_payload_bytes)
+      : conn_(std::move(conn)), max_payload_bytes_(max_payload_bytes) {}
+
+  /// Sends one request frame and blocks for its reply payload. The reply's
+  /// leading status is decoded by the per-call wrappers. On any transport
+  /// or framing error the connection is closed (the stream position is no
+  /// longer trustworthy); subsequent calls fail with IOError.
+  Result<std::string> Call(Opcode opcode, std::string payload);
+  Result<std::string> CallOn(TcpConnection* conn, Opcode opcode,
+                             std::string payload);
+  /// Takes the connection out of service; the shared handle keeps it
+  /// alive for a Call still using it.
+  void DropConnection(const std::shared_ptr<TcpConnection>& expected);
+
+  std::mutex mu_;  // serializes Call (one request in flight)
+  /// Guards only the conn_ pointer, never held across I/O — Close() must
+  /// be able to reach the socket while a Call is blocked inside recv.
+  std::mutex conn_mu_;
+  std::shared_ptr<TcpConnection> conn_;
+  const uint32_t max_payload_bytes_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace helix
+
+#endif  // HELIX_NET_CLIENT_H_

@@ -1,0 +1,75 @@
+// The HELIX wire framing: length-prefixed, checksummed binary frames.
+//
+// Every message in either direction is one frame (all integers
+// little-endian, via common/bytes.h):
+//
+//   offset  size  field
+//   0       4     magic 0x584C4548 ("HELX")
+//   4       1     protocol version (kProtocolVersion)
+//   5       1     opcode (net/wire.h)
+//   6       8     request id (echoed verbatim on the reply)
+//   14      4     payload length N
+//   18      N     payload (opcode-specific, see net/wire.h)
+//   18+N    8     FNV-64 checksum over bytes [0, 18+N)
+//
+// Decoding is defensive by construction: a reader trusts nothing until the
+// magic, version, and length bound have been validated and the checksum has
+// matched — truncated, corrupt, oversized, or alien bytes must surface as a
+// clean Status, never as a crash or an over-allocation (the length bound is
+// checked *before* the payload is read, so a hostile 4 GiB length never
+// allocates 4 GiB).
+#ifndef HELIX_NET_FRAME_H_
+#define HELIX_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace helix {
+namespace net {
+
+inline constexpr uint32_t kFrameMagic = 0x584C4548;  // "HELX" when LE
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 18;
+inline constexpr size_t kFrameChecksumBytes = 8;
+/// Default bound on one frame's payload; a decoder rejects larger lengths
+/// before reading (or allocating) the payload.
+inline constexpr uint32_t kDefaultMaxPayloadBytes = 64u << 20;
+
+/// One decoded frame.
+struct Frame {
+  uint8_t opcode = 0;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Serializes header + payload + checksum.
+std::string EncodeFrame(const Frame& frame);
+
+/// Decodes one complete frame from `bytes` (which must be exactly one
+/// frame). Corruption on bad magic / bad checksum / truncation,
+/// InvalidArgument on an unsupported version, ResourceExhausted on a
+/// payload length beyond `max_payload_bytes`.
+Result<Frame> DecodeFrame(std::string_view bytes,
+                          uint32_t max_payload_bytes = kDefaultMaxPayloadBytes);
+
+/// Reads exactly one frame from the connection. Same error taxonomy as
+/// DecodeFrame, plus NotFound("connection closed") on a clean end-of-stream
+/// at a frame boundary and IOError on a torn stream. When the fixed header
+/// parses (even if the body then fails validation), `request_id_out` (if
+/// non-null) receives the header's request id so a server can address its
+/// error reply.
+Result<Frame> ReadFrame(TcpConnection* conn, uint32_t max_payload_bytes,
+                        uint64_t* request_id_out = nullptr);
+
+/// Encodes and writes one frame.
+Status WriteFrame(TcpConnection* conn, const Frame& frame);
+
+}  // namespace net
+}  // namespace helix
+
+#endif  // HELIX_NET_FRAME_H_

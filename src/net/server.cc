@@ -1,0 +1,328 @@
+#include "net/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace helix {
+namespace net {
+
+Result<std::unique_ptr<HelixServer>> HelixServer::Start(
+    const ServerOptions& options, WorkflowResolver resolver) {
+  if (!resolver) {
+    return Status::InvalidArgument("HelixServer requires a resolver");
+  }
+  std::unique_ptr<HelixServer> server(
+      new HelixServer(options, std::move(resolver)));
+  HELIX_ASSIGN_OR_RETURN(server->service_,
+                         service::SessionService::Open(options.service));
+  HELIX_ASSIGN_OR_RETURN(server->listener_,
+                         TcpListener::Listen(options.host, options.port));
+  server->accept_thread_ = std::thread([s = server.get()]() {
+    s->AcceptLoop();
+  });
+  return server;
+}
+
+HelixServer::~HelixServer() { Stop(); }
+
+void HelixServer::AcceptLoop() {
+  while (true) {
+    auto accepted = listener_->Accept();
+    if (!accepted.ok()) {
+      if (accepted.status().IsFailedPrecondition()) {
+        return;  // Stop() closed the listener: orderly shutdown
+      }
+      // Environmental (EMFILE under fd pressure, etc.): the server must
+      // keep accepting once the pressure clears, not die silently.
+      HELIX_LOG(Warning) << "accept failed, retrying: "
+                         << accepted.status().ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->conn = std::move(accepted).value();
+    // A client that stops reading must not pin a pool worker forever on a
+    // full send buffer; after the timeout the write fails and the
+    // connection is dropped.
+    connection->conn->SetSendTimeout(/*seconds=*/30);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      // Reap connections whose readers already finished (client hung up):
+      // a long-running server must not accumulate one fd + thread per
+      // past client until shutdown. Handler tasks still in flight keep
+      // the Connection alive through their shared_ptr.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+          if ((*it)->reader.joinable()) {
+            (*it)->reader.join();
+          }
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      conns_.push_back(connection);
+    }
+    connection->reader = std::thread([this, connection]() {
+      ReaderLoop(connection);
+      connection->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void HelixServer::ReaderLoop(std::shared_ptr<Connection> connection) {
+  while (true) {
+    uint64_t request_id = 0;
+    Result<Frame> frame = ReadFrame(connection->conn.get(),
+                                    options_.max_payload_bytes, &request_id);
+    if (!frame.ok()) {
+      // Clean close at a frame boundary is silent; anything else (bad
+      // magic, corrupt checksum, oversized length, torn stream) gets a
+      // best-effort error reply addressed to the parsed request id, then
+      // the stream is dropped — after a framing error the byte stream has
+      // no trustworthy next-frame boundary.
+      if (!frame.status().IsNotFound()) {
+        WriteReply(connection, request_id,
+                   EncodeErrorReply(frame.status()));
+        connection->conn->ShutdownBoth();
+      }
+      return;
+    }
+    // Dispatch onto the shared pool: iterations of different sessions run
+    // concurrently, bounded by the pool — the remote analogue of
+    // SubmitIteration.
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      ++outstanding_;
+    }
+    bool scheduled = service_->pool()->Schedule(
+        [this, connection, f = std::move(frame).value()]() mutable {
+          HandleRequest(connection, std::move(f));
+          std::lock_guard<std::mutex> lock(drain_mu_);
+          if (--outstanding_ == 0) {
+            drain_cv_.notify_all();
+          }
+        });
+    if (!scheduled) {
+      {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        if (--outstanding_ == 0) {
+          drain_cv_.notify_all();
+        }
+      }
+      WriteReply(connection, request_id,
+                 EncodeErrorReply(Status::FailedPrecondition(
+                     "server is shutting down")));
+      return;
+    }
+  }
+}
+
+void HelixServer::HandleRequest(const std::shared_ptr<Connection>& connection,
+                                Frame frame) {
+  std::string reply;
+  switch (static_cast<Opcode>(frame.opcode)) {
+    case Opcode::kOpenSession:
+      reply = HandleOpenSession(frame);
+      break;
+    case Opcode::kRunIteration:
+      reply = HandleRunIteration(frame);
+      break;
+    case Opcode::kGetCounters:
+      reply = HandleGetCounters(frame);
+      break;
+    case Opcode::kShutdown:
+      reply = EncodeEmptyReply();
+      break;
+    default:
+      reply = EncodeErrorReply(Status::InvalidArgument(
+          "unknown opcode " + std::to_string(frame.opcode)));
+      break;
+  }
+  WriteReply(connection, frame.request_id, std::move(reply));
+  if (static_cast<Opcode>(frame.opcode) == Opcode::kShutdown) {
+    // Ack first (above), act later: Stop() from a pool task would deadlock
+    // the pool drain, so shutdown is recorded and surfaced through
+    // WaitForShutdownRequest for the owner to act on. The ack is already
+    // in the socket's send queue, so it survives the owner's teardown.
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      shutdown_requested_ = true;
+    }
+    state_cv_.notify_all();
+  }
+}
+
+std::string HelixServer::HandleOpenSession(const Frame& frame) {
+  Result<std::string> name = DecodeOpenSessionRequest(frame.payload);
+  if (!name.ok()) {
+    return EncodeErrorReply(name.status());
+  }
+  Result<service::ServiceSession*> session =
+      service_->CreateSession(name.value());
+  if (!session.ok()) {
+    return EncodeErrorReply(session.status());
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_[session.value()->id()] = session.value();
+  }
+  return EncodeOpenSessionReply(session.value()->id());
+}
+
+std::string HelixServer::HandleRunIteration(const Frame& frame) {
+  Result<RunIterationRequest> request =
+      DecodeRunIterationRequest(frame.payload);
+  if (!request.ok()) {
+    return EncodeErrorReply(request.status());
+  }
+  service::ServiceSession* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(request->session_id);
+    if (it != sessions_.end()) {
+      session = it->second;
+    }
+  }
+  if (session == nullptr) {
+    return EncodeErrorReply(Status::NotFound(
+        "no session with id " + std::to_string(request->session_id)));
+  }
+  Result<core::Workflow> workflow = resolver_(request->spec);
+  if (!workflow.ok()) {
+    return EncodeErrorReply(
+        workflow.status().WithContext("resolving workflow spec"));
+  }
+  // Already on a pool worker: run the iteration here, exactly like an
+  // in-process SubmitIteration task would.
+  Result<core::IterationResult> result = service_->RunIteration(
+      session, workflow.value(), request->description, request->category);
+  if (!result.ok()) {
+    return EncodeErrorReply(result.status());
+  }
+  RemoteIterationResult remote;
+  remote.version_id = result->version_id;
+  remote.num_computed = result->report.num_computed;
+  remote.num_loaded = result->report.num_loaded;
+  remote.num_shared = result->report.num_shared;
+  remote.num_pruned = result->report.num_pruned;
+  remote.num_materialized = result->report.num_materialized;
+  remote.total_micros = result->report.total_micros;
+  for (const auto& [output_name, data] : result->report.outputs) {
+    remote.output_fingerprints.emplace_back(output_name, data.Fingerprint());
+  }
+  return EncodeRunIterationReply(remote);
+}
+
+std::string HelixServer::HandleGetCounters(const Frame& frame) {
+  Result<uint64_t> session_id = DecodeGetCountersRequest(frame.payload);
+  if (!session_id.ok()) {
+    return EncodeErrorReply(session_id.status());
+  }
+  if (session_id.value() == 0) {
+    return EncodeCountersReply(service_->AggregateCounters());
+  }
+  service::ServiceSession* session = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id.value());
+    if (it != sessions_.end()) {
+      session = it->second;
+    }
+  }
+  if (session == nullptr) {
+    return EncodeErrorReply(Status::NotFound(
+        "no session with id " + std::to_string(session_id.value())));
+  }
+  return EncodeCountersReply(session->counters());
+}
+
+void HelixServer::WriteReply(const std::shared_ptr<Connection>& connection,
+                             uint64_t request_id, std::string payload) {
+  Frame reply;
+  reply.opcode = static_cast<uint8_t>(Opcode::kReply);
+  reply.request_id = request_id;
+  reply.payload = std::move(payload);
+  std::lock_guard<std::mutex> lock(connection->write_mu);
+  Status written = WriteFrame(connection->conn.get(), reply);
+  if (!written.ok()) {
+    // The client went away, stopped reading (send timeout), or the server
+    // is tearing connections down; the iteration's effects on the shared
+    // store are durable regardless. Shut the stream down so the reader
+    // stops accepting work from a peer that cannot receive answers.
+    HELIX_LOG(Info) << "dropping reply to request " << request_id << ": "
+                    << written.ToString();
+    connection->conn->ShutdownBoth();
+  }
+}
+
+void HelixServer::WaitForShutdownRequest() {
+  std::unique_lock<std::mutex> lock(state_mu_);
+  state_cv_.wait(lock, [this]() { return shutdown_requested_ || stopped_; });
+}
+
+void HelixServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+    shutdown_requested_ = true;
+  }
+  state_cv_.notify_all();
+
+  // 1. No new connections. The listener may be absent when Start() failed
+  // partway and the half-built server is being destroyed.
+  if (listener_ != nullptr) {
+    listener_->Close();
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  // 2. No new requests: unblock and join every reader. Joining a reader
+  //    that already exited on its own (client hung up earlier) is fine.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns = conns_;
+  }
+  for (const auto& connection : conns) {
+    connection->conn->ShutdownBoth();
+  }
+  for (const auto& connection : conns) {
+    if (connection->reader.joinable()) {
+      connection->reader.join();
+    }
+  }
+  // 3. Let in-flight handlers finish (their replies go to already-shutdown
+  //    sockets and are dropped; their store effects are durable).
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait(lock, [this]() { return outstanding_ == 0; });
+  }
+  // 4. Tear down the service: drains the pool and the background writer,
+  //    then persists the shared stats registry. The pointer is detached
+  //    under state_mu_ first so a concurrent service() reads nullptr
+  //    rather than a service mid-destruction; the heavy destructor then
+  //    runs unlocked.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.clear();
+  }
+  std::unique_ptr<service::SessionService> doomed;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    doomed = std::move(service_);
+  }
+  doomed.reset();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+}
+
+}  // namespace net
+}  // namespace helix

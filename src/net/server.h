@@ -1,0 +1,145 @@
+// HelixServer: the SessionService behind a TCP wire.
+//
+// One server owns one service::SessionService (shared store, stats
+// registry, thread pool, in-flight table, background writer) and serves
+// OpenSession / RunIteration / GetCounters / Shutdown over the framing
+// protocol (net/frame.h). Threading model:
+//
+//   * one accept thread;
+//   * one reader thread per connection, which parses frames and dispatches
+//     each valid request onto the service's *shared* ThreadPool — so
+//     concurrently executing iterations are bounded by the pool, not by
+//     the connection count, exactly as for in-process SubmitIteration;
+//   * replies are written by the pool task under a per-connection write
+//     mutex (requests on one connection may pipeline; the request id keys
+//     replies to requests).
+//
+// A malformed frame (bad checksum, oversized length, torn bytes) gets a
+// best-effort error reply and the connection is dropped — the stream can no
+// longer be trusted — while every other connection keeps serving. A
+// well-framed but unknown opcode is answered with InvalidArgument and the
+// connection stays up.
+//
+// Shutdown/drain ordering (Stop): stop accepting -> unblock and join the
+// per-connection readers (no new requests) -> wait for in-flight handlers
+// to finish writing replies -> destroy the service (which drains the pool
+// and writer, then persists stats). A Shutdown RPC does not stop the
+// server from inside a pool task (that would deadlock the drain); it is
+// acked, recorded, and surfaced through WaitForShutdownRequest for the
+// owner to act on.
+#ifndef HELIX_NET_SERVER_H_
+#define HELIX_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/session_service.h"
+
+namespace helix {
+namespace net {
+
+struct ServerOptions {
+  /// Numeric IPv4 listen address.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port from HelixServer::port().
+  int port = 0;
+  uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Options for the owned SessionService.
+  service::ServiceOptions service;
+};
+
+/// See the file comment. Thread safety: port(), service(), Stop(), and
+/// WaitForShutdownRequest() are safe from any thread; Stop() is
+/// idempotent. Ownership: the server owns the listener, all connections,
+/// and the SessionService; destruction runs Stop().
+class HelixServer {
+ public:
+  static Result<std::unique_ptr<HelixServer>> Start(
+      const ServerOptions& options, WorkflowResolver resolver);
+
+  ~HelixServer();
+
+  HelixServer(const HelixServer&) = delete;
+  HelixServer& operator=(const HelixServer&) = delete;
+
+  int port() const { return listener_->port(); }
+
+  /// The owned service; nullptr once Stop() has torn it down. The pointer
+  /// is only as durable as the server's running state — do not cache it
+  /// across a concurrent Stop()/destruction.
+  service::SessionService* service() {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return service_.get();
+  }
+
+  /// Blocks until a client's Shutdown RPC arrives or Stop() is called.
+  void WaitForShutdownRequest();
+
+  /// Stops serving: see the file comment for the drain ordering. After
+  /// Stop() the service is destroyed and service() returns nullptr.
+  void Stop();
+
+ private:
+  struct Connection {
+    std::unique_ptr<TcpConnection> conn;
+    std::mutex write_mu;
+    std::thread reader;
+    /// Set by the reader as its last action; the accept loop reaps
+    /// (joins + unregisters) done connections so a long-running server
+    /// does not accumulate one fd + thread per past client.
+    std::atomic<bool> done{false};
+  };
+
+  HelixServer(ServerOptions options, WorkflowResolver resolver)
+      : options_(std::move(options)), resolver_(std::move(resolver)) {}
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> connection);
+  /// Runs on a pool worker: decodes, executes, and answers one request.
+  void HandleRequest(const std::shared_ptr<Connection>& connection,
+                     Frame frame);
+  std::string HandleOpenSession(const Frame& frame);
+  std::string HandleRunIteration(const Frame& frame);
+  std::string HandleGetCounters(const Frame& frame);
+  static void WriteReply(const std::shared_ptr<Connection>& connection,
+                         uint64_t request_id, std::string payload);
+
+  const ServerOptions options_;
+  const WorkflowResolver resolver_;
+  std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<service::SessionService> service_;
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::mutex sessions_mu_;
+  std::unordered_map<uint64_t, service::ServiceSession*> sessions_;
+
+  // Outstanding handler tasks on the shared pool; Stop drains to zero
+  // before destroying the service.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  int64_t outstanding_ = 0;
+
+  std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  bool shutdown_requested_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace net
+}  // namespace helix
+
+#endif  // HELIX_NET_SERVER_H_

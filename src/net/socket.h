@@ -1,0 +1,102 @@
+// Thin POSIX TCP wrappers for the network layer.
+//
+// Deliberately minimal: blocking sockets, IPv4, Status-based errors — the
+// framing protocol (net/frame.h) and the server/client above it need
+// exactly "read N bytes / write N bytes / unblock a blocked peer", nothing
+// more. No epoll, no TLS: the service parallelizes across a bounded number
+// of user connections, so thread-per-connection readers are the simplest
+// correct design at this scale.
+#ifndef HELIX_NET_SOCKET_H_
+#define HELIX_NET_SOCKET_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace helix {
+namespace net {
+
+/// One connected TCP stream. Thread safety: WriteAll and ReadAll may run
+/// concurrently with each other (full duplex) and with ShutdownBoth, but
+/// each direction must be driven by at most one thread at a time — callers
+/// needing concurrent writers serialize externally (the server holds a
+/// per-connection write mutex). Ownership: closes the fd on destruction.
+class TcpConnection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Writes exactly `len` bytes; IOError if the peer went away.
+  Status WriteAll(const void* data, size_t len);
+
+  /// Reads exactly `len` bytes. Returns true on success, false on a clean
+  /// end-of-stream *before the first byte* (orderly peer close between
+  /// messages); IOError on mid-buffer EOF or a socket error.
+  Result<bool> ReadAllOrEof(void* data, size_t len);
+
+  /// Half-closes both directions, unblocking any thread inside ReadAllOrEof
+  /// or WriteAll on this connection (their calls then fail cleanly). Safe
+  /// to call from any thread, repeatedly.
+  void ShutdownBoth();
+
+  /// Bounds how long WriteAll may block on a full send buffer; afterwards
+  /// a stalled write fails with IOError instead of blocking forever. A
+  /// server sets this on accepted connections so a client that stops
+  /// reading cannot pin a worker thread.
+  void SetSendTimeout(int seconds);
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+/// A listening TCP socket.
+class TcpListener {
+ public:
+  /// Binds and listens on `host:port`. Port 0 picks an ephemeral port —
+  /// read the resolved one from port().
+  static Result<std::unique_ptr<TcpListener>> Listen(const std::string& host,
+                                                     int port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Blocks for the next connection. After Close() (from any thread),
+  /// returns FailedPrecondition instead of blocking forever.
+  Result<std::unique_ptr<TcpConnection>> Accept();
+
+  /// Shuts the listening socket down, unblocking a blocked Accept. The fd
+  /// itself stays open until destruction: closing it here would let the
+  /// kernel recycle the descriptor number while another thread is still
+  /// about to accept(2) on it — the classic close/reuse TOCTOU.
+  void Close();
+
+  /// The locally bound port (the ephemeral choice when opened with 0).
+  int port() const { return port_; }
+
+ private:
+  TcpListener(int fd, int port) : fd_(fd), port_(port) {}
+
+  const int fd_;
+  int port_;
+  /// Set (once) by Close(); checked by Accept() around the accept call so
+  /// a post-shutdown wakeup reads as an orderly close.
+  std::atomic<bool> closed_{false};
+};
+
+/// Connects to `host:port` (numeric IPv4 or a resolvable hostname).
+Result<std::unique_ptr<TcpConnection>> Connect(const std::string& host,
+                                               int port);
+
+}  // namespace net
+}  // namespace helix
+
+#endif  // HELIX_NET_SOCKET_H_

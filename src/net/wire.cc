@@ -1,0 +1,308 @@
+#include "net/wire.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace helix {
+namespace net {
+namespace {
+
+// Decodes a reply's leading status. A non-OK remote status is surfaced
+// as-is (same code, message prefixed for provenance); the caller then
+// continues decoding the body from `in`.
+Status DecodeReplyStatus(ByteReader* in) {
+  Status remote;
+  HELIX_RETURN_IF_ERROR(DecodeStatus(in, &remote));
+  if (!remote.ok()) {
+    return Status(remote.code(), "remote: " + remote.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void WorkflowSpec::SetInt(const std::string& key, int64_t value) {
+  params[key] = std::to_string(value);
+}
+
+void WorkflowSpec::SetDouble(const std::string& key, double value) {
+  // %.17g round-trips every finite double exactly.
+  params[key] = StrFormat("%.17g", value);
+}
+
+void WorkflowSpec::SetBool(const std::string& key, bool value) {
+  params[key] = value ? "1" : "0";
+}
+
+std::string WorkflowSpec::GetString(const std::string& key,
+                                    const std::string& fallback) const {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+Result<int64_t> WorkflowSpec::GetInt(const std::string& key,
+                                     int64_t fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) {
+    return fallback;
+  }
+  int64_t v = 0;
+  if (!ParseInt64(it->second, &v)) {
+    return Status::InvalidArgument("spec param '" + key +
+                                   "' is not an integer: " + it->second);
+  }
+  return v;
+}
+
+Result<double> WorkflowSpec::GetDouble(const std::string& key,
+                                       double fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) {
+    return fallback;
+  }
+  double v = 0;
+  if (!ParseDouble(it->second, &v)) {
+    return Status::InvalidArgument("spec param '" + key +
+                                   "' is not a number: " + it->second);
+  }
+  return v;
+}
+
+Result<bool> WorkflowSpec::GetBool(const std::string& key,
+                                   bool fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) {
+    return fallback;
+  }
+  if (it->second == "1") {
+    return true;
+  }
+  if (it->second == "0") {
+    return false;
+  }
+  return Status::InvalidArgument("spec param '" + key +
+                                 "' is not a bool (0/1): " + it->second);
+}
+
+void EncodeStatus(const Status& status, ByteWriter* out) {
+  out->PutU8(static_cast<uint8_t>(status.code()));
+  out->PutString(status.message());
+}
+
+Status DecodeStatus(ByteReader* in, Status* out) {
+  HELIX_ASSIGN_OR_RETURN(uint8_t code, in->GetU8());
+  HELIX_ASSIGN_OR_RETURN(std::string message, in->GetString());
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption("unknown status code " + std::to_string(code));
+  }
+  *out = code == 0 ? Status::OK()
+                   : Status(static_cast<StatusCode>(code),
+                            std::move(message));
+  return Status::OK();
+}
+
+void EncodeWorkflowSpec(const WorkflowSpec& spec, ByteWriter* out) {
+  out->PutString(spec.app);
+  out->PutU64(spec.params.size());
+  for (const auto& [key, value] : spec.params) {
+    out->PutString(key);
+    out->PutString(value);
+  }
+}
+
+Result<WorkflowSpec> DecodeWorkflowSpec(ByteReader* in) {
+  WorkflowSpec spec;
+  HELIX_ASSIGN_OR_RETURN(spec.app, in->GetString());
+  HELIX_ASSIGN_OR_RETURN(uint64_t n, in->GetU64());
+  // Each param needs at least two length prefixes; bound before looping so
+  // a hostile count cannot drive a long allocation loop.
+  if (n > in->remaining() / 16) {
+    return Status::Corruption("workflow spec param count implausible");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    HELIX_ASSIGN_OR_RETURN(std::string key, in->GetString());
+    HELIX_ASSIGN_OR_RETURN(std::string value, in->GetString());
+    spec.params[std::move(key)] = std::move(value);
+  }
+  return spec;
+}
+
+std::string EncodeOpenSessionRequest(const std::string& name) {
+  ByteWriter out;
+  out.PutString(name);
+  return std::move(out.TakeData());
+}
+
+Result<std::string> DecodeOpenSessionRequest(std::string_view payload) {
+  ByteReader in(payload);
+  HELIX_ASSIGN_OR_RETURN(std::string name, in.GetString());
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in OpenSession request");
+  }
+  return name;
+}
+
+std::string EncodeRunIterationRequest(uint64_t session_id,
+                                      const WorkflowSpec& spec,
+                                      const std::string& description,
+                                      core::ChangeCategory category) {
+  ByteWriter out;
+  out.PutU64(session_id);
+  EncodeWorkflowSpec(spec, &out);
+  out.PutString(description);
+  out.PutU8(static_cast<uint8_t>(category));
+  return std::move(out.TakeData());
+}
+
+Result<RunIterationRequest> DecodeRunIterationRequest(
+    std::string_view payload) {
+  ByteReader in(payload);
+  RunIterationRequest request;
+  HELIX_ASSIGN_OR_RETURN(request.session_id, in.GetU64());
+  HELIX_ASSIGN_OR_RETURN(request.spec, DecodeWorkflowSpec(&in));
+  HELIX_ASSIGN_OR_RETURN(request.description, in.GetString());
+  HELIX_ASSIGN_OR_RETURN(uint8_t category, in.GetU8());
+  if (category > static_cast<uint8_t>(core::ChangeCategory::kEvaluation)) {
+    return Status::InvalidArgument("unknown change category " +
+                                   std::to_string(category));
+  }
+  request.category = static_cast<core::ChangeCategory>(category);
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in RunIteration request");
+  }
+  return request;
+}
+
+std::string EncodeGetCountersRequest(uint64_t session_id) {
+  ByteWriter out;
+  out.PutU64(session_id);
+  return std::move(out.TakeData());
+}
+
+Result<uint64_t> DecodeGetCountersRequest(std::string_view payload) {
+  ByteReader in(payload);
+  HELIX_ASSIGN_OR_RETURN(uint64_t session_id, in.GetU64());
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in GetCounters request");
+  }
+  return session_id;
+}
+
+std::string EncodeErrorReply(const Status& status) {
+  ByteWriter out;
+  EncodeStatus(status, &out);
+  return std::move(out.TakeData());
+}
+
+std::string EncodeOpenSessionReply(uint64_t session_id) {
+  ByteWriter out;
+  EncodeStatus(Status::OK(), &out);
+  out.PutU64(session_id);
+  return std::move(out.TakeData());
+}
+
+std::string EncodeRunIterationReply(const RemoteIterationResult& result) {
+  ByteWriter out;
+  EncodeStatus(Status::OK(), &out);
+  out.PutI64(result.version_id);
+  out.PutI64(result.num_computed);
+  out.PutI64(result.num_loaded);
+  out.PutI64(result.num_shared);
+  out.PutI64(result.num_pruned);
+  out.PutI64(result.num_materialized);
+  out.PutI64(result.total_micros);
+  out.PutU64(result.output_fingerprints.size());
+  for (const auto& [name, fingerprint] : result.output_fingerprints) {
+    out.PutString(name);
+    out.PutU64(fingerprint);
+  }
+  return std::move(out.TakeData());
+}
+
+std::string EncodeCountersReply(const service::SessionCounters& counters) {
+  ByteWriter out;
+  EncodeStatus(Status::OK(), &out);
+  out.PutI64(counters.iterations);
+  out.PutI64(counters.num_computed);
+  out.PutI64(counters.num_loaded);
+  out.PutI64(counters.num_shared);
+  out.PutI64(counters.cross_session_loads);
+  out.PutI64(counters.saved_micros);
+  out.PutI64(counters.total_micros);
+  return std::move(out.TakeData());
+}
+
+std::string EncodeEmptyReply() {
+  ByteWriter out;
+  EncodeStatus(Status::OK(), &out);
+  return std::move(out.TakeData());
+}
+
+Result<uint64_t> DecodeOpenSessionReply(std::string_view payload) {
+  ByteReader in(payload);
+  HELIX_RETURN_IF_ERROR(DecodeReplyStatus(&in));
+  HELIX_ASSIGN_OR_RETURN(uint64_t session_id, in.GetU64());
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in OpenSession reply");
+  }
+  return session_id;
+}
+
+Result<RemoteIterationResult> DecodeRunIterationReply(
+    std::string_view payload) {
+  ByteReader in(payload);
+  HELIX_RETURN_IF_ERROR(DecodeReplyStatus(&in));
+  RemoteIterationResult result;
+  HELIX_ASSIGN_OR_RETURN(result.version_id, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(result.num_computed, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(result.num_loaded, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(result.num_shared, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(result.num_pruned, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(result.num_materialized, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(result.total_micros, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(uint64_t n, in.GetU64());
+  if (n > in.remaining() / 16) {
+    return Status::Corruption("output fingerprint count implausible");
+  }
+  result.output_fingerprints.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HELIX_ASSIGN_OR_RETURN(std::string name, in.GetString());
+    HELIX_ASSIGN_OR_RETURN(uint64_t fingerprint, in.GetU64());
+    result.output_fingerprints.emplace_back(std::move(name), fingerprint);
+  }
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in RunIteration reply");
+  }
+  return result;
+}
+
+Result<service::SessionCounters> DecodeCountersReply(
+    std::string_view payload) {
+  ByteReader in(payload);
+  HELIX_RETURN_IF_ERROR(DecodeReplyStatus(&in));
+  service::SessionCounters counters;
+  HELIX_ASSIGN_OR_RETURN(counters.iterations, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(counters.num_computed, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(counters.num_loaded, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(counters.num_shared, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(counters.cross_session_loads, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(counters.saved_micros, in.GetI64());
+  HELIX_ASSIGN_OR_RETURN(counters.total_micros, in.GetI64());
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in counters reply");
+  }
+  return counters;
+}
+
+Status DecodeEmptyReply(std::string_view payload) {
+  ByteReader in(payload);
+  HELIX_RETURN_IF_ERROR(DecodeReplyStatus(&in));
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in empty reply");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace helix

@@ -1,0 +1,148 @@
+// Request/reply message encodings carried inside frames (net/frame.h).
+//
+// Workflows cannot cross the wire directly — operators embed arbitrary C++
+// UDF closures — so a remote RunIteration carries a WorkflowSpec: a named
+// application plus string parameters, resolved *server-side* into a real
+// core::Workflow by a WorkflowResolver. Because operator signatures (and
+// therefore store keys, plans, and outputs) are pure functions of the
+// resolved workflow, a remote iteration is byte-identical to the same
+// iteration run in-process — the property tests/net_test.cc pins.
+//
+// Every reply payload starts with an encoded Status (code + message); a
+// result body follows only when the status is OK. The client rebuilds the
+// same Status code locally, so remote failures and local failures flow
+// through one error channel.
+#ifndef HELIX_NET_WIRE_H_
+#define HELIX_NET_WIRE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "core/version_manager.h"
+#include "core/workflow.h"
+#include "service/session_service.h"
+
+namespace helix {
+namespace net {
+
+/// Frame opcodes. Requests are client->server; every server frame is a
+/// kReply echoing the request id.
+enum class Opcode : uint8_t {
+  kOpenSession = 1,
+  kRunIteration = 2,
+  kGetCounters = 3,
+  kShutdown = 4,
+  kReply = 0x80,
+};
+
+/// A serializable workflow description: application name + string
+/// parameters, resolved into a core::Workflow on the server.
+struct WorkflowSpec {
+  std::string app;
+  /// Ordered map: the encoding (and anything hashed from it) is
+  /// deterministic.
+  std::map<std::string, std::string> params;
+
+  void SetString(const std::string& key, std::string value) {
+    params[key] = std::move(value);
+  }
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  /// Readers return `fallback` when the key is absent and InvalidArgument
+  /// when present but malformed — a decoder overrides defaults with
+  /// whatever the client sent.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+};
+
+/// Resolves a WorkflowSpec into an executable workflow. Must be pure: the
+/// same spec must always produce an identically-signatured workflow
+/// (determinism across sessions and processes depends on it). Called
+/// concurrently from server worker threads.
+using WorkflowResolver =
+    std::function<Result<core::Workflow>(const WorkflowSpec&)>;
+
+/// Counter snapshot and iteration summary returned by a remote iteration.
+/// Fingerprints stand in for payloads: outputs stay server-side, the
+/// client gets enough to verify determinism and drive the next edit.
+struct RemoteIterationResult {
+  int64_t version_id = 0;
+  int64_t num_computed = 0;
+  int64_t num_loaded = 0;
+  int64_t num_shared = 0;
+  int64_t num_pruned = 0;
+  int64_t num_materialized = 0;
+  int64_t total_micros = 0;
+  /// (output name, DataCollection fingerprint), in output-name order.
+  std::vector<std::pair<std::string, uint64_t>> output_fingerprints;
+};
+
+// --- Status ---------------------------------------------------------------
+
+void EncodeStatus(const Status& status, ByteWriter* out);
+/// Decodes an encoded status into `*out`. The return value is the
+/// *transport* status (Corruption on malformed bytes); `*out` is the
+/// decoded application status.
+Status DecodeStatus(ByteReader* in, Status* out);
+
+// --- WorkflowSpec ---------------------------------------------------------
+
+void EncodeWorkflowSpec(const WorkflowSpec& spec, ByteWriter* out);
+Result<WorkflowSpec> DecodeWorkflowSpec(ByteReader* in);
+
+// --- Request payloads -----------------------------------------------------
+
+std::string EncodeOpenSessionRequest(const std::string& name);
+Result<std::string> DecodeOpenSessionRequest(std::string_view payload);
+
+std::string EncodeRunIterationRequest(uint64_t session_id,
+                                      const WorkflowSpec& spec,
+                                      const std::string& description,
+                                      core::ChangeCategory category);
+struct RunIterationRequest {
+  uint64_t session_id = 0;
+  WorkflowSpec spec;
+  std::string description;
+  core::ChangeCategory category = core::ChangeCategory::kInitial;
+};
+Result<RunIterationRequest> DecodeRunIterationRequest(
+    std::string_view payload);
+
+/// session_id 0 asks for the service-wide aggregate.
+std::string EncodeGetCountersRequest(uint64_t session_id);
+Result<uint64_t> DecodeGetCountersRequest(std::string_view payload);
+
+// --- Reply payloads -------------------------------------------------------
+
+/// A failed reply is just the status; a successful one is OK + body.
+std::string EncodeErrorReply(const Status& status);
+std::string EncodeOpenSessionReply(uint64_t session_id);
+std::string EncodeRunIterationReply(const RemoteIterationResult& result);
+std::string EncodeCountersReply(const service::SessionCounters& counters);
+std::string EncodeEmptyReply();
+
+/// Reply decoders: each decodes the leading status — a non-OK remote
+/// status is returned as-is (same code, message prefixed "remote: ") —
+/// then the body.
+Result<uint64_t> DecodeOpenSessionReply(std::string_view payload);
+Result<RemoteIterationResult> DecodeRunIterationReply(
+    std::string_view payload);
+Result<service::SessionCounters> DecodeCountersReply(
+    std::string_view payload);
+Status DecodeEmptyReply(std::string_view payload);
+
+}  // namespace net
+}  // namespace helix
+
+#endif  // HELIX_NET_WIRE_H_

@@ -52,11 +52,14 @@ double RetentionScore(const StoreEntry& entry, int64_t est_load_micros,
                       int64_t default_compute_micros);
 
 /// Plans which of `candidates` to evict to free `bytes_needed`, choosing
-/// lowest retention score first (ties: older iteration first, then smaller
-/// signature — fully deterministic). Only candidates scoring strictly
-/// below `incoming_score` are eligible; the plan is infeasible (and
-/// `victims` is empty) if the eligible set cannot free enough bytes.
-/// Pure function; thread-safe.
+/// lowest retention score first. Equal scores are broken by the documented
+/// total order: older iteration first, then smaller signature — so the
+/// victim sequence is fully deterministic and independent of candidate
+/// enumeration order (and therefore of the store's shard count; pinned by
+/// tests/storage_test.cc:EqualScoreEvictionOrderIsSameAcrossShardCounts).
+/// Only candidates scoring strictly below `incoming_score` are eligible;
+/// the plan is infeasible (and `victims` is empty) if the eligible set
+/// cannot free enough bytes. Pure function; thread-safe.
 EvictionPlan PlanEviction(const std::vector<EvictionCandidate>& candidates,
                           int64_t bytes_needed, double incoming_score,
                           int64_t default_compute_micros);

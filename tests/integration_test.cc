@@ -3,6 +3,14 @@
 // Checks (a) result invariance — every system computes identical outputs
 // for identical workflow versions — and (b) the paper's qualitative
 // runtime ordering: HELIX cumulative <= baselines.
+//
+// All timing runs on a VirtualClock with signature-derived declared costs
+// (baselines::StampDeterministicCosts): operators still really execute —
+// the invariance checks compare real outputs — but every charged
+// microsecond is a pure function of the workflow and the planner's policy.
+// The ordering assertions are therefore exact, not statistical: no
+// retries, no wall-clock sensitivity, and the suite runs unchanged under
+// sanitizer instrumentation and parallel CTest scheduling.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -10,6 +18,7 @@
 #include "apps/census_app.h"
 #include "apps/ie_app.h"
 #include "baselines/baselines.h"
+#include "common/clock.h"
 #include "common/file_util.h"
 #include "core/session.h"
 #include "datagen/census_gen.h"
@@ -22,6 +31,20 @@ using baselines::SystemKind;
 using core::ChangeCategory;
 using core::Session;
 using core::SessionOptions;
+
+// Builds the workflow for `config` with deterministic declared costs, so a
+// virtual-clock session charges identical times on every machine.
+core::Workflow StampedCensus(const apps::CensusConfig& config) {
+  core::Workflow workflow = apps::BuildCensusWorkflow(config);
+  baselines::StampDeterministicCosts(&workflow);
+  return workflow;
+}
+
+core::Workflow StampedIe(const apps::IeConfig& config) {
+  core::Workflow workflow = apps::BuildIeWorkflow(config);
+  baselines::StampDeterministicCosts(&workflow);
+  return workflow;
+}
 
 class IntegrationTest : public ::testing::Test {
  protected:
@@ -45,48 +68,43 @@ TEST_F(IntegrationTest, CensusAllSystemsAgreeOnResults) {
   ASSERT_TRUE(datagen::WriteCensusFiles(gen, train, test).ok());
 
   // The full 10-iteration script: structural savings accumulate across
-  // iterations, keeping the runtime-ordering assertions robust to
-  // wall-clock noise.
+  // iterations, exactly as in the paper's Figure 2(b) narrative.
   auto script = apps::MakeCensusIterationScript();
 
   std::map<SystemKind, std::vector<uint64_t>> fingerprints;
   std::map<SystemKind, int64_t> cumulative;
 
-  auto measure = [&](const std::string& run_tag,
-                     std::map<SystemKind, std::vector<uint64_t>>* fps_out,
-                     std::map<SystemKind, int64_t>* cumulative_out) {
-    for (SystemKind kind :
-         {SystemKind::kHelix, SystemKind::kHelixUnopt,
-          SystemKind::kKeystoneMl, SystemKind::kDeepDive}) {
-      SessionOptions options = baselines::MakeSessionOptions(
-          kind,
-          JoinPath(dir_, std::string("ws") + run_tag + "-" +
-                             baselines::SystemKindToString(kind)),
-          256LL << 20, SystemClock::Default());
-      auto session = Session::Open(options);
-      ASSERT_TRUE(session.ok());
+  for (SystemKind kind :
+       {SystemKind::kHelix, SystemKind::kHelixUnopt,
+        SystemKind::kKeystoneMl, SystemKind::kDeepDive}) {
+    VirtualClock clock;
+    SessionOptions options = baselines::MakeSessionOptions(
+        kind,
+        JoinPath(dir_, std::string("ws-") +
+                           baselines::SystemKindToString(kind)),
+        256LL << 20, &clock);
+    auto session = Session::Open(options);
+    ASSERT_TRUE(session.ok());
 
-      apps::CensusConfig config;
-      config.train_path = train;
-      config.test_path = test;
-      config.learner.epochs = 25;
+    apps::CensusConfig config;
+    config.train_path = train;
+    config.test_path = test;
+    config.learner.epochs = 25;
 
-      for (const auto& step : script) {
-        step.mutate(&config);
-        auto result = (*session)->RunIteration(
-            apps::BuildCensusWorkflow(config), step.description,
-            step.category);
-        ASSERT_TRUE(result.ok())
-            << baselines::SystemKindToString(kind) << ": "
-            << result.status().ToString();
-        ASSERT_EQ(result->report.outputs.count("checked"), 1u);
-        (*fps_out)[kind].push_back(
-            result->report.outputs.at("checked").Fingerprint());
-      }
-      (*cumulative_out)[kind] = (*session)->cumulative_micros();
+    for (const auto& step : script) {
+      step.mutate(&config);
+      auto result = (*session)->RunIteration(StampedCensus(config),
+                                             step.description,
+                                             step.category);
+      ASSERT_TRUE(result.ok())
+          << baselines::SystemKindToString(kind) << ": "
+          << result.status().ToString();
+      ASSERT_EQ(result->report.outputs.count("checked"), 1u);
+      fingerprints[kind].push_back(
+          result->report.outputs.at("checked").Fingerprint());
     }
-  };
-  ASSERT_NO_FATAL_FAILURE(measure("0", &fingerprints, &cumulative));
+    cumulative[kind] = (*session)->cumulative_micros();
+  }
 
   // (a) Invariance: all systems produce identical evaluation results at
   // every iteration — optimization must not change semantics.
@@ -98,24 +116,17 @@ TEST_F(IntegrationTest, CensusAllSystemsAgreeOnResults) {
     }
   }
 
-  // (b) The paper's ordering: HELIX cumulative runtime is lowest. This is
-  // a wall-clock comparison; on a machine still digesting I/O from other
-  // processes a single measurement can invert, so an inverted ordering
-  // must be confirmed by fresh re-measurements before it is a failure.
-  auto ordered = [](const std::map<SystemKind, int64_t>& c) {
-    return c.at(SystemKind::kHelix) <= c.at(SystemKind::kKeystoneMl) &&
-           c.at(SystemKind::kHelix) <= c.at(SystemKind::kHelixUnopt);
-  };
-  for (int attempt = 1; !ordered(cumulative) && attempt < 3; ++attempt) {
-    std::map<SystemKind, std::vector<uint64_t>> retry_fps;
-    std::map<SystemKind, int64_t> retry_cumulative;
-    ASSERT_NO_FATAL_FAILURE(measure(std::to_string(attempt), &retry_fps,
-                                    &retry_cumulative));
-    cumulative = retry_cumulative;
-  }
-  EXPECT_TRUE(ordered(cumulative))
+  // (b) The paper's ordering, now exact: on the virtual clock every
+  // charged microsecond is deterministic, so HELIX's cumulative runtime
+  // is lowest by construction of the optimal plan — or the planner has a
+  // bug.
+  EXPECT_LE(cumulative[SystemKind::kHelix],
+            cumulative[SystemKind::kKeystoneMl])
       << "helix=" << cumulative[SystemKind::kHelix]
-      << " keystoneml=" << cumulative[SystemKind::kKeystoneMl]
+      << " keystoneml=" << cumulative[SystemKind::kKeystoneMl];
+  EXPECT_LE(cumulative[SystemKind::kHelix],
+            cumulative[SystemKind::kHelixUnopt])
+      << "helix=" << cumulative[SystemKind::kHelix]
       << " helix-unopt=" << cumulative[SystemKind::kHelixUnopt];
 }
 
@@ -126,9 +137,9 @@ TEST_F(IntegrationTest, CensusHelixReusesAcrossChangeTypes) {
   std::string test = JoinPath(dir_, "test2.csv");
   ASSERT_TRUE(datagen::WriteCensusFiles(gen, train, test).ok());
 
+  VirtualClock clock;
   SessionOptions options = baselines::MakeSessionOptions(
-      SystemKind::kHelix, JoinPath(dir_, "ws-reuse"), 256LL << 20,
-      SystemClock::Default());
+      SystemKind::kHelix, JoinPath(dir_, "ws-reuse"), 256LL << 20, &clock);
   auto session = Session::Open(options);
   ASSERT_TRUE(session.ok());
 
@@ -137,17 +148,16 @@ TEST_F(IntegrationTest, CensusHelixReusesAcrossChangeTypes) {
   config.test_path = test;
   config.learner.epochs = 10;
 
-  auto v0 = (*session)->RunIteration(apps::BuildCensusWorkflow(config),
-                                     "initial", ChangeCategory::kInitial);
+  auto v0 = (*session)->RunIteration(StampedCensus(config), "initial",
+                                     ChangeCategory::kInitial);
   ASSERT_TRUE(v0.ok());
   // Run the same ML edit twice in a row; the second identical config is a
   // pure re-execution and should be nearly all loads/prunes.
   config.learner.reg_param = 0.02;
-  auto v1 = (*session)->RunIteration(apps::BuildCensusWorkflow(config),
-                                     "ml edit",
+  auto v1 = (*session)->RunIteration(StampedCensus(config), "ml edit",
                                      ChangeCategory::kMachineLearning);
   ASSERT_TRUE(v1.ok());
-  auto v2 = (*session)->RunIteration(apps::BuildCensusWorkflow(config),
+  auto v2 = (*session)->RunIteration(StampedCensus(config),
                                      "identical rerun",
                                      ChangeCategory::kMachineLearning);
   ASSERT_TRUE(v2.ok());
@@ -176,11 +186,12 @@ TEST_F(IntegrationTest, IeAllSystemsAgreeAndHelixWins) {
 
   for (SystemKind kind :
        {SystemKind::kHelix, SystemKind::kDeepDive, SystemKind::kHelixUnopt}) {
+    VirtualClock clock;
     SessionOptions options = baselines::MakeSessionOptions(
         kind,
         JoinPath(dir_, std::string("ie-ws-") +
                            baselines::SystemKindToString(kind)),
-        256LL << 20, SystemClock::Default());
+        256LL << 20, &clock);
     auto session = Session::Open(options);
     ASSERT_TRUE(session.ok());
 
@@ -190,7 +201,7 @@ TEST_F(IntegrationTest, IeAllSystemsAgreeAndHelixWins) {
 
     for (const auto& step : script) {
       step.mutate(&config);
-      auto result = (*session)->RunIteration(apps::BuildIeWorkflow(config),
+      auto result = (*session)->RunIteration(StampedIe(config),
                                              step.description, step.category);
       ASSERT_TRUE(result.ok())
           << baselines::SystemKindToString(kind) << ": "
@@ -209,7 +220,9 @@ TEST_F(IntegrationTest, IeAllSystemsAgreeAndHelixWins) {
     }
   }
   EXPECT_LE(cumulative[SystemKind::kHelix],
-            cumulative[SystemKind::kHelixUnopt]);
+            cumulative[SystemKind::kHelixUnopt])
+      << "helix=" << cumulative[SystemKind::kHelix]
+      << " helix-unopt=" << cumulative[SystemKind::kHelixUnopt];
 }
 
 TEST_F(IntegrationTest, IeLearnsSomething) {
@@ -218,9 +231,9 @@ TEST_F(IntegrationTest, IeLearnsSomething) {
   gen.num_docs = 120;
   ASSERT_TRUE(datagen::WriteNewsCorpus(gen, corpus_path).ok());
 
+  VirtualClock clock;
   SessionOptions options = baselines::MakeSessionOptions(
-      SystemKind::kHelix, JoinPath(dir_, "ie-learn"), 256LL << 20,
-      SystemClock::Default());
+      SystemKind::kHelix, JoinPath(dir_, "ie-learn"), 256LL << 20, &clock);
   auto session = Session::Open(options);
   ASSERT_TRUE(session.ok());
 
@@ -231,8 +244,7 @@ TEST_F(IntegrationTest, IeLearnsSomething) {
   config.features.honorific = true;
   config.learner.epochs = 6;
 
-  auto v = (*session)->RunIteration(apps::BuildIeWorkflow(config),
-                                    "full features",
+  auto v = (*session)->RunIteration(StampedIe(config), "full features",
                                     ChangeCategory::kInitial);
   ASSERT_TRUE(v.ok()) << v.status().ToString();
   const auto& metrics = (*session)->versions().version(0).metrics;
@@ -249,9 +261,9 @@ TEST_F(IntegrationTest, SlicingHandlesCensusFeatureRemoval) {
   std::string test = JoinPath(dir_, "test3.csv");
   ASSERT_TRUE(datagen::WriteCensusFiles(gen, train, test).ok());
 
+  VirtualClock clock;
   SessionOptions options = baselines::MakeSessionOptions(
-      SystemKind::kHelix, JoinPath(dir_, "ws-slice"), 256LL << 20,
-      SystemClock::Default());
+      SystemKind::kHelix, JoinPath(dir_, "ws-slice"), 256LL << 20, &clock);
   auto session = Session::Open(options);
   ASSERT_TRUE(session.ok());
 
@@ -260,13 +272,13 @@ TEST_F(IntegrationTest, SlicingHandlesCensusFeatureRemoval) {
   config.test_path = test;
   config.learner.epochs = 3;
 
-  auto v0 = (*session)->RunIteration(apps::BuildCensusWorkflow(config),
-                                     "initial", ChangeCategory::kInitial);
+  auto v0 = (*session)->RunIteration(StampedCensus(config), "initial",
+                                     ChangeCategory::kInitial);
   ASSERT_TRUE(v0.ok());
   // Dropping the interaction feature slices eduXocc (and occ, which only
   // fed it) out of the executed plan.
   config.use_edu_x_occ = false;
-  auto v1 = (*session)->RunIteration(apps::BuildCensusWorkflow(config),
+  auto v1 = (*session)->RunIteration(StampedCensus(config),
                                      "drop interaction",
                                      ChangeCategory::kDataPreprocessing);
   ASSERT_TRUE(v1.ok());

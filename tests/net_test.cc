@@ -1,0 +1,536 @@
+// Tests for src/net: the framing codec's defensive decoding, the spec
+// codecs' signature-preservation, and — the core property — that remoting
+// perturbs nothing: K concurrent clients over loopback TCP produce
+// per-iteration output fingerprints byte-identical to the same K sessions
+// run through an in-process SessionService (and to K isolated sequential
+// sessions), while computing strictly less than isolation in total. A
+// robustness/fuzz pass pins that malformed frames — truncated, corrupt
+// checksum, oversized, unknown opcode — surface as clean Status errors on
+// the sender and never take the server (or its other connections) down.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/file_util.h"
+#include "common/rng.h"
+#include "core/materialization.h"
+#include "core/session.h"
+#include "net/app_specs.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "service/session_service.h"
+#include "synthetic_app.h"
+
+namespace helix {
+namespace net {
+namespace {
+
+using core::ChangeCategory;
+using testutil::FingerprintOutputs;
+using testutil::OutputFingerprints;
+using testutil::RunTrace;
+using testutil::SyntheticApp;
+
+// --- Framing codec --------------------------------------------------------
+
+Frame MakeTestFrame() {
+  Frame frame;
+  frame.opcode = static_cast<uint8_t>(Opcode::kOpenSession);
+  frame.request_id = 0xDEADBEEF12345678ULL;
+  frame.payload = EncodeOpenSessionRequest("alice");
+  return frame;
+}
+
+TEST(FrameTest, RoundTrip) {
+  Frame frame = MakeTestFrame();
+  std::string bytes = EncodeFrame(frame);
+  auto decoded = DecodeFrame(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->opcode, frame.opcode);
+  EXPECT_EQ(decoded->request_id, frame.request_id);
+  EXPECT_EQ(decoded->payload, frame.payload);
+}
+
+TEST(FrameTest, EveryTruncationIsRejected) {
+  std::string bytes = EncodeFrame(MakeTestFrame());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto decoded = DecodeFrame(bytes.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(FrameTest, EverySingleByteCorruptionIsRejected) {
+  std::string bytes = EncodeFrame(MakeTestFrame());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupted = bytes;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x40);
+    auto decoded = DecodeFrame(corrupted);
+    EXPECT_FALSE(decoded.ok()) << "accepted a flip at byte " << i;
+  }
+}
+
+TEST(FrameTest, UnsupportedVersionIsInvalidArgument) {
+  std::string bytes = EncodeFrame(MakeTestFrame());
+  bytes[4] = static_cast<char>(kProtocolVersion + 1);
+  // The version check fires before the checksum check: a future-version
+  // frame reports "unsupported version", not "corrupt".
+  EXPECT_TRUE(DecodeFrame(bytes).status().IsInvalidArgument());
+}
+
+TEST(FrameTest, OversizedDeclaredLengthIsResourceExhausted) {
+  Frame frame = MakeTestFrame();
+  frame.payload.assign(2048, 'x');
+  std::string bytes = EncodeFrame(frame);
+  auto decoded = DecodeFrame(bytes, /*max_payload_bytes=*/1024);
+  EXPECT_TRUE(decoded.status().IsResourceExhausted())
+      << decoded.status().ToString();
+}
+
+// --- Spec codecs ----------------------------------------------------------
+
+// Serializes and reparses a spec through the byte codec.
+WorkflowSpec RecodeSpec(const WorkflowSpec& spec) {
+  ByteWriter writer;
+  EncodeWorkflowSpec(spec, &writer);
+  ByteReader reader(writer.data());
+  auto decoded = DecodeWorkflowSpec(&reader);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  return decoded.ok() ? decoded.value() : WorkflowSpec{};
+}
+
+void ExpectSameSignatures(const core::Workflow& a, const core::Workflow& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (int i = 0; i < a.num_nodes(); ++i) {
+    EXPECT_EQ(a.op(i).Signature(), b.op(i).Signature())
+        << "operator " << a.op(i).name();
+    EXPECT_EQ(a.op(i).name(), b.op(i).name());
+  }
+}
+
+TEST(AppSpecTest, CensusRoundTripPreservesOperatorSignatures) {
+  apps::CensusConfig config;
+  config.train_path = "/data/train.csv";
+  config.test_path = "/data/test.csv";
+  config.use_occ = true;
+  config.use_edu_x_occ = false;
+  config.age_bins = 7;
+  config.learner.model_type = "nb";
+  config.learner.reg_param = 0.1 + 0.2;  // not exactly representable
+  config.learner.epochs = 13;
+  config.eval.auc = true;
+  config.eval.threshold = 0.37;
+
+  auto decoded = CensusConfigFromSpec(RecodeSpec(MakeCensusSpec(config)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameSignatures(apps::BuildCensusWorkflow(config),
+                       apps::BuildCensusWorkflow(decoded.value()));
+}
+
+TEST(AppSpecTest, IeRoundTripPreservesOperatorSignatures) {
+  apps::IeConfig config;
+  config.corpus_path = "/data/news.dat";
+  config.train_frac = 0.65;
+  config.features.gazetteer = true;
+  config.features.context = true;
+  config.features.context_window = 2;
+  config.learner.learning_rate = 0.3;
+  config.decoder.threshold = 0.61;
+  config.decoder.max_tokens = 4;
+
+  auto decoded = IeConfigFromSpec(RecodeSpec(MakeIeSpec(config)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSameSignatures(apps::BuildIeWorkflow(config),
+                       apps::BuildIeWorkflow(decoded.value()));
+}
+
+TEST(AppSpecTest, MalformedParamIsInvalidArgument) {
+  WorkflowSpec spec = MakeCensusSpec(apps::CensusConfig{});
+  spec.params["age_bins"] = "not-a-number";
+  EXPECT_TRUE(CensusConfigFromSpec(spec).status().IsInvalidArgument());
+}
+
+// --- Remote differential determinism --------------------------------------
+
+constexpr char kSyntheticApp[] = "synthetic";
+
+WorkflowSpec MakeSyntheticSpec(uint64_t seed, int iteration) {
+  WorkflowSpec spec;
+  spec.app = kSyntheticApp;
+  spec.SetInt("seed", static_cast<int64_t>(seed));
+  spec.SetInt("iteration", iteration);
+  return spec;
+}
+
+WorkflowResolver SyntheticResolver() {
+  return [](const WorkflowSpec& spec) -> Result<core::Workflow> {
+    if (spec.app != kSyntheticApp) {
+      return Status::NotFound("no resolver for app '" + spec.app + "'");
+    }
+    HELIX_ASSIGN_OR_RETURN(int64_t seed, spec.GetInt("seed", 0));
+    HELIX_ASSIGN_OR_RETURN(int64_t iteration, spec.GetInt("iteration", 0));
+    return SyntheticApp(static_cast<uint64_t>(seed))
+        .Build(static_cast<int>(iteration));
+  };
+}
+
+// K concurrent clients over loopback TCP against one HelixServer.
+void RunRemote(const std::string& root, const SyntheticApp& app,
+               int num_sessions, int num_iterations, RunTrace* trace,
+               service::SessionCounters* aggregate_out) {
+  trace->outputs.resize(static_cast<size_t>(num_sessions));
+  ServerOptions options;
+  options.service.workspace_dir = JoinPath(root, "remote");
+  options.service.num_threads = num_sessions;
+  options.service.mat_policy =
+      std::make_shared<core::AlwaysMaterializePolicy>();
+  auto server = HelixServer::Start(options, SyntheticResolver());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  std::vector<std::thread> users;
+  std::atomic<bool> failed{false};
+  for (int s = 0; s < num_sessions; ++s) {
+    users.emplace_back([&, s]() {
+      auto client = HelixClient::Connect("127.0.0.1", (*server)->port());
+      if (!client.ok()) {
+        ADD_FAILURE() << client.status().ToString();
+        failed.store(true);
+        return;
+      }
+      auto session = (*client)->OpenSession("user-" + std::to_string(s));
+      if (!session.ok()) {
+        ADD_FAILURE() << session.status().ToString();
+        failed.store(true);
+        return;
+      }
+      for (int i = 0; i < num_iterations; ++i) {
+        auto result = (*client)->RunIteration(
+            session.value(), MakeSyntheticSpec(app.seed, i),
+            "iter-" + std::to_string(i),
+            i == 0 ? ChangeCategory::kInitial
+                   : ChangeCategory::kMachineLearning);
+        if (!result.ok()) {
+          ADD_FAILURE() << "client " << s << ": "
+                        << result.status().ToString();
+          failed.store(true);
+          return;
+        }
+        trace->outputs[static_cast<size_t>(s)].push_back(
+            result->output_fingerprints);
+      }
+    });
+  }
+  for (std::thread& t : users) {
+    t.join();
+  }
+  ASSERT_FALSE(failed.load());
+  auto client = HelixClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  auto aggregate = (*client)->GetCounters(0);
+  ASSERT_TRUE(aggregate.ok()) << aggregate.status().ToString();
+  trace->total_computed = aggregate->num_computed;
+  if (aggregate_out != nullptr) {
+    *aggregate_out = aggregate.value();
+  }
+  (*server)->Stop();
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("helix-net-test");
+    ASSERT_TRUE(dir.ok());
+    dir_ = dir.value();
+  }
+  void TearDown() override { (void)RemoveDirRecursively(dir_); }
+
+  std::string dir_;
+};
+
+// The headline property, over many seeds: putting the service behind the
+// wire changes no session's outputs — remote fingerprints are
+// byte-identical to the in-process service's and to isolated sessions' —
+// and cross-session reuse still computes strictly less than isolation.
+TEST_F(NetTest, RemoteMatchesInProcessDeterminismProperty) {
+  constexpr int kSeeds = 10;
+  constexpr int kSessions = 4;
+  constexpr int kIterations = 3;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    SyntheticApp app(0x5EAF00D + static_cast<uint64_t>(seed) * 104729);
+    std::string root = JoinPath(dir_, "seed-" + std::to_string(seed));
+
+    RunTrace isolated;
+    testutil::RunIsolated(root, app, kSessions, kIterations, &isolated);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+    RunTrace inproc;
+    testutil::RunShared(JoinPath(root, "inproc"), app, kSessions,
+                        kIterations, &inproc, nullptr);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+    RunTrace remote;
+    service::SessionCounters aggregate;
+    RunRemote(root, app, kSessions, kIterations, &remote, &aggregate);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+
+    // Byte-identical outputs, per session, per iteration, across all
+    // three execution styles.
+    ASSERT_EQ(remote.outputs.size(), inproc.outputs.size());
+    for (size_t s = 0; s < remote.outputs.size(); ++s) {
+      ASSERT_EQ(remote.outputs[s].size(), inproc.outputs[s].size());
+      for (size_t i = 0; i < remote.outputs[s].size(); ++i) {
+        EXPECT_EQ(remote.outputs[s][i], inproc.outputs[s][i])
+            << "remote vs in-process, session " << s << " iteration " << i;
+        EXPECT_EQ(remote.outputs[s][i], isolated.outputs[s][i])
+            << "remote vs isolated, session " << s << " iteration " << i;
+      }
+    }
+    // Reuse still happened over the wire: strictly fewer computations
+    // than isolation, visible in the remote counters.
+    EXPECT_LT(remote.total_computed, isolated.total_computed);
+    EXPECT_GT(aggregate.num_shared + aggregate.cross_session_loads, 0)
+        << "no cross-session reuse events recorded over the wire";
+  }
+}
+
+// --- Protocol robustness --------------------------------------------------
+
+class RobustnessTest : public NetTest {
+ protected:
+  void StartServer(uint32_t max_payload_bytes = 1u << 16) {
+    ServerOptions options;
+    options.service.workspace_dir = JoinPath(dir_, "server");
+    options.service.num_threads = 2;
+    options.max_payload_bytes = max_payload_bytes;
+    auto server = HelixServer::Start(options, SyntheticResolver());
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  void TearDown() override {
+    server_.reset();  // stop (and persist stats) before the dir goes away
+    NetTest::TearDown();
+  }
+
+  // The liveness probe: a well-behaved client can still open a session.
+  void ExpectServerStillServes() {
+    auto client = HelixClient::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto session = (*client)->OpenSession("prober");
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+  }
+
+  std::unique_ptr<HelixServer> server_;
+};
+
+TEST_F(RobustnessTest, TruncatedFrameLeavesServerServing) {
+  StartServer();
+  {
+    auto conn = Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(conn.ok());
+    std::string bytes = EncodeFrame(MakeTestFrame());
+    ASSERT_TRUE(
+        (*conn)->WriteAll(bytes.data(), bytes.size() / 2).ok());
+    // Connection closes mid-frame when `conn` goes out of scope.
+  }
+  ExpectServerStillServes();
+}
+
+TEST_F(RobustnessTest, CorruptChecksumYieldsErrorReplyThenClose) {
+  StartServer();
+  auto conn = Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  std::string bytes = EncodeFrame(MakeTestFrame());
+  bytes[kFrameHeaderBytes] ^= 0x01;  // first payload byte
+  ASSERT_TRUE((*conn)->WriteAll(bytes.data(), bytes.size()).ok());
+  auto reply = ReadFrame(conn->get(), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->opcode, static_cast<uint8_t>(Opcode::kReply));
+  EXPECT_EQ(reply->request_id, MakeTestFrame().request_id);
+  Status remote = DecodeEmptyReply(reply->payload);
+  EXPECT_TRUE(remote.IsCorruption()) << remote.ToString();
+  // The stream is untrusted after a framing error: the server drops it.
+  auto next = ReadFrame(conn->get(), kDefaultMaxPayloadBytes);
+  EXPECT_FALSE(next.ok());
+  ExpectServerStillServes();
+}
+
+TEST_F(RobustnessTest, OversizedFrameYieldsErrorReplyThenClose) {
+  StartServer(/*max_payload_bytes=*/4096);
+  auto conn = Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  // A header declaring a payload far beyond the server's limit; the body
+  // is never sent — the server must reject on the declared length alone
+  // (and must not allocate it).
+  ByteWriter header;
+  header.PutU32(kFrameMagic);
+  header.PutU8(kProtocolVersion);
+  header.PutU8(static_cast<uint8_t>(Opcode::kOpenSession));
+  header.PutU64(/*request_id=*/7);
+  header.PutU32(512u << 20);
+  ASSERT_TRUE(
+      (*conn)->WriteAll(header.data().data(), header.data().size()).ok());
+  auto reply = ReadFrame(conn->get(), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->request_id, 7u);
+  Status remote = DecodeEmptyReply(reply->payload);
+  EXPECT_TRUE(remote.IsResourceExhausted()) << remote.ToString();
+  auto next = ReadFrame(conn->get(), kDefaultMaxPayloadBytes);
+  EXPECT_FALSE(next.ok());
+  ExpectServerStillServes();
+}
+
+TEST_F(RobustnessTest, UnknownOpcodeIsAnsweredAndConnectionSurvives) {
+  StartServer();
+  auto conn = Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  Frame weird;
+  weird.opcode = 42;
+  weird.request_id = 99;
+  weird.payload = "whatever";
+  ASSERT_TRUE(WriteFrame(conn->get(), weird).ok());
+  auto reply = ReadFrame(conn->get(), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->request_id, 99u);
+  Status remote = DecodeEmptyReply(reply->payload);
+  EXPECT_TRUE(remote.IsInvalidArgument()) << remote.ToString();
+  // A well-framed unknown opcode is not a framing error: the same
+  // connection keeps working.
+  Frame open;
+  open.opcode = static_cast<uint8_t>(Opcode::kOpenSession);
+  open.request_id = 100;
+  open.payload = EncodeOpenSessionRequest("after-weird");
+  ASSERT_TRUE(WriteFrame(conn->get(), open).ok());
+  auto open_reply = ReadFrame(conn->get(), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(open_reply.ok()) << open_reply.status().ToString();
+  auto session_id = DecodeOpenSessionReply(open_reply->payload);
+  EXPECT_TRUE(session_id.ok()) << session_id.status().ToString();
+  ExpectServerStillServes();
+}
+
+TEST_F(RobustnessTest, RemoteApplicationErrorsKeepTheirStatusCode) {
+  StartServer();
+  auto client = HelixClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  // Unknown session id.
+  auto result = (*client)->RunIteration(12345, MakeSyntheticSpec(1, 0),
+                                        "x", ChangeCategory::kInitial);
+  EXPECT_TRUE(result.status().IsNotFound()) << result.status().ToString();
+  EXPECT_NE(result.status().message().find("remote:"), std::string::npos);
+  // Unknown app spec.
+  auto session = (*client)->OpenSession("errors");
+  ASSERT_TRUE(session.ok());
+  WorkflowSpec unknown;
+  unknown.app = "no-such-app";
+  auto unresolved = (*client)->RunIteration(session.value(), unknown, "x",
+                                            ChangeCategory::kInitial);
+  EXPECT_TRUE(unresolved.status().IsNotFound())
+      << unresolved.status().ToString();
+  // The connection survives application-level errors.
+  auto counters = (*client)->GetCounters(0);
+  EXPECT_TRUE(counters.ok()) << counters.status().ToString();
+}
+
+// Close() from another thread must unblock a Call parked on a server
+// that accepted the connection but never answers — the escape hatch has
+// to work exactly when the server is wedged.
+TEST(ClientTest, CloseUnblocksCallStuckOnSilentServer) {
+  auto listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  std::thread acceptor([&]() {
+    auto conn = (*listener)->Accept();
+    if (conn.ok()) {
+      // Hold the connection open, read nothing, answer nothing, until the
+      // client gives up.
+      char byte;
+      (void)(*conn)->ReadAllOrEof(&byte, 1);
+    }
+  });
+  auto client = HelixClient::Connect("127.0.0.1", (*listener)->port());
+  ASSERT_TRUE(client.ok());
+  std::thread closer([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    (*client)->Close();
+  });
+  int64_t start = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count();
+  auto session = (*client)->OpenSession("stuck");
+  int64_t elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count() -
+      start;
+  EXPECT_FALSE(session.ok());
+  EXPECT_LT(elapsed_ms, 5000) << "Close() did not unblock the call";
+  closer.join();
+  (*listener)->Close();
+  acceptor.join();
+}
+
+// Deterministic fuzz: random mutations (bit flips, truncations, garbage)
+// of a valid frame, each thrown at a fresh connection. The server must
+// shrug every one off and keep serving.
+TEST_F(RobustnessTest, FuzzedFramesNeverKillTheServer) {
+  StartServer();
+  Rng rng(0xF0CCED);
+  std::string valid = EncodeFrame(MakeTestFrame());
+  for (int round = 0; round < 120; ++round) {
+    auto conn = Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(conn.ok()) << "round " << round;
+    std::string bytes = valid;
+    int mutations = static_cast<int>(rng.NextInt(1, 8));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.NextInt(0, 2)) {
+        case 0: {  // flip a byte
+          if (bytes.empty()) {
+            break;
+          }
+          size_t i = static_cast<size_t>(
+              rng.NextInt(0, static_cast<int64_t>(bytes.size()) - 1));
+          bytes[i] = static_cast<char>(bytes[i] ^
+                                       (1 << rng.NextInt(0, 7)));
+          break;
+        }
+        case 1: {  // truncate
+          if (bytes.empty()) {
+            break;
+          }
+          bytes = bytes.substr(
+              0, static_cast<size_t>(rng.NextInt(
+                     0, static_cast<int64_t>(bytes.size()))));
+          break;
+        }
+        default: {  // append garbage
+          bytes.push_back(static_cast<char>(rng.NextInt(0, 255)));
+          break;
+        }
+      }
+    }
+    if (!bytes.empty()) {
+      (void)(*conn)->WriteAll(bytes.data(), bytes.size());
+    }
+    // Drop the connection without reading any reply: the server must
+    // handle both the garbage and the abrupt hangup.
+  }
+  ExpectServerStillServes();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace helix

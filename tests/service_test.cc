@@ -17,185 +17,21 @@
 #include <vector>
 
 #include "common/file_util.h"
-#include "common/rng.h"
 #include "core/materialization.h"
 #include "core/session.h"
-#include "core/std_ops.h"
-#include "dataflow/metrics.h"
 #include "service/session_service.h"
+#include "synthetic_app.h"
 
 namespace helix {
 namespace service {
 namespace {
 
-namespace ops = core::ops;
 using core::ChangeCategory;
-using core::Phase;
 using core::Workflow;
-
-// One deterministic synthetic application, parameterized by seed. The
-// "prep" stage really sleeps, so concurrently started sessions overlap
-// inside it and the in-flight table's block-and-share path is exercised
-// deterministically. Its output is a pure function of its input and tag —
-// byte-identical whether computed, loaded, or shared.
-struct SyntheticApp {
-  uint64_t seed;
-  int64_t source_tag;
-  int64_t prep_tag;
-  int64_t feat_tag;
-  int64_t model_tag;
-  int prep_sleep_ms;
-
-  explicit SyntheticApp(uint64_t app_seed) : seed(app_seed) {
-    Rng rng(app_seed);
-    source_tag = rng.NextInt(1, 1 << 20);
-    prep_tag = rng.NextInt(1, 1 << 20);
-    feat_tag = rng.NextInt(1, 1 << 20);
-    model_tag = rng.NextInt(1, 1 << 20);
-    prep_sleep_ms = static_cast<int>(rng.NextInt(15, 30));
-  }
-
-  // Iteration i edits the model operator (an ML edit): everything
-  // upstream keeps its signature and is reusable.
-  Workflow Build(int iteration) const {
-    Workflow wf("svc-app-" + std::to_string(seed));
-    core::NodeRef source =
-        wf.Add(ops::Synthetic("source", Phase::kDataPreprocessing, source_tag,
-                              core::SyntheticCosts{}, /*payload_bytes=*/2048));
-    int sleep_ms = prep_sleep_ms;
-    int64_t tag = prep_tag;
-    core::NodeRef prep = wf.Add(
-        ops::Reducer("prep", Phase::kDataPreprocessing,
-                     static_cast<int>(prep_tag),
-                     [sleep_ms, tag](
-                         const std::vector<const dataflow::DataCollection*>&
-                             inputs) -> Result<dataflow::DataCollection> {
-                       std::this_thread::sleep_for(
-                           std::chrono::milliseconds(sleep_ms));
-                       auto metrics = std::make_shared<dataflow::MetricsData>();
-                       uint64_t in = inputs.empty()
-                                         ? 0
-                                         : inputs[0]->Fingerprint();
-                       metrics->Set("prep",
-                                    static_cast<double>((in ^ static_cast<
-                                                             uint64_t>(tag)) %
-                                                        100003));
-                       return dataflow::DataCollection::FromMetrics(metrics);
-                     }),
-        {source});
-    core::NodeRef feat =
-        wf.Add(ops::Synthetic("feat", Phase::kDataPreprocessing, feat_tag,
-                              core::SyntheticCosts{}, /*payload_bytes=*/4096),
-               {prep});
-    core::NodeRef model = wf.Add(
-        ops::Synthetic("model", Phase::kMachineLearning,
-                       model_tag + iteration, core::SyntheticCosts{},
-                       /*payload_bytes=*/1024),
-        {feat});
-    core::NodeRef eval =
-        wf.Add(ops::Synthetic("eval", Phase::kPostprocessing, 7,
-                              core::SyntheticCosts{}),
-               {model});
-    wf.MarkOutput(eval);
-    return wf;
-  }
-};
-
-// Per-iteration outputs, fingerprinted: the byte-identity unit.
-using OutputFingerprints = std::vector<std::pair<std::string, uint64_t>>;
-
-OutputFingerprints FingerprintOutputs(const core::ExecutionReport& report) {
-  OutputFingerprints out;
-  for (const auto& [name, data] : report.outputs) {
-    out.emplace_back(name, data.Fingerprint());
-  }
-  return out;
-}
-
-struct RunTrace {
-  // [session][iteration] -> output fingerprints.
-  std::vector<std::vector<OutputFingerprints>> outputs;
-  int64_t total_computed = 0;
-};
-
-// K isolated sequential sessions: each has its own workspace, store, and
-// stats; nothing is shared. The paper-faithful single-tenant baseline.
-void RunIsolated(const std::string& root, const SyntheticApp& app,
-                 int num_sessions, int num_iterations, RunTrace* trace) {
-  trace->outputs.resize(static_cast<size_t>(num_sessions));
-  for (int s = 0; s < num_sessions; ++s) {
-    core::SessionOptions options;
-    options.workspace_dir = JoinPath(root, "isolated-" + std::to_string(s));
-    options.mat_policy = std::make_shared<core::AlwaysMaterializePolicy>();
-    options.max_parallelism = 1;
-    auto session = core::Session::Open(options);
-    ASSERT_TRUE(session.ok()) << session.status().ToString();
-    for (int i = 0; i < num_iterations; ++i) {
-      auto result = (*session)->RunIteration(
-          app.Build(i), "iter-" + std::to_string(i),
-          i == 0 ? ChangeCategory::kInitial : ChangeCategory::kMachineLearning);
-      ASSERT_TRUE(result.ok()) << result.status().ToString();
-      trace->outputs[static_cast<size_t>(s)].push_back(
-          FingerprintOutputs(result->report));
-      trace->total_computed += result->report.num_computed;
-    }
-  }
-}
-
-// K concurrent sessions over one SessionService: one store, one stats
-// registry, one pool, one in-flight table, one background writer.
-void RunShared(const std::string& root, const SyntheticApp& app,
-               int num_sessions, int num_iterations, RunTrace* trace,
-               SessionCounters* aggregate_out) {
-  trace->outputs.resize(static_cast<size_t>(num_sessions));
-  ServiceOptions options;
-  options.workspace_dir = JoinPath(root, "shared");
-  options.num_threads = num_sessions;
-  options.mat_policy = std::make_shared<core::AlwaysMaterializePolicy>();
-  auto service = SessionService::Open(options);
-  ASSERT_TRUE(service.ok()) << service.status().ToString();
-
-  std::vector<ServiceSession*> sessions;
-  for (int s = 0; s < num_sessions; ++s) {
-    auto session = (*service)->CreateSession("user-" + std::to_string(s));
-    ASSERT_TRUE(session.ok()) << session.status().ToString();
-    sessions.push_back(*session);
-  }
-  // One driver thread per user, iterations submitted to the shared pool;
-  // all users start at once so their first iterations overlap.
-  std::vector<std::thread> users;
-  std::atomic<bool> failed{false};
-  for (int s = 0; s < num_sessions; ++s) {
-    users.emplace_back([&, s]() {
-      for (int i = 0; i < num_iterations; ++i) {
-        auto result =
-            (*service)
-                ->SubmitIteration(sessions[static_cast<size_t>(s)],
-                                  app.Build(i), "iter-" + std::to_string(i),
-                                  i == 0 ? ChangeCategory::kInitial
-                                         : ChangeCategory::kMachineLearning)
-                .get();
-        if (!result.ok()) {
-          ADD_FAILURE() << "session " << s << " iteration " << i << ": "
-                        << result.status().ToString();
-          failed.store(true);
-          return;
-        }
-        trace->outputs[static_cast<size_t>(s)].push_back(
-            FingerprintOutputs(result->report));
-      }
-    });
-  }
-  for (std::thread& t : users) {
-    t.join();
-  }
-  ASSERT_FALSE(failed.load());
-  SessionCounters aggregate = (*service)->AggregateCounters();
-  trace->total_computed = aggregate.num_computed;
-  if (aggregate_out != nullptr) {
-    *aggregate_out = aggregate;
-  }
-}
+using testutil::FingerprintOutputs;
+using testutil::OutputFingerprints;
+using testutil::RunTrace;
+using testutil::SyntheticApp;
 
 class ServiceTest : public ::testing::Test {
  protected:
@@ -221,13 +57,14 @@ TEST_F(ServiceTest, CrossSessionDeterminismProperty) {
     std::string root = JoinPath(dir_, "seed-" + std::to_string(seed));
 
     RunTrace isolated;
-    RunIsolated(root, app, kSessions, kIterations, &isolated);
+    testutil::RunIsolated(root, app, kSessions, kIterations, &isolated);
     if (::testing::Test::HasFatalFailure()) {
       return;
     }
     RunTrace shared;
     SessionCounters aggregate;
-    RunShared(root, app, kSessions, kIterations, &shared, &aggregate);
+    testutil::RunShared(JoinPath(root, "shared"), app, kSessions,
+                       kIterations, &shared, &aggregate);
     if (::testing::Test::HasFatalFailure()) {
       return;
     }

@@ -159,6 +159,85 @@ TEST_F(StoreTest, LowValueNewcomerDoesNotChurnResidents) {
   EXPECT_EQ(store->NumEvictions(), 0);
 }
 
+// The documented tie order for equal retention scores: older iteration
+// first, then smaller signature — a total order, so the victim sequence
+// is deterministic regardless of the order candidates are enumerated in.
+TEST(EvictionPlanTest, EqualScoresEvictOldestIterationThenSmallestSignature) {
+  auto make = [](uint64_t sig, int64_t iteration) {
+    EvictionCandidate c;
+    c.entry.signature = sig;
+    c.entry.size_bytes = 100;
+    c.entry.compute_micros = 1000000;
+    c.entry.load_micros = 1000;
+    c.entry.iteration = iteration;
+    c.est_load_micros = 1000;
+    return c;
+  };
+  // All five score identically; only (iteration, signature) differ.
+  std::vector<EvictionCandidate> candidates = {
+      make(50, 1), make(10, 3), make(40, 1), make(30, 2), make(20, 2)};
+  EvictionPlan plan = PlanEviction(candidates, /*bytes_needed=*/350,
+                                   /*incoming_score=*/1e18,
+                                   /*default_compute_micros=*/0);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.victims, (std::vector<uint64_t>{40, 50, 20, 30}));
+  EXPECT_EQ(plan.freed_bytes, 400);
+
+  // Reversing the candidate enumeration changes nothing.
+  std::vector<EvictionCandidate> reversed(candidates.rbegin(),
+                                          candidates.rend());
+  EvictionPlan again = PlanEviction(reversed, 350, 1e18, 0);
+  EXPECT_EQ(again.victims, plan.victims);
+}
+
+// Store-level version of the same property: a store's shard count changes
+// how entries are partitioned across index shards (and thus every
+// internal enumeration order), but must not change which equal-score
+// entry is evicted when.
+TEST_F(StoreTest, EqualScoreEvictionOrderIsSameAcrossShardCounts) {
+  // (signature, iteration) pairs whose documented eviction order is
+  // 40, 50 (iteration 1, by signature), then 20, 30 (iteration 2), then
+  // 10 (iteration 3).
+  const std::vector<std::pair<uint64_t, int64_t>> residents = {
+      {50, 1}, {10, 3}, {40, 1}, {30, 2}, {20, 2}};
+  const std::vector<uint64_t> expected_order = {40, 50, 20, 30};
+  DataCollection data = MakeCollection(std::string(1000, 'a'));
+  int64_t size = SerializedSize(data);
+
+  for (int shard_count : {1, 4, 8}) {
+    SCOPED_TRACE("shard_count=" + std::to_string(shard_count));
+    StoreOptions options;
+    options.backend = StorageBackendKind::kMemory;
+    options.shard_count = shard_count;
+    options.budget_bytes = 5 * size;  // exactly the residents
+    auto store = OpenStore(options);
+    for (const auto& [sig, iteration] : residents) {
+      ASSERT_TRUE(store->Put(sig, "r" + std::to_string(sig), data, iteration,
+                             nullptr, /*compute_micros=*/1000000)
+                      .ok());
+    }
+    // Each high-value newcomer displaces exactly one equal-score
+    // resident; the victims must appear in the documented order.
+    for (size_t k = 0; k < expected_order.size(); ++k) {
+      ASSERT_TRUE(store->Put(1000 + k, "incoming", data,
+                             /*iteration=*/9, nullptr,
+                             /*compute_micros=*/1000000000000)
+                      .ok());
+      EXPECT_FALSE(store->Has(expected_order[k]))
+          << "newcomer " << k << " should have evicted "
+          << expected_order[k];
+      for (size_t later = k + 1; later < expected_order.size(); ++later) {
+        EXPECT_TRUE(store->Has(expected_order[later]))
+            << "newcomer " << k << " wrongly evicted "
+            << expected_order[later];
+      }
+      EXPECT_EQ(store->NumEvictions(), static_cast<int64_t>(k) + 1);
+    }
+    // The iteration-3 resident outlived every iteration-1/2 peer.
+    EXPECT_TRUE(store->Has(10));
+  }
+}
+
 TEST_F(StoreTest, RemoveFreesBudget) {
   auto store = OpenStore();
   DataCollection data = MakeCollection("y");

@@ -2,16 +2,31 @@
 //
 // Simulates K users iterating concurrently on the paper's applications
 // (census classification, IE, or a mix) with randomized think time
-// between edits, either through one shared SessionService (cross-session
-// reuse on) or through fully isolated per-user services (the baseline).
+// between edits, against one of three targets:
+//
+//   * one shared in-process SessionService (--shared=1, the default):
+//     cross-session reuse on;
+//   * fully isolated per-user services (--shared=0): the baseline;
+//   * a remote helix_server over TCP (--remote=host:port): one
+//     HelixClient connection per user, workflows shipped as specs and
+//     resolved server-side — the networked equivalent of the shared mode.
+//
 // Emits one "json,{...}" line per user and one aggregate line with
 // throughput, p50/p99 iteration latency, and the cross-session hit rate —
 // the service-layer counterpart of the paper's cumulative-runtime plots.
+// The aggregate metrics are computed identically in all modes, so a
+// remote run is directly comparable to an in-process one; bench_net runs
+// that comparison under controlled (matched-thread) conditions in one
+// process, and tests/net_test.cc pins the underlying determinism exactly.
 //
 // Usage:
 //   workload_driver [--users=4] [--iterations=10] [--app=census|ie|mixed]
 //                   [--shared=1] [--threads=0] [--think-ms=20]
 //                   [--rows=8000] [--docs=80] [--budget-mb=1024] [--seed=1]
+//                   [--remote=host:port] [--shutdown-remote=0]
+//
+// --shutdown-remote=1 sends the server a Shutdown RPC after the run (the
+// CI smoke step uses this to assert a clean server exit).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +46,8 @@
 #include "common/strings.h"
 #include "datagen/census_gen.h"
 #include "datagen/news_gen.h"
+#include "net/app_specs.h"
+#include "net/client.h"
 #include "service/session_service.h"
 
 namespace helix {
@@ -48,6 +65,9 @@ struct DriverConfig {
   int64_t docs = 80;
   int64_t budget_mb = 1024;
   uint64_t seed = 1;
+  std::string remote_host;  // empty = in-process
+  int remote_port = 0;
+  bool shutdown_remote = false;
 };
 
 struct UserResult {
@@ -56,22 +76,68 @@ struct UserResult {
   service::SessionCounters counters;
 };
 
-double Percentile(std::vector<int64_t> sorted, double p) {
-  if (sorted.empty()) {
-    return 0;
+// One user's target: an in-process ServiceSession or a remote session
+// behind a HelixClient. Either way, RunCensus/RunIe executes one
+// iteration and counters() snapshots the session's bookkeeping.
+class UserTarget {
+ public:
+  UserTarget(service::SessionService* svc, service::ServiceSession* session)
+      : svc_(svc), session_(session) {}
+  UserTarget(net::HelixClient* client, uint64_t remote_session)
+      : client_(client), remote_session_(remote_session) {}
+
+  Status RunCensus(const apps::CensusConfig& config,
+                   const std::string& description,
+                   core::ChangeCategory category) {
+    if (client_ != nullptr) {
+      auto result = client_->RunIteration(
+          remote_session_, net::MakeCensusSpec(config), description,
+          category);
+      return result.ok() ? Status::OK() : result.status();
+    }
+    // Through the shared pool, like a real service frontend would.
+    auto result = svc_->SubmitIteration(session_,
+                                        apps::BuildCensusWorkflow(config),
+                                        description, category)
+                      .get();
+    return result.ok() ? Status::OK() : result.status();
   }
-  size_t index = static_cast<size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return static_cast<double>(sorted[std::min(index, sorted.size() - 1)]);
-}
+
+  Status RunIe(const apps::IeConfig& config, const std::string& description,
+               core::ChangeCategory category) {
+    if (client_ != nullptr) {
+      auto result = client_->RunIteration(
+          remote_session_, net::MakeIeSpec(config), description, category);
+      return result.ok() ? Status::OK() : result.status();
+    }
+    auto result = svc_->SubmitIteration(session_,
+                                        apps::BuildIeWorkflow(config),
+                                        description, category)
+                      .get();
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  service::SessionCounters counters() {
+    if (client_ != nullptr) {
+      return bench::ValueOrDie(client_->GetCounters(remote_session_),
+                               "remote counters");
+    }
+    return session_->counters();
+  }
+
+ private:
+  service::SessionService* svc_ = nullptr;
+  service::ServiceSession* session_ = nullptr;
+  net::HelixClient* client_ = nullptr;
+  uint64_t remote_session_ = 0;
+};
 
 // One user's life: M iterations of their app's scripted edits (cycling
 // past the script end), thinking between runs.
-void DriveUser(service::SessionService* svc, service::ServiceSession* session,
-               const DriverConfig& config, const std::string& app,
-               const std::string& train, const std::string& test,
-               const std::string& corpus, uint64_t user_seed,
-               UserResult* out) {
+void DriveUser(UserTarget* target, const DriverConfig& config,
+               const std::string& app, const std::string& train,
+               const std::string& test, const std::string& corpus,
+               uint64_t user_seed, UserResult* out) {
   Rng rng(user_seed);
   out->app = app;
   if (app == "census") {
@@ -88,12 +154,8 @@ void DriveUser(service::SessionService* svc, service::ServiceSession* session,
             rng.NextInt(0, 2 * config.think_ms)));
       }
       int64_t start = SystemClock::Default()->NowMicros();
-      // Through the shared pool, like a real service frontend would.
-      auto result = svc->SubmitIteration(session,
-                                         apps::BuildCensusWorkflow(census),
-                                         step.description, step.category)
-                        .get();
-      bench::CheckOk(result.ok() ? Status::OK() : result.status(),
+      bench::CheckOk(target->RunCensus(census, step.description,
+                                       step.category),
                      "census iteration");
       out->latencies_micros.push_back(SystemClock::Default()->NowMicros() -
                                       start);
@@ -111,16 +173,13 @@ void DriveUser(service::SessionService* svc, service::ServiceSession* session,
             rng.NextInt(0, 2 * config.think_ms)));
       }
       int64_t start = SystemClock::Default()->NowMicros();
-      auto result = svc->SubmitIteration(session, apps::BuildIeWorkflow(ie),
-                                         step.description, step.category)
-                        .get();
-      bench::CheckOk(result.ok() ? Status::OK() : result.status(),
+      bench::CheckOk(target->RunIe(ie, step.description, step.category),
                      "ie iteration");
       out->latencies_micros.push_back(SystemClock::Default()->NowMicros() -
                                       start);
     }
   }
-  out->counters = session->counters();
+  out->counters = target->counters();
 }
 
 std::unique_ptr<service::SessionService> OpenService(
@@ -134,6 +193,7 @@ std::unique_ptr<service::SessionService> OpenService(
 }
 
 void Run(const DriverConfig& config) {
+  const bool remote = !config.remote_host.empty();
   bench::TempWorkspace workspace("helix-workload");
   std::string train = workspace.Path("census.train.csv");
   std::string test = workspace.Path("census.test.csv");
@@ -154,31 +214,46 @@ void Run(const DriverConfig& config) {
 
   // Shared mode: one service for everyone. Isolated mode: one service per
   // user — same machinery, nothing shared, the multi-tenant ablation.
+  // Remote mode: no local service at all; one client connection per user
+  // against one server (inherently shared, data files read server-side —
+  // the driver and server must see the same filesystem).
   std::vector<std::unique_ptr<service::SessionService>> services;
-  if (config.shared) {
-    services.push_back(OpenService(config, workspace.Path("ws-shared")));
-  } else {
-    for (int u = 0; u < config.users; ++u) {
-      services.push_back(OpenService(
-          config, workspace.Path("ws-user-" + std::to_string(u))));
+  std::vector<std::unique_ptr<net::HelixClient>> clients;
+  std::vector<std::unique_ptr<UserTarget>> targets;
+  for (int u = 0; u < config.users; ++u) {
+    if (remote) {
+      clients.push_back(bench::ValueOrDie(
+          net::HelixClient::Connect(config.remote_host, config.remote_port),
+          "connect"));
+      uint64_t session = bench::ValueOrDie(
+          clients.back()->OpenSession("user-" + std::to_string(u)),
+          "open remote session");
+      targets.push_back(
+          std::make_unique<UserTarget>(clients.back().get(), session));
+      continue;
     }
+    if (services.empty() || !config.shared) {
+      services.push_back(OpenService(
+          config, workspace.Path(config.shared
+                                     ? std::string("ws-shared")
+                                     : "ws-user-" + std::to_string(u))));
+    }
+    service::SessionService* svc = services.back().get();
+    service::ServiceSession* session = bench::ValueOrDie(
+        svc->CreateSession("user-" + std::to_string(u)), "create session");
+    targets.push_back(std::make_unique<UserTarget>(svc, session));
   }
 
   std::vector<UserResult> results(static_cast<size_t>(config.users));
   std::vector<std::thread> users;
   int64_t wall_start = SystemClock::Default()->NowMicros();
   for (int u = 0; u < config.users; ++u) {
-    service::SessionService* svc =
-        config.shared ? services[0].get()
-                      : services[static_cast<size_t>(u)].get();
     std::string app = config.app == "mixed"
                           ? (u % 2 == 0 ? "census" : "ie")
                           : config.app;
-    service::ServiceSession* session = bench::ValueOrDie(
-        svc->CreateSession("user-" + std::to_string(u)), "create session");
-    users.emplace_back([&, svc, session, app, u]() {
-      DriveUser(svc, session, config, app, train, test, corpus,
-                config.seed * 7919 + static_cast<uint64_t>(u),
+    users.emplace_back([&, app, u]() {
+      DriveUser(targets[static_cast<size_t>(u)].get(), config, app, train,
+                test, corpus, config.seed * 7919 + static_cast<uint64_t>(u),
                 &results[static_cast<size_t>(u)]);
     });
   }
@@ -201,8 +276,8 @@ void Run(const DriverConfig& config) {
         .KV("user", static_cast<int64_t>(u))
         .KV("app", r.app)
         .KV("iterations", r.counters.iterations)
-        .KV("p50_ms", Percentile(sorted, 0.5) / 1e3)
-        .KV("p99_ms", Percentile(sorted, 0.99) / 1e3)
+        .KV("p50_ms", bench::PercentileSorted(sorted, 0.5) / 1e3)
+        .KV("p99_ms", bench::PercentileSorted(sorted, 0.99) / 1e3)
         .KV("num_computed", r.counters.num_computed)
         .KV("num_loaded", r.counters.num_loaded)
         .KV("num_shared", r.counters.num_shared)
@@ -236,15 +311,16 @@ void Run(const DriverConfig& config) {
       .KV("app", config.app)
       .KV("users", static_cast<int64_t>(config.users))
       .KV("iterations_per_user", static_cast<int64_t>(config.iterations))
-      .KV("shared_store", config.shared)
+      .KV("shared_store", config.shared || remote)
+      .KV("remote", remote)
       .KV("think_ms", static_cast<int64_t>(config.think_ms))
       .KV("wall_ms", static_cast<double>(wall_micros) / 1e3)
       .KV("throughput_iters_per_sec",
           wall_micros > 0 ? static_cast<double>(totals.iterations) * 1e6 /
                                 static_cast<double>(wall_micros)
                           : 0)
-      .KV("p50_ms", Percentile(all_latencies, 0.5) / 1e3)
-      .KV("p99_ms", Percentile(all_latencies, 0.99) / 1e3)
+      .KV("p50_ms", bench::PercentileSorted(all_latencies, 0.5) / 1e3)
+      .KV("p99_ms", bench::PercentileSorted(all_latencies, 0.99) / 1e3)
       .KV("num_computed", totals.num_computed)
       .KV("num_loaded", totals.num_loaded)
       .KV("num_shared", totals.num_shared)
@@ -254,14 +330,11 @@ void Run(const DriverConfig& config) {
       .KV("saved_ms", static_cast<double>(totals.saved_micros) / 1e3)
       .EndObject();
   bench::PrintJsonLine(json);
-}
 
-int64_t FlagValue(const char* arg, const char* name) {
-  size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    return std::atoll(arg + len + 1);
+  if (remote && config.shutdown_remote) {
+    bench::CheckOk(clients[0]->Shutdown(), "remote shutdown");
+    std::printf("remote server acknowledged shutdown\n");
   }
-  return -1;
 }
 
 }  // namespace
@@ -273,26 +346,38 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     int64_t v;
-    if ((v = helix::tools::FlagValue(arg, "--users")) >= 0) {
+    if ((v = helix::bench::FlagValue(arg, "--users")) >= 0) {
       config.users = static_cast<int>(v);
-    } else if ((v = helix::tools::FlagValue(arg, "--iterations")) >= 0) {
+    } else if ((v = helix::bench::FlagValue(arg, "--iterations")) >= 0) {
       config.iterations = static_cast<int>(v);
-    } else if ((v = helix::tools::FlagValue(arg, "--shared")) >= 0) {
+    } else if ((v = helix::bench::FlagValue(arg, "--shared")) >= 0) {
       config.shared = v != 0;
-    } else if ((v = helix::tools::FlagValue(arg, "--threads")) >= 0) {
+    } else if ((v = helix::bench::FlagValue(arg, "--threads")) >= 0) {
       config.threads = static_cast<int>(v);
-    } else if ((v = helix::tools::FlagValue(arg, "--think-ms")) >= 0) {
+    } else if ((v = helix::bench::FlagValue(arg, "--think-ms")) >= 0) {
       config.think_ms = static_cast<int>(v);
-    } else if ((v = helix::tools::FlagValue(arg, "--rows")) >= 0) {
+    } else if ((v = helix::bench::FlagValue(arg, "--rows")) >= 0) {
       config.rows = v;
-    } else if ((v = helix::tools::FlagValue(arg, "--docs")) >= 0) {
+    } else if ((v = helix::bench::FlagValue(arg, "--docs")) >= 0) {
       config.docs = v;
-    } else if ((v = helix::tools::FlagValue(arg, "--budget-mb")) >= 0) {
+    } else if ((v = helix::bench::FlagValue(arg, "--budget-mb")) >= 0) {
       config.budget_mb = v;
-    } else if ((v = helix::tools::FlagValue(arg, "--seed")) >= 0) {
+    } else if ((v = helix::bench::FlagValue(arg, "--seed")) >= 0) {
       config.seed = static_cast<uint64_t>(v);
+    } else if ((v = helix::bench::FlagValue(arg, "--shutdown-remote")) >= 0) {
+      config.shutdown_remote = v != 0;
     } else if (std::strncmp(arg, "--app=", 6) == 0) {
       config.app = arg + 6;
+    } else if (std::strncmp(arg, "--remote=", 9) == 0) {
+      auto parts = helix::Split(arg + 9, ':');
+      int64_t port = 0;
+      if (parts.size() != 2 || !helix::ParseInt64(parts[1], &port) ||
+          port <= 0 || port > 65535) {
+        std::fprintf(stderr, "--remote must be host:port\n");
+        return 2;
+      }
+      config.remote_host = parts[0];
+      config.remote_port = static_cast<int>(port);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return 2;
