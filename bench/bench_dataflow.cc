@@ -360,5 +360,6 @@ int main(int argc, char** argv) {
   for (long long rows : row_counts) {
     helix::bench::RunAt(rows);
   }
+  helix::bench::WriteBenchSummary("dataflow");
   return 0;
 }

@@ -71,5 +71,6 @@ void Run() {
 
 int main() {
   helix::bench::Run();
+  helix::bench::WriteBenchSummary("fig1b_plan");
   return 0;
 }

@@ -115,5 +115,6 @@ void Run() {
 
 int main() {
   helix::bench::Run();
+  helix::bench::WriteBenchSummary("fig2a_ie");
   return 0;
 }

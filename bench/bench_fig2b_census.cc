@@ -142,5 +142,6 @@ void Run() {
 
 int main() {
   helix::bench::Run();
+  helix::bench::WriteBenchSummary("fig2b_census");
   return 0;
 }

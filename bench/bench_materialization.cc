@@ -210,5 +210,6 @@ void Run() {
 
 int main() {
   helix::core::bench_::Run();
+  helix::bench::WriteBenchSummary("materialization");
   return 0;
 }

@@ -239,5 +239,6 @@ int main(int argc, char** argv) {
     }
   }
   helix::bench::Run(config);
+  helix::bench::WriteBenchSummary("net");
   return 0;
 }

@@ -186,4 +186,8 @@ int Main() {
 }  // namespace bench
 }  // namespace helix
 
-int main() { return helix::bench::Main(); }
+int main() {
+  int rc = helix::bench::Main();
+  helix::bench::WriteBenchSummary("parallel");
+  return rc;
+}

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "core/recompute.h"
 #include "graph/dag.h"
@@ -137,5 +138,6 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   helix::core::ReportPlanQuality();
+  helix::bench::WriteBenchSummary("recompute");
   return 0;
 }

@@ -224,5 +224,6 @@ int main(int argc, char** argv) {
     }
   }
   helix::bench::Run(users, iterations, rows);
+  helix::bench::WriteBenchSummary("service");
   return 0;
 }

@@ -283,5 +283,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  helix::bench::WriteBenchSummary("storage");
   return 0;
 }

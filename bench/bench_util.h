@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -105,11 +106,64 @@ inline void PrintFigure(const std::string& title,
   }
 }
 
+namespace internal {
+
+/// Process-wide log of every document PrintJsonLine emitted, in emission
+/// order, so WriteBenchSummary can persist the run without each harness
+/// re-plumbing its records. Guarded by its sibling mutex: a few harnesses
+/// print from worker threads.
+inline std::vector<std::string>& CollectedJsonRecords() {
+  static std::vector<std::string>* records = new std::vector<std::string>();
+  return *records;
+}
+
+inline std::mutex& CollectedJsonMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+}  // namespace internal
+
 /// Prints one machine-readable JSON document on its own line, prefixed
 /// with "json," so harnesses can grep it out of mixed human output (the
-/// same convention as the "csv," rows above).
+/// same convention as the "csv," rows above). Every document is also
+/// retained in-process for WriteBenchSummary.
 inline void PrintJsonLine(const JsonWriter& json) {
   std::printf("json,%s\n", json.str().c_str());
+  std::lock_guard<std::mutex> lock(internal::CollectedJsonMutex());
+  internal::CollectedJsonRecords().push_back(json.str());
+}
+
+/// Writes every record PrintJsonLine emitted so far as one JSON document,
+/// `BENCH_<name>.json`, into $HELIX_BENCH_OUT_DIR (default: the current
+/// directory). Call it last in a benchmark's main; CI uploads the files
+/// as run artifacts so figure data survives the log scroll.
+inline void WriteBenchSummary(const char* name) {
+  const char* out_dir = std::getenv("HELIX_BENCH_OUT_DIR");
+  std::string path = JoinPath(out_dir != nullptr && out_dir[0] != '\0'
+                                  ? out_dir
+                                  : ".",
+                              std::string("BENCH_") + name + ".json");
+  std::string doc = "{\"bench\":" + JsonQuote(name) + ",\"records\":[";
+  {
+    std::lock_guard<std::mutex> lock(internal::CollectedJsonMutex());
+    const std::vector<std::string>& records =
+        internal::CollectedJsonRecords();
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (i > 0) {
+        doc += ",";
+      }
+      doc += records[i];
+    }
+  }
+  doc += "]}\n";
+  Status written = WriteStringToFile(path, doc);
+  if (!written.ok()) {
+    std::fprintf(stderr, "WARNING could not write %s: %s\n", path.c_str(),
+                 written.ToString().c_str());
+    return;
+  }
+  std::printf("bench summary written to %s\n", path.c_str());
 }
 
 /// Parses "--name=123" style flags: returns the value when `arg` is

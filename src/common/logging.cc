@@ -1,7 +1,9 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace helix {
@@ -24,6 +26,29 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+// Applies $HELIX_LOG_LEVEL before main runs, so every binary honors it
+// without per-tool plumbing. Touches only getenv and the level atomic;
+// an explicit SetLogLevel later (from main) overrides it.
+bool ApplyEnvLogLevel() {
+  const char* env = std::getenv("HELIX_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') {
+    return false;
+  }
+  LogLevel level;
+  if (!ParseLogLevel(env, &level)) {
+    std::fprintf(stderr,
+                 "[WARN logging] unrecognized HELIX_LOG_LEVEL '%s' "
+                 "(want debug|info|warning|error|off); keeping default\n",
+                 env);
+    return false;
+  }
+  SetLogLevel(level);
+  return true;
+}
+
+[[maybe_unused]] const bool g_env_log_level_applied = ApplyEnvLogLevel();
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -33,6 +58,28 @@ void SetLogLevel(LogLevel level) {
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(
       g_log_level.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal {

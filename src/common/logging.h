@@ -1,11 +1,14 @@
 // Lightweight leveled logging. Defaults to WARNING so library users see
 // problems but benchmarks stay quiet; tests and examples can raise the
-// level for debugging.
+// level for debugging. The HELIX_LOG_LEVEL environment variable
+// (debug|info|warning|error|off, case-insensitive) overrides the default
+// at process startup; an explicit SetLogLevel call still wins over it.
 #ifndef HELIX_COMMON_LOGGING_H_
 #define HELIX_COMMON_LOGGING_H_
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace helix {
 
@@ -20,6 +23,10 @@ enum class LogLevel : int {
 /// Sets the process-wide minimum level that will be emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name (debug|info|warning|warn|error|off, any case)
+/// into `*out`; false on anything else, leaving `*out` untouched.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
 
 namespace internal {
 

@@ -7,9 +7,12 @@
 #include <optional>
 #include <thread>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/program_slicer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/async_materializer.h"
 #include "runtime/inflight_table.h"
 #include "runtime/parallel_scheduler.h"
@@ -28,6 +31,21 @@ const char* PlannerKindToString(PlannerKind k) {
       return "no-reuse";
     case PlannerKind::kGreedy:
       return "greedy";
+  }
+  return "?";
+}
+
+const char* NodeOutcomeString(const NodeExecution& node) {
+  if (node.sliced) {
+    return "sliced";
+  }
+  switch (node.state) {
+    case NodeState::kCompute:
+      return "computed";
+    case NodeState::kLoad:
+      return node.shared ? "shared" : "loaded";
+    case NodeState::kPrune:
+      return "pruned";
   }
   return "?";
 }
@@ -212,6 +230,7 @@ Status InvokeAndRecord(
 
   NodeExecution& record = st->records[static_cast<size_t>(node)];
   record.state = NodeState::kCompute;
+  record.start_micros = start;
   record.cost_micros = cost;
   record.output_bytes = data.SizeBytes();
   st->measured_compute[static_cast<size_t>(node)].store(
@@ -255,6 +274,7 @@ Status ComputeNode(ExecState* st, int node) {
     if (shared.ok()) {
       record.state = NodeState::kLoad;
       record.shared = true;
+      record.start_micros = start;
       record.cost_micros = opts.clock->NowMicros() - start;
       record.output_bytes = shared.value().SizeBytes();
       st->results[static_cast<size_t>(node)] = std::move(shared).value();
@@ -276,6 +296,7 @@ Status ComputeNode(ExecState* st, int node) {
     auto loaded = opts.store->Get(sig);
     if (loaded.ok()) {
       record.state = NodeState::kLoad;
+      record.start_micros = start;
       record.cost_micros = ChargeAndMeasure(
           opts.clock, start, op.synthetic_costs().load_micros);
       record.output_bytes = loaded.value().SizeBytes();
@@ -323,6 +344,7 @@ Status ExecutePlannedNode(ExecState* st, int i, NodeState state) {
     }
     if (loaded.ok()) {
       record.state = NodeState::kLoad;
+      record.start_micros = start;
       record.cost_micros = ChargeAndMeasure(
           options.clock, start, op.synthetic_costs().load_micros);
       record.output_bytes = loaded.value().SizeBytes();
@@ -380,6 +402,7 @@ void ApplyMaterializationOutcomes(
 Result<ExecutionReport> Execute(const WorkflowDag& dag,
                                 const ExecutionOptions& options) {
   const int n = dag.num_nodes();
+  const int64_t iteration_start_micros = options.clock->NowMicros();
   ScopedTimer total_timer(options.clock);
 
   // --- 1. Program slicing -------------------------------------------------
@@ -592,6 +615,69 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
         st.results[static_cast<size_t>(out)];
   }
   report.total_micros = total_timer.ElapsedMicros();
+
+  // --- 6. Telemetry (post-hoc: single-threaded, off every hot path) -------
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options.metrics;
+    m.GetCounter("executor.iterations")->Add(1);
+    m.GetCounter("executor.nodes_computed")->Add(report.num_computed);
+    m.GetCounter("executor.nodes_loaded")->Add(report.num_loaded);
+    m.GetCounter("executor.nodes_shared")->Add(report.num_shared);
+    m.GetCounter("executor.nodes_pruned")->Add(report.num_pruned);
+    m.GetCounter("executor.nodes_materialized")->Add(report.num_materialized);
+    obs::Histogram* compute_micros =
+        m.GetHistogram("executor.node_compute_micros");
+    obs::Histogram* load_micros = m.GetHistogram("executor.node_load_micros");
+    for (const NodeExecution& record : report.nodes) {
+      if (record.state == NodeState::kCompute) {
+        compute_micros->Observe(record.cost_micros);
+      } else if (record.state == NodeState::kLoad) {
+        load_micros->Observe(record.cost_micros);
+      }
+    }
+    m.GetHistogram("executor.iteration_micros")->Observe(report.total_micros);
+  }
+  if (options.trace != nullptr) {
+    for (int i = 0; i < n; ++i) {
+      const NodeExecution& record =
+          report.nodes[static_cast<size_t>(i)];
+      obs::TraceSpan span;
+      span.name = record.name;
+      span.category = "node";
+      // Pruned nodes did no work: a zero-length marker at iteration start
+      // keeps them visible on the timeline without implying cost.
+      span.start_micros = record.state == NodeState::kPrune
+                              ? iteration_start_micros
+                              : record.start_micros;
+      span.duration_micros =
+          record.state == NodeState::kPrune ? 0 : record.cost_micros;
+      span.pid = options.trace_pid;
+      span.tid = static_cast<uint64_t>(i) + 1;  // tid 0 is the iteration lane
+      span.str_args.emplace_back("outcome", NodeOutcomeString(record));
+      span.str_args.emplace_back("signature", HashToHex(record.signature));
+      span.int_args.emplace_back("bytes", record.output_bytes);
+      if (record.materialized) {
+        span.int_args.emplace_back("materialize_micros",
+                                   record.materialize_micros);
+      }
+      options.trace->Record(std::move(span));
+    }
+    obs::TraceSpan iteration_span;
+    iteration_span.name = "iteration";
+    iteration_span.category = "iteration";
+    iteration_span.start_micros = iteration_start_micros;
+    iteration_span.duration_micros = report.total_micros;
+    iteration_span.pid = options.trace_pid;
+    iteration_span.tid = 0;
+    iteration_span.str_args.emplace_back("planner",
+                                         PlannerKindToString(options.planner));
+    iteration_span.int_args.emplace_back("iteration", options.iteration);
+    iteration_span.int_args.emplace_back("computed", report.num_computed);
+    iteration_span.int_args.emplace_back("loaded", report.num_loaded);
+    iteration_span.int_args.emplace_back("shared", report.num_shared);
+    iteration_span.int_args.emplace_back("pruned", report.num_pruned);
+    options.trace->Record(std::move(iteration_span));
+  }
   return report;
 }
 

@@ -34,6 +34,11 @@
 #include "storage/store.h"
 
 namespace helix {
+namespace obs {
+class MetricsRegistry;
+class TraceCollector;
+}  // namespace obs
+
 namespace runtime {
 class AsyncMaterializer;
 class SignatureInflightTable;
@@ -99,6 +104,22 @@ struct ExecutionOptions {
   runtime::AsyncMaterializer* materializer = nullptr;
   /// Owner tag for requests on the shared `materializer` (session id).
   uint64_t materializer_owner = 0;
+  /// Optional telemetry registry. When set, the executor maintains
+  /// `executor.nodes_{computed,loaded,shared,pruned,materialized}`
+  /// counters and `executor.{node_compute,node_load,iteration}_micros`
+  /// histograms. Must outlive the execution.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional span recorder. When set, the executor records one span per
+  /// non-pruned node (name, signature, outcome, bytes) plus one
+  /// iteration-level span, all timestamped off `clock` — fully
+  /// deterministic under a VirtualClock. Spans are recorded post-hoc
+  /// during report assembly, so tracing adds nothing to the node hot
+  /// path. Must outlive the execution.
+  obs::TraceCollector* trace = nullptr;
+  /// Trace lane for this execution's spans (Chrome trace "pid"; the
+  /// service uses the session id so concurrent sessions get separate
+  /// lanes).
+  uint64_t trace_pid = 0;
 };
 
 /// The worker count Execute will actually use under `options` for a DAG of
@@ -116,11 +137,20 @@ struct NodeExecution {
   /// service's cross-session metrics.
   bool shared = false;
   uint64_t signature = 0;        // cumulative signature
+  /// Clock reading when work on this node began (0 for pruned nodes);
+  /// start_micros + cost_micros bounds the node's span on the timeline.
+  int64_t start_micros = 0;
   int64_t cost_micros = 0;       // compute or load cost actually charged
   int64_t output_bytes = 0;      // serialized size (computed/loaded nodes)
   bool materialized = false;     // written to the store this iteration
   int64_t materialize_micros = 0;
 };
+
+/// Human/telemetry label for what actually happened to a node:
+/// "computed", "loaded", "shared" (loaded from a sibling session's
+/// in-flight computation), "sliced" (removed by the slicer) or "pruned"
+/// (removed by the planner). Used for trace span tags and plan_viz.
+const char* NodeOutcomeString(const NodeExecution& node);
 
 /// Result of executing one iteration.
 struct ExecutionReport {

@@ -70,9 +70,14 @@ std::string RenderPlanDot(const WorkflowDag& dag,
     } else {
       attrs = StrFormat("fillcolor=\"%s\"", PhaseColor(n.phase));
     }
+    // Second label line: how the node was satisfied (computed / loaded /
+    // shared / pruned / sliced) plus its measured wall time — the same
+    // outcome tag the trace spans carry, so a DOT figure and a Perfetto
+    // view of one iteration agree.
     std::string label = n.name;
+    label += StrFormat("\\n%s", NodeOutcomeString(n));
     if (n.state != NodeState::kPrune) {
-      label += "\\n" + HumanMicros(n.cost_micros);
+      label += " " + HumanMicros(n.cost_micros);
     }
     if (dag.is_output(i)) {
       attrs += ", penwidth=2";
@@ -109,9 +114,10 @@ std::string RenderPlanDot(const WorkflowDag& dag,
 
 std::string SummarizeReport(const ExecutionReport& report) {
   return StrFormat(
-      "computed=%d loaded=%d pruned=%d materialized=%d total=%s",
-      report.num_computed, report.num_loaded, report.num_pruned,
-      report.num_materialized, HumanMicros(report.total_micros).c_str());
+      "computed=%d loaded=%d shared=%d pruned=%d materialized=%d total=%s",
+      report.num_computed, report.num_loaded, report.num_shared,
+      report.num_pruned, report.num_materialized,
+      HumanMicros(report.total_micros).c_str());
 }
 
 }  // namespace core

@@ -39,6 +39,7 @@ Result<std::unique_ptr<Session>> Session::Open(
     if (options.storage_shard_count > 0) {
       store_options.shard_count = options.storage_shard_count;
     }
+    store_options.metrics = options.metrics;
     HELIX_ASSIGN_OR_RETURN(
         session->store_,
         storage::IntermediateStore::Open(
@@ -92,6 +93,9 @@ Result<IterationResult> Session::RunIteration(const Workflow& workflow,
       options_.default_compute_estimate_micros;
   exec.paranoid_checks = options_.paranoid_checks;
   exec.max_parallelism = options_.max_parallelism;
+  exec.metrics = options_.metrics;
+  exec.trace = options_.trace;
+  exec.trace_pid = options_.session_id;
 
   HELIX_ASSIGN_OR_RETURN(ExecutionReport report, Execute(dag, exec));
 

@@ -83,6 +83,16 @@ struct SessionOptions {
   runtime::AsyncMaterializer* shared_materializer = nullptr;
   /// Owner tag on the shared materializer (unique per session).
   uint64_t session_id = 0;
+
+  // --- Telemetry (optional; see src/obs) ----------------------------------
+  // Both pointers are borrowed and must outlive the Session. The session
+  // forwards them into every execution (trace lane = session_id) and, when
+  // it owns its store, into the store for hit/miss/eviction counters.
+
+  /// Metrics registry for executor and store instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Span recorder for per-node execution timelines.
+  obs::TraceCollector* trace = nullptr;
 };
 
 /// Result of one iteration.

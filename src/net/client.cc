@@ -83,6 +83,18 @@ Result<service::SessionCounters> HelixClient::GetCounters(
   return DecodeCountersReply(reply);
 }
 
+Result<std::string> HelixClient::GetMetricsJson() {
+  HELIX_ASSIGN_OR_RETURN(std::string reply,
+                         Call(Opcode::kGetMetrics, std::string()));
+  return DecodeTextReply(reply);
+}
+
+Result<std::string> HelixClient::GetTraceJson() {
+  HELIX_ASSIGN_OR_RETURN(std::string reply,
+                         Call(Opcode::kGetTrace, std::string()));
+  return DecodeTextReply(reply);
+}
+
 Status HelixClient::Shutdown() {
   HELIX_ASSIGN_OR_RETURN(std::string reply,
                          Call(Opcode::kShutdown, std::string()));

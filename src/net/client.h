@@ -51,6 +51,14 @@ class HelixClient {
   /// `session_id` is 0.
   Result<service::SessionCounters> GetCounters(uint64_t session_id);
 
+  /// Service-wide metrics snapshot as a JSON document (the same text a
+  /// local MetricsRegistry::SnapshotJson() would produce server-side).
+  Result<std::string> GetMetricsJson();
+
+  /// Server trace buffer rendered as Chrome trace-event JSON, loadable
+  /// in Perfetto / chrome://tracing.
+  Result<std::string> GetTraceJson();
+
   /// Asks the server to shut down. OK means the server acked and will
   /// drain; the connection is unusable afterwards.
   Status Shutdown();

@@ -7,6 +7,21 @@
 
 namespace helix {
 namespace net {
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// On-the-wire size of a frame carrying `payload_bytes` of payload.
+int64_t FrameWireBytes(size_t payload_bytes) {
+  return static_cast<int64_t>(kFrameHeaderBytes + payload_bytes +
+                              kFrameChecksumBytes);
+}
+
+}  // namespace
 
 Result<std::unique_ptr<HelixServer>> HelixServer::Start(
     const ServerOptions& options, WorkflowResolver resolver) {
@@ -17,6 +32,17 @@ Result<std::unique_ptr<HelixServer>> HelixServer::Start(
       new HelixServer(options, std::move(resolver)));
   HELIX_ASSIGN_OR_RETURN(server->service_,
                          service::SessionService::Open(options.service));
+  obs::MetricsRegistry* metrics = server->service_->metrics();
+  server->decode_micros_ = metrics->GetHistogram("server.decode_micros");
+  server->queue_micros_ = metrics->GetHistogram("server.queue_micros");
+  server->execute_micros_ = metrics->GetHistogram("server.execute_micros");
+  server->reply_write_micros_ =
+      metrics->GetHistogram("server.reply_write_micros");
+  server->frames_in_total_ = metrics->GetCounter("server.frames_in");
+  server->bytes_in_total_ = metrics->GetCounter("server.bytes_in");
+  server->frames_out_total_ = metrics->GetCounter("server.frames_out");
+  server->bytes_out_total_ = metrics->GetCounter("server.bytes_out");
+  server->requests_total_ = metrics->GetCounter("server.requests");
   HELIX_ASSIGN_OR_RETURN(server->listener_,
                          TcpListener::Listen(options.host, options.port));
   server->accept_thread_ = std::thread([s = server.get()]() {
@@ -75,6 +101,7 @@ void HelixServer::AcceptLoop() {
 void HelixServer::ReaderLoop(std::shared_ptr<Connection> connection) {
   while (true) {
     uint64_t request_id = 0;
+    int64_t read_start = SteadyNowMicros();
     Result<Frame> frame = ReadFrame(connection->conn.get(),
                                     options_.max_payload_bytes, &request_id);
     if (!frame.ok()) {
@@ -90,6 +117,16 @@ void HelixServer::ReaderLoop(std::shared_ptr<Connection> connection) {
       }
       return;
     }
+    // Decode phase: everything ReadFrame did — waiting for the request
+    // bytes, header/checksum verification, payload copy. For a pipelining
+    // client this is wire + parse time; for an idle connection it is
+    // dominated by the wait for the next request.
+    decode_micros_->Observe(SteadyNowMicros() - read_start);
+    frames_in_total_->Add(1);
+    bytes_in_total_->Add(FrameWireBytes(frame->payload.size()));
+    connection->frames_in.fetch_add(1, std::memory_order_relaxed);
+    connection->bytes_in.fetch_add(FrameWireBytes(frame->payload.size()),
+                                   std::memory_order_relaxed);
     // Dispatch onto the shared pool: iterations of different sessions run
     // concurrently, bounded by the pool — the remote analogue of
     // SubmitIteration.
@@ -97,9 +134,11 @@ void HelixServer::ReaderLoop(std::shared_ptr<Connection> connection) {
       std::lock_guard<std::mutex> lock(drain_mu_);
       ++outstanding_;
     }
+    int64_t enqueue_micros = SteadyNowMicros();
     bool scheduled = service_->pool()->Schedule(
-        [this, connection, f = std::move(frame).value()]() mutable {
-          HandleRequest(connection, std::move(f));
+        [this, connection, enqueue_micros,
+         f = std::move(frame).value()]() mutable {
+          HandleRequest(connection, std::move(f), enqueue_micros);
           std::lock_guard<std::mutex> lock(drain_mu_);
           if (--outstanding_ == 0) {
             drain_cv_.notify_all();
@@ -121,7 +160,10 @@ void HelixServer::ReaderLoop(std::shared_ptr<Connection> connection) {
 }
 
 void HelixServer::HandleRequest(const std::shared_ptr<Connection>& connection,
-                                Frame frame) {
+                                Frame frame, int64_t enqueue_micros) {
+  int64_t handler_start = SteadyNowMicros();
+  queue_micros_->Observe(handler_start - enqueue_micros);
+  requests_total_->Add(1);
   std::string reply;
   switch (static_cast<Opcode>(frame.opcode)) {
     case Opcode::kOpenSession:
@@ -133,6 +175,12 @@ void HelixServer::HandleRequest(const std::shared_ptr<Connection>& connection,
     case Opcode::kGetCounters:
       reply = HandleGetCounters(frame);
       break;
+    case Opcode::kGetMetrics:
+      reply = HandleGetMetrics(frame);
+      break;
+    case Opcode::kGetTrace:
+      reply = HandleGetTrace(frame);
+      break;
     case Opcode::kShutdown:
       reply = EncodeEmptyReply();
       break;
@@ -141,6 +189,7 @@ void HelixServer::HandleRequest(const std::shared_ptr<Connection>& connection,
           "unknown opcode " + std::to_string(frame.opcode)));
       break;
   }
+  execute_micros_->Observe(SteadyNowMicros() - handler_start);
   WriteReply(connection, frame.request_id, std::move(reply));
   if (static_cast<Opcode>(frame.opcode) == Opcode::kShutdown) {
     // Ack first (above), act later: Stop() from a pool task would deadlock
@@ -239,14 +288,39 @@ std::string HelixServer::HandleGetCounters(const Frame& frame) {
   return EncodeCountersReply(session->counters());
 }
 
+std::string HelixServer::HandleGetMetrics(const Frame& frame) {
+  Status empty = DecodeEmptyRequest(frame.payload, "GetMetrics");
+  if (!empty.ok()) {
+    return EncodeErrorReply(empty);
+  }
+  return EncodeTextReply(service_->metrics()->SnapshotJson());
+}
+
+std::string HelixServer::HandleGetTrace(const Frame& frame) {
+  Status empty = DecodeEmptyRequest(frame.payload, "GetTrace");
+  if (!empty.ok()) {
+    return EncodeErrorReply(empty);
+  }
+  return EncodeTextReply(service_->trace()->ToChromeJson());
+}
+
 void HelixServer::WriteReply(const std::shared_ptr<Connection>& connection,
                              uint64_t request_id, std::string payload) {
   Frame reply;
   reply.opcode = static_cast<uint8_t>(Opcode::kReply);
   reply.request_id = request_id;
   reply.payload = std::move(payload);
+  int64_t write_start = SteadyNowMicros();
   std::lock_guard<std::mutex> lock(connection->write_mu);
   Status written = WriteFrame(connection->conn.get(), reply);
+  if (written.ok()) {
+    reply_write_micros_->Observe(SteadyNowMicros() - write_start);
+    frames_out_total_->Add(1);
+    bytes_out_total_->Add(FrameWireBytes(reply.payload.size()));
+    connection->frames_out.fetch_add(1, std::memory_order_relaxed);
+    connection->bytes_out.fetch_add(FrameWireBytes(reply.payload.size()),
+                                    std::memory_order_relaxed);
+  }
   if (!written.ok()) {
     // The client went away, stopped reading (send timeout), or the server
     // is tearing connections down; the iteration's effects on the shared

@@ -99,6 +99,14 @@ class HelixServer {
     /// (joins + unregisters) done connections so a long-running server
     /// does not accumulate one fd + thread per past client.
     std::atomic<bool> done{false};
+    /// Per-connection traffic accounting (frames and on-the-wire bytes,
+    /// header + payload + checksum). Folded into the service registry's
+    /// `server.frames_in/out` and `server.bytes_in/out` totals as they
+    /// happen; kept per-connection so a busy tenant is attributable.
+    std::atomic<int64_t> frames_in{0};
+    std::atomic<int64_t> bytes_in{0};
+    std::atomic<int64_t> frames_out{0};
+    std::atomic<int64_t> bytes_out{0};
   };
 
   HelixServer(ServerOptions options, WorkflowResolver resolver)
@@ -107,19 +115,37 @@ class HelixServer {
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Connection> connection);
   /// Runs on a pool worker: decodes, executes, and answers one request.
+  /// `enqueue_micros` is the reader's dispatch timestamp (steady clock),
+  /// feeding the `server.queue_micros` histogram.
   void HandleRequest(const std::shared_ptr<Connection>& connection,
-                     Frame frame);
+                     Frame frame, int64_t enqueue_micros);
   std::string HandleOpenSession(const Frame& frame);
   std::string HandleRunIteration(const Frame& frame);
   std::string HandleGetCounters(const Frame& frame);
-  static void WriteReply(const std::shared_ptr<Connection>& connection,
-                         uint64_t request_id, std::string payload);
+  std::string HandleGetMetrics(const Frame& frame);
+  std::string HandleGetTrace(const Frame& frame);
+  void WriteReply(const std::shared_ptr<Connection>& connection,
+                  uint64_t request_id, std::string payload);
 
   const ServerOptions options_;
   const WorkflowResolver resolver_;
   std::unique_ptr<TcpListener> listener_;
   std::unique_ptr<service::SessionService> service_;
   std::thread accept_thread_;
+
+  // Request-phase histograms and traffic counters, registered in the
+  // service's metrics registry at Start. The registry outlives Stop()'s
+  // service teardown window only as part of the service, so handlers only
+  // touch these while holding a live Connection dispatched before drain.
+  obs::Histogram* decode_micros_ = nullptr;      // ReadFrame (incl. wire wait)
+  obs::Histogram* queue_micros_ = nullptr;       // dispatch -> handler start
+  obs::Histogram* execute_micros_ = nullptr;     // handler body
+  obs::Histogram* reply_write_micros_ = nullptr; // WriteFrame on the socket
+  obs::Counter* frames_in_total_ = nullptr;
+  obs::Counter* bytes_in_total_ = nullptr;
+  obs::Counter* frames_out_total_ = nullptr;
+  obs::Counter* bytes_out_total_ = nullptr;
+  obs::Counter* requests_total_ = nullptr;
 
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;

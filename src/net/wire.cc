@@ -189,6 +189,14 @@ Result<uint64_t> DecodeGetCountersRequest(std::string_view payload) {
   return session_id;
 }
 
+Status DecodeEmptyRequest(std::string_view payload, const char* what) {
+  if (!payload.empty()) {
+    return Status::Corruption(StrFormat("unexpected payload bytes in %s "
+                                        "request", what));
+  }
+  return Status::OK();
+}
+
 std::string EncodeErrorReply(const Status& status) {
   ByteWriter out;
   EncodeStatus(status, &out);
@@ -236,6 +244,13 @@ std::string EncodeCountersReply(const service::SessionCounters& counters) {
 std::string EncodeEmptyReply() {
   ByteWriter out;
   EncodeStatus(Status::OK(), &out);
+  return std::move(out.TakeData());
+}
+
+std::string EncodeTextReply(const std::string& text) {
+  ByteWriter out;
+  EncodeStatus(Status::OK(), &out);
+  out.PutString(text);
   return std::move(out.TakeData());
 }
 
@@ -302,6 +317,16 @@ Status DecodeEmptyReply(std::string_view payload) {
     return Status::Corruption("trailing bytes in empty reply");
   }
   return Status::OK();
+}
+
+Result<std::string> DecodeTextReply(std::string_view payload) {
+  ByteReader in(payload);
+  HELIX_RETURN_IF_ERROR(DecodeReplyStatus(&in));
+  HELIX_ASSIGN_OR_RETURN(std::string text, in.GetString());
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in text reply");
+  }
+  return text;
 }
 
 }  // namespace net

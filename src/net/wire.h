@@ -38,6 +38,11 @@ enum class Opcode : uint8_t {
   kRunIteration = 2,
   kGetCounters = 3,
   kShutdown = 4,
+  /// Telemetry introspection: the reply body is one JSON text blob
+  /// (metrics snapshot / Chrome trace document). Requests carry no
+  /// payload.
+  kGetMetrics = 5,
+  kGetTrace = 6,
   kReply = 0x80,
 };
 
@@ -123,6 +128,10 @@ Result<RunIterationRequest> DecodeRunIterationRequest(
 std::string EncodeGetCountersRequest(uint64_t session_id);
 Result<uint64_t> DecodeGetCountersRequest(std::string_view payload);
 
+/// GetMetrics / GetTrace requests are empty; the decoder only rejects
+/// stray payload bytes.
+Status DecodeEmptyRequest(std::string_view payload, const char* what);
+
 // --- Reply payloads -------------------------------------------------------
 
 /// A failed reply is just the status; a successful one is OK + body.
@@ -131,6 +140,8 @@ std::string EncodeOpenSessionReply(uint64_t session_id);
 std::string EncodeRunIterationReply(const RemoteIterationResult& result);
 std::string EncodeCountersReply(const service::SessionCounters& counters);
 std::string EncodeEmptyReply();
+/// OK status + one opaque text blob (GetMetrics / GetTrace JSON).
+std::string EncodeTextReply(const std::string& text);
 
 /// Reply decoders: each decodes the leading status — a non-OK remote
 /// status is returned as-is (same code, message prefixed "remote: ") —
@@ -141,6 +152,7 @@ Result<RemoteIterationResult> DecodeRunIterationReply(
 Result<service::SessionCounters> DecodeCountersReply(
     std::string_view payload);
 Status DecodeEmptyReply(std::string_view payload);
+Result<std::string> DecodeTextReply(std::string_view payload);
 
 }  // namespace net
 }  // namespace helix

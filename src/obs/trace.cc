@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/json.h"
+
+namespace helix {
+namespace obs {
+
+TraceCollector::TraceCollector(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+void TraceCollector::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceSpan> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  // Once wrapped, next_ points at the oldest surviving span.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+int64_t TraceCollector::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t TraceCollector::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  std::vector<TraceSpan> spans = Snapshot();
+  int64_t dropped = DroppedCount();
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return std::tie(a.start_micros, a.pid, a.tid, a.name) <
+                            std::tie(b.start_micros, b.pid, b.tid, b.name);
+                   });
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("displayTimeUnit", "ms");
+  json.KV("droppedSpans", dropped);
+  json.Key("traceEvents").BeginArray();
+  for (const TraceSpan& span : spans) {
+    json.BeginObject()
+        .KV("name", span.name)
+        .KV("cat", span.category.empty() ? "helix" : span.category)
+        .KV("ph", "X")
+        .KV("ts", span.start_micros)
+        .KV("dur", span.duration_micros)
+        .KV("pid", span.pid)
+        .KV("tid", span.tid);
+    if (!span.str_args.empty() || !span.int_args.empty()) {
+      json.Key("args").BeginObject();
+      for (const auto& [key, value] : span.str_args) {
+        json.KV(key, value);
+      }
+      for (const auto& [key, value] : span.int_args) {
+        json.KV(key, value);
+      }
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace obs
+}  // namespace helix

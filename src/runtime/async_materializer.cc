@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace helix {
 namespace runtime {
 
@@ -23,8 +25,20 @@ void AsyncMaterializer::Enqueue(Request request) {
     std::lock_guard<std::mutex> lock(mu_);
     ++pending_per_owner_[request.owner];
     queue_.push_back(std::move(request));
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   work_cv_.notify_one();
+}
+
+void AsyncMaterializer::EnableTelemetry(obs::MetricsRegistry* registry,
+                                        const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_depth_ = registry->GetGauge(prefix + ".queue_depth");
+  write_micros_ = registry->GetHistogram(prefix + ".write_micros");
+  writes_ok_ = registry->GetCounter(prefix + ".writes_ok");
+  writes_failed_ = registry->GetCounter(prefix + ".writes_failed");
 }
 
 std::vector<AsyncMaterializer::Outcome> AsyncMaterializer::Drain() {
@@ -76,6 +90,14 @@ void AsyncMaterializer::WriterLoop() {
     Request request = std::move(queue_.front());
     queue_.pop_front();
     writing_ = true;
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
+    // Snapshot telemetry pointers under mu_ — EnableTelemetry also writes
+    // them under mu_, so the Put below can report without the lock.
+    obs::Histogram* write_micros = write_micros_;
+    obs::Counter* writes_ok = writes_ok_;
+    obs::Counter* writes_failed = writes_failed_;
     lock.unlock();
 
     Outcome outcome;
@@ -87,6 +109,16 @@ void AsyncMaterializer::WriterLoop() {
         store_->Put(request.signature, request.node_name, request.data,
                     request.iteration, &outcome.write_micros,
                     request.compute_micros);
+    if (outcome.status.ok()) {
+      if (writes_ok != nullptr) {
+        writes_ok->Add(1);
+      }
+      if (write_micros != nullptr) {
+        write_micros->Observe(outcome.write_micros);
+      }
+    } else if (writes_failed != nullptr) {
+      writes_failed->Add(1);
+    }
 
     lock.lock();
     writing_ = false;

@@ -39,6 +39,13 @@
 #include "storage/store.h"
 
 namespace helix {
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 namespace runtime {
 
 /// Background writer that persists results to an IntermediateStore off the
@@ -112,6 +119,13 @@ class AsyncMaterializer {
   /// Writes queued or executing right now for `owner` (diagnostics).
   size_t Pending(uint64_t owner) const;
 
+  /// Registers `<prefix>.queue_depth` (gauge), `<prefix>.write_micros`
+  /// (histogram of successful Put latencies) and `<prefix>.writes_ok` /
+  /// `<prefix>.writes_failed` (counters) in `registry` and starts
+  /// updating them.
+  void EnableTelemetry(obs::MetricsRegistry* registry,
+                       const std::string& prefix = "materializer");
+
  private:
   void WriterLoop();
 
@@ -127,6 +141,13 @@ class AsyncMaterializer {
   std::unordered_map<uint64_t, size_t> pending_per_owner_;
   bool writing_ = false;   // writer is executing a Put right now
   bool shutdown_ = false;
+
+  // Telemetry (null until EnableTelemetry; pointers written under mu_).
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* write_micros_ = nullptr;
+  obs::Counter* writes_ok_ = nullptr;
+  obs::Counter* writes_failed_ = nullptr;
+
   std::thread writer_;
 };
 

@@ -1,9 +1,21 @@
 #include "runtime/inflight_table.h"
 
+#include <chrono>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace helix {
 namespace runtime {
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 /// Shared state between one owner and its waiters. The table's map entry
 /// and every outstanding Ticket hold a shared_ptr, so the slot outlives
@@ -15,14 +27,25 @@ struct SignatureInflightTable::Ticket::Slot {
   Result<dataflow::DataCollection> result =
       Status::Internal("in-flight result not published");
   std::atomic<int64_t>* shared_hits = nullptr;
+  // Telemetry, captured at Acquire like shared_hits (may be null).
+  obs::Histogram* wait_micros = nullptr;
+  obs::Counter* shared_hits_counter = nullptr;
 };
 
 Result<dataflow::DataCollection> SignatureInflightTable::Ticket::Wait() {
+  const int64_t wait_start =
+      slot_->wait_micros != nullptr ? SteadyNowMicros() : 0;
   std::unique_lock<std::mutex> lock(slot_->mu);
   slot_->cv.wait(lock, [this]() { return slot_->done; });
   Result<dataflow::DataCollection> result = slot_->result;
+  if (slot_->wait_micros != nullptr) {
+    slot_->wait_micros->Observe(SteadyNowMicros() - wait_start);
+  }
   if (result.ok() && slot_->shared_hits != nullptr) {
     slot_->shared_hits->fetch_add(1, std::memory_order_relaxed);
+  }
+  if (result.ok() && slot_->shared_hits_counter != nullptr) {
+    slot_->shared_hits_counter->Add(1);
   }
   return result;
 }
@@ -36,8 +59,17 @@ SignatureInflightTable::Ticket SignatureInflightTable::Acquire(
   }
   auto slot = std::make_shared<Ticket::Slot>();
   slot->shared_hits = &shared_hits_;
+  slot->wait_micros = share_wait_micros_;
+  slot->shared_hits_counter = shared_hits_counter_;
   slots_.emplace(signature, slot);
   return Ticket(/*owner=*/true, std::move(slot));
+}
+
+void SignatureInflightTable::EnableTelemetry(obs::MetricsRegistry* registry,
+                                             const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  share_wait_micros_ = registry->GetHistogram(prefix + ".share_wait_micros");
+  shared_hits_counter_ = registry->GetCounter(prefix + ".shared_hits");
 }
 
 void SignatureInflightTable::Publish(uint64_t signature,

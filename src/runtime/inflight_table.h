@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "common/result.h"
@@ -30,6 +31,12 @@
 #include "dataflow/data_collection.h"
 
 namespace helix {
+namespace obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 namespace runtime {
 
 /// Coordination point for concurrent computations of the same signature.
@@ -88,12 +95,23 @@ class SignatureInflightTable {
   /// Signatures currently being computed (diagnostics).
   size_t InflightCount() const;
 
+  /// Registers `<prefix>.share_wait_micros` (histogram: time a waiter
+  /// blocks on an owner) and `<prefix>.shared_hits` (counter) in
+  /// `registry`. Applies to tickets acquired after the call.
+  void EnableTelemetry(obs::MetricsRegistry* registry,
+                       const std::string& prefix = "inflight");
+
  private:
   friend class Ticket;
 
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<Ticket::Slot>> slots_;
   std::atomic<int64_t> shared_hits_{0};
+
+  // Telemetry (null until EnableTelemetry; written and read under mu_,
+  // then carried by slots like shared_hits).
+  obs::Histogram* share_wait_micros_ = nullptr;
+  obs::Counter* shared_hits_counter_ = nullptr;
 };
 
 }  // namespace runtime

@@ -1,7 +1,20 @@
 #include "runtime/thread_pool.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+
 namespace helix {
 namespace runtime {
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) {
@@ -24,13 +37,29 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::EnableTelemetry(obs::MetricsRegistry* registry,
+                                 const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_depth_ = registry->GetGauge(prefix + ".queue_depth");
+  task_wait_micros_ = registry->GetHistogram(prefix + ".task_wait_micros");
+  tasks_run_ = registry->GetCounter(prefix + ".tasks_run");
+}
+
 bool ThreadPool::Schedule(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
       return false;
     }
-    queue_.push_back(std::move(fn));
+    Task task;
+    task.fn = std::move(fn);
+    if (task_wait_micros_ != nullptr) {
+      task.enqueue_micros = SteadyNowMicros();
+    }
+    queue_.push_back(std::move(task));
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
   }
   work_cv_.notify_one();
   return true;
@@ -56,11 +85,22 @@ void ThreadPool::WorkerLoop() {
       // remain, shutdown keeps the workers running — drain semantics.)
       return;
     }
-    std::function<void()> task = std::move(queue_.front());
+    Task task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
+    if (queue_depth_ != nullptr) {
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
+    if (task_wait_micros_ != nullptr && task.enqueue_micros > 0) {
+      task_wait_micros_->Observe(SteadyNowMicros() - task.enqueue_micros);
+    }
+    // Snapshot under mu_ — EnableTelemetry writes the pointer under mu_.
+    obs::Counter* tasks_run = tasks_run_;
     lock.unlock();
-    task();
+    task.fn();
+    if (tasks_run != nullptr) {
+      tasks_run->Add(1);
+    }
     lock.lock();
     --active_;
     if (queue_.empty() && active_ == 0) {

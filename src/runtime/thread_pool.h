@@ -11,17 +11,26 @@
 #define HELIX_RUNTIME_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 namespace helix {
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 namespace runtime {
 
 /// A fixed-size thread pool.
@@ -83,16 +92,34 @@ class ThreadPool {
   /// Number of tasks queued but not yet started (diagnostics).
   size_t QueueDepth() const;
 
+  /// Registers `<prefix>.queue_depth` (gauge), `<prefix>.task_wait_micros`
+  /// (histogram: enqueue → dequeue latency), and `<prefix>.tasks_run`
+  /// (counter) in `registry` and starts updating them. Call before
+  /// offering work; safe to call at most once per pool.
+  void EnableTelemetry(obs::MetricsRegistry* registry,
+                       const std::string& prefix = "pool");
+
  private:
+  struct Task {
+    std::function<void()> fn;
+    int64_t enqueue_micros = 0;  // steady-clock; 0 when telemetry is off
+  };
+
   void WorkerLoop();
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signals workers: task ready/shutdown
   std::condition_variable idle_cv_;  // signals WaitIdle: pool went idle
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::vector<std::thread> workers_;
   int active_ = 0;       // tasks currently executing
   bool shutdown_ = false;
+
+  // Telemetry (null until EnableTelemetry; written under mu_, the metric
+  // objects themselves are internally synchronized).
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* task_wait_micros_ = nullptr;
+  obs::Counter* tasks_run_ = nullptr;
 };
 
 }  // namespace runtime

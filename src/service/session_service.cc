@@ -86,6 +86,7 @@ Result<std::unique_ptr<SessionService>> SessionService::Open(
   if (options.storage_shard_count > 0) {
     store_options.shard_count = options.storage_shard_count;
   }
+  store_options.metrics = &service->metrics_;
   HELIX_ASSIGN_OR_RETURN(
       service->store_,
       storage::IntermediateStore::Open(
@@ -106,11 +107,14 @@ Result<std::unique_ptr<SessionService>> SessionService::Open(
 
   service->materializer_ =
       std::make_unique<runtime::AsyncMaterializer>(service->store_.get());
+  service->materializer_->EnableTelemetry(&service->metrics_);
+  service->inflight_.EnableTelemetry(&service->metrics_);
   int threads = options.num_threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
   }
   service->pool_ = std::make_unique<runtime::ThreadPool>(std::max(1, threads));
+  service->pool_->EnableTelemetry(&service->metrics_);
   return service;
 }
 
@@ -155,6 +159,8 @@ Result<ServiceSession*> SessionService::CreateSession(
   session_options.paranoid_checks = options_.paranoid_checks;
   session_options.default_compute_estimate_micros =
       options_.default_compute_estimate_micros;
+  session_options.metrics = &metrics_;
+  session_options.trace = &trace_;
   HELIX_ASSIGN_OR_RETURN(handle->session_,
                          core::Session::Open(session_options));
   sessions_.push_back(std::move(handle));

@@ -47,6 +47,8 @@
 #include "core/materialization.h"
 #include "core/session.h"
 #include "core/workflow.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/async_materializer.h"
 #include "runtime/inflight_table.h"
 #include "runtime/thread_pool.h"
@@ -199,6 +201,11 @@ class SessionService {
   storage::CostStatsRegistry* stats() { return &stats_; }
   runtime::ThreadPool* pool() { return pool_.get(); }
   runtime::SignatureInflightTable* inflight() { return &inflight_; }
+  /// Service-wide telemetry: store/pool/writer/in-flight/executor metrics
+  /// and per-node execution spans (trace lane = session id). Always live;
+  /// snapshot via metrics()->SnapshotJson() / trace()->ToChromeJson().
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  obs::TraceCollector* trace() { return &trace_; }
   size_t num_sessions() const;
 
  private:
@@ -211,6 +218,10 @@ class SessionService {
   // Destruction order (reverse of declaration) matters: sessions_ and the
   // writer go before the store; the destructor additionally drains the
   // pool first so no queued iteration outlives the sessions it touches.
+  // The telemetry registry and trace come first of all — everything below
+  // holds pointers into them, so they must be destroyed last.
+  obs::MetricsRegistry metrics_;
+  obs::TraceCollector trace_;
   std::unique_ptr<storage::IntermediateStore> store_;
   storage::CostStatsRegistry stats_;
   runtime::SignatureInflightTable inflight_;

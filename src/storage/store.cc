@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "storage/disk_backend.h"
 #include "storage/eviction.h"
 #include "storage/memory_backend.h"
@@ -63,7 +64,27 @@ Result<std::unique_ptr<IntermediateStore>> IntermediateStore::Open(
   int shards = std::max(1, options.shard_count);
   store->shards_.reserve(static_cast<size_t>(shards));
   for (int i = 0; i < shards; ++i) {
-    store->shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    if (options.metrics != nullptr) {
+      std::string prefix = StrFormat("store.shard.%d.", i);
+      shard->hits = options.metrics->GetCounter(prefix + "hits");
+      shard->misses = options.metrics->GetCounter(prefix + "misses");
+      shard->evictions = options.metrics->GetCounter(prefix + "evictions");
+      shard->bytes_read = options.metrics->GetCounter(prefix + "bytes_read");
+      shard->bytes_written =
+          options.metrics->GetCounter(prefix + "bytes_written");
+    }
+    store->shards_.push_back(std::move(shard));
+  }
+  if (options.metrics != nullptr) {
+    store->hits_total_ = options.metrics->GetCounter("store.hits");
+    store->misses_total_ = options.metrics->GetCounter("store.misses");
+    store->evictions_total_ = options.metrics->GetCounter("store.evictions");
+    store->bytes_read_total_ =
+        options.metrics->GetCounter("store.bytes_read");
+    store->bytes_written_total_ =
+        options.metrics->GetCounter("store.bytes_written");
+    store->bytes_gauge_ = options.metrics->GetGauge("store.bytes");
   }
 
   // Rebuild the index from whatever the backend recovered. No locks
@@ -94,7 +115,20 @@ Result<std::unique_ptr<IntermediateStore>> IntermediateStore::Open(
 bool IntermediateStore::Has(uint64_t signature) const {
   Shard& shard = ShardFor(signature);
   std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.entries.count(signature) > 0;
+  bool present = shard.entries.count(signature) > 0;
+  // Has is the planner's reuse probe — every load-vs-compute decision
+  // goes through it — so this is where hit/miss rates are meaningful.
+  // (Get also counts a miss on the rare vanished-payload paths.)
+  if (shard.hits != nullptr) {
+    if (present) {
+      shard.hits->Add(1);
+      hits_total_->Add(1);
+    } else {
+      shard.misses->Add(1);
+      misses_total_->Add(1);
+    }
+  }
+  return present;
 }
 
 const StoreEntry* IntermediateStore::Find(uint64_t signature) const {
@@ -121,10 +155,14 @@ Result<dataflow::DataCollection> IntermediateStore::Get(
   // outside any shard lock so concurrent loads (the parallel executor's
   // warm path) actually overlap; only index lookups/updates take the
   // owning shard's mutex.
+  Shard& shard = ShardFor(signature);
   {
-    Shard& shard = ShardFor(signature);
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.entries.count(signature) == 0) {
+      if (shard.misses != nullptr) {
+        shard.misses->Add(1);
+        misses_total_->Add(1);
+      }
       return Status::NotFound(
           StrFormat("no stored result for signature %s",
                     HashToHex(signature).c_str()));
@@ -138,6 +176,10 @@ Result<dataflow::DataCollection> IntermediateStore::Get(
                        << HashToHex(signature) << ": "
                        << payload.status().ToString();
     (void)EvictOne(signature);
+    if (shard.misses != nullptr) {
+      shard.misses->Add(1);  // the caller ends up recomputing: a miss
+      misses_total_->Add(1);
+    }
     return Status::Corruption("store entry unreadable: " +
                               payload.status().ToString());
   }
@@ -148,16 +190,25 @@ Result<dataflow::DataCollection> IntermediateStore::Get(
                        << HashToHex(signature) << ": "
                        << data.status().ToString();
     (void)EvictOne(signature);
+    if (shard.misses != nullptr) {
+      shard.misses->Add(1);
+      misses_total_->Add(1);
+    }
     return data.status();
   }
   int64_t elapsed = timer.ElapsedMicros();
   {
-    Shard& shard = ShardFor(signature);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(signature);
     if (it != shard.entries.end()) {
       it->second.load_micros = elapsed;
     }
+  }
+  // Hits are counted at the Has probe; a successful Get only accounts
+  // for the bytes it actually moved.
+  if (shard.bytes_read != nullptr) {
+    shard.bytes_read->Add(static_cast<int64_t>(payload.value().size()));
+    bytes_read_total_->Add(static_cast<int64_t>(payload.value().size()));
   }
   ObserveRead(static_cast<int64_t>(payload.value().size()), elapsed);
   if (load_micros_out != nullptr) {
@@ -172,11 +223,16 @@ Status IntermediateStore::Put(uint64_t signature,
                               int64_t iteration, int64_t* write_micros_out,
                               int64_t compute_micros) {
   // Cheap early rejection before paying for serialization; the post-write
-  // re-check below stays authoritative.
-  if (Has(signature)) {
-    return Status::AlreadyExists(
-        StrFormat("signature %s already stored",
-                  HashToHex(signature).c_str()));
+  // re-check below stays authoritative. Deliberately not Has(): this
+  // bookkeeping probe must not count toward the reuse hit/miss rate.
+  {
+    Shard& shard = ShardFor(signature);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.count(signature) > 0) {
+      return Status::AlreadyExists(
+          StrFormat("signature %s already stored",
+                    HashToHex(signature).c_str()));
+    }
   }
   // Serialization is the expensive CPU part; do it before any admission
   // work so concurrent Puts serialize their payloads in parallel. The
@@ -244,6 +300,13 @@ Status IntermediateStore::Put(uint64_t signature,
                     HashToHex(signature).c_str()));
     }
     shard.entries[signature] = entry;
+    if (shard.bytes_written != nullptr) {
+      shard.bytes_written->Add(size);
+      bytes_written_total_->Add(size);
+    }
+  }
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(total_bytes_.load(std::memory_order_relaxed));
   }
   ObserveWrite(size, elapsed);
   if (write_micros_out != nullptr) {
@@ -292,8 +355,8 @@ Status IntermediateStore::EvictForLocked(int64_t bytes_needed,
 
 int64_t IntermediateStore::EvictOne(uint64_t signature) {
   int64_t freed = 0;
+  Shard& shard = ShardFor(signature);
   {
-    Shard& shard = ShardFor(signature);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(signature);
     if (it == shard.entries.end()) {
@@ -303,6 +366,13 @@ int64_t IntermediateStore::EvictOne(uint64_t signature) {
     shard.entries.erase(it);
   }
   total_bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  if (shard.evictions != nullptr) {
+    shard.evictions->Add(1);
+    evictions_total_->Add(1);
+  }
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(total_bytes_.load(std::memory_order_relaxed));
+  }
   Status deleted = backend_->Delete(signature);
   if (!deleted.ok()) {
     HELIX_LOG(Warning) << "backend delete of " << HashToHex(signature)
@@ -328,6 +398,9 @@ Status IntermediateStore::Clear() {
     shard->entries.clear();
   }
   total_bytes_.fetch_sub(cleared, std::memory_order_relaxed);
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(total_bytes_.load(std::memory_order_relaxed));
+  }
   return backend_->DeleteAll();
 }
 

@@ -38,6 +38,12 @@
 #include "storage/backend.h"
 
 namespace helix {
+namespace obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace obs
+
 namespace storage {
 
 /// Options for opening a store.
@@ -65,6 +71,11 @@ struct StoreOptions {
   int64_t default_compute_estimate_micros = 1000000;
   /// Disk backend: roll to a new segment file past this size.
   int64_t segment_max_bytes = 64LL << 20;
+  /// Optional telemetry. When set, the store registers aggregate counters
+  /// (`store.hits/misses/evictions/bytes_read/bytes_written`), the
+  /// resident-bytes gauge `store.bytes`, and per-shard counters
+  /// (`store.shard.<i>.hits` etc.). Must outlive the store.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A sharded, budget-gated result store over a pluggable payload backend.
@@ -173,6 +184,13 @@ class IntermediateStore {
   struct Shard {
     mutable std::mutex mu;
     std::map<uint64_t, StoreEntry> entries;
+    // Per-shard telemetry (null when StoreOptions::metrics is unset; set
+    // once in Open before the store is visible to other threads).
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_written = nullptr;
   };
 
   IntermediateStore(std::string dir, const StoreOptions& options)
@@ -201,6 +219,15 @@ class IntermediateStore {
   std::mutex budget_mu_;
   std::atomic<int64_t> total_bytes_{0};
   std::atomic<int64_t> num_evictions_{0};
+
+  // Aggregate telemetry (null when StoreOptions::metrics is unset; set
+  // once in Open). The gauge mirrors total_bytes_ after every mutation.
+  obs::Counter* hits_total_ = nullptr;
+  obs::Counter* misses_total_ = nullptr;
+  obs::Counter* evictions_total_ = nullptr;
+  obs::Counter* bytes_read_total_ = nullptr;
+  obs::Counter* bytes_written_total_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
 
   // Observed throughput for load-cost estimation. Reads (load +
   // deserialize) and writes (serialize + flush) have very different

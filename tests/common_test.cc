@@ -11,6 +11,7 @@
 #include "common/file_util.h"
 #include "common/hash.h"
 #include "common/json.h"
+#include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -526,6 +527,32 @@ TEST_F(FileUtilTest, JoinPathHandlesSlashes) {
   EXPECT_EQ(JoinPath("a/", "/b"), "a/b");
   EXPECT_EQ(JoinPath("", "b"), "b");
   EXPECT_EQ(JoinPath("a", ""), "a");
+}
+
+// --- Logging ----------------------------------------------------------------
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesCaseInsensitively) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("OFF", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsGarbageWithoutClobbering) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_FALSE(ParseLogLevel("2", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
 }
 
 }  // namespace

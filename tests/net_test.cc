@@ -446,6 +446,61 @@ TEST_F(RobustnessTest, RemoteApplicationErrorsKeepTheirStatusCode) {
   EXPECT_TRUE(counters.ok()) << counters.status().ToString();
 }
 
+// GetMetrics / GetTrace round-trip over loopback: the wire introspection
+// opcodes return the server's live telemetry as JSON, and a request that
+// smuggles payload bytes is rejected without killing the connection.
+TEST_F(RobustnessTest, GetMetricsAndTraceRoundTrip) {
+  StartServer();
+  auto client = HelixClient::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  auto session = (*client)->OpenSession("telemetry");
+  ASSERT_TRUE(session.ok());
+  for (int i = 0; i < 2; ++i) {
+    auto result = (*client)->RunIteration(
+        session.value(), MakeSyntheticSpec(/*seed=*/5, i),
+        "iter-" + std::to_string(i),
+        i == 0 ? ChangeCategory::kInitial
+               : ChangeCategory::kMachineLearning);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+
+  auto metrics = (*client)->GetMetricsJson();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  // The snapshot reflects the work just done across the layers: executor
+  // counters, store traffic, pool queueing, and the server's own request
+  // phases (this very GetMetrics request arrived through them).
+  EXPECT_NE(metrics->find("\"record\":\"helix_metrics\""),
+            std::string::npos);
+  EXPECT_NE(metrics->find("executor.iterations"), std::string::npos);
+  EXPECT_NE(metrics->find("store.hits"), std::string::npos);
+  EXPECT_NE(metrics->find("store.misses"), std::string::npos);
+  EXPECT_NE(metrics->find("pool.task_wait_micros"), std::string::npos);
+  EXPECT_NE(metrics->find("server.decode_micros"), std::string::npos);
+  EXPECT_NE(metrics->find("server.requests"), std::string::npos);
+
+  auto trace = (*client)->GetTraceJson();
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_NE(trace->find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace->find("\"cat\":\"node\""), std::string::npos);
+  EXPECT_NE(trace->find("\"outcome\":"), std::string::npos);
+
+  // A GetMetrics request carrying payload bytes is malformed by contract.
+  auto conn = Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  Frame bad;
+  bad.opcode = static_cast<uint8_t>(Opcode::kGetMetrics);
+  bad.request_id = 11;
+  bad.payload = "stray";
+  ASSERT_TRUE(WriteFrame(conn->get(), bad).ok());
+  auto reply = ReadFrame(conn->get(), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->request_id, 11u);
+  auto decoded = DecodeTextReply(reply->payload);
+  EXPECT_TRUE(decoded.status().IsCorruption())
+      << decoded.status().ToString();
+  ExpectServerStillServes();
+}
+
 // Close() from another thread must unblock a Call parked on a server
 // that accepted the connection but never answers — the escape hatch has
 // to work exactly when the server is wedged.

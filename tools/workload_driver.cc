@@ -24,9 +24,17 @@
 //                   [--shared=1] [--threads=0] [--think-ms=20]
 //                   [--rows=8000] [--docs=80] [--budget-mb=1024] [--seed=1]
 //                   [--remote=host:port] [--shutdown-remote=0]
+//                   [--metrics-out=FILE] [--trace-out=FILE]
 //
 // --shutdown-remote=1 sends the server a Shutdown RPC after the run (the
 // CI smoke step uses this to assert a clean server exit).
+//
+// --metrics-out / --trace-out dump the run's telemetry after the users
+// finish: the service metrics snapshot (JSON) and the span buffer as
+// Chrome trace-event JSON (open in Perfetto / chrome://tracing). In
+// remote mode they come from the server via GetMetrics/GetTrace RPCs
+// (before any shutdown); in-process they cover the shared service, or
+// the first per-user service when --shared=0.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +49,7 @@
 #include "apps/ie_app.h"
 #include "bench/bench_util.h"
 #include "common/clock.h"
+#include "common/file_util.h"
 #include "common/json.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -68,6 +77,8 @@ struct DriverConfig {
   std::string remote_host;  // empty = in-process
   int remote_port = 0;
   bool shutdown_remote = false;
+  std::string metrics_out;  // empty = no metrics dump
+  std::string trace_out;    // empty = no trace dump
 };
 
 struct UserResult {
@@ -331,6 +342,32 @@ void Run(const DriverConfig& config) {
       .EndObject();
   bench::PrintJsonLine(json);
 
+  // Telemetry dumps come before any remote shutdown: GetMetrics/GetTrace
+  // need a live server.
+  if (!config.metrics_out.empty() || !config.trace_out.empty()) {
+    std::string metrics_json;
+    std::string trace_json;
+    if (remote) {
+      metrics_json = bench::ValueOrDie(clients[0]->GetMetricsJson(),
+                                       "remote metrics");
+      trace_json = bench::ValueOrDie(clients[0]->GetTraceJson(),
+                                     "remote trace");
+    } else {
+      metrics_json = services[0]->metrics()->SnapshotJson();
+      trace_json = services[0]->trace()->ToChromeJson();
+    }
+    if (!config.metrics_out.empty()) {
+      bench::CheckOk(WriteStringToFile(config.metrics_out, metrics_json),
+                     "write metrics");
+      std::printf("metrics written to %s\n", config.metrics_out.c_str());
+    }
+    if (!config.trace_out.empty()) {
+      bench::CheckOk(WriteStringToFile(config.trace_out, trace_json),
+                     "write trace");
+      std::printf("trace written to %s\n", config.trace_out.c_str());
+    }
+  }
+
   if (remote && config.shutdown_remote) {
     bench::CheckOk(clients[0]->Shutdown(), "remote shutdown");
     std::printf("remote server acknowledged shutdown\n");
@@ -368,6 +405,10 @@ int main(int argc, char** argv) {
       config.shutdown_remote = v != 0;
     } else if (std::strncmp(arg, "--app=", 6) == 0) {
       config.app = arg + 6;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      config.metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      config.trace_out = arg + 12;
     } else if (std::strncmp(arg, "--remote=", 9) == 0) {
       auto parts = helix::Split(arg + 9, ':');
       int64_t port = 0;
