@@ -1,0 +1,166 @@
+// Per-scenario workload-trace benchmark: replays every generated scenario
+// (src/workload/generator.h) against an in-process SessionService and
+// reports throughput + reuse per scenario.
+//
+// Each scenario is one of the paper's human-in-the-loop edit classes
+// (localized edits, hyperparameter sweep, feature add/drop, periodic data
+// refresh, streaming append), so the per-scenario hit rates line up with
+// the paper's reuse narrative: sweeps and appends reuse heavily, full
+// refreshes barely at all.
+//
+// Reported as "json," lines (one trace_bench record per scenario plus the
+// standard per-user/aggregate lines from the replay), and — unlike the
+// other harnesses, which write one combined summary — as one
+// BENCH_trace_<scenario>.json per scenario in $HELIX_BENCH_OUT_DIR, so CI
+// baselines each edit class independently.
+//
+// Usage: bench_trace [--users=3] [--iterations=6] [--rows=2000]
+//                    [--docs=24] [--seed=1] [--threads=0]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/file_util.h"
+#include "common/json.h"
+#include "workload/generator.h"
+#include "workload/replay.h"
+#include "workload/trace.h"
+
+namespace helix {
+namespace bench {
+namespace {
+
+struct BenchConfig {
+  int users = 3;
+  int iterations = 6;
+  int64_t rows = 2000;
+  int64_t docs = 24;
+  uint64_t seed = 1;
+  int threads = 0;
+};
+
+std::string Hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Writes one scenario's record as its own BENCH_trace_<scenario>.json
+/// (same envelope as WriteBenchSummary, scoped to one record instead of
+/// the process-wide log).
+void WriteScenarioSummary(const std::string& scenario,
+                          const JsonWriter& record) {
+  const char* out_dir = std::getenv("HELIX_BENCH_OUT_DIR");
+  std::string name = "trace_" + scenario;
+  std::string path = JoinPath(out_dir != nullptr && out_dir[0] != '\0'
+                                  ? out_dir
+                                  : ".",
+                              "BENCH_" + name + ".json");
+  std::string doc = "{\"bench\":" + JsonQuote(name) + ",\"records\":[" +
+                    record.str() + "]}\n";
+  CheckOk(WriteStringToFile(path, doc), "write scenario summary");
+  std::printf("bench summary written to %s\n", path.c_str());
+}
+
+void RunScenario(const std::string& scenario, const BenchConfig& config,
+                 const TempWorkspace& workspace) {
+  workload::ScenarioConfig gen;
+  gen.scenario = scenario;
+  gen.seed = config.seed;
+  gen.users = config.users;
+  gen.iterations = config.iterations;
+  gen.rows = config.rows;
+  gen.docs = config.docs;
+  gen.think_ms = 0;  // benchmark throughput, not think time
+  workload::Trace trace =
+      ValueOrDie(workload::GenerateTrace(gen), "generate trace");
+
+  std::string data_dir = workspace.Path(scenario + "-data");
+  CheckOk(workload::MaterializeTraceData(trace, data_dir),
+          "materialize trace data");
+
+  workload::ReplayOptions replay;
+  replay.workspace_dir = workspace.Path(scenario + "-ws");
+  replay.threads = config.threads > 0 ? config.threads : config.users;
+  replay.data_dir = data_dir;
+  workload::ReplayResult result =
+      ValueOrDie(workload::ReplayTrace(trace, replay), "replay");
+
+  std::vector<int64_t> latencies;
+  latencies.reserve(result.records.size());
+  for (const workload::IterationRecord& record : result.records) {
+    latencies.push_back(record.latency_micros);
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  JsonWriter json;
+  json.BeginObject()
+      .KV("record", "trace_bench")
+      .KV("scenario", scenario)
+      .KV("seed", trace.header.seed)
+      .KV("users", static_cast<int64_t>(config.users))
+      .KV("iterations_per_user", static_cast<int64_t>(config.iterations))
+      .KV("events", static_cast<int64_t>(result.records.size()))
+      .KV("wall_ms", static_cast<double>(result.wall_micros) / 1e3)
+      .KV("throughput_iters_per_sec",
+          result.wall_micros > 0
+              ? static_cast<double>(result.records.size()) * 1e6 /
+                    static_cast<double>(result.wall_micros)
+              : 0)
+      .KV("p50_ms", PercentileSorted(latencies, 0.5) / 1e3)
+      .KV("p99_ms", PercentileSorted(latencies, 0.99) / 1e3)
+      .KV("num_computed", result.totals.num_computed)
+      .KV("num_loaded", result.totals.num_loaded)
+      .KV("num_shared", result.totals.num_shared)
+      .KV("cross_session_loads", result.totals.cross_session_loads)
+      .KV("hit_rate", result.hit_rate())
+      .KV("saved_ms",
+          static_cast<double>(result.totals.saved_micros) / 1e3)
+      .KV("trace_fingerprint", Hex64(workload::TraceFingerprint(trace)))
+      .KV("run_fingerprint", Hex64(result.run_fingerprint))
+      .EndObject();
+  PrintJsonLine(json);
+  WriteScenarioSummary(scenario, json);
+}
+
+void Run(const BenchConfig& config) {
+  TempWorkspace workspace("helix-bench-trace");
+  for (const std::string& scenario : workload::ScenarioNames()) {
+    RunScenario(scenario, config, workspace);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace helix
+
+int main(int argc, char** argv) {
+  helix::bench::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    int64_t v;
+    if ((v = helix::bench::FlagValue(arg, "--users")) >= 0) {
+      config.users = static_cast<int>(v);
+    } else if ((v = helix::bench::FlagValue(arg, "--iterations")) >= 0) {
+      config.iterations = static_cast<int>(v);
+    } else if ((v = helix::bench::FlagValue(arg, "--rows")) >= 0) {
+      config.rows = v;
+    } else if ((v = helix::bench::FlagValue(arg, "--docs")) >= 0) {
+      config.docs = v;
+    } else if ((v = helix::bench::FlagValue(arg, "--seed")) >= 0) {
+      config.seed = static_cast<uint64_t>(v);
+    } else if ((v = helix::bench::FlagValue(arg, "--threads")) >= 0) {
+      config.threads = static_cast<int>(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    }
+  }
+  helix::bench::Run(config);
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "apps/stream_app.h"
+
+#include "datagen/census_gen.h"
+
+namespace helix {
+namespace apps {
+
+using core::NodeRef;
+using core::Workflow;
+namespace ops = core::ops;
+
+const char* const kStreamPrefixNodes[] = {
+    "base",    "baseRows",  "baseAge",    "baseEdu", "baseCl",
+    "baseTarget", "baseAgeBucket", "baseExamples", "incPred", nullptr};
+const char* const kStreamSuffixNodes[] = {
+    "stream",    "streamRows",  "streamAge",    "streamEdu", "streamCl",
+    "streamTarget", "streamAgeBucket", "streamExamples", "predictions",
+    "checked", nullptr};
+
+core::Workflow BuildStreamWorkflow(const StreamConfig& config) {
+  Workflow wf("stream");
+
+  // --- Prefix: train on the fixed base table -----------------------------
+  NodeRef base = wf.Add(
+      ops::FileSource("base", config.base_train_path, config.holdout_path));
+  NodeRef base_rows =
+      wf.Add(ops::CsvScanner("baseRows", datagen::CensusColumns()), {base});
+  NodeRef base_age =
+      wf.Add(ops::FieldExtractor("baseAge", "age"), {base_rows});
+  NodeRef base_edu =
+      wf.Add(ops::FieldExtractor("baseEdu", "education"), {base_rows});
+  NodeRef base_cl =
+      wf.Add(ops::FieldExtractor("baseCl", "capital_loss"), {base_rows});
+  NodeRef base_target =
+      wf.Add(ops::FieldExtractor("baseTarget", "target"), {base_rows});
+  NodeRef base_age_bucket =
+      wf.Add(ops::Bucketizer("baseAgeBucket", config.age_bins), {base_age});
+  NodeRef base_examples =
+      wf.Add(ops::AssembleExamples("baseExamples", ">50K"),
+             {base_edu, base_age_bucket, base_cl, base_target});
+  NodeRef model =
+      wf.Add(ops::Learner("incPred", config.learner), {base_examples});
+
+  // --- Suffix: score the growing stream with the trained model -----------
+  // The stream source's *train* side is the same base table: it puts the
+  // base rows first in the scoring assembly, pinning the trained feature
+  // indexes (see the header comment).
+  NodeRef stream = wf.Add(
+      ops::FileSource("stream", config.base_train_path, config.stream_path));
+  NodeRef stream_rows =
+      wf.Add(ops::CsvScanner("streamRows", datagen::CensusColumns()),
+             {stream});
+  NodeRef stream_age =
+      wf.Add(ops::FieldExtractor("streamAge", "age"), {stream_rows});
+  NodeRef stream_edu =
+      wf.Add(ops::FieldExtractor("streamEdu", "education"), {stream_rows});
+  NodeRef stream_cl =
+      wf.Add(ops::FieldExtractor("streamCl", "capital_loss"), {stream_rows});
+  NodeRef stream_target =
+      wf.Add(ops::FieldExtractor("streamTarget", "target"), {stream_rows});
+  NodeRef stream_age_bucket = wf.Add(
+      ops::Bucketizer("streamAgeBucket", config.age_bins), {stream_age});
+  NodeRef stream_examples =
+      wf.Add(ops::AssembleExamples("streamExamples", ">50K"),
+             {stream_edu, stream_age_bucket, stream_cl, stream_target});
+  NodeRef predictions =
+      wf.Add(ops::Predictor("predictions"), {model, stream_examples});
+  NodeRef checked =
+      wf.Add(ops::Evaluator("checked", config.eval), {predictions});
+
+  wf.MarkOutput(predictions);
+  wf.MarkOutput(checked);
+  return wf;
+}
+
+}  // namespace apps
+}  // namespace helix

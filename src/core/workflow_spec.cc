@@ -1,0 +1,100 @@
+#include "core/workflow_spec.h"
+
+#include <utility>
+
+#include "common/strings.h"
+
+namespace helix {
+namespace core {
+
+void WorkflowSpec::SetInt(const std::string& key, int64_t value) {
+  params[key] = std::to_string(value);
+}
+
+void WorkflowSpec::SetDouble(const std::string& key, double value) {
+  // %.17g round-trips every finite double exactly.
+  params[key] = StrFormat("%.17g", value);
+}
+
+void WorkflowSpec::SetBool(const std::string& key, bool value) {
+  params[key] = value ? "1" : "0";
+}
+
+std::string WorkflowSpec::GetString(const std::string& key,
+                                    const std::string& fallback) const {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+Result<int64_t> WorkflowSpec::GetInt(const std::string& key,
+                                     int64_t fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) {
+    return fallback;
+  }
+  int64_t v = 0;
+  if (!ParseInt64(it->second, &v)) {
+    return Status::InvalidArgument("spec param '" + key +
+                                   "' is not an integer: " + it->second);
+  }
+  return v;
+}
+
+Result<double> WorkflowSpec::GetDouble(const std::string& key,
+                                       double fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) {
+    return fallback;
+  }
+  double v = 0;
+  if (!ParseDouble(it->second, &v)) {
+    return Status::InvalidArgument("spec param '" + key +
+                                   "' is not a number: " + it->second);
+  }
+  return v;
+}
+
+Result<bool> WorkflowSpec::GetBool(const std::string& key,
+                                   bool fallback) const {
+  auto it = params.find(key);
+  if (it == params.end()) {
+    return fallback;
+  }
+  if (it->second == "1") {
+    return true;
+  }
+  if (it->second == "0") {
+    return false;
+  }
+  return Status::InvalidArgument("spec param '" + key +
+                                 "' is not a bool (0/1): " + it->second);
+}
+
+void EncodeWorkflowSpec(const WorkflowSpec& spec, ByteWriter* out) {
+  out->PutString(spec.app);
+  out->PutU64(spec.params.size());
+  for (const auto& [key, value] : spec.params) {
+    out->PutString(key);
+    out->PutString(value);
+  }
+}
+
+Result<WorkflowSpec> DecodeWorkflowSpec(ByteReader* in) {
+  WorkflowSpec spec;
+  HELIX_ASSIGN_OR_RETURN(spec.app, in->GetString());
+  HELIX_ASSIGN_OR_RETURN(uint64_t n, in->GetU64());
+  // Each param needs at least two length prefixes; bound before looping so
+  // a hostile count cannot drive a long allocation loop.
+  if (n > in->remaining() / 16) {
+    return Status::Corruption("workflow spec param count implausible");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    HELIX_ASSIGN_OR_RETURN(std::string key, in->GetString());
+    HELIX_ASSIGN_OR_RETURN(std::string value, in->GetString());
+    spec.params[std::move(key)] = std::move(value);
+  }
+  return spec;
+}
+
+}  // namespace core
+}  // namespace helix

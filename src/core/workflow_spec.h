@@ -1,0 +1,69 @@
+// WorkflowSpec: a serializable workflow description.
+//
+// Workflows cannot cross process boundaries directly — operators embed
+// arbitrary C++ UDF closures — so anything that names a workflow outside
+// its own process (the wire protocol, recorded workload traces) carries a
+// WorkflowSpec instead: an application name plus ordered string
+// parameters, resolved into a real core::Workflow by a WorkflowResolver.
+// Because operator signatures (and therefore store keys, plans, and
+// outputs) are pure functions of the resolved workflow, any consumer of a
+// spec — a remote server, a trace replay — executes byte-identically to
+// the process that authored it.
+//
+// This lives in core (not net) because the workload layer records and
+// replays specs without touching sockets; net re-exports the names.
+#ifndef HELIX_CORE_WORKFLOW_SPEC_H_
+#define HELIX_CORE_WORKFLOW_SPEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "core/workflow.h"
+
+namespace helix {
+namespace core {
+
+/// A serializable workflow description: application name + string
+/// parameters, resolved into a core::Workflow by a WorkflowResolver.
+struct WorkflowSpec {
+  std::string app;
+  /// Ordered map: the encoding (and anything hashed from it) is
+  /// deterministic.
+  std::map<std::string, std::string> params;
+
+  void SetString(const std::string& key, std::string value) {
+    params[key] = std::move(value);
+  }
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  /// Readers return `fallback` when the key is absent and InvalidArgument
+  /// when present but malformed — a decoder overrides defaults with
+  /// whatever the client sent.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  Result<double> GetDouble(const std::string& key, double fallback) const;
+  Result<bool> GetBool(const std::string& key, bool fallback) const;
+};
+
+/// Resolves a WorkflowSpec into an executable workflow. Must be pure: the
+/// same spec must always produce an identically-signatured workflow
+/// (determinism across sessions and processes depends on it). Called
+/// concurrently from server worker threads.
+using WorkflowResolver =
+    std::function<Result<core::Workflow>(const WorkflowSpec&)>;
+
+void EncodeWorkflowSpec(const WorkflowSpec& spec, ByteWriter* out);
+Result<WorkflowSpec> DecodeWorkflowSpec(ByteReader* in);
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_WORKFLOW_SPEC_H_

@@ -184,6 +184,56 @@ Result<apps::IeConfig> IeConfigFromSpec(const WorkflowSpec& spec) {
   return config;
 }
 
+WorkflowSpec MakeStreamSpec(const apps::StreamConfig& config) {
+  WorkflowSpec spec;
+  spec.app = kStreamApp;
+  spec.SetString("base_train_path", config.base_train_path);
+  spec.SetString("holdout_path", config.holdout_path);
+  spec.SetString("stream_path", config.stream_path);
+  spec.SetInt("age_bins", config.age_bins);
+  PutLearner(config.learner, &spec);
+  spec.SetDouble("eval.threshold", config.eval.threshold);
+  spec.SetBool("eval.accuracy", config.eval.accuracy);
+  spec.SetBool("eval.precision_recall_f1", config.eval.precision_recall_f1);
+  spec.SetBool("eval.auc", config.eval.auc);
+  spec.SetBool("eval.log_loss", config.eval.log_loss);
+  spec.SetBool("eval.confusion_counts", config.eval.confusion_counts);
+  return spec;
+}
+
+Result<apps::StreamConfig> StreamConfigFromSpec(const WorkflowSpec& spec) {
+  if (spec.app != kStreamApp) {
+    return Status::InvalidArgument("spec is for app '" + spec.app +
+                                   "', not stream");
+  }
+  apps::StreamConfig config;
+  config.base_train_path =
+      spec.GetString("base_train_path", config.base_train_path);
+  config.holdout_path = spec.GetString("holdout_path", config.holdout_path);
+  config.stream_path = spec.GetString("stream_path", config.stream_path);
+  HELIX_ASSIGN_OR_RETURN(int64_t age_bins,
+                         spec.GetInt("age_bins", config.age_bins));
+  config.age_bins = static_cast<int>(age_bins);
+  HELIX_RETURN_IF_ERROR(GetLearner(spec, &config.learner));
+  HELIX_ASSIGN_OR_RETURN(
+      config.eval.threshold,
+      spec.GetDouble("eval.threshold", config.eval.threshold));
+  HELIX_ASSIGN_OR_RETURN(config.eval.accuracy,
+                         spec.GetBool("eval.accuracy", config.eval.accuracy));
+  HELIX_ASSIGN_OR_RETURN(
+      config.eval.precision_recall_f1,
+      spec.GetBool("eval.precision_recall_f1",
+                   config.eval.precision_recall_f1));
+  HELIX_ASSIGN_OR_RETURN(config.eval.auc,
+                         spec.GetBool("eval.auc", config.eval.auc));
+  HELIX_ASSIGN_OR_RETURN(config.eval.log_loss,
+                         spec.GetBool("eval.log_loss", config.eval.log_loss));
+  HELIX_ASSIGN_OR_RETURN(
+      config.eval.confusion_counts,
+      spec.GetBool("eval.confusion_counts", config.eval.confusion_counts));
+  return config;
+}
+
 WorkflowResolver MakeStandardResolver() {
   return [](const WorkflowSpec& spec) -> Result<core::Workflow> {
     if (spec.app == kCensusApp) {
@@ -194,6 +244,11 @@ WorkflowResolver MakeStandardResolver() {
     if (spec.app == kIeApp) {
       HELIX_ASSIGN_OR_RETURN(apps::IeConfig config, IeConfigFromSpec(spec));
       return apps::BuildIeWorkflow(config);
+    }
+    if (spec.app == kStreamApp) {
+      HELIX_ASSIGN_OR_RETURN(apps::StreamConfig config,
+                             StreamConfigFromSpec(spec));
+      return apps::BuildStreamWorkflow(config);
     }
     return Status::NotFound("no workflow resolver for app '" + spec.app +
                             "'");

@@ -15,6 +15,7 @@
 
 #include "apps/census_app.h"
 #include "apps/ie_app.h"
+#include "apps/stream_app.h"
 #include "common/result.h"
 #include "net/wire.h"
 
@@ -24,6 +25,7 @@ namespace net {
 /// Spec names understood by MakeStandardResolver.
 inline constexpr char kCensusApp[] = "census";
 inline constexpr char kIeApp[] = "ie";
+inline constexpr char kStreamApp[] = "stream";
 
 WorkflowSpec MakeCensusSpec(const apps::CensusConfig& config);
 Result<apps::CensusConfig> CensusConfigFromSpec(const WorkflowSpec& spec);
@@ -31,8 +33,12 @@ Result<apps::CensusConfig> CensusConfigFromSpec(const WorkflowSpec& spec);
 WorkflowSpec MakeIeSpec(const apps::IeConfig& config);
 Result<apps::IeConfig> IeConfigFromSpec(const WorkflowSpec& spec);
 
-/// Resolver for the standard applications ("census", "ie"); anything else
-/// is NotFound. Data paths inside the specs are read server-side.
+WorkflowSpec MakeStreamSpec(const apps::StreamConfig& config);
+Result<apps::StreamConfig> StreamConfigFromSpec(const WorkflowSpec& spec);
+
+/// Resolver for the standard applications ("census", "ie", "stream");
+/// anything else is NotFound. Data paths inside the specs are read
+/// server-side.
 WorkflowResolver MakeStandardResolver();
 
 }  // namespace net

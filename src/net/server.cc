@@ -247,7 +247,8 @@ std::string HelixServer::HandleRunIteration(const Frame& frame) {
   // Already on a pool worker: run the iteration here, exactly like an
   // in-process SubmitIteration task would.
   Result<core::IterationResult> result = service_->RunIteration(
-      session, workflow.value(), request->description, request->category);
+      session, workflow.value(), request->description, request->category,
+      &request->spec);
   if (!result.ok()) {
     return EncodeErrorReply(result.status());
   }

@@ -26,6 +26,7 @@
 #include "common/result.h"
 #include "core/version_manager.h"
 #include "core/workflow.h"
+#include "core/workflow_spec.h"
 #include "service/session_service.h"
 
 namespace helix {
@@ -46,37 +47,13 @@ enum class Opcode : uint8_t {
   kReply = 0x80,
 };
 
-/// A serializable workflow description: application name + string
-/// parameters, resolved into a core::Workflow on the server.
-struct WorkflowSpec {
-  std::string app;
-  /// Ordered map: the encoding (and anything hashed from it) is
-  /// deterministic.
-  std::map<std::string, std::string> params;
-
-  void SetString(const std::string& key, std::string value) {
-    params[key] = std::move(value);
-  }
-  void SetInt(const std::string& key, int64_t value);
-  void SetDouble(const std::string& key, double value);
-  void SetBool(const std::string& key, bool value);
-
-  /// Readers return `fallback` when the key is absent and InvalidArgument
-  /// when present but malformed — a decoder overrides defaults with
-  /// whatever the client sent.
-  std::string GetString(const std::string& key,
-                        const std::string& fallback) const;
-  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
-  Result<double> GetDouble(const std::string& key, double fallback) const;
-  Result<bool> GetBool(const std::string& key, bool fallback) const;
-};
-
-/// Resolves a WorkflowSpec into an executable workflow. Must be pure: the
-/// same spec must always produce an identically-signatured workflow
-/// (determinism across sessions and processes depends on it). Called
-/// concurrently from server worker threads.
-using WorkflowResolver =
-    std::function<Result<core::Workflow>(const WorkflowSpec&)>;
+/// The spec and resolver live in core/workflow_spec.h (the workload layer
+/// records and replays specs without touching sockets); re-exported here
+/// so wire-level code keeps reading naturally.
+using WorkflowSpec = core::WorkflowSpec;
+using WorkflowResolver = core::WorkflowResolver;
+using core::DecodeWorkflowSpec;
+using core::EncodeWorkflowSpec;
 
 /// Counter snapshot and iteration summary returned by a remote iteration.
 /// Fingerprints stand in for payloads: outputs stay server-side, the
@@ -100,11 +77,6 @@ void EncodeStatus(const Status& status, ByteWriter* out);
 /// *transport* status (Corruption on malformed bytes); `*out` is the
 /// decoded application status.
 Status DecodeStatus(ByteReader* in, Status* out);
-
-// --- WorkflowSpec ---------------------------------------------------------
-
-void EncodeWorkflowSpec(const WorkflowSpec& spec, ByteWriter* out);
-Result<WorkflowSpec> DecodeWorkflowSpec(ByteReader* in);
 
 // --- Request payloads -----------------------------------------------------
 

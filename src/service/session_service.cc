@@ -76,8 +76,11 @@ Result<std::unique_ptr<SessionService>> SessionService::Open(
         "SessionService with a disk backend requires a workspace_dir");
   }
   std::unique_ptr<SessionService> service(new SessionService(options));
+  service->clock_ =
+      options.clock != nullptr ? options.clock : SystemClock::Default();
 
   storage::StoreOptions store_options;
+  store_options.clock = service->clock_;
   store_options.budget_bytes = options.storage_budget_bytes;
   store_options.backend = options.storage_backend;
   store_options.enable_eviction = options.storage_eviction;
@@ -145,11 +148,17 @@ Result<ServiceSession*> SessionService::CreateSession(
                                           : name));
 
   core::SessionOptions session_options;
-  session_options.clock = SystemClock::Default();
+  session_options.clock = clock_;
   session_options.shared_store = store_.get();
   session_options.shared_stats = &stats_;
-  session_options.inflight = &inflight_;
-  session_options.shared_materializer = materializer_.get();
+  // A virtual clock trades concurrency features for determinism:
+  // core::Session rejects in-flight sharing on one (the block-and-share
+  // wait has no one to advance the clock), and the async writer would
+  // make materialization timing — and therefore eviction order —
+  // scheduling-dependent, so sessions write inline instead.
+  session_options.inflight = clock_->is_virtual() ? nullptr : &inflight_;
+  session_options.shared_materializer =
+      clock_->is_virtual() ? nullptr : materializer_.get();
   session_options.session_id = id;
   // One iteration runs sequentially on one pool worker; the service's
   // parallelism is across sessions, not within an iteration.
@@ -169,24 +178,37 @@ Result<ServiceSession*> SessionService::CreateSession(
 
 Result<core::IterationResult> SessionService::RunIteration(
     ServiceSession* session, const core::Workflow& workflow,
-    const std::string& description, core::ChangeCategory category) {
+    const std::string& description, core::ChangeCategory category,
+    const core::WorkflowSpec* spec) {
   std::lock_guard<std::mutex> run_lock(session->run_mu_);
   auto result = session->session_->RunIteration(workflow, description,
                                                 category);
   if (result.ok()) {
     session->FoldReport(result.value().report, stats_);
+    if (spec != nullptr && options_.iteration_observer) {
+      // Still under run_mu_: one session's observations arrive in
+      // iteration order, which is what makes a recorded trace replayable.
+      options_.iteration_observer(IterationObservation{
+          session->id(), session->name(), *spec, description, category,
+          result.value()});
+    }
   }
   return result;
 }
 
 std::future<Result<core::IterationResult>> SessionService::SubmitIteration(
     ServiceSession* session, core::Workflow workflow, std::string description,
-    core::ChangeCategory category) {
+    core::ChangeCategory category, const core::WorkflowSpec* spec) {
   auto shared_workflow = std::make_shared<core::Workflow>(std::move(workflow));
+  auto shared_spec = spec == nullptr
+                         ? std::shared_ptr<core::WorkflowSpec>()
+                         : std::make_shared<core::WorkflowSpec>(*spec);
   return pool_->Submit(
-      [this, session, shared_workflow, description = std::move(description),
+      [this, session, shared_workflow, shared_spec,
+       description = std::move(description),
        category]() -> Result<core::IterationResult> {
-        return RunIteration(session, *shared_workflow, description, category);
+        return RunIteration(session, *shared_workflow, description, category,
+                            shared_spec.get());
       });
 }
 

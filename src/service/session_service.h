@@ -43,10 +43,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "core/materialization.h"
 #include "core/session.h"
 #include "core/workflow.h"
+#include "core/workflow_spec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/async_materializer.h"
@@ -57,6 +59,29 @@
 
 namespace helix {
 namespace service {
+
+class SessionService;
+class ServiceSession;
+
+/// One successfully finished iteration, as seen by the service's
+/// iteration observer. References point into the caller's arguments and
+/// the freshly produced result; they are valid only for the duration of
+/// the observer call — copy what you keep (TraceRecorder does).
+struct IterationObservation {
+  uint64_t session_id = 0;
+  const std::string& session_name;
+  const core::WorkflowSpec& spec;
+  const std::string& description;
+  core::ChangeCategory category;
+  const core::IterationResult& result;
+};
+
+/// Fired after every successful iteration that carried a WorkflowSpec
+/// (the wire path and trace replay do; direct workflow submissions are
+/// not spec-addressable and therefore not replayable, so they do not
+/// fire). Invoked under the session's run mutex: one session's events
+/// arrive in iteration order. Must be thread-safe across sessions.
+using IterationObserver = std::function<void(const IterationObservation&)>;
 
 /// Configuration of one multi-session service.
 struct ServiceOptions {
@@ -83,6 +108,17 @@ struct ServiceOptions {
   std::shared_ptr<core::MaterializationPolicy> mat_policy;
   core::PlannerKind planner = core::PlannerKind::kOptimal;
   bool paranoid_checks = false;
+  /// Clock driving every session, the shared store, and the latency the
+  /// service observes. nullptr = the system clock. A virtual clock makes
+  /// measured costs deterministic (zero unless explicitly advanced), which
+  /// trace replay uses for bit-exact counter reproducibility — but
+  /// VirtualClock is not thread-safe and core::Session refuses in-flight
+  /// sharing on one, so a virtual-clock service disables the in-flight
+  /// table and the async writer (sessions write inline) and callers must
+  /// serialize iterations across sessions themselves.
+  Clock* clock = nullptr;
+  /// Record/replay hook; see IterationObserver above. Empty = no-op.
+  IterationObserver iteration_observer;
 };
 
 /// Per-session counters, updated exactly once per finished iteration
@@ -107,8 +143,6 @@ struct SessionCounters {
   int64_t saved_micros = 0;
   int64_t total_micros = 0;
 };
-
-class SessionService;
 
 /// One user's long-lived session inside a service. Created by
 /// SessionService::CreateSession and owned by the service; iterations of
@@ -178,17 +212,21 @@ class SessionService {
 
   /// Runs one iteration of `session` on the calling thread (iterations of
   /// one session are serialized; concurrent calls for different sessions
-  /// proceed in parallel).
-  Result<core::IterationResult> RunIteration(ServiceSession* session,
-                                             const core::Workflow& workflow,
-                                             const std::string& description,
-                                             core::ChangeCategory category);
+  /// proceed in parallel). `spec`, when non-null, is the serializable
+  /// description this workflow was resolved from; a successful iteration
+  /// then fires the service's iteration observer (how traces get
+  /// recorded).
+  Result<core::IterationResult> RunIteration(
+      ServiceSession* session, const core::Workflow& workflow,
+      const std::string& description, core::ChangeCategory category,
+      const core::WorkflowSpec* spec = nullptr);
 
   /// Schedules one iteration on the shared pool; the future carries the
   /// iteration's result or error.
   std::future<Result<core::IterationResult>> SubmitIteration(
       ServiceSession* session, core::Workflow workflow,
-      std::string description, core::ChangeCategory category);
+      std::string description, core::ChangeCategory category,
+      const core::WorkflowSpec* spec = nullptr);
 
   /// Sum of all sessions' counters (plus the in-flight table's view of
   /// shared hits, which must match the per-session sum).
@@ -198,6 +236,8 @@ class SessionService {
   Status SaveStats() const;
 
   storage::IntermediateStore* store() { return store_.get(); }
+  /// The effective clock (options.clock, or the system clock).
+  Clock* clock() const { return clock_; }
   storage::CostStatsRegistry* stats() { return &stats_; }
   runtime::ThreadPool* pool() { return pool_.get(); }
   runtime::SignatureInflightTable* inflight() { return &inflight_; }
@@ -215,6 +255,7 @@ class SessionService {
   std::string StatsPath() const;
 
   ServiceOptions options_;
+  Clock* clock_ = nullptr;
   // Destruction order (reverse of declaration) matters: sessions_ and the
   // writer go before the store; the destructor additionally drains the
   // pool first so no queued iteration outlives the sessions it touches.

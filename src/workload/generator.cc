@@ -1,0 +1,411 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "apps/census_app.h"
+#include "apps/ie_app.h"
+#include "apps/stream_app.h"
+#include "common/file_util.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datagen/census_gen.h"
+#include "datagen/news_gen.h"
+#include "net/app_specs.h"
+
+namespace helix {
+namespace workload {
+namespace {
+
+// One independent seed stream per (trace seed, purpose, index): user edit
+// streams and data versions never alias.
+uint64_t DeriveSeed(uint64_t seed, std::string_view tag, uint64_t k) {
+  return Hasher().AddU64(seed).Add(tag).AddU64(k).Digest();
+}
+
+std::string WsPath(const std::string& name) {
+  return std::string(kWorkspacePlaceholder) + "/" + name;
+}
+
+std::string CensusTrainPath(int version) {
+  return WsPath("census.train.v" + std::to_string(version) + ".csv");
+}
+std::string CensusTestPath(int version) {
+  return WsPath("census.test.v" + std::to_string(version) + ".csv");
+}
+std::string NewsPath(int version) {
+  return WsPath("news.v" + std::to_string(version) + ".dat");
+}
+std::string StreamBasePath() { return WsPath("stream.base.csv"); }
+std::string StreamHoldoutPath() { return WsPath("stream.holdout.csv"); }
+std::string StreamBatchPath(int index) {
+  return WsPath("stream.batch.v" + std::to_string(index) + ".csv");
+}
+
+// Hyperparameter grid of the sweep scenario (and refresh's in-between
+// edits): values an analyst plausibly walks through.
+constexpr double kSweepRegs[] = {1.0, 0.5, 0.2, 0.1, 0.05, 0.02, 0.01};
+constexpr int kSweepEpochs[] = {5, 10, 15, 20, 30};
+
+// The feature toggles of the features scenario, by CensusConfig member.
+struct FeatureToggle {
+  const char* name;
+  bool apps::CensusConfig::* member;
+};
+constexpr FeatureToggle kFeatureToggles[] = {
+    {"edu", &apps::CensusConfig::use_edu},
+    {"occ", &apps::CensusConfig::use_occ},
+    {"ageBucket", &apps::CensusConfig::use_age_bucket},
+    {"eduXocc", &apps::CensusConfig::use_edu_x_occ},
+    {"capital_loss", &apps::CensusConfig::use_capital_loss},
+    {"marital_status", &apps::CensusConfig::use_marital_status},
+    {"race", &apps::CensusConfig::use_race},
+    {"hours_per_week", &apps::CensusConfig::use_hours},
+    {"sex", &apps::CensusConfig::use_sex},
+};
+
+/// The evolving state of one simulated analyst.
+struct UserState {
+  Rng rng{0};
+  bool is_ie = false;
+  apps::CensusConfig census;
+  apps::IeConfig ie;
+  apps::StreamConfig stream;
+  int data_version = 0;
+};
+
+// Applies one sweep-style Learner edit; returns the description.
+std::string SweepEdit(Rng* rng, core::ops::LearnerConfig* learner) {
+  learner->reg_param =
+      kSweepRegs[rng->NextBelow(std::size(kSweepRegs))];
+  learner->epochs = kSweepEpochs[rng->NextBelow(std::size(kSweepEpochs))];
+  if (rng->NextBool(0.2)) {
+    learner->model_type = learner->model_type == "lr" ? "nb" : "lr";
+  }
+  return StrFormat("sweep: model=%s reg=%g epochs=%d",
+                   learner->model_type.c_str(), learner->reg_param,
+                   learner->epochs);
+}
+
+TraceEvent LocalizedEvent(UserState* user, int iteration) {
+  TraceEvent event;
+  if (user->is_ie) {
+    static const std::vector<apps::IeScriptedIteration>& script =
+        *new std::vector<apps::IeScriptedIteration>(
+            apps::MakeIeIterationScript());
+    size_t pick = iteration == 0
+                      ? 0
+                      : 1 + user->rng.NextBelow(script.size() - 1);
+    script[pick].mutate(&user->ie);
+    event.description = script[pick].description;
+    event.category = script[pick].category;
+    event.spec = net::MakeIeSpec(user->ie);
+  } else {
+    static const std::vector<apps::ScriptedIteration>& script =
+        *new std::vector<apps::ScriptedIteration>(
+            apps::MakeCensusIterationScript());
+    size_t pick = iteration == 0
+                      ? 0
+                      : 1 + user->rng.NextBelow(script.size() - 1);
+    script[pick].mutate(&user->census);
+    event.description = script[pick].description;
+    event.category = script[pick].category;
+    event.spec = net::MakeCensusSpec(user->census);
+  }
+  return event;
+}
+
+TraceEvent SweepEvent(UserState* user, int iteration) {
+  TraceEvent event;
+  if (iteration == 0) {
+    event.description = "initial version (sweep start)";
+    event.category = core::ChangeCategory::kInitial;
+  } else {
+    event.description = SweepEdit(&user->rng, &user->census.learner);
+    event.category = core::ChangeCategory::kMachineLearning;
+  }
+  event.spec = net::MakeCensusSpec(user->census);
+  return event;
+}
+
+TraceEvent FeaturesEvent(UserState* user, int iteration) {
+  TraceEvent event;
+  if (iteration == 0) {
+    event.description = "initial version (feature baseline)";
+    event.category = core::ChangeCategory::kInitial;
+    event.spec = net::MakeCensusSpec(user->census);
+    return event;
+  }
+  const FeatureToggle& toggle =
+      kFeatureToggles[user->rng.NextBelow(std::size(kFeatureToggles))];
+  bool& flag = user->census.*(toggle.member);
+  flag = !flag;
+  // AssembleExamples needs at least one feature column; an analyst who
+  // just dropped the last one immediately adds one back.
+  bool any = false;
+  for (const FeatureToggle& t : kFeatureToggles) {
+    any = any || user->census.*(t.member);
+  }
+  if (!any) {
+    user->census.use_edu = true;
+    event.description = "drop " + std::string(toggle.name) +
+                        " feature, re-add edu";
+  } else {
+    event.description = std::string(flag ? "add " : "drop ") + toggle.name +
+                        " feature";
+  }
+  event.category = core::ChangeCategory::kDataPreprocessing;
+  event.spec = net::MakeCensusSpec(user->census);
+  return event;
+}
+
+TraceEvent RefreshEvent(UserState* user, int iteration, int refresh_period) {
+  TraceEvent event;
+  if (iteration == 0) {
+    event.description = "initial version (data v0)";
+    event.category = core::ChangeCategory::kInitial;
+  } else if (refresh_period > 0 && iteration % refresh_period == 0) {
+    ++user->data_version;
+    user->census.train_path = CensusTrainPath(user->data_version);
+    user->census.test_path = CensusTestPath(user->data_version);
+    event.description =
+        "refresh data to v" + std::to_string(user->data_version);
+    event.category = core::ChangeCategory::kDataPreprocessing;
+  } else {
+    event.description = SweepEdit(&user->rng, &user->census.learner);
+    event.category = core::ChangeCategory::kMachineLearning;
+  }
+  event.spec = net::MakeCensusSpec(user->census);
+  return event;
+}
+
+TraceEvent StreamEvent(UserState* user, int iteration) {
+  TraceEvent event;
+  if (iteration == 0) {
+    event.description = "initial version (stream batch 0)";
+    event.category = core::ChangeCategory::kInitial;
+  } else {
+    user->stream.stream_path = StreamBatchPath(iteration);
+    event.description = "append stream batch " + std::to_string(iteration);
+    event.category = core::ChangeCategory::kDataPreprocessing;
+  }
+  event.spec = net::MakeStreamSpec(user->stream);
+  return event;
+}
+
+int64_t ParamInt(const TraceHeader& header, const std::string& key,
+                 int64_t fallback) {
+  auto it = header.params.find(key);
+  if (it == header.params.end()) {
+    return fallback;
+  }
+  int64_t v = 0;
+  return ParseInt64(it->second, &v) ? v : fallback;
+}
+
+}  // namespace
+
+const std::vector<std::string>& ScenarioNames() {
+  static const std::vector<std::string>& names =
+      *new std::vector<std::string>{"localized", "sweep", "features",
+                                    "refresh", "stream"};
+  return names;
+}
+
+Result<Trace> GenerateTrace(const ScenarioConfig& config) {
+  const std::vector<std::string>& names = ScenarioNames();
+  if (std::find(names.begin(), names.end(), config.scenario) ==
+      names.end()) {
+    std::string known;
+    for (const std::string& name : names) {
+      known += (known.empty() ? "" : ", ") + name;
+    }
+    return Status::InvalidArgument("unknown scenario '" + config.scenario +
+                                   "' (known: " + known + ")");
+  }
+  if (config.users < 1 || config.iterations < 1) {
+    return Status::InvalidArgument(
+        "scenario needs at least one user and one iteration");
+  }
+  if (config.rows < 50 || config.docs < 2 || config.stream_batch_rows < 10) {
+    return Status::InvalidArgument("scenario data shape too small");
+  }
+
+  Trace trace;
+  trace.header.scenario = config.scenario;
+  trace.header.seed = config.seed;
+  trace.header.num_users = static_cast<uint32_t>(config.users);
+  trace.header.iterations_per_user =
+      static_cast<uint32_t>(config.iterations);
+  trace.header.params["rows"] = std::to_string(config.rows);
+  trace.header.params["docs"] = std::to_string(config.docs);
+  trace.header.params["stream_batch_rows"] =
+      std::to_string(config.stream_batch_rows);
+  trace.header.params["refresh_period"] =
+      std::to_string(config.refresh_period);
+  trace.header.params["think_ms"] = std::to_string(config.think_ms);
+
+  std::vector<UserState> users(static_cast<size_t>(config.users));
+  for (int u = 0; u < config.users; ++u) {
+    UserState& user = users[static_cast<size_t>(u)];
+    user.rng.Seed(DeriveSeed(config.seed, config.scenario,
+                             static_cast<uint64_t>(u)));
+    // The localized scenario alternates census and IE analysts (the
+    // paper's two applications iterating side by side).
+    user.is_ie = config.scenario == "localized" && (u % 2) == 1;
+    user.census.train_path = CensusTrainPath(0);
+    user.census.test_path = CensusTestPath(0);
+    user.ie.corpus_path = NewsPath(0);
+    user.stream.base_train_path = StreamBasePath();
+    user.stream.holdout_path = StreamHoldoutPath();
+    user.stream.stream_path = StreamBatchPath(0);
+  }
+
+  // Round-robin interleave: iteration 0 of every user, then iteration 1,
+  // ... — the order a sequential replay executes.
+  for (int i = 0; i < config.iterations; ++i) {
+    for (int u = 0; u < config.users; ++u) {
+      UserState& user = users[static_cast<size_t>(u)];
+      TraceEvent event;
+      if (config.scenario == "localized") {
+        event = LocalizedEvent(&user, i);
+      } else if (config.scenario == "sweep") {
+        event = SweepEvent(&user, i);
+      } else if (config.scenario == "features") {
+        event = FeaturesEvent(&user, i);
+      } else if (config.scenario == "refresh") {
+        event = RefreshEvent(&user, i, config.refresh_period);
+      } else {
+        event = StreamEvent(&user, i);
+      }
+      event.user = static_cast<uint32_t>(u);
+      if (i > 0 && config.think_ms > 0) {
+        event.think_micros = user.rng.NextInt(
+            static_cast<int64_t>(config.think_ms) * 500,
+            static_cast<int64_t>(config.think_ms) * 1500);
+      }
+      trace.events.push_back(std::move(event));
+    }
+  }
+  return trace;
+}
+
+Status MaterializeTraceData(const Trace& trace, const std::string& dir) {
+  HELIX_RETURN_IF_ERROR(MakeDirs(dir));
+  const int64_t rows = std::max<int64_t>(ParamInt(trace.header, "rows", 2000),
+                                         50);
+  const int64_t docs = std::max<int64_t>(ParamInt(trace.header, "docs", 24),
+                                         2);
+  const int64_t batch_rows = std::max<int64_t>(
+      ParamInt(trace.header, "stream_batch_rows", 400), 10);
+  const uint64_t seed = trace.header.seed;
+
+  // Collect which ${WS} files the events actually reference.
+  std::set<int> census_versions;
+  std::set<int> news_versions;
+  std::set<int> stream_batches;
+  bool stream_base = false;
+  const std::string prefix = std::string(kWorkspacePlaceholder) + "/";
+  auto parse_version = [](const std::string& name, const std::string& head,
+                          const std::string& tail, int* out) {
+    if (name.size() <= head.size() + tail.size() ||
+        name.compare(0, head.size(), head) != 0 ||
+        name.compare(name.size() - tail.size(), tail.size(), tail) != 0) {
+      return false;
+    }
+    int64_t v = 0;
+    if (!ParseInt64(name.substr(head.size(),
+                                name.size() - head.size() - tail.size()),
+                    &v) ||
+        v < 0) {
+      return false;
+    }
+    *out = static_cast<int>(v);
+    return true;
+  };
+  for (const TraceEvent& event : trace.events) {
+    for (const auto& [key, value] : event.spec.params) {
+      if (value.compare(0, prefix.size(), prefix) != 0) {
+        continue;
+      }
+      std::string name = value.substr(prefix.size());
+      int version = 0;
+      if (parse_version(name, "census.train.v", ".csv", &version) ||
+          parse_version(name, "census.test.v", ".csv", &version)) {
+        census_versions.insert(version);
+      } else if (parse_version(name, "news.v", ".dat", &version)) {
+        news_versions.insert(version);
+      } else if (parse_version(name, "stream.batch.v", ".csv", &version)) {
+        stream_batches.insert(version);
+      } else if (name == "stream.base.csv" || name == "stream.holdout.csv") {
+        stream_base = true;
+      } else {
+        return Status::InvalidArgument(
+            "trace references unknown workspace file: " + name);
+      }
+    }
+  }
+
+  for (int version : census_versions) {
+    datagen::CensusGenOptions options;
+    options.num_rows = rows;
+    options.seed =
+        DeriveSeed(seed, "census", static_cast<uint64_t>(version));
+    HELIX_RETURN_IF_ERROR(datagen::WriteCensusFiles(
+        options,
+        JoinPath(dir, "census.train.v" + std::to_string(version) + ".csv"),
+        JoinPath(dir, "census.test.v" + std::to_string(version) + ".csv")));
+  }
+  for (int version : news_versions) {
+    datagen::NewsGenOptions options;
+    options.num_docs = docs;
+    options.seed = DeriveSeed(seed, "news", static_cast<uint64_t>(version));
+    HELIX_RETURN_IF_ERROR(datagen::WriteNewsCorpus(
+        options, JoinPath(dir, "news.v" + std::to_string(version) + ".dat")));
+  }
+  if (stream_base || !stream_batches.empty()) {
+    datagen::CensusGenOptions base;
+    base.num_rows = rows;
+    base.seed = DeriveSeed(seed, "stream.base", 0);
+    HELIX_RETURN_IF_ERROR(WriteStringToFile(
+        JoinPath(dir, "stream.base.csv"), datagen::GenerateCensusCsv(base)));
+    datagen::CensusGenOptions holdout;
+    holdout.num_rows = std::max<int64_t>(rows / 5, 20);
+    holdout.seed = DeriveSeed(seed, "stream.holdout", 0);
+    HELIX_RETURN_IF_ERROR(
+        WriteStringToFile(JoinPath(dir, "stream.holdout.csv"),
+                          datagen::GenerateCensusCsv(holdout)));
+  }
+  if (!stream_batches.empty()) {
+    // One deterministic row stream; batch file v<i> is its first
+    // (i+1)*batch_rows rows, so each version is a byte-prefix extension of
+    // the previous — genuinely append-only data.
+    int max_batch = *stream_batches.rbegin();
+    datagen::CensusGenOptions all;
+    all.num_rows = batch_rows * (max_batch + 1);
+    all.seed = DeriveSeed(seed, "stream.batch", 0);
+    std::string csv = datagen::GenerateCensusCsv(all);
+    std::vector<size_t> line_ends;
+    line_ends.reserve(static_cast<size_t>(all.num_rows));
+    for (size_t i = 0; i < csv.size(); ++i) {
+      if (csv[i] == '\n') {
+        line_ends.push_back(i + 1);
+      }
+    }
+    for (int batch : stream_batches) {
+      size_t want = static_cast<size_t>(batch_rows) *
+                    static_cast<size_t>(batch + 1);
+      size_t end = want <= line_ends.size() ? line_ends[want - 1]
+                                            : csv.size();
+      HELIX_RETURN_IF_ERROR(WriteStringToFile(
+          JoinPath(dir, "stream.batch.v" + std::to_string(batch) + ".csv"),
+          csv.substr(0, end)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace helix

@@ -1,0 +1,82 @@
+// Seeded generator of human-in-the-loop edit traces.
+//
+// The companion studies of the paper (arXiv:1804.05892 "Challenges and
+// Opportunities", arXiv:1812.05762) characterize what analysts actually do
+// between iterations: small localized DAG edits, hyperparameter sweeps,
+// feature add/drop, occasional data refresh. Each scenario here is one of
+// those edit classes turned into a reproducible workload:
+//
+//   localized — mixed census/ie users; each iteration applies one edit
+//               drawn from the apps' scripted human-edit menus (the
+//               Figure 2 reproduction scripts), so consecutive DAGs
+//               differ in a single operator.
+//   sweep     — hyperparameter grid walk over the Learner (reg/epochs/
+//               model family); everything upstream of the model keeps its
+//               signatures, the paper's best case for reuse.
+//   features  — feature add/drop: each iteration toggles one extractor
+//               feeding AssembleExamples (program slicing + partial
+//               reuse).
+//   refresh   — localized edits with a periodic full data refresh (the
+//               FileSource repoints at a new data version, invalidating
+//               everything — the paper's worst case).
+//   stream    — streaming append on the two-source stream app
+//               (apps/stream_app.h): each iteration appends a batch to
+//               the scored stream; only DAG-suffix nodes recompute.
+//
+// Generation is pure: the same ScenarioConfig always yields the same
+// Trace, and every data file a trace references is regenerated
+// deterministically from the trace header alone (MaterializeTraceData) —
+// a trace file is self-contained.
+#ifndef HELIX_WORKLOAD_GENERATOR_H_
+#define HELIX_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/trace.h"
+
+namespace helix {
+namespace workload {
+
+/// Knobs of one generated scenario. Everything lands in the trace header
+/// (name = the field name), so a trace file carries its own provenance.
+struct ScenarioConfig {
+  std::string scenario = "localized";
+  uint64_t seed = 1;
+  int users = 2;
+  int iterations = 8;
+  /// Census rows per data version (train+test, 80/20).
+  int64_t rows = 2000;
+  /// IE corpus documents per data version.
+  int64_t docs = 24;
+  /// Rows appended to the stream per iteration (stream scenario).
+  int64_t stream_batch_rows = 400;
+  /// Refresh scenario: repoint the data every this-many iterations.
+  int refresh_period = 3;
+  /// Mean think time between a user's edits (0 = none). Recorded on the
+  /// events; replay decides whether to sleep or advance a virtual clock.
+  int think_ms = 0;
+};
+
+/// The scenario names GenerateTrace understands, in canonical order.
+const std::vector<std::string>& ScenarioNames();
+
+/// Generates the trace for a scenario. Events are interleaved round-robin
+/// across users (iteration 0 of every user, then iteration 1, ...), which
+/// is also the order a sequential replay executes. All data paths inside
+/// the specs are ${WS}-relative. InvalidArgument on an unknown scenario
+/// or a non-positive shape.
+Result<Trace> GenerateTrace(const ScenarioConfig& config);
+
+/// Writes every ${WS}-relative data file referenced by the trace's events
+/// into `dir`, regenerating them deterministically from the trace header
+/// (seed + rows/docs/batch params). Replay then runs on
+/// RebaseTracePaths(trace, kWorkspacePlaceholder, dir).
+Status MaterializeTraceData(const Trace& trace, const std::string& dir);
+
+}  // namespace workload
+}  // namespace helix
+
+#endif  // HELIX_WORKLOAD_GENERATOR_H_

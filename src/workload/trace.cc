@@ -1,0 +1,302 @@
+#include "workload/trace.h"
+
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/file_util.h"
+#include "common/hash.h"
+
+namespace helix {
+namespace workload {
+namespace {
+
+enum class ChunkKind : uint8_t {
+  kHeader = 1,
+  kEvent = 2,
+  kFooter = 3,
+};
+
+std::string EncodeHeaderPayload(const TraceHeader& header) {
+  ByteWriter out;
+  out.PutString(header.scenario);
+  out.PutU64(header.seed);
+  out.PutU32(header.num_users);
+  out.PutU32(header.iterations_per_user);
+  out.PutU64(header.params.size());
+  for (const auto& [key, value] : header.params) {
+    out.PutString(key);
+    out.PutString(value);
+  }
+  return std::move(out.TakeData());
+}
+
+Result<TraceHeader> DecodeHeaderPayload(std::string_view payload) {
+  ByteReader in(payload);
+  TraceHeader header;
+  HELIX_ASSIGN_OR_RETURN(header.scenario, in.GetString());
+  HELIX_ASSIGN_OR_RETURN(header.seed, in.GetU64());
+  HELIX_ASSIGN_OR_RETURN(header.num_users, in.GetU32());
+  HELIX_ASSIGN_OR_RETURN(header.iterations_per_user, in.GetU32());
+  HELIX_ASSIGN_OR_RETURN(uint64_t n, in.GetU64());
+  if (n > in.remaining() / 16) {
+    return Status::Corruption("trace header param count implausible");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    HELIX_ASSIGN_OR_RETURN(std::string key, in.GetString());
+    HELIX_ASSIGN_OR_RETURN(std::string value, in.GetString());
+    header.params[std::move(key)] = std::move(value);
+  }
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in trace header chunk");
+  }
+  return header;
+}
+
+std::string EncodeEventPayload(const TraceEvent& event) {
+  ByteWriter out;
+  out.PutU32(event.user);
+  core::EncodeWorkflowSpec(event.spec, &out);
+  out.PutString(event.description);
+  out.PutU8(static_cast<uint8_t>(event.category));
+  out.PutI64(event.think_micros);
+  return std::move(out.TakeData());
+}
+
+Result<TraceEvent> DecodeEventPayload(std::string_view payload) {
+  ByteReader in(payload);
+  TraceEvent event;
+  HELIX_ASSIGN_OR_RETURN(event.user, in.GetU32());
+  HELIX_ASSIGN_OR_RETURN(event.spec, core::DecodeWorkflowSpec(&in));
+  HELIX_ASSIGN_OR_RETURN(event.description, in.GetString());
+  HELIX_ASSIGN_OR_RETURN(uint8_t category, in.GetU8());
+  if (category > static_cast<uint8_t>(core::ChangeCategory::kEvaluation)) {
+    return Status::Corruption("trace event change category out of range");
+  }
+  event.category = static_cast<core::ChangeCategory>(category);
+  HELIX_ASSIGN_OR_RETURN(event.think_micros, in.GetI64());
+  if (event.think_micros < 0) {
+    return Status::Corruption("trace event think time negative");
+  }
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in trace event chunk");
+  }
+  return event;
+}
+
+void AppendChunk(ChunkKind kind, std::string_view payload, ByteWriter* out) {
+  size_t start = out->size();
+  out->PutU32(kTraceMagic);
+  out->PutU8(kTraceFormatVersion);
+  out->PutU8(static_cast<uint8_t>(kind));
+  out->PutU32(static_cast<uint32_t>(payload.size()));
+  out->PutRaw(payload.data(), payload.size());
+  out->PutU64(FnvHash64(out->data().data() + start, out->size() - start));
+}
+
+/// The running payload digest the footer pins: header payload first, then
+/// every event payload in order.
+class RunningFingerprint {
+ public:
+  void Absorb(std::string_view payload) { hasher_.Add(payload); }
+  uint64_t Digest() const { return hasher_.Digest(); }
+
+ private:
+  Hasher hasher_;
+};
+
+}  // namespace
+
+std::string EncodeTrace(const Trace& trace) {
+  ByteWriter out;
+  RunningFingerprint fingerprint;
+  std::string header_payload = EncodeHeaderPayload(trace.header);
+  fingerprint.Absorb(header_payload);
+  AppendChunk(ChunkKind::kHeader, header_payload, &out);
+  for (const TraceEvent& event : trace.events) {
+    std::string event_payload = EncodeEventPayload(event);
+    fingerprint.Absorb(event_payload);
+    AppendChunk(ChunkKind::kEvent, event_payload, &out);
+  }
+  ByteWriter footer;
+  footer.PutU64(trace.events.size());
+  footer.PutU64(fingerprint.Digest());
+  AppendChunk(ChunkKind::kFooter, footer.data(), &out);
+  return std::move(out.TakeData());
+}
+
+Result<Trace> DecodeTrace(std::string_view bytes) {
+  if (bytes.empty()) {
+    return Status::Corruption("empty trace");
+  }
+  Trace trace;
+  RunningFingerprint fingerprint;
+  bool saw_header = false;
+  bool saw_footer = false;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (saw_footer) {
+      return Status::Corruption("trailing bytes after trace footer");
+    }
+    std::string_view rest = bytes.substr(pos);
+    ByteReader in(rest);
+    HELIX_ASSIGN_OR_RETURN(uint32_t magic, in.GetU32());
+    if (magic != kTraceMagic) {
+      return Status::Corruption("bad trace chunk magic");
+    }
+    HELIX_ASSIGN_OR_RETURN(uint8_t version, in.GetU8());
+    if (version > kTraceFormatVersion) {
+      return Status::InvalidArgument(
+          "trace format version " + std::to_string(version) +
+          " not supported (this build reads up to " +
+          std::to_string(kTraceFormatVersion) + ")");
+    }
+    if (version == 0) {
+      return Status::Corruption("trace format version 0 invalid");
+    }
+    HELIX_ASSIGN_OR_RETURN(uint8_t kind, in.GetU8());
+    HELIX_ASSIGN_OR_RETURN(uint32_t length, in.GetU32());
+    // Bound before touching the payload: a hostile length must not drive
+    // an allocation or an out-of-range read.
+    if (length > kMaxTraceChunkBytes) {
+      return Status::Corruption("trace chunk length implausible");
+    }
+    if (static_cast<size_t>(length) + kTraceChunkChecksumBytes >
+        in.remaining()) {
+      return Status::Corruption("truncated trace chunk");
+    }
+    HELIX_ASSIGN_OR_RETURN(std::string_view payload, in.GetRawView(length));
+    uint64_t expected =
+        FnvHash64(rest.data(), kTraceChunkHeaderBytes + length);
+    HELIX_ASSIGN_OR_RETURN(uint64_t checksum, in.GetU64());
+    if (checksum != expected) {
+      return Status::Corruption("trace chunk checksum mismatch");
+    }
+    switch (static_cast<ChunkKind>(kind)) {
+      case ChunkKind::kHeader: {
+        if (saw_header) {
+          return Status::Corruption("duplicate trace header chunk");
+        }
+        HELIX_ASSIGN_OR_RETURN(trace.header, DecodeHeaderPayload(payload));
+        saw_header = true;
+        fingerprint.Absorb(payload);
+        break;
+      }
+      case ChunkKind::kEvent: {
+        if (!saw_header) {
+          return Status::Corruption("trace event chunk before header");
+        }
+        HELIX_ASSIGN_OR_RETURN(TraceEvent event, DecodeEventPayload(payload));
+        trace.events.push_back(std::move(event));
+        fingerprint.Absorb(payload);
+        break;
+      }
+      case ChunkKind::kFooter: {
+        if (!saw_header) {
+          return Status::Corruption("trace footer chunk before header");
+        }
+        ByteReader footer(payload);
+        HELIX_ASSIGN_OR_RETURN(uint64_t count, footer.GetU64());
+        HELIX_ASSIGN_OR_RETURN(uint64_t digest, footer.GetU64());
+        if (!footer.AtEnd()) {
+          return Status::Corruption("trailing bytes in trace footer chunk");
+        }
+        if (count != trace.events.size()) {
+          return Status::Corruption("trace footer event count mismatch");
+        }
+        if (digest != fingerprint.Digest()) {
+          return Status::Corruption("trace footer fingerprint mismatch");
+        }
+        saw_footer = true;
+        break;
+      }
+      default:
+        return Status::Corruption("unknown trace chunk kind " +
+                                  std::to_string(kind));
+    }
+    pos += kTraceChunkHeaderBytes + length + kTraceChunkChecksumBytes;
+  }
+  if (!saw_footer) {
+    return Status::Corruption("trace missing footer chunk");
+  }
+  return trace;
+}
+
+Status WriteTraceFile(const std::string& path, const Trace& trace) {
+  return WriteStringToFile(path, EncodeTrace(trace));
+}
+
+Result<Trace> ReadTraceFile(const std::string& path) {
+  HELIX_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  Result<Trace> trace = DecodeTrace(bytes);
+  if (!trace.ok()) {
+    return trace.status().WithContext("reading trace " + path);
+  }
+  return trace;
+}
+
+uint64_t TraceFingerprint(const Trace& trace) {
+  RunningFingerprint fingerprint;
+  fingerprint.Absorb(EncodeHeaderPayload(trace.header));
+  for (const TraceEvent& event : trace.events) {
+    fingerprint.Absorb(EncodeEventPayload(event));
+  }
+  return fingerprint.Digest();
+}
+
+Trace RebaseTracePaths(const Trace& trace, std::string_view from,
+                       std::string_view to) {
+  Trace out = trace;
+  for (TraceEvent& event : out.events) {
+    for (auto& [key, value] : event.spec.params) {
+      if (value.size() >= from.size() &&
+          std::string_view(value).substr(0, from.size()) == from) {
+        value = std::string(to) + value.substr(from.size());
+      }
+    }
+  }
+  return out;
+}
+
+void TraceRecorder::SetHeader(TraceHeader header) {
+  std::lock_guard<std::mutex> lock(mu_);
+  header_ = std::move(header);
+}
+
+void TraceRecorder::Record(uint64_t session_key,
+                           const core::WorkflowSpec& spec,
+                           const std::string& description,
+                           core::ChangeCategory category,
+                           int64_t think_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = user_by_key_.emplace(
+      session_key, static_cast<uint32_t>(user_by_key_.size()));
+  TraceEvent event;
+  event.user = it->second;
+  event.spec = spec;
+  event.description = description;
+  event.category = category;
+  event.think_micros = think_micros;
+  events_.push_back(std::move(event));
+  (void)inserted;
+}
+
+size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+Trace TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Trace trace;
+  trace.header = header_;
+  trace.header.num_users = static_cast<uint32_t>(user_by_key_.size());
+  trace.events = events_;
+  return trace;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  return WriteTraceFile(path, Snapshot());
+}
+
+}  // namespace workload
+}  // namespace helix

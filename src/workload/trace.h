@@ -1,0 +1,150 @@
+// The Helix workload trace: a recorded (or generated) sequence of
+// human-in-the-loop edit events, replayable bit-exactly.
+//
+// A trace is what the companion studies (arXiv:1804.05892,
+// arXiv:1812.05762) call an iteration log: per user, the ordered
+// WorkflowSpecs an analyst submitted, each tagged with a change category
+// and think time. Because a WorkflowSpec resolves to an
+// identically-signatured workflow anywhere (core/workflow_spec.h), a
+// trace replays byte-identically in-process or against a remote server.
+//
+// File format (.htrc) — a sequence of self-checking chunks, same envelope
+// discipline as net/frame.h (all integers little-endian via
+// common/bytes.h):
+//
+//   offset  size  field
+//   0       4     magic 0x43525448 ("HTRC" when LE)
+//   4       1     format version (kTraceFormatVersion)
+//   5       1     chunk kind (1=header, 2=event, 3=footer)
+//   6       4     payload length N
+//   10      N     payload (kind-specific)
+//   10+N    8     FNV-64 checksum over bytes [0, 10+N)
+//
+// The header chunk comes first (scenario name, seed, shape, generator
+// params), one event chunk per iteration follows in replay order, and a
+// footer chunk (event count + running payload fingerprint) must close the
+// file. Decoding is defensive by construction: magic, version, kind, and
+// the length bound are validated before the payload is read, every chunk's
+// checksum must match, and the footer must agree with what was read —
+// truncated, corrupt, or alien bytes surface as a clean Status, never a
+// crash or an over-allocation (tests/trace_test.cc flips every byte and
+// truncates at every length to pin this).
+#ifndef HELIX_WORKLOAD_TRACE_H_
+#define HELIX_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/version_manager.h"
+#include "core/workflow_spec.h"
+
+namespace helix {
+namespace workload {
+
+inline constexpr uint32_t kTraceMagic = 0x43525448;  // "HTRC" when LE
+inline constexpr uint8_t kTraceFormatVersion = 1;
+inline constexpr size_t kTraceChunkHeaderBytes = 10;
+inline constexpr size_t kTraceChunkChecksumBytes = 8;
+/// Bound on one chunk's payload; rejected before allocation.
+inline constexpr uint32_t kMaxTraceChunkBytes = 16u << 20;
+
+/// Placeholder for the data directory inside recorded spec paths: a trace
+/// stores "${WS}/census.train.v0.csv" and the replayer substitutes the
+/// live workspace (generator.h MaterializeTraceData writes the files).
+inline constexpr char kWorkspacePlaceholder[] = "${WS}";
+
+/// One human edit-and-run event: user `user` submitted `spec`.
+struct TraceEvent {
+  /// Dense 0-based user index (session lane).
+  uint32_t user = 0;
+  core::WorkflowSpec spec;
+  std::string description;
+  core::ChangeCategory category = core::ChangeCategory::kInitial;
+  /// Think time the user spent before this submission. Replay sleeps
+  /// (scaled) or advances a virtual clock by this much.
+  int64_t think_micros = 0;
+};
+
+/// Provenance and shape of a trace. For generated traces the params map
+/// holds every generator knob, so MaterializeTraceData can regenerate the
+/// referenced data files deterministically from the trace alone.
+struct TraceHeader {
+  std::string scenario;
+  uint64_t seed = 0;
+  uint32_t num_users = 0;
+  /// Events per user for generated traces; 0 for recorded traces (users
+  /// may have submitted unequal iteration counts).
+  uint32_t iterations_per_user = 0;
+  std::map<std::string, std::string> params;
+};
+
+struct Trace {
+  TraceHeader header;
+  std::vector<TraceEvent> events;
+};
+
+/// Canonical binary encoding (the .htrc chunk sequence above). Encoding
+/// is deterministic: the same Trace always produces the same bytes.
+std::string EncodeTrace(const Trace& trace);
+/// Decodes and fully validates a .htrc byte string; see the file-format
+/// comment for the error taxonomy (InvalidArgument on a future format
+/// version, Corruption on everything else malformed).
+Result<Trace> DecodeTrace(std::string_view bytes);
+
+Status WriteTraceFile(const std::string& path, const Trace& trace);
+Result<Trace> ReadTraceFile(const std::string& path);
+
+/// Order-dependent digest over the header and every event (the same value
+/// the footer chunk carries). Two traces with equal fingerprints replay
+/// identically.
+uint64_t TraceFingerprint(const Trace& trace);
+
+/// Returns a copy with every spec param value that starts with `from`
+/// rewritten to start with `to`. Used in both directions: ${WS} -> live
+/// workspace before replay, live workspace -> ${WS} before recording to
+/// disk (so a recorded trace is not tied to a temp directory).
+Trace RebaseTracePaths(const Trace& trace, std::string_view from,
+                       std::string_view to);
+
+/// Collects replayable events from live sessions — the record side of
+/// record/replay. Wire one into a SessionService via
+/// ServiceOptions::iteration_observer (see tools/workload_driver.cc and
+/// tools/helix_server.cc --record); every successful spec-carrying
+/// iteration lands here in per-session order. Session ids are mapped to
+/// dense user indexes by first appearance. Thread-safe.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+
+  /// Sets the header stored with the snapshot (num_users is overwritten
+  /// with the recorded user count).
+  void SetHeader(TraceHeader header);
+
+  void Record(uint64_t session_key, const core::WorkflowSpec& spec,
+              const std::string& description, core::ChangeCategory category,
+              int64_t think_micros = 0);
+
+  size_t num_events() const;
+
+  /// Consistent copy of everything recorded so far.
+  Trace Snapshot() const;
+
+  /// Snapshot() written as a .htrc file.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  TraceHeader header_;
+  std::map<uint64_t, uint32_t> user_by_key_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace workload
+}  // namespace helix
+
+#endif  // HELIX_WORKLOAD_TRACE_H_

@@ -142,8 +142,21 @@ def check_bench_summaries(bench_dir, names):
             continue
         expect(doc.get("bench") == name,
                "bench %s: name mismatch %r" % (name, doc.get("bench")))
-        expect(isinstance(doc.get("records"), list),
+        records = doc.get("records")
+        expect(isinstance(records, list),
                "bench %s: records is not a list" % name)
+        if name.startswith("trace_") and isinstance(records, list):
+            # Per-scenario trace baselines must carry the two headline
+            # numbers (throughput + store hit rate), actually measured.
+            expect(len(records) > 0, "bench %s: no records" % name)
+            for r in records:
+                expect(r.get("throughput_iters_per_sec", 0) > 0,
+                       "bench %s: throughput_iters_per_sec not populated"
+                       % name)
+                expect("hit_rate" in r,
+                       "bench %s: hit_rate missing" % name)
+                expect(r.get("events", 0) > 0,
+                       "bench %s: events not populated" % name)
 
 
 def main():

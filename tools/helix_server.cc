@@ -8,10 +8,18 @@
 //
 // Usage:
 //   helix_server [--host=127.0.0.1] [--port=0] [--workspace=DIR]
-//                [--threads=0] [--budget-mb=1024]
+//                [--threads=0] [--budget-mb=1024] [--record=FILE]
 //
 // Port 0 binds an ephemeral port; the chosen one is printed on the
 // "json,{...}" line (record=server_listening) before serving begins.
+//
+// --record=FILE captures every iteration any client runs (across all
+// sessions, in service arrival order) as a .htrc workload trace, written
+// at clean shutdown. Think times are recorded as 0 — the server cannot
+// observe client-side pauses; workload_driver --record captures those at
+// the callsite instead. Server recordings also embed each client's data
+// paths verbatim, so they replay only while those files still exist;
+// use driver-side --record for portable (${WS}-rebased) traces.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +30,7 @@
 #include "common/json.h"
 #include "net/app_specs.h"
 #include "net/server.h"
+#include "workload/trace.h"
 
 namespace helix {
 namespace tools {
@@ -33,6 +42,7 @@ struct ServerConfig {
   std::string workspace;
   int threads = 0;
   int64_t budget_mb = 1024;
+  std::string record_out;  // empty = no trace recording
 };
 
 int Run(const ServerConfig& config) {
@@ -42,6 +52,17 @@ int Run(const ServerConfig& config) {
   options.service.workspace_dir = config.workspace;
   options.service.storage_budget_bytes = config.budget_mb << 20;
   options.service.num_threads = config.threads;
+  workload::TraceRecorder recorder;
+  if (!config.record_out.empty()) {
+    workload::TraceHeader header;
+    header.scenario = "recorded";
+    options.service.iteration_observer =
+        [&recorder](const service::IterationObservation& obs) {
+          recorder.Record(obs.session_id, obs.spec, obs.description,
+                          obs.category, /*think_micros=*/0);
+        };
+    recorder.SetHeader(header);
+  }
 
   auto server = net::HelixServer::Start(options,
                                         net::MakeStandardResolver());
@@ -63,6 +84,16 @@ int Run(const ServerConfig& config) {
   (*server)->WaitForShutdownRequest();
   std::printf("shutdown requested, draining\n");
   (*server)->Stop();
+  if (!config.record_out.empty()) {
+    Status written = recorder.WriteFile(config.record_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "failed to write recorded trace: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("recorded %zu events to %s\n", recorder.num_events(),
+                config.record_out.c_str());
+  }
   std::printf("clean shutdown\n");
   return 0;
 }
@@ -86,6 +117,8 @@ int main(int argc, char** argv) {
       config.host = arg + 7;
     } else if (std::strncmp(arg, "--workspace=", 12) == 0) {
       config.workspace = arg + 12;
+    } else if (std::strncmp(arg, "--record=", 9) == 0) {
+      config.record_out = arg + 9;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return 2;

@@ -1,7 +1,9 @@
 // Multi-user workload driver for the session service.
 //
-// Simulates K users iterating concurrently on the paper's applications
-// (census classification, IE, or a mix) with randomized think time
+// Two modes sharing one binary:
+//
+// Legacy app mode (--app=census|ie|mixed) simulates K users iterating
+// concurrently on the paper's applications with randomized think time
 // between edits, against one of three targets:
 //
 //   * one shared in-process SessionService (--shared=1, the default):
@@ -11,13 +13,20 @@
 //     HelixClient connection per user, workflows shipped as specs and
 //     resolved server-side — the networked equivalent of the shared mode.
 //
+// Trace mode (--scenario=NAME or --trace=FILE) drives the workload layer
+// instead: a seeded generated scenario (src/workload/generator.h) or a
+// recorded .htrc trace file is replayed through src/workload/replay.h
+// against the in-process service or a --remote server. The same flags
+// select the target in both modes.
+//
 // Emits one "json,{...}" line per user and one aggregate line with
-// throughput, p50/p99 iteration latency, and the cross-session hit rate —
-// the service-layer counterpart of the paper's cumulative-runtime plots.
-// The aggregate metrics are computed identically in all modes, so a
-// remote run is directly comparable to an in-process one; bench_net runs
-// that comparison under controlled (matched-thread) conditions in one
-// process, and tests/net_test.cc pins the underlying determinism exactly.
+// throughput, p50/p99 iteration latency, and the store hit rate — the
+// service-layer counterpart of the paper's cumulative-runtime plots. The
+// aggregate metrics are computed identically for all targets, so a remote
+// run is directly comparable to an in-process one; bench_net runs that
+// comparison under controlled (matched-thread) conditions in one process,
+// and tests/net_test.cc + tests/trace_test.cc pin the underlying
+// determinism exactly.
 //
 // Usage:
 //   workload_driver [--users=4] [--iterations=10] [--app=census|ie|mixed]
@@ -25,6 +34,26 @@
 //                   [--rows=8000] [--docs=80] [--budget-mb=1024] [--seed=1]
 //                   [--remote=host:port] [--shutdown-remote=0]
 //                   [--metrics-out=FILE] [--trace-out=FILE]
+//   workload_driver --scenario=localized|sweep|features|refresh|stream
+//                   [--seed=N] [--users=2] [--iterations=8] [--rows=2000]
+//                   [--docs=24] [--stream-batch-rows=400]
+//                   [--refresh-period=3] [--think-ms=0] ...
+//   workload_driver --trace=FILE ...
+//
+// Trace-mode extras:
+//   --record=FILE       re-record what actually ran as a .htrc trace
+//                       (paths rebased back to ${WS}, so the recording is
+//                       portable and self-contained like a generated one)
+//   --summary-out=FILE  deterministic replay summary JSON: per-iteration
+//                       output fingerprints + counter totals, no wall
+//                       times — byte-identical across runs when replayed
+//                       with --virtual-clock (CI diffs record-then-replay
+//                       summaries for equality)
+//   --sequential=1      strict trace order on one thread
+//   --virtual-clock=1   deterministic virtual time: implies sequential,
+//                       pins the materialization policy, think time
+//                       advances the clock instead of sleeping
+//   --think-scale=X     multiplier on recorded think times (default 0)
 //
 // --shutdown-remote=1 sends the server a Shutdown RPC after the run (the
 // CI smoke step uses this to assert a clean server exit).
@@ -53,11 +82,15 @@
 #include "common/json.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "core/materialization.h"
 #include "datagen/census_gen.h"
 #include "datagen/news_gen.h"
 #include "net/app_specs.h"
 #include "net/client.h"
 #include "service/session_service.h"
+#include "workload/generator.h"
+#include "workload/replay.h"
+#include "workload/trace.h"
 
 namespace helix {
 namespace tools {
@@ -79,6 +112,20 @@ struct DriverConfig {
   bool shutdown_remote = false;
   std::string metrics_out;  // empty = no metrics dump
   std::string trace_out;    // empty = no trace dump
+  /// Every latency/wall measurement goes through this clock, so tests and
+  /// deterministic replays can substitute a virtual one.
+  Clock* clock = SystemClock::Default();
+
+  // --- Trace mode ----------------------------------------------------------
+  std::string scenario;   // non-empty = generate + replay this scenario
+  std::string trace_in;   // non-empty = replay this .htrc file
+  std::string record_out;  // non-empty = re-record the replay here
+  std::string summary_out;  // non-empty = deterministic summary JSON
+  bool sequential = false;
+  bool virtual_clock = false;
+  double think_scale = 0.0;
+  int64_t stream_batch_rows = 400;
+  int refresh_period = 3;
 };
 
 struct UserResult {
@@ -150,6 +197,7 @@ void DriveUser(UserTarget* target, const DriverConfig& config,
                const std::string& test, const std::string& corpus,
                uint64_t user_seed, UserResult* out) {
   Rng rng(user_seed);
+  Clock* clock = config.clock;
   out->app = app;
   if (app == "census") {
     apps::CensusConfig census;
@@ -164,12 +212,11 @@ void DriveUser(UserTarget* target, const DriverConfig& config,
         std::this_thread::sleep_for(std::chrono::milliseconds(
             rng.NextInt(0, 2 * config.think_ms)));
       }
-      int64_t start = SystemClock::Default()->NowMicros();
+      int64_t start = clock->NowMicros();
       bench::CheckOk(target->RunCensus(census, step.description,
                                        step.category),
                      "census iteration");
-      out->latencies_micros.push_back(SystemClock::Default()->NowMicros() -
-                                      start);
+      out->latencies_micros.push_back(clock->NowMicros() - start);
     }
   } else {
     apps::IeConfig ie;
@@ -183,11 +230,10 @@ void DriveUser(UserTarget* target, const DriverConfig& config,
         std::this_thread::sleep_for(std::chrono::milliseconds(
             rng.NextInt(0, 2 * config.think_ms)));
       }
-      int64_t start = SystemClock::Default()->NowMicros();
+      int64_t start = clock->NowMicros();
       bench::CheckOk(target->RunIe(ie, step.description, step.category),
                      "ie iteration");
-      out->latencies_micros.push_back(SystemClock::Default()->NowMicros() -
-                                      start);
+      out->latencies_micros.push_back(clock->NowMicros() - start);
     }
   }
   out->counters = target->counters();
@@ -257,7 +303,7 @@ void Run(const DriverConfig& config) {
 
   std::vector<UserResult> results(static_cast<size_t>(config.users));
   std::vector<std::thread> users;
-  int64_t wall_start = SystemClock::Default()->NowMicros();
+  int64_t wall_start = config.clock->NowMicros();
   for (int u = 0; u < config.users; ++u) {
     std::string app = config.app == "mixed"
                           ? (u % 2 == 0 ? "census" : "ie")
@@ -271,7 +317,7 @@ void Run(const DriverConfig& config) {
   for (std::thread& t : users) {
     t.join();
   }
-  int64_t wall_micros = SystemClock::Default()->NowMicros() - wall_start;
+  int64_t wall_micros = config.clock->NowMicros() - wall_start;
 
   // Per-user lines + aggregate.
   std::vector<int64_t> all_latencies;
@@ -364,12 +410,214 @@ void Run(const DriverConfig& config) {
     if (!config.trace_out.empty()) {
       bench::CheckOk(WriteStringToFile(config.trace_out, trace_json),
                      "write trace");
-      std::printf("trace written to %s\n", config.trace_out.c_str());
     }
   }
 
   if (remote && config.shutdown_remote) {
     bench::CheckOk(clients[0]->Shutdown(), "remote shutdown");
+    std::printf("remote server acknowledged shutdown\n");
+  }
+}
+
+// --- Trace mode -----------------------------------------------------------
+
+std::string Hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void RunTrace(const DriverConfig& config) {
+  const bool remote = !config.remote_host.empty();
+
+  // 1. The trace: generated from a scenario or read from a file. A file
+  // carries its own provenance (header params), so replay regenerates the
+  // exact data it was generated/recorded against.
+  workload::Trace trace;
+  if (!config.trace_in.empty()) {
+    trace = bench::ValueOrDie(workload::ReadTraceFile(config.trace_in),
+                              "read trace");
+  } else {
+    workload::ScenarioConfig scenario;
+    scenario.scenario = config.scenario;
+    scenario.seed = config.seed;
+    scenario.users = config.users;
+    scenario.iterations = config.iterations;
+    scenario.rows = config.rows;
+    scenario.docs = config.docs;
+    scenario.stream_batch_rows = config.stream_batch_rows;
+    scenario.refresh_period = config.refresh_period;
+    scenario.think_ms = config.think_ms;
+    trace = bench::ValueOrDie(workload::GenerateTrace(scenario),
+                              "generate trace");
+  }
+
+  // 2. Materialize the data the trace references.
+  bench::TempWorkspace workspace("helix-trace");
+  std::string data_dir = workspace.Path("data");
+  bench::CheckOk(workload::MaterializeTraceData(trace, data_dir),
+                 "materialize trace data");
+
+  // 3. Replay.
+  VirtualClock virtual_clock;
+  Clock* clock = config.virtual_clock ? &virtual_clock : config.clock;
+  workload::TraceRecorder recorder;
+  recorder.SetHeader(trace.header);
+  workload::ReplayOptions replay;
+  replay.workspace_dir = workspace.Path("ws-replay");
+  replay.storage_budget_bytes = config.budget_mb << 20;
+  replay.threads = config.threads > 0 ? config.threads : config.users;
+  replay.clock = clock;
+  if (config.virtual_clock) {
+    // Measured costs are all zero on a virtual clock; pin the policy so
+    // planner decisions cannot depend on leftover cost-model state.
+    replay.mat_policy = std::make_shared<core::AlwaysMaterializePolicy>();
+  }
+  replay.remote_host = config.remote_host;
+  replay.remote_port = config.remote_port;
+  replay.sequential = config.sequential;
+  replay.think_scale = config.think_scale;
+  replay.data_dir = data_dir;
+  replay.recorder = config.record_out.empty() ? nullptr : &recorder;
+  workload::ReplayResult result =
+      bench::ValueOrDie(workload::ReplayTrace(trace, replay), "replay");
+
+  // 4. Per-user lines + aggregate, same shape as app mode.
+  uint32_t num_users = 0;
+  for (const workload::IterationRecord& record : result.records) {
+    num_users = std::max(num_users, record.user + 1);
+  }
+  std::vector<int64_t> all_latencies;
+  int64_t total_pruned = 0;
+  for (uint32_t u = 0; u < num_users; ++u) {
+    std::vector<int64_t> sorted;
+    int64_t computed = 0;
+    int64_t loaded = 0;
+    int64_t shared = 0;
+    int64_t pruned = 0;
+    int64_t iterations = 0;
+    for (const workload::IterationRecord& record : result.records) {
+      if (record.user != u) {
+        continue;
+      }
+      sorted.push_back(record.latency_micros);
+      computed += record.num_computed;
+      loaded += record.num_loaded;
+      shared += record.num_shared;
+      pruned += record.num_pruned;
+      ++iterations;
+    }
+    total_pruned += pruned;
+    std::sort(sorted.begin(), sorted.end());
+    all_latencies.insert(all_latencies.end(), sorted.begin(), sorted.end());
+    JsonWriter json;
+    json.BeginObject()
+        .KV("record", "trace_user")
+        .KV("user", static_cast<int64_t>(u))
+        .KV("iterations", iterations)
+        .KV("p50_ms", bench::PercentileSorted(sorted, 0.5) / 1e3)
+        .KV("p99_ms", bench::PercentileSorted(sorted, 0.99) / 1e3)
+        .KV("num_computed", computed)
+        .KV("num_loaded", loaded)
+        .KV("num_shared", shared)
+        .KV("num_pruned", pruned)
+        .EndObject();
+    bench::PrintJsonLine(json);
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  JsonWriter json;
+  json.BeginObject()
+      .KV("record", "trace_aggregate")
+      .KV("scenario", trace.header.scenario)
+      .KV("seed", trace.header.seed)
+      .KV("users", static_cast<int64_t>(num_users))
+      .KV("events", static_cast<int64_t>(result.records.size()))
+      .KV("remote", remote)
+      .KV("sequential", config.sequential || config.virtual_clock)
+      .KV("virtual_clock", config.virtual_clock)
+      .KV("wall_ms", static_cast<double>(result.wall_micros) / 1e3)
+      .KV("throughput_iters_per_sec",
+          result.wall_micros > 0
+              ? static_cast<double>(result.records.size()) * 1e6 /
+                    static_cast<double>(result.wall_micros)
+              : 0)
+      .KV("p50_ms", bench::PercentileSorted(all_latencies, 0.5) / 1e3)
+      .KV("p99_ms", bench::PercentileSorted(all_latencies, 0.99) / 1e3)
+      .KV("num_computed", result.totals.num_computed)
+      .KV("num_loaded", result.totals.num_loaded)
+      .KV("num_shared", result.totals.num_shared)
+      .KV("num_pruned", total_pruned)
+      .KV("hit_rate", result.hit_rate())
+      .KV("trace_fingerprint", Hex64(workload::TraceFingerprint(trace)))
+      .KV("run_fingerprint", Hex64(result.run_fingerprint))
+      .EndObject();
+  bench::PrintJsonLine(json);
+
+  // 5. Deterministic summary: everything in here is stable across replays
+  // of the same trace under --virtual-clock (no wall times, no paths), so
+  // CI can assert record-then-replay equality with a byte diff.
+  if (!config.summary_out.empty()) {
+    JsonWriter summary;
+    summary.BeginObject()
+        .KV("record", "trace_summary")
+        .KV("scenario", trace.header.scenario)
+        .KV("seed", trace.header.seed)
+        .KV("users", static_cast<int64_t>(num_users))
+        .KV("events", static_cast<int64_t>(result.records.size()))
+        .KV("trace_fingerprint", Hex64(workload::TraceFingerprint(trace)))
+        .KV("run_fingerprint", Hex64(result.run_fingerprint))
+        .KV("num_computed", result.totals.num_computed)
+        .KV("num_loaded", result.totals.num_loaded)
+        .KV("num_shared", result.totals.num_shared)
+        .KV("hit_rate", result.hit_rate());
+    summary.Key("iterations").BeginArray();
+    for (const workload::IterationRecord& record : result.records) {
+      summary.BeginObject()
+          .KV("user", static_cast<int64_t>(record.user))
+          .KV("index", static_cast<int64_t>(record.index))
+          .KV("fingerprint", Hex64(record.fingerprint))
+          .KV("num_computed", record.num_computed)
+          .KV("num_loaded", record.num_loaded)
+          .KV("num_shared", record.num_shared)
+          .KV("num_pruned", record.num_pruned)
+          .EndObject();
+    }
+    summary.EndArray().EndObject();
+    bench::CheckOk(
+        WriteStringToFile(config.summary_out, summary.str() + "\n"),
+        "write summary");
+    std::printf("summary written to %s\n", config.summary_out.c_str());
+  }
+
+  // 6. Re-recorded trace: rebase the materialized paths back to ${WS} so
+  // the recording is as portable as a generated trace (replaying it
+  // re-materializes identical data from the preserved header).
+  if (!config.record_out.empty()) {
+    workload::Trace recorded = recorder.Snapshot();
+    recorded = workload::RebaseTracePaths(recorded, data_dir,
+                                          workload::kWorkspacePlaceholder);
+    bench::CheckOk(workload::WriteTraceFile(config.record_out, recorded),
+                   "write recorded trace");
+    std::printf("recorded %zu events to %s\n", recorded.events.size(),
+                config.record_out.c_str());
+  }
+
+  if (!config.metrics_out.empty()) {
+    bench::CheckOk(WriteStringToFile(config.metrics_out, result.metrics_json),
+                   "write metrics");
+    std::printf("metrics written to %s\n", config.metrics_out.c_str());
+  }
+  if (!config.trace_out.empty()) {
+    bench::CheckOk(WriteStringToFile(config.trace_out, result.trace_json),
+                   "write trace");
+  }
+
+  if (remote && config.shutdown_remote) {
+    auto client = bench::ValueOrDie(
+        net::HelixClient::Connect(config.remote_host, config.remote_port),
+        "connect for shutdown");
+    bench::CheckOk(client->Shutdown(), "remote shutdown");
     std::printf("remote server acknowledged shutdown\n");
   }
 }
@@ -380,6 +628,7 @@ void Run(const DriverConfig& config) {
 
 int main(int argc, char** argv) {
   helix::tools::DriverConfig config;
+  bool think_ms_set = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     int64_t v;
@@ -393,6 +642,7 @@ int main(int argc, char** argv) {
       config.threads = static_cast<int>(v);
     } else if ((v = helix::bench::FlagValue(arg, "--think-ms")) >= 0) {
       config.think_ms = static_cast<int>(v);
+      think_ms_set = true;
     } else if ((v = helix::bench::FlagValue(arg, "--rows")) >= 0) {
       config.rows = v;
     } else if ((v = helix::bench::FlagValue(arg, "--docs")) >= 0) {
@@ -403,8 +653,27 @@ int main(int argc, char** argv) {
       config.seed = static_cast<uint64_t>(v);
     } else if ((v = helix::bench::FlagValue(arg, "--shutdown-remote")) >= 0) {
       config.shutdown_remote = v != 0;
+    } else if ((v = helix::bench::FlagValue(arg, "--sequential")) >= 0) {
+      config.sequential = v != 0;
+    } else if ((v = helix::bench::FlagValue(arg, "--virtual-clock")) >= 0) {
+      config.virtual_clock = v != 0;
+    } else if ((v = helix::bench::FlagValue(arg,
+                                            "--stream-batch-rows")) >= 0) {
+      config.stream_batch_rows = v;
+    } else if ((v = helix::bench::FlagValue(arg, "--refresh-period")) >= 0) {
+      config.refresh_period = static_cast<int>(v);
+    } else if (std::strncmp(arg, "--think-scale=", 14) == 0) {
+      config.think_scale = std::atof(arg + 14);
     } else if (std::strncmp(arg, "--app=", 6) == 0) {
       config.app = arg + 6;
+    } else if (std::strncmp(arg, "--scenario=", 11) == 0) {
+      config.scenario = arg + 11;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      config.trace_in = arg + 8;
+    } else if (std::strncmp(arg, "--record=", 9) == 0) {
+      config.record_out = arg + 9;
+    } else if (std::strncmp(arg, "--summary-out=", 14) == 0) {
+      config.summary_out = arg + 14;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       config.metrics_out = arg + 14;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
@@ -423,6 +692,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return 2;
     }
+  }
+  const bool trace_mode =
+      !config.scenario.empty() || !config.trace_in.empty();
+  if (trace_mode) {
+    if (!config.scenario.empty() && !config.trace_in.empty()) {
+      std::fprintf(stderr, "--scenario and --trace are exclusive\n");
+      return 2;
+    }
+    // Scenario defaults differ from app-mode defaults (smaller, think-free
+    // unless asked).
+    if (!think_ms_set) {
+      config.think_ms = 0;
+    }
+    helix::tools::RunTrace(config);
+    return 0;
+  }
+  if (!config.record_out.empty() || !config.summary_out.empty()) {
+    std::fprintf(stderr,
+                 "--record/--summary-out require --scenario or --trace\n");
+    return 2;
   }
   if (config.app != "census" && config.app != "ie" && config.app != "mixed") {
     std::fprintf(stderr, "--app must be census, ie, or mixed\n");
