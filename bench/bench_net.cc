@@ -19,6 +19,7 @@
 #include "bench/bench_util.h"
 #include "common/clock.h"
 #include "common/json.h"
+#include "core/materialization.h"
 #include "datagen/census_gen.h"
 #include "net/app_specs.h"
 #include "net/client.h"
@@ -194,6 +195,82 @@ void PrintMode(const Config& config, const char* mode,
   PrintJsonLine(json);
 }
 
+// Cache-hit reply throughput: one warm iteration materializes every
+// output server-side, then the client fetches the largest one in a tight
+// loop. The server's store Get is a memory hit, so the measured rate is
+// the reply path itself — with zero_copy the payload goes straight from
+// the stored columns' buffers into one writev; without it the server
+// flattens the envelope into a contiguous string first. Emits one
+// "json,{...}" row per mode; the delta is the memcpy the span path
+// skipped.
+void RunFetchOutputBench(const Config& config, const std::string& workspace,
+                         const std::string& train, const std::string& test) {
+  for (bool zero_copy : {true, false}) {
+    net::ServerOptions options;
+    options.service.workspace_dir =
+        workspace + (zero_copy ? "-zc" : "-copy");
+    options.service.num_threads = 2;
+    options.service.mat_policy =
+        std::make_shared<core::AlwaysMaterializePolicy>();
+    options.zero_copy_replies = zero_copy;
+    auto server = ValueOrDie(
+        net::HelixServer::Start(options, net::MakeStandardResolver()),
+        "start server");
+    auto client = ValueOrDie(
+        net::HelixClient::Connect("127.0.0.1", server->port()), "connect");
+    uint64_t session = ValueOrDie(client->OpenSession("fetcher"), "session");
+    apps::CensusConfig census;
+    census.train_path = train;
+    census.test_path = test;
+    census.learner.epochs = 2;
+    auto result = ValueOrDie(
+        client->RunIteration(session, net::MakeCensusSpec(census), "warm",
+                             core::ChangeCategory::kInitial),
+        "warm iteration");
+    // Fetch every output once to find the biggest payload (and to fault
+    // everything resident).
+    uint64_t signature = 0;
+    size_t payload_bytes = 0;
+    for (const net::RemoteOutput& output : result.outputs) {
+      if (output.signature == 0) {
+        continue;
+      }
+      auto data = ValueOrDie(client->FetchOutput(output.signature),
+                             "probe fetch");
+      size_t size = data.SerializeToString().size();
+      if (size > payload_bytes) {
+        payload_bytes = size;
+        signature = output.signature;
+      }
+    }
+    CheckOk(signature != 0
+                ? Status::OK()
+                : Status::Internal("no fetchable outputs materialized"),
+            "fetch target");
+    constexpr int kFetches = 64;
+    int64_t start = SystemClock::Default()->NowMicros();
+    for (int i = 0; i < kFetches; ++i) {
+      auto data = ValueOrDie(client->FetchOutput(signature), "fetch");
+      (void)data;
+    }
+    int64_t wall = SystemClock::Default()->NowMicros() - start;
+    double total_bytes = static_cast<double>(payload_bytes) * kFetches;
+    JsonWriter json;
+    json.BeginObject()
+        .KV("record", "bench_net")
+        .KV("mode", zero_copy ? "fetch_zero_copy" : "fetch_copy")
+        .KV("rows", config.rows)
+        .KV("payload_bytes", static_cast<int64_t>(payload_bytes))
+        .KV("fetches", static_cast<int64_t>(kFetches))
+        .KV("wall_ms", static_cast<double>(wall) / 1e3)
+        .KV("bytes_per_sec",
+            wall > 0 ? total_bytes * 1e6 / static_cast<double>(wall) : 0)
+        .EndObject();
+    PrintJsonLine(json);
+    server->Stop();
+  }
+}
+
 void Run(const Config& config) {
   TempWorkspace workspace("helix-bench-net");
   std::string train = workspace.Path("census.train.csv");
@@ -207,6 +284,7 @@ void Run(const Config& config) {
   PrintMode(config, "inproc", inproc);
   ModeResult tcp = RunOverTcp(config, workspace.Path("ws-tcp"), train, test);
   PrintMode(config, "tcp", tcp);
+  RunFetchOutputBench(config, workspace.Path("ws-fetch"), train, test);
 
   double ratio = tcp.wall_micros > 0
                      ? static_cast<double>(inproc.wall_micros) /

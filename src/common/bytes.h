@@ -81,6 +81,21 @@ class ByteWriter {
 #endif
   }
 
+  /// Packed little-endian u32 array (dictionary code bodies). On
+  /// little-endian hosts this is one memcpy; the portable fallback loops.
+  void PutU32Array(const uint32_t* v, size_t n) {
+    if (n == 0) {
+      return;  // empty vectors may hand over a null data() pointer
+    }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    PutRaw(v, n * sizeof(uint32_t));
+#else
+    for (size_t i = 0; i < n; ++i) {
+      PutU32(v[i]);
+    }
+#endif
+  }
+
   /// Grows the buffer's capacity by `additional` bytes up front, so a
   /// serializer with a good size estimate appends without reallocating.
   void Reserve(size_t additional) { buf_.reserve(buf_.size() + additional); }
@@ -186,6 +201,29 @@ class ByteReader {
 #else
     for (size_t i = 0; i < n; ++i) {
       Result<uint64_t> v = GetU64();
+      if (!v.ok()) {
+        return v.status();
+      }
+      out[i] = v.value();
+    }
+#endif
+    return Status::OK();
+  }
+
+  /// Packed little-endian u32 array written by PutU32Array.
+  Status GetU32Array(uint32_t* out, size_t n) {
+    if (n == 0) {
+      return Status::OK();  // `out` may be an empty vector's null data()
+    }
+    if (n * sizeof(uint32_t) > data_.size() - pos_) {
+      return Status::Corruption("truncated buffer reading u32 array");
+    }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::memcpy(out, data_.data() + pos_, n * sizeof(uint32_t));
+    pos_ += n * sizeof(uint32_t);
+#else
+    for (size_t i = 0; i < n; ++i) {
+      Result<uint32_t> v = GetU32();
       if (!v.ok()) {
         return v.status();
       }

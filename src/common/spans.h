@@ -1,0 +1,106 @@
+// Zero-copy serialization: a span list over borrowed column bodies.
+//
+// SerializeToString copies every column body into one contiguous reply
+// buffer before the socket ever sees it. For a cache-hit reply of an
+// already-materialized table that copy is pure overhead: the bodies are
+// already contiguous in memory (value vectors, string arenas, code
+// arrays). SpanWriter lets a serializer emit the SAME byte stream as a
+// (header bytes, borrowed body, header bytes, borrowed body, ...) span
+// list instead: small header fields go through an owned scratch writer,
+// large bodies are recorded as borrowed pointers, and the server hands
+// the whole list to writev() without ever memcpying a payload byte.
+//
+// Contract:
+//   * Byte-identity. Flatten() of the span list equals what the same
+//     serializer would have produced into a ByteWriter — tested, and
+//     relied on by checksums computed over the spans.
+//   * Lifetime. Borrowed spans alias the serialized object; the object
+//     must stay alive until the spans are consumed. Scratch bytes are
+//     owned by the SpanWriter itself.
+//   * Ordering. writer() appends and Borrow() splice in strict call
+//     order; spans() flushes any pending scratch and returns the list.
+#ifndef HELIX_COMMON_SPANS_H_
+#define HELIX_COMMON_SPANS_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace helix {
+
+/// One contiguous piece of an outgoing byte stream.
+struct ByteSpan {
+  const char* data = nullptr;
+  size_t len = 0;
+};
+
+/// See the file comment. Not thread-safe; single-owner by construction.
+class SpanWriter {
+ public:
+  SpanWriter() = default;
+  SpanWriter(const SpanWriter&) = delete;
+  SpanWriter& operator=(const SpanWriter&) = delete;
+
+  /// Scratch writer for header-sized fields (tags, counts, offsets that
+  /// need byte-order conversion). Bytes written here are owned by this
+  /// SpanWriter and spliced into the span list at the next Borrow() or
+  /// spans() call.
+  ByteWriter* writer() { return &scratch_; }
+
+  /// Records `len` borrowed bytes at `data` as the next piece of the
+  /// stream, without copying. The memory must outlive the span list. A
+  /// zero-length borrow is a no-op (and may pass null).
+  void Borrow(const void* data, size_t len) {
+    if (len == 0) {
+      return;
+    }
+    FlushScratch();
+    spans_.push_back(ByteSpan{static_cast<const char*>(data), len});
+    flushed_bytes_ += len;
+  }
+
+  /// The stream so far, in order. Flushes pending scratch; the returned
+  /// reference is valid until the next write.
+  const std::vector<ByteSpan>& spans() {
+    FlushScratch();
+    return spans_;
+  }
+
+  size_t TotalBytes() const { return flushed_bytes_ + scratch_.size(); }
+
+  /// Contiguous copy of the whole stream (tests and non-writev paths).
+  std::string Flatten() {
+    std::string out;
+    out.reserve(TotalBytes());
+    for (const ByteSpan& s : spans()) {
+      out.append(s.data, s.len);
+    }
+    return out;
+  }
+
+ private:
+  void FlushScratch() {
+    if (scratch_.size() == 0) {
+      return;
+    }
+    // The pointer is taken after the move, from the deque element —
+    // deques never relocate elements, so it stays valid (SSO included).
+    owned_.push_back(std::move(scratch_.TakeData()));
+    scratch_ = ByteWriter();
+    const std::string& closed = owned_.back();
+    spans_.push_back(ByteSpan{closed.data(), closed.size()});
+    flushed_bytes_ += closed.size();
+  }
+
+  ByteWriter scratch_;
+  std::deque<std::string> owned_;  // closed scratch buffers, stable storage
+  std::vector<ByteSpan> spans_;
+  size_t flushed_bytes_ = 0;
+};
+
+}  // namespace helix
+
+#endif  // HELIX_COMMON_SPANS_H_

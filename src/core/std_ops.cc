@@ -6,6 +6,7 @@
 #include "common/csv.h"
 #include "common/file_util.h"
 #include "common/strings.h"
+#include "dataflow/simd.h"
 #include "ml/logistic_regression.h"
 #include "ml/naive_bayes.h"
 #include "ml/perceptron.h"
@@ -22,6 +23,7 @@ namespace {
 using dataflow::Column;
 using dataflow::ColumnBuilder;
 using dataflow::DataCollection;
+using dataflow::DictionaryColumn;
 using dataflow::DoubleColumn;
 using dataflow::ExamplesData;
 using dataflow::Int64Column;
@@ -54,6 +56,10 @@ std::string_view StringAt(const Column& col, int64_t r,
     if (!s->IsNull(r)) {
       return s->view(r);
     }
+  } else if (const auto* d = dynamic_cast<const DictionaryColumn*>(&col)) {
+    if (!d->IsNull(r)) {
+      return d->view(r);
+    }
   }
   *scratch = col.GetValue(r).AsString();
   return *scratch;
@@ -82,19 +88,32 @@ double DoubleAt(const Column& col, int64_t r) {
 class DisplayReader {
  public:
   explicit DisplayReader(const Column& col)
-      : col_(&col), str_(dynamic_cast<const StringColumn*>(&col)) {}
+      : col_(&col),
+        str_(dynamic_cast<const StringColumn*>(&col)),
+        dict_(dynamic_cast<const DictionaryColumn*>(&col)) {}
 
   void AppendTo(int64_t r, std::string* out) const {
-    if (str_ != nullptr && !col_->IsNull(r)) {
-      out->append(str_->view(r));
-      return;
+    if (!col_->IsNull(r)) {
+      if (str_ != nullptr) {
+        out->append(str_->view(r));
+        return;
+      }
+      if (dict_ != nullptr) {
+        out->append(dict_->view(r));
+        return;
+      }
     }
     out->append(col_->GetValue(r).ToDisplayString());
   }
 
   std::string_view View(int64_t r, std::string* scratch) const {
-    if (str_ != nullptr && !col_->IsNull(r)) {
-      return str_->view(r);
+    if (!col_->IsNull(r)) {
+      if (str_ != nullptr) {
+        return str_->view(r);
+      }
+      if (dict_ != nullptr) {
+        return dict_->view(r);
+      }
     }
     *scratch = col_->GetValue(r).ToDisplayString();
     return *scratch;
@@ -103,6 +122,7 @@ class DisplayReader {
  private:
   const Column* col_;
   const StringColumn* str_;
+  const DictionaryColumn* dict_;
 };
 
 // Numeric feature detection for the featurization scan: every cell's
@@ -157,6 +177,31 @@ bool TryParseNumericColumn(const Column& col, std::vector<double>* out) {
                          &(*out)[static_cast<size_t>(r)])) {
           return false;
         }
+      }
+      return true;
+    }
+    case Column::Storage::kDictString: {
+      // Parse each referenced dictionary entry once, then broadcast the
+      // per-entry doubles to rows. Unreferenced entries (a gathered
+      // column shares its source's dictionary untrimmed) must not veto
+      // the column: the row-wise scan never saw them.
+      const auto& c = static_cast<const DictionaryColumn&>(col);
+      size_t d = static_cast<size_t>(c.dict().num_entries());
+      const uint32_t* codes = c.codes();
+      std::vector<uint8_t> used(d, 0);
+      for (int64_t r = 0; r < n; ++r) {
+        used[codes[r]] = 1;
+      }
+      std::vector<double> per_code(d, 0.0);
+      for (size_t i = 0; i < d; ++i) {
+        if (used[i] != 0 &&
+            !ParseDouble(c.dict().entry(static_cast<uint32_t>(i)),
+                         &per_code[i])) {
+          return false;
+        }
+      }
+      if (n > 0) {
+        dataflow::simd::ExpandCodes(codes, n, per_code.data(), out->data());
       }
       return true;
     }
@@ -311,28 +356,63 @@ Operator Bucketizer(const std::string& name, int bins) {
     std::shared_ptr<const Column> values = in->column(1);
     int64_t n = in->num_rows();
     std::vector<double> parsed(static_cast<size_t>(n), 0.0);
-    const auto* str = dynamic_cast<const StringColumn*>(values.get());
-    for (int64_t r = 0; r < n; ++r) {
-      double x = 0;
-      if (str != nullptr && !str->IsNull(r)) {
-        if (!ParseDouble(str->view(r), &x)) {
-          return Status::InvalidArgument(StrFormat(
-              "Bucketizer: non-numeric value '%s' at row %lld",
-              std::string(str->view(r)).c_str(), static_cast<long long>(r)));
-        }
-      } else {
-        Value v = values->GetValue(r);
-        if (v.type() == dataflow::ValueType::kString) {
-          if (!ParseDouble(v.AsString(), &x)) {
-            return Status::InvalidArgument(StrFormat(
-                "Bucketizer: non-numeric value '%s' at row %lld",
-                v.AsString().c_str(), static_cast<long long>(r)));
-          }
-        } else {
-          HELIX_ASSIGN_OR_RETURN(x, v.ToNumeric());
+    const auto* dict = dynamic_cast<const DictionaryColumn*>(values.get());
+    if (dict != nullptr && dict->null_count() == 0 && n > 0) {
+      // Dictionary fast path: parse each referenced entry once, then
+      // broadcast. Errors must still name the first offending ROW (the
+      // row-wise scan's contract), so on failure re-scan the codes.
+      size_t d = static_cast<size_t>(dict->dict().num_entries());
+      const uint32_t* codes = dict->codes();
+      std::vector<uint8_t> used(d, 0);
+      for (int64_t r = 0; r < n; ++r) {
+        used[codes[r]] = 1;
+      }
+      std::vector<double> per_code(d, 0.0);
+      std::vector<uint8_t> failed(d, 0);
+      bool any_failed = false;
+      for (size_t i = 0; i < d; ++i) {
+        if (used[i] != 0 &&
+            !ParseDouble(dict->dict().entry(static_cast<uint32_t>(i)),
+                         &per_code[i])) {
+          failed[i] = 1;
+          any_failed = true;
         }
       }
-      parsed[static_cast<size_t>(r)] = x;
+      if (any_failed) {
+        for (int64_t r = 0; r < n; ++r) {
+          if (failed[codes[r]] != 0) {
+            return Status::InvalidArgument(StrFormat(
+                "Bucketizer: non-numeric value '%s' at row %lld",
+                std::string(dict->view(r)).c_str(),
+                static_cast<long long>(r)));
+          }
+        }
+      }
+      dataflow::simd::ExpandCodes(codes, n, per_code.data(), parsed.data());
+    } else {
+      const auto* str = dynamic_cast<const StringColumn*>(values.get());
+      for (int64_t r = 0; r < n; ++r) {
+        double x = 0;
+        if (str != nullptr && !str->IsNull(r)) {
+          if (!ParseDouble(str->view(r), &x)) {
+            return Status::InvalidArgument(StrFormat(
+                "Bucketizer: non-numeric value '%s' at row %lld",
+                std::string(str->view(r)).c_str(), static_cast<long long>(r)));
+          }
+        } else {
+          Value v = values->GetValue(r);
+          if (v.type() == dataflow::ValueType::kString) {
+            if (!ParseDouble(v.AsString(), &x)) {
+              return Status::InvalidArgument(StrFormat(
+                  "Bucketizer: non-numeric value '%s' at row %lld",
+                  v.AsString().c_str(), static_cast<long long>(r)));
+            }
+          } else {
+            HELIX_ASSIGN_OR_RETURN(x, v.ToNumeric());
+          }
+        }
+        parsed[static_cast<size_t>(r)] = x;
+      }
     }
     double lo = 0;
     double hi = 0;
@@ -469,38 +549,111 @@ Operator AssembleExamples(const std::string& name,
       if (plan.numeric) {
         double sum = 0;
         double sum_sq = 0;
-        for (double x : plan.parsed) {
-          sum += x;
-          sum_sq += x * x;
-        }
+        dataflow::simd::SumAndSumSq(plan.parsed.data(),
+                                    static_cast<int64_t>(plan.parsed.size()),
+                                    &sum, &sum_sq);
         plan.mean = sum / static_cast<double>(rows);
         double variance =
             sum_sq / static_cast<double>(rows) - plan.mean * plan.mean;
         plan.stddev = variance > 1e-12 ? std::sqrt(variance) : 1.0;
         plan.numeric_index = dict->Intern(col);
+        // Standardize once, in place; the row loop below then reads
+        // finished feature values straight out of the array.
+        dataflow::simd::Standardize(plan.parsed.data(),
+                                    static_cast<int64_t>(plan.parsed.size()),
+                                    plan.mean, plan.stddev,
+                                    plan.parsed.data());
       }
     }
 
+    // Dictionary fast paths: when a string column arrives
+    // dictionary-encoded with no nulls, the per-row work collapses to a
+    // code lookup (split membership, label match, one-hot feature id).
+    // Null-bearing or plain columns keep the original per-row readers,
+    // preserving throw-on-null and "<null>" display semantics exactly.
     std::shared_ptr<const Column> split = target->column(0);
+    const auto* split_dict = dynamic_cast<const DictionaryColumn*>(split.get());
+    const uint32_t* split_codes = nullptr;
+    uint32_t test_code = UINT32_MAX;
+    if (split_dict != nullptr && split_dict->null_count() == 0) {
+      split_codes = split_dict->codes();
+      size_t entries = static_cast<size_t>(split_dict->dict().num_entries());
+      for (size_t c = 0; c < entries; ++c) {
+        if (split_dict->dict().entry(static_cast<uint32_t>(c)) == "test") {
+          test_code = static_cast<uint32_t>(c);
+          break;
+        }
+      }
+    }
     DisplayReader label_reader(*target->column(1));
+    const auto* label_dict =
+        dynamic_cast<const DictionaryColumn*>(target->column(1).get());
+    const uint32_t* label_codes = nullptr;
+    std::vector<uint8_t> label_pos;
+    if (label_dict != nullptr && label_dict->null_count() == 0) {
+      label_codes = label_dict->codes();
+      label_pos.resize(static_cast<size_t>(label_dict->dict().num_entries()));
+      for (size_t c = 0; c < label_pos.size(); ++c) {
+        label_pos[c] = label_dict->dict().entry(static_cast<uint32_t>(c)) ==
+                               positive_label
+                           ? 1
+                           : 0;
+      }
+    }
+    struct OneHotPlan {
+      const DictionaryColumn* dict = nullptr;  // set when fast path applies
+      const uint32_t* codes = nullptr;
+      std::vector<int32_t> interned;  // per code; -1 = not yet interned
+    };
+    std::vector<OneHotPlan> onehots(features.size());
     std::vector<DisplayReader> onehot_readers;
     onehot_readers.reserve(features.size());
     for (size_t f = 0; f < features.size(); ++f) {
       onehot_readers.emplace_back(*features[f]->column(1));
+      if (plans[f].numeric) {
+        continue;
+      }
+      const auto* d =
+          dynamic_cast<const DictionaryColumn*>(features[f]->column(1).get());
+      if (d != nullptr && d->null_count() == 0) {
+        onehots[f].dict = d;
+        onehots[f].codes = d->codes();
+        onehots[f].interned.assign(
+            static_cast<size_t>(d->dict().num_entries()), -1);
+      }
     }
     std::string scratch;
     std::string feature_name;
     for (int64_t r = 0; r < rows; ++r) {
       dataflow::Example e;
       e.id = r;
-      e.is_test = StringAt(*split, r, &scratch) == "test";
+      e.is_test = split_codes != nullptr
+                      ? split_codes[r] == test_code
+                      : StringAt(*split, r, &scratch) == "test";
       e.label =
-          label_reader.View(r, &scratch) == positive_label ? 1.0 : 0.0;
+          label_codes != nullptr
+              ? (label_pos[label_codes[r]] != 0 ? 1.0 : 0.0)
+              : (label_reader.View(r, &scratch) == positive_label ? 1.0
+                                                                  : 0.0);
       for (size_t f = 0; f < features.size(); ++f) {
         const ColumnPlan& plan = plans[f];
         if (plan.numeric) {
-          double x = plan.parsed[static_cast<size_t>(r)];
-          e.features.Set(plan.numeric_index, (x - plan.mean) / plan.stddev);
+          e.features.Set(plan.numeric_index,
+                         plan.parsed[static_cast<size_t>(r)]);
+        } else if (onehots[f].dict != nullptr) {
+          OneHotPlan& oh = onehots[f];
+          uint32_t c = oh.codes[r];
+          if (oh.interned[c] < 0) {
+            // Intern on first occurrence in row order (not in a pre-pass
+            // over dictionary entries) so FeatureDict ids stay identical
+            // to the per-row scan's.
+            const std::string& col = features[f]->schema().field(1).name;
+            feature_name.assign(col);
+            feature_name += '=';
+            feature_name.append(oh.dict->dict().entry(c));
+            oh.interned[c] = dict->Intern(feature_name);
+          }
+          e.features.Set(oh.interned[c], 1.0);
         } else {
           const std::string& col = features[f]->schema().field(1).name;
           feature_name.assign(col);
@@ -621,21 +774,59 @@ Operator Evaluator(const std::string& name,
           "Evaluator expects (id, __split, gold, prob) predictions");
     }
     // Selection + gather, column-wise: pick test rows off the split
-    // column, then read gold/prob through typed columns.
+    // column, then read gold/prob through typed columns. Dictionary
+    // split columns select by comparing codes against the interned
+    // "test" entry — no per-row string compare.
     std::shared_ptr<const Column> split = preds->column(split_col);
     std::shared_ptr<const Column> gold = preds->column(gold_col);
     std::shared_ptr<const Column> prob = preds->column(prob_col);
+    int64_t num_rows = preds->num_rows();
     dataflow::SelectionVector sel;
-    std::string scratch;
-    for (int64_t r = 0; r < preds->num_rows(); ++r) {
-      if (StringAt(*split, r, &scratch) == "test") {
-        sel.push_back(r);
+    const auto* split_dict = dynamic_cast<const DictionaryColumn*>(split.get());
+    if (split_dict != nullptr && split_dict->null_count() == 0 &&
+        num_rows > 0) {
+      uint32_t test_code = UINT32_MAX;
+      size_t entries = static_cast<size_t>(split_dict->dict().num_entries());
+      for (size_t c = 0; c < entries; ++c) {
+        if (split_dict->dict().entry(static_cast<uint32_t>(c)) == "test") {
+          test_code = static_cast<uint32_t>(c);
+          break;
+        }
+      }
+      if (test_code != UINT32_MAX) {
+        dataflow::simd::SelectCodesEqual(split_dict->codes(), num_rows,
+                                         test_code, &sel);
+      }
+    } else {
+      std::string scratch;
+      for (int64_t r = 0; r < num_rows; ++r) {
+        if (StringAt(*split, r, &scratch) == "test") {
+          sel.push_back(r);
+        }
       }
     }
     std::vector<ml::ScoredLabel> rows;
-    rows.reserve(sel.size());
-    for (int64_t r : sel) {
-      rows.push_back(ml::ScoredLabel{DoubleAt(*gold, r), DoubleAt(*prob, r)});
+    rows.resize(sel.size());
+    const auto* gold_d = dynamic_cast<const DoubleColumn*>(gold.get());
+    const auto* prob_d = dynamic_cast<const DoubleColumn*>(prob.get());
+    if (gold_d != nullptr && gold_d->null_count() == 0 && prob_d != nullptr &&
+        prob_d->null_count() == 0 && !sel.empty()) {
+      std::vector<double> gold_v(sel.size());
+      std::vector<double> prob_v(sel.size());
+      dataflow::simd::GatherF64(gold_d->data(), sel.data(),
+                                static_cast<int64_t>(sel.size()),
+                                gold_v.data());
+      dataflow::simd::GatherF64(prob_d->data(), sel.data(),
+                                static_cast<int64_t>(sel.size()),
+                                prob_v.data());
+      for (size_t i = 0; i < sel.size(); ++i) {
+        rows[i] = ml::ScoredLabel{gold_v[i], prob_v[i]};
+      }
+    } else {
+      for (size_t i = 0; i < sel.size(); ++i) {
+        rows[i] = ml::ScoredLabel{DoubleAt(*gold, sel[i]),
+                                  DoubleAt(*prob, sel[i])};
+      }
     }
     HELIX_ASSIGN_OR_RETURN(auto metrics,
                            ml::ComputeBinaryMetrics(rows, options));

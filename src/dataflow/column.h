@@ -24,6 +24,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "common/spans.h"
 #include "dataflow/value.h"
 
 namespace helix {
@@ -47,6 +48,9 @@ class Column {
     kString = 4,
     /// Heterogeneous cells stored as tagged Values (legacy row semantics).
     kMixed = 5,
+    /// Dictionary-encoded strings: per-row u32 codes into a shared
+    /// distinct-entry dictionary (repeated categoricals).
+    kDictString = 6,
   };
 
   virtual ~Column() = default;
@@ -87,6 +91,11 @@ class Column {
   /// body. Row count comes from the enclosing table header.
   void Serialize(ByteWriter* w) const;
 
+  /// Same byte stream as Serialize, emitted as spans: header fields go
+  /// through the scratch writer, large bodies are borrowed zero-copy.
+  /// The column must outlive the span list.
+  void SerializeToSpans(SpanWriter* s) const;
+
   /// Parses one format-v2 column of `num_rows` cells.
   static Result<std::shared_ptr<const Column>> Deserialize(ByteReader* r,
                                                            int64_t num_rows);
@@ -99,6 +108,12 @@ class Column {
 
   /// Packed cell body (everything after tag + validity).
   virtual void SerializeBody(ByteWriter* w) const = 0;
+
+  /// Span form of SerializeBody; the default copies through the scratch
+  /// writer, contiguous-body columns override to borrow.
+  virtual void SerializeBodyToSpans(SpanWriter* s) const {
+    SerializeBody(s->writer());
+  }
 
   int64_t length_ = 0;
   /// Bit i set == cell i valid; empty == all valid. (length+7)/8 bytes.
@@ -127,6 +142,7 @@ class Int64Column final : public Column {
 
  protected:
   void SerializeBody(ByteWriter* w) const override;
+  void SerializeBodyToSpans(SpanWriter* s) const override;
 
  private:
   std::vector<int64_t> values_;
@@ -153,6 +169,7 @@ class DoubleColumn final : public Column {
 
  protected:
   void SerializeBody(ByteWriter* w) const override;
+  void SerializeBodyToSpans(SpanWriter* s) const override;
 
  private:
   std::vector<double> values_;
@@ -178,6 +195,7 @@ class BoolColumn final : public Column {
 
  protected:
   void SerializeBody(ByteWriter* w) const override;
+  void SerializeBodyToSpans(SpanWriter* s) const override;
 
  private:
   std::vector<uint8_t> values_;
@@ -207,10 +225,74 @@ class StringColumn final : public Column {
 
  protected:
   void SerializeBody(ByteWriter* w) const override;
+  void SerializeBodyToSpans(SpanWriter* s) const override;
 
  private:
   std::string arena_;
   std::vector<uint64_t> offsets_;  // length()+1, ascending, last == arena size
+};
+
+/// The shared distinct-entry table behind one or more DictionaryColumns:
+/// D entries in first-occurrence order (arena + D+1 offsets), plus each
+/// entry's cached cell hash so fingerprints cost one array lookup per
+/// row instead of one string hash. Immutable once published; gathered
+/// columns share it zero-copy.
+struct StringDict {
+  std::string arena;
+  std::vector<uint64_t> offsets;  // D+1, ascending, last == arena size
+  std::vector<uint64_t> hashes;   // D cached string cell hashes
+
+  int64_t num_entries() const {
+    return offsets.empty() ? 0 : static_cast<int64_t>(offsets.size()) - 1;
+  }
+  std::string_view entry(uint32_t code) const {
+    size_t b = static_cast<size_t>(offsets[code]);
+    size_t e = static_cast<size_t>(offsets[code + 1]);
+    return std::string_view(arena).substr(b, e - b);
+  }
+};
+
+/// Dictionary-encoded string cells: per-row u32 codes into a shared
+/// StringDict. Value-identical to the StringColumn holding the same
+/// cells — GetValue, CellHash, and the table fingerprint are
+/// bit-compatible — only the storage (and the format-v2 tag) differ.
+/// Null cells carry the code of the empty-string entry, so view(i)
+/// returns "" for nulls exactly like StringColumn does.
+class DictionaryColumn final : public Column {
+ public:
+  DictionaryColumn(std::shared_ptr<const StringDict> dict,
+                   std::vector<uint32_t> codes,
+                   std::vector<uint8_t> validity, int64_t null_count)
+      : Column(static_cast<int64_t>(codes.size()), std::move(validity),
+               null_count),
+        dict_(std::move(dict)),
+        codes_(std::move(codes)) {}
+
+  Storage storage() const override { return Storage::kDictString; }
+  const StringDict& dict() const { return *dict_; }
+  const std::shared_ptr<const StringDict>& shared_dict() const {
+    return dict_;
+  }
+  const uint32_t* codes() const { return codes_.data(); }
+  uint32_t code(int64_t i) const { return codes_[static_cast<size_t>(i)]; }
+  std::string_view view(int64_t i) const {
+    return dict_->entry(codes_[static_cast<size_t>(i)]);
+  }
+
+  Value GetValue(int64_t i) const override;
+  uint64_t CellHash(int64_t i) const override;
+  void CellHashes(int64_t begin, int64_t end, uint64_t* out) const override;
+  int64_t SizeBytes() const override;
+  std::shared_ptr<const Column> Gather(
+      const SelectionVector& sel) const override;
+
+ protected:
+  void SerializeBody(ByteWriter* w) const override;
+  void SerializeBodyToSpans(SpanWriter* s) const override;
+
+ private:
+  std::shared_ptr<const StringDict> dict_;
+  std::vector<uint32_t> codes_;
 };
 
 /// Tagged-Value cells: the escape hatch for columns whose cells disagree
@@ -272,11 +354,29 @@ class ColumnBuilder {
   /// A builder pre-seeded with `column`'s cells (unseal-for-append path).
   static std::unique_ptr<ColumnBuilder> FromColumn(const Column& column);
 
+  /// Dictionary auto-encoding policy (deterministic functions of the
+  /// cell sequence, so row-built and column-built tables serialize
+  /// byte-identically): a string builder interns incrementally and
+  /// abandons encoding past kMaxDictDistinct distinct entries; Finish
+  /// emits a DictionaryColumn only when the table is long enough and
+  /// repetitive enough for codes to pay for the dictionary.
+  static constexpr int64_t kMaxDictDistinct = 4096;
+  static constexpr int64_t kMinDictRows = 16;
+
  private:
   void MarkValid();
   void MarkNull();
   void PromoteToMixed();
   bool mixed() const { return storage_ == Column::Storage::kMixed; }
+
+  /// Interns `v` into the distinct-entry arena and stores its code in
+  /// `*code`. Returns false (after AbandonDict expands the codes into a
+  /// plain arena) when a NEW entry would pass kMaxDictDistinct.
+  bool TryInternDictEntry(std::string_view v, uint32_t* code);
+  void AbandonDict();
+  /// The one string-cell append path (null cells intern ""), shared by
+  /// AppendString / Append / AppendNull.
+  void AppendStringCell(std::string_view v);
 
   ValueType declared_type_;
   Column::Storage storage_;
@@ -290,6 +390,14 @@ class ColumnBuilder {
   std::string arena_;
   std::vector<uint64_t> offsets_;
   std::vector<Value> values_;  // mixed layout
+
+  /// Dictionary mode (string builders start here): arena_/offsets_ hold
+  /// the DISTINCT entries in first-occurrence order, codes_ holds one
+  /// code per appended cell, slots_ is the open-addressing intern table
+  /// (entry code + 1; 0 == empty slot).
+  bool dict_mode_ = false;
+  std::vector<uint32_t> codes_;
+  std::vector<uint32_t> slots_;
 };
 
 }  // namespace dataflow

@@ -73,6 +73,29 @@ std::string DataCollection::SerializeToString() const {
   return std::move(w).TakeData();
 }
 
+void DataCollection::SerializeToSpans(SpanWriter* s) const {
+  size_t start = s->TotalBytes();
+  ByteWriter* w = s->writer();
+  w->PutU32(kMagic);
+  w->PutU32(kFormatVersion);
+  w->PutU8(static_cast<uint8_t>(kind()));
+  payload_->SerializeToSpans(s);
+  // Stream the checksum over the emitted spans — the same digest hashing
+  // the flattened buffer would produce. Bytes the caller wrote before the
+  // envelope (e.g. a reply status prefix) are skipped.
+  uint64_t checksum = kFnvOffsetBasis;
+  size_t skip = start;
+  for (const ByteSpan& span : s->spans()) {
+    if (skip >= span.len) {
+      skip -= span.len;
+      continue;
+    }
+    checksum = FnvHash64(span.data + skip, span.len - skip, checksum);
+    skip = 0;
+  }
+  s->writer()->PutU64(checksum);
+}
+
 Result<DataCollection> DataCollection::DeserializeFromString(
     std::string_view data) {
   // Envelope: 4 (magic) + 4 (version) + 1 (kind) + body + 8 (checksum).

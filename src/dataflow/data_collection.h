@@ -78,6 +78,16 @@ class DataCollection {
   /// serializes in one allocation.
   std::string SerializeToString() const;
 
+  /// Zero-copy variant of SerializeToString: appends the identical
+  /// envelope bytes to `s` as a span list, borrowing column bodies from
+  /// the in-memory payload instead of copying them. The payload (this
+  /// handle, or another share of it) must stay alive until the spans are
+  /// consumed. The trailing checksum is computed by streaming over the
+  /// emitted spans, so Flatten() of the list deserializes like a
+  /// SerializeToString buffer. Bytes already in `s` are left untouched
+  /// and excluded from the checksum.
+  void SerializeToSpans(SpanWriter* s) const;
+
   /// Parses and checksum-verifies an envelope produced by
   /// SerializeToString — this version's (v2) or any still-supported older
   /// one (v1 row-major tables), so stores persisted by previous builds

@@ -83,6 +83,14 @@ Result<service::SessionCounters> HelixClient::GetCounters(
   return DecodeCountersReply(reply);
 }
 
+Result<dataflow::DataCollection> HelixClient::FetchOutput(
+    uint64_t signature) {
+  HELIX_ASSIGN_OR_RETURN(
+      std::string reply,
+      Call(Opcode::kFetchOutput, EncodeFetchOutputRequest(signature)));
+  return DecodeFetchOutputReply(reply);
+}
+
 Result<std::string> HelixClient::GetMetricsJson() {
   HELIX_ASSIGN_OR_RETURN(std::string reply,
                          Call(Opcode::kGetMetrics, std::string()));

@@ -51,6 +51,14 @@ class HelixClient {
   /// `session_id` is 0.
   Result<service::SessionCounters> GetCounters(uint64_t session_id);
 
+  /// Pulls one materialized output out of the server's store by the
+  /// executor signature a RunIteration reply carried (RemoteOutput::
+  /// signature). NotFound if the store has since evicted it. The server
+  /// writes the reply zero-copy (spans over the stored columns + writev)
+  /// unless configured otherwise; the bytes received are identical either
+  /// way.
+  Result<dataflow::DataCollection> FetchOutput(uint64_t signature);
+
   /// Service-wide metrics snapshot as a JSON document (the same text a
   /// local MetricsRegistry::SnapshotJson() would produce server-side).
   Result<std::string> GetMetricsJson();

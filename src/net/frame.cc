@@ -1,6 +1,7 @@
 #include "net/frame.h"
 
 #include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/hash.h"
@@ -149,6 +150,38 @@ Result<Frame> ReadFrame(TcpConnection* conn, uint32_t max_payload_bytes,
 Status WriteFrame(TcpConnection* conn, const Frame& frame) {
   std::string bytes = EncodeFrame(frame);
   return conn->WriteAll(bytes.data(), bytes.size());
+}
+
+Status WriteFrameSpans(TcpConnection* conn, uint8_t opcode,
+                       uint64_t request_id, SpanWriter* payload) {
+  size_t payload_len = payload->TotalBytes();
+  ByteWriter header;
+  header.Reserve(kFrameHeaderBytes);
+  header.PutU32(kFrameMagic);
+  header.PutU8(kProtocolVersion);
+  header.PutU8(opcode);
+  header.PutU64(request_id);
+  header.PutU32(static_cast<uint32_t>(payload_len));
+  // The checksum streams over header + spans — same digest EncodeFrame
+  // computes over its contiguous buffer.
+  const std::vector<ByteSpan>& spans = payload->spans();
+  uint64_t checksum = FnvHash64(header.data());
+  for (const ByteSpan& s : spans) {
+    checksum = FnvHash64(s.data, s.len, checksum);
+  }
+  char trailer[kFrameChecksumBytes];
+  for (size_t i = 0; i < kFrameChecksumBytes; ++i) {
+    trailer[i] = static_cast<char>((checksum >> (8 * i)) & 0xFF);
+  }
+  std::vector<struct iovec> iov;
+  iov.reserve(spans.size() + 2);
+  iov.push_back({const_cast<char*>(header.data().data()),
+                 header.data().size()});
+  for (const ByteSpan& s : spans) {
+    iov.push_back({const_cast<char*>(s.data), s.len});
+  }
+  iov.push_back({trailer, sizeof(trailer)});
+  return conn->WritevAll(iov.data(), iov.size());
 }
 
 }  // namespace net

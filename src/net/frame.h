@@ -26,6 +26,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "common/spans.h"
 #include "common/status.h"
 #include "net/socket.h"
 
@@ -68,6 +69,14 @@ Result<Frame> ReadFrame(TcpConnection* conn, uint32_t max_payload_bytes,
 
 /// Encodes and writes one frame.
 Status WriteFrame(TcpConnection* conn, const Frame& frame);
+
+/// Writes one frame whose payload is `payload`'s span list, via one
+/// gathered writev-style call: header, then the spans as-is, then the
+/// checksum — the payload bytes are never copied into a contiguous
+/// buffer. On the wire this is byte-identical to WriteFrame of the
+/// flattened payload; any borrowed memory must stay alive for the call.
+Status WriteFrameSpans(TcpConnection* conn, uint8_t opcode,
+                       uint64_t request_id, SpanWriter* payload);
 
 }  // namespace net
 }  // namespace helix

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "dataflow/simd.h"
 
 namespace helix {
 namespace net {
@@ -181,6 +182,11 @@ void HelixServer::HandleRequest(const std::shared_ptr<Connection>& connection,
     case Opcode::kGetTrace:
       reply = HandleGetTrace(frame);
       break;
+    case Opcode::kFetchOutput:
+      // Writes its own reply: the zero-copy span path needs the stored
+      // payload alive across the write, so encode and write share a scope.
+      HandleFetchOutput(connection, frame, handler_start);
+      return;
     case Opcode::kShutdown:
       reply = EncodeEmptyReply();
       break;
@@ -261,7 +267,9 @@ std::string HelixServer::HandleRunIteration(const Frame& frame) {
   remote.num_materialized = result->report.num_materialized;
   remote.total_micros = result->report.total_micros;
   for (const auto& [output_name, data] : result->report.outputs) {
-    remote.output_fingerprints.emplace_back(output_name, data.Fingerprint());
+    const core::NodeExecution* node = result->report.FindNode(output_name);
+    remote.outputs.push_back({output_name, data.Fingerprint(),
+                              node != nullptr ? node->signature : 0});
   }
   return EncodeRunIterationReply(remote);
 }
@@ -294,6 +302,9 @@ std::string HelixServer::HandleGetMetrics(const Frame& frame) {
   if (!empty.ok()) {
     return EncodeErrorReply(empty);
   }
+  // Kernel invocation counts live in lock-free globals (dataflow/simd.h);
+  // fold the deltas into the registry so the snapshot carries them.
+  dataflow::simd::FoldCountersInto(service_->metrics());
   return EncodeTextReply(service_->metrics()->SnapshotJson());
 }
 
@@ -303,6 +314,40 @@ std::string HelixServer::HandleGetTrace(const Frame& frame) {
     return EncodeErrorReply(empty);
   }
   return EncodeTextReply(service_->trace()->ToChromeJson());
+}
+
+void HelixServer::HandleFetchOutput(
+    const std::shared_ptr<Connection>& connection, const Frame& frame,
+    int64_t handler_start) {
+  Result<uint64_t> signature = DecodeFetchOutputRequest(frame.payload);
+  if (!signature.ok()) {
+    execute_micros_->Observe(SteadyNowMicros() - handler_start);
+    WriteReply(connection, frame.request_id,
+               EncodeErrorReply(signature.status()));
+    return;
+  }
+  Result<dataflow::DataCollection> data =
+      service_->store()->Get(signature.value());
+  if (!data.ok()) {
+    execute_micros_->Observe(SteadyNowMicros() - handler_start);
+    WriteReply(connection, frame.request_id,
+               EncodeErrorReply(data.status().WithContext(
+                   "fetching output with signature " +
+                   std::to_string(signature.value()))));
+    return;
+  }
+  if (options_.zero_copy_replies) {
+    // `data` stays in scope until WriteReplySpans returns: the span list
+    // borrows the columns' own buffers.
+    SpanWriter spans;
+    EncodeFetchOutputReplyToSpans(data.value(), &spans);
+    execute_micros_->Observe(SteadyNowMicros() - handler_start);
+    WriteReplySpans(connection, frame.request_id, &spans);
+    return;
+  }
+  std::string reply = EncodeFetchOutputReply(data.value());
+  execute_micros_->Observe(SteadyNowMicros() - handler_start);
+  WriteReply(connection, frame.request_id, std::move(reply));
 }
 
 void HelixServer::WriteReply(const std::shared_ptr<Connection>& connection,
@@ -327,6 +372,30 @@ void HelixServer::WriteReply(const std::shared_ptr<Connection>& connection,
     // is tearing connections down; the iteration's effects on the shared
     // store are durable regardless. Shut the stream down so the reader
     // stops accepting work from a peer that cannot receive answers.
+    HELIX_LOG(Info) << "dropping reply to request " << request_id << ": "
+                    << written.ToString();
+    connection->conn->ShutdownBoth();
+  }
+}
+
+void HelixServer::WriteReplySpans(
+    const std::shared_ptr<Connection>& connection, uint64_t request_id,
+    SpanWriter* payload) {
+  size_t payload_len = payload->TotalBytes();
+  int64_t write_start = SteadyNowMicros();
+  std::lock_guard<std::mutex> lock(connection->write_mu);
+  Status written =
+      WriteFrameSpans(connection->conn.get(),
+                      static_cast<uint8_t>(Opcode::kReply), request_id,
+                      payload);
+  if (written.ok()) {
+    reply_write_micros_->Observe(SteadyNowMicros() - write_start);
+    frames_out_total_->Add(1);
+    bytes_out_total_->Add(FrameWireBytes(payload_len));
+    connection->frames_out.fetch_add(1, std::memory_order_relaxed);
+    connection->bytes_out.fetch_add(FrameWireBytes(payload_len),
+                                    std::memory_order_relaxed);
+  } else {
     HELIX_LOG(Info) << "dropping reply to request " << request_id << ": "
                     << written.ToString();
     connection->conn->ShutdownBoth();

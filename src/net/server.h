@@ -55,6 +55,12 @@ struct ServerOptions {
   /// 0 = ephemeral; read the bound port from HelixServer::port().
   int port = 0;
   uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// When true (default), FetchOutput replies are written as a gathered
+  /// span list over the stored columns' own buffers (header + borrowed
+  /// bodies + checksum in one writev) — a cache-hit reply never copies the
+  /// payload into a contiguous buffer. Off = flatten-and-WriteFrame, kept
+  /// for benchmarks and as a fallback; the wire bytes are identical.
+  bool zero_copy_replies = true;
   /// Options for the owned SessionService.
   service::ServiceOptions service;
 };
@@ -124,8 +130,17 @@ class HelixServer {
   std::string HandleGetCounters(const Frame& frame);
   std::string HandleGetMetrics(const Frame& frame);
   std::string HandleGetTrace(const Frame& frame);
+  /// Unlike the handlers above, FetchOutput writes its own reply: the
+  /// zero-copy path must keep the stored DataCollection alive while its
+  /// borrowed spans are on the wire, so encode and write share a scope.
+  void HandleFetchOutput(const std::shared_ptr<Connection>& connection,
+                         const Frame& frame, int64_t handler_start);
   void WriteReply(const std::shared_ptr<Connection>& connection,
                   uint64_t request_id, std::string payload);
+  /// WriteReply for a span-list payload (WriteFrameSpans underneath);
+  /// identical accounting and failure handling.
+  void WriteReplySpans(const std::shared_ptr<Connection>& connection,
+                       uint64_t request_id, SpanWriter* payload);
 
   const ServerOptions options_;
   const WorkflowResolver resolver_;

@@ -108,6 +108,21 @@ Status DecodeEmptyRequest(std::string_view payload, const char* what) {
   return Status::OK();
 }
 
+std::string EncodeFetchOutputRequest(uint64_t signature) {
+  ByteWriter out;
+  out.PutU64(signature);
+  return std::move(out.TakeData());
+}
+
+Result<uint64_t> DecodeFetchOutputRequest(std::string_view payload) {
+  ByteReader in(payload);
+  HELIX_ASSIGN_OR_RETURN(uint64_t signature, in.GetU64());
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in FetchOutput request");
+  }
+  return signature;
+}
+
 std::string EncodeErrorReply(const Status& status) {
   ByteWriter out;
   EncodeStatus(status, &out);
@@ -131,10 +146,11 @@ std::string EncodeRunIterationReply(const RemoteIterationResult& result) {
   out.PutI64(result.num_pruned);
   out.PutI64(result.num_materialized);
   out.PutI64(result.total_micros);
-  out.PutU64(result.output_fingerprints.size());
-  for (const auto& [name, fingerprint] : result.output_fingerprints) {
-    out.PutString(name);
-    out.PutU64(fingerprint);
+  out.PutU64(result.outputs.size());
+  for (const RemoteOutput& output : result.outputs) {
+    out.PutString(output.name);
+    out.PutU64(output.fingerprint);
+    out.PutU64(output.signature);
   }
   return std::move(out.TakeData());
 }
@@ -165,6 +181,22 @@ std::string EncodeTextReply(const std::string& text) {
   return std::move(out.TakeData());
 }
 
+std::string EncodeFetchOutputReply(const dataflow::DataCollection& data) {
+  ByteWriter out;
+  EncodeStatus(Status::OK(), &out);
+  // The envelope rides unprefixed: the frame already bounds the payload,
+  // and the envelope's own checksum bounds the body.
+  std::string envelope = data.SerializeToString();
+  out.PutRaw(envelope.data(), envelope.size());
+  return std::move(out.TakeData());
+}
+
+void EncodeFetchOutputReplyToSpans(const dataflow::DataCollection& data,
+                                   SpanWriter* s) {
+  EncodeStatus(Status::OK(), s->writer());
+  data.SerializeToSpans(s);
+}
+
 Result<uint64_t> DecodeOpenSessionReply(std::string_view payload) {
   ByteReader in(payload);
   HELIX_RETURN_IF_ERROR(DecodeReplyStatus(&in));
@@ -188,14 +220,18 @@ Result<RemoteIterationResult> DecodeRunIterationReply(
   HELIX_ASSIGN_OR_RETURN(result.num_materialized, in.GetI64());
   HELIX_ASSIGN_OR_RETURN(result.total_micros, in.GetI64());
   HELIX_ASSIGN_OR_RETURN(uint64_t n, in.GetU64());
-  if (n > in.remaining() / 16) {
-    return Status::Corruption("output fingerprint count implausible");
+  // Each entry costs at least 24 bytes (length prefix + two u64s); a
+  // count claiming more is corrupt, and must be rejected before reserve.
+  if (n > in.remaining() / 24) {
+    return Status::Corruption("output count implausible");
   }
-  result.output_fingerprints.reserve(n);
+  result.outputs.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
-    HELIX_ASSIGN_OR_RETURN(std::string name, in.GetString());
-    HELIX_ASSIGN_OR_RETURN(uint64_t fingerprint, in.GetU64());
-    result.output_fingerprints.emplace_back(std::move(name), fingerprint);
+    RemoteOutput output;
+    HELIX_ASSIGN_OR_RETURN(output.name, in.GetString());
+    HELIX_ASSIGN_OR_RETURN(output.fingerprint, in.GetU64());
+    HELIX_ASSIGN_OR_RETURN(output.signature, in.GetU64());
+    result.outputs.push_back(std::move(output));
   }
   if (!in.AtEnd()) {
     return Status::Corruption("trailing bytes in RunIteration reply");
@@ -238,6 +274,16 @@ Result<std::string> DecodeTextReply(std::string_view payload) {
     return Status::Corruption("trailing bytes in text reply");
   }
   return text;
+}
+
+Result<dataflow::DataCollection> DecodeFetchOutputReply(
+    std::string_view payload) {
+  ByteReader in(payload);
+  HELIX_RETURN_IF_ERROR(DecodeReplyStatus(&in));
+  // Everything after the status is one DataCollection envelope; its own
+  // magic/version/checksum validate the bytes.
+  return dataflow::DataCollection::DeserializeFromString(
+      payload.substr(payload.size() - in.remaining()));
 }
 
 }  // namespace net

@@ -24,7 +24,9 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "common/spans.h"
 #include "core/version_manager.h"
+#include "dataflow/data_collection.h"
 #include "core/workflow.h"
 #include "core/workflow_spec.h"
 #include "service/session_service.h"
@@ -44,6 +46,11 @@ enum class Opcode : uint8_t {
   /// payload.
   kGetMetrics = 5,
   kGetTrace = 6,
+  /// Pulls one materialized output payload out of the server's store by
+  /// executor signature (learned from a RunIteration reply). The reply
+  /// body is a whole DataCollection envelope; on the server's cache-hit
+  /// path it is written zero-copy (spans over column bodies + writev).
+  kFetchOutput = 7,
   kReply = 0x80,
 };
 
@@ -54,6 +61,18 @@ using WorkflowSpec = core::WorkflowSpec;
 using WorkflowResolver = core::WorkflowResolver;
 using core::DecodeWorkflowSpec;
 using core::EncodeWorkflowSpec;
+
+/// One workflow output as seen across the wire: name, content
+/// fingerprint, and the executor signature keying the server-side store
+/// entry — enough for the client to verify determinism and, when it
+/// wants the bytes, FetchOutput them by signature.
+struct RemoteOutput {
+  std::string name;
+  uint64_t fingerprint = 0;
+  /// Cumulative executor signature of the producing node (0 if the
+  /// server could not resolve it); the FetchOutput store key.
+  uint64_t signature = 0;
+};
 
 /// Counter snapshot and iteration summary returned by a remote iteration.
 /// Fingerprints stand in for payloads: outputs stay server-side, the
@@ -66,8 +85,8 @@ struct RemoteIterationResult {
   int64_t num_pruned = 0;
   int64_t num_materialized = 0;
   int64_t total_micros = 0;
-  /// (output name, DataCollection fingerprint), in output-name order.
-  std::vector<std::pair<std::string, uint64_t>> output_fingerprints;
+  /// Per-output (name, fingerprint, signature), in output-name order.
+  std::vector<RemoteOutput> outputs;
 };
 
 // --- Status ---------------------------------------------------------------
@@ -104,6 +123,9 @@ Result<uint64_t> DecodeGetCountersRequest(std::string_view payload);
 /// stray payload bytes.
 Status DecodeEmptyRequest(std::string_view payload, const char* what);
 
+std::string EncodeFetchOutputRequest(uint64_t signature);
+Result<uint64_t> DecodeFetchOutputRequest(std::string_view payload);
+
 // --- Reply payloads -------------------------------------------------------
 
 /// A failed reply is just the status; a successful one is OK + body.
@@ -114,6 +136,15 @@ std::string EncodeCountersReply(const service::SessionCounters& counters);
 std::string EncodeEmptyReply();
 /// OK status + one opaque text blob (GetMetrics / GetTrace JSON).
 std::string EncodeTextReply(const std::string& text);
+/// OK status + a whole DataCollection envelope (flattening copy path —
+/// the zero-copy server path emits the same bytes through
+/// EncodeFetchOutputReplyToSpans instead).
+std::string EncodeFetchOutputReply(const dataflow::DataCollection& data);
+/// Span-list form of EncodeFetchOutputReply: status into the scratch
+/// writer, then the envelope borrowing column bodies from `data`, which
+/// must outlive the spans.
+void EncodeFetchOutputReplyToSpans(const dataflow::DataCollection& data,
+                                   SpanWriter* s);
 
 /// Reply decoders: each decodes the leading status — a non-OK remote
 /// status is returned as-is (same code, message prefixed "remote: ") —
@@ -125,6 +156,8 @@ Result<service::SessionCounters> DecodeCountersReply(
     std::string_view payload);
 Status DecodeEmptyReply(std::string_view payload);
 Result<std::string> DecodeTextReply(std::string_view payload);
+Result<dataflow::DataCollection> DecodeFetchOutputReply(
+    std::string_view payload);
 
 }  // namespace net
 }  // namespace helix

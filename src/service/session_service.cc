@@ -6,6 +6,7 @@
 
 #include "common/file_util.h"
 #include "common/logging.h"
+#include "dataflow/simd.h"
 
 namespace helix {
 namespace service {
@@ -118,6 +119,8 @@ Result<std::unique_ptr<SessionService>> SessionService::Open(
   }
   service->pool_ = std::make_unique<runtime::ThreadPool>(std::max(1, threads));
   service->pool_->EnableTelemetry(&service->metrics_);
+  HELIX_LOG(Info) << "columnar kernels using "
+                  << dataflow::simd::ActiveIsaName() << " code path";
   return service;
 }
 

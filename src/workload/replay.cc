@@ -8,6 +8,7 @@
 #include "common/file_util.h"
 #include "common/hash.h"
 #include "dataflow/data_collection.h"
+#include "dataflow/simd.h"
 #include "net/app_specs.h"
 #include "net/client.h"
 
@@ -17,7 +18,7 @@ namespace {
 
 // The one combined-output digest both targets agree on: (name,
 // fingerprint) pairs in output-name order. The local map is name-sorted;
-// the server emits output_fingerprints in the same order.
+// the server emits its outputs list in the same order.
 uint64_t CombineOutputs(
     const std::map<std::string, dataflow::DataCollection>& outputs) {
   Hasher hasher;
@@ -27,11 +28,13 @@ uint64_t CombineOutputs(
   return hasher.Digest();
 }
 
-uint64_t CombineOutputs(
-    const std::vector<std::pair<std::string, uint64_t>>& fingerprints) {
+// Hashes name + fingerprint only: the wire entry also carries the store
+// signature, but it is a cache key, not content — including it would make
+// the digest disagree with the local-outputs overload above.
+uint64_t CombineOutputs(const std::vector<net::RemoteOutput>& outputs) {
   Hasher hasher;
-  for (const auto& [name, fingerprint] : fingerprints) {
-    hasher.Add(name).AddU64(fingerprint);
+  for (const net::RemoteOutput& output : outputs) {
+    hasher.Add(output.name).AddU64(output.fingerprint);
   }
   return hasher.Digest();
 }
@@ -144,7 +147,7 @@ Result<ReplayResult> ReplayTrace(const Trace& trace,
       IterationRecord& record = result.records[plan.slot];
       record.user = event.user;
       record.index = plan.index;
-      record.fingerprint = CombineOutputs(remote_result->output_fingerprints);
+      record.fingerprint = CombineOutputs(remote_result->outputs);
       record.latency_micros = clock->NowMicros() - start;
       record.num_computed = remote_result->num_computed;
       record.num_loaded = remote_result->num_loaded;
@@ -291,6 +294,7 @@ Result<ReplayResult> ReplayTrace(const Trace& trace,
   }
   result.wall_micros = clock->NowMicros() - wall_start;
   result.totals = service->AggregateCounters();
+  dataflow::simd::FoldCountersInto(service->metrics());
   result.metrics_json = service->metrics()->SnapshotJson();
   result.trace_json = service->trace()->ToChromeJson();
   finish();

@@ -225,8 +225,13 @@ void RunRemote(const std::string& root, const SyntheticApp& app,
           failed.store(true);
           return;
         }
+        testutil::OutputFingerprints fingerprints;
+        fingerprints.reserve(result->outputs.size());
+        for (const net::RemoteOutput& output : result->outputs) {
+          fingerprints.emplace_back(output.name, output.fingerprint);
+        }
         trace->outputs[static_cast<size_t>(s)].push_back(
-            result->output_fingerprints);
+            std::move(fingerprints));
       }
     });
   }
@@ -584,6 +589,73 @@ TEST_F(RobustnessTest, FuzzedFramesNeverKillTheServer) {
     // handle both the garbage and the abrupt hangup.
   }
   ExpectServerStillServes();
+}
+
+// --- FetchOutput / zero-copy reply path -----------------------------------
+
+// Runs one iteration against a fresh server (materializing every output)
+// and fetches every output back by the signature the reply carried.
+// Returns the fetched collections' serialized bytes, name-ordered.
+void RunAndFetchOutputs(const std::string& workspace, bool zero_copy,
+                        std::vector<std::string>* fetched_bytes) {
+  ServerOptions options;
+  options.service.workspace_dir = workspace;
+  options.service.num_threads = 2;
+  options.service.mat_policy =
+      std::make_shared<core::AlwaysMaterializePolicy>();
+  options.zero_copy_replies = zero_copy;
+  auto server = HelixServer::Start(options, SyntheticResolver());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = HelixClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  auto session = (*client)->OpenSession("fetcher");
+  ASSERT_TRUE(session.ok());
+  auto result = (*client)->RunIteration(session.value(),
+                                        MakeSyntheticSpec(/*seed=*/77, 0),
+                                        "iter-0", ChangeCategory::kInitial);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->outputs.empty());
+  for (const RemoteOutput& output : result->outputs) {
+    ASSERT_NE(output.signature, 0u)
+        << "server could not resolve the producing node for "
+        << output.name;
+    auto fetched = (*client)->FetchOutput(output.signature);
+    ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+    // The payload that came over the wire is the very output the
+    // iteration fingerprinted.
+    EXPECT_EQ(fetched->Fingerprint(), output.fingerprint)
+        << "output " << output.name;
+    fetched_bytes->push_back(fetched->SerializeToString());
+  }
+  // A signature the store has never seen is a clean remote NotFound.
+  auto missing = (*client)->FetchOutput(0x0BADC0DEDEADBEEFULL);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound())
+      << missing.status().ToString();
+  EXPECT_NE(missing.status().message().find("remote: "), std::string::npos);
+  (*server)->Stop();
+}
+
+// The no-copy guarantee must be invisible: a client fetching the same
+// deterministic outputs from a zero-copy server and from a
+// flatten-and-send server receives byte-identical payloads.
+TEST_F(NetTest, FetchOutputZeroCopyIsByteIdenticalToCopyPath) {
+  std::vector<std::string> zero_copy_bytes;
+  RunAndFetchOutputs(JoinPath(dir_, "zc"), /*zero_copy=*/true,
+                     &zero_copy_bytes);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+  std::vector<std::string> copied_bytes;
+  RunAndFetchOutputs(JoinPath(dir_, "copy"), /*zero_copy=*/false,
+                     &copied_bytes);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+  ASSERT_EQ(zero_copy_bytes.size(), copied_bytes.size());
+  for (size_t i = 0; i < zero_copy_bytes.size(); ++i) {
+    EXPECT_EQ(zero_copy_bytes[i], copied_bytes[i]) << "output " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,281 @@
+// Differential coverage for the vectorized columnar kernels
+// (src/dataflow/simd.h): for every kernel, the dispatched implementation
+// (AVX2/NEON where the host supports it, scalar otherwise, always scalar
+// under -DHELIX_FORCE_SCALAR=ON) must agree byte-for-byte with the
+// portable scalar reference across seeds, lengths that are not multiples
+// of any vector width, empty inputs, and null-bearing bitmaps. A
+// mismatch here means a fingerprint can silently depend on the host CPU
+// — the exact failure mode format v2's determinism contract forbids.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "dataflow/simd.h"
+
+namespace helix {
+namespace dataflow {
+namespace simd {
+namespace {
+
+// Seeds 1..30; lengths chosen to straddle the 4-lane (AVX2 double/i64)
+// and 8-lane (AVX2 u32) widths plus the scalar tail: primes, one-off-
+// from-lane-multiple values, empty, and a single element.
+constexpr int kNumSeeds = 30;
+constexpr int64_t kLengths[] = {0, 1, 3, 4, 5, 7, 8, 15, 16, 17,
+                                31, 63, 64, 65, 257, 1021, 4096, 4099};
+
+TEST(SimdTest, ActiveIsaIsConsistent) {
+  Isa isa = ActiveIsa();
+  EXPECT_EQ(isa, ActiveIsa()) << "ISA probe must be stable";
+  EXPECT_NE(IsaName(isa), nullptr);
+#ifdef HELIX_FORCE_SCALAR
+  EXPECT_EQ(isa, Isa::kScalar);
+#endif
+}
+
+TEST(SimdTest, SelectGreaterThanMatchesScalar) {
+  for (int seed = 1; seed <= kNumSeeds; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed));
+    for (int64_t n : kLengths) {
+      std::vector<double> values(static_cast<size_t>(n));
+      for (double& v : values) {
+        v = rng.NextDouble() * 100.0 - 50.0;
+      }
+      double threshold = rng.NextDouble() * 100.0 - 50.0;
+      std::vector<int64_t> got, want;
+      SelectGreaterThan(values.data(), n, threshold, &got);
+      scalar::SelectGreaterThan(values.data(), n, threshold, &want);
+      ASSERT_EQ(got, want) << "seed=" << seed << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, SelectCodesEqualMatchesScalar) {
+  for (int seed = 1; seed <= kNumSeeds; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed));
+    for (int64_t n : kLengths) {
+      std::vector<uint32_t> codes(static_cast<size_t>(n));
+      for (uint32_t& c : codes) {
+        c = static_cast<uint32_t>(rng.NextBelow(8));
+      }
+      uint32_t target = static_cast<uint32_t>(rng.NextBelow(10));  // may miss
+      std::vector<int64_t> got, want;
+      SelectCodesEqual(codes.data(), n, target, &got);
+      scalar::SelectCodesEqual(codes.data(), n, target, &want);
+      ASSERT_EQ(got, want) << "seed=" << seed << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, SelectCodesInSetMatchesScalar) {
+  for (int seed = 1; seed <= kNumSeeds; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed));
+    for (int64_t n : kLengths) {
+      constexpr uint32_t kNumCodes = 13;
+      std::vector<uint32_t> codes(static_cast<size_t>(n));
+      for (uint32_t& c : codes) {
+        c = static_cast<uint32_t>(rng.NextBelow(kNumCodes));
+      }
+      std::vector<uint32_t> keep(kNumCodes);
+      for (uint32_t& k : keep) {
+        k = rng.NextBelow(2) != 0 ? 1 : 0;
+      }
+      std::vector<int64_t> got, want;
+      SelectCodesInSet(codes.data(), n, keep.data(), &got);
+      scalar::SelectCodesInSet(codes.data(), n, keep.data(), &want);
+      ASSERT_EQ(got, want) << "seed=" << seed << " n=" << n;
+    }
+  }
+}
+
+// Builds a random selection into [0, src_n) of random length.
+std::vector<int64_t> RandomSelection(Rng* rng, int64_t src_n) {
+  if (src_n == 0) {
+    return {};
+  }
+  std::vector<int64_t> sel(
+      static_cast<size_t>(rng->NextBelow(static_cast<uint64_t>(src_n) + 1)));
+  for (int64_t& s : sel) {
+    s = rng->NextInt(0, src_n - 1);
+  }
+  return sel;
+}
+
+TEST(SimdTest, GathersMatchScalar) {
+  for (int seed = 1; seed <= kNumSeeds; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed));
+    for (int64_t n : kLengths) {
+      std::vector<int64_t> src_i64(static_cast<size_t>(n));
+      std::vector<double> src_f64(static_cast<size_t>(n));
+      std::vector<uint32_t> src_u32(static_cast<size_t>(n));
+      std::vector<uint8_t> src_u8(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        src_i64[static_cast<size_t>(i)] =
+            static_cast<int64_t>(rng.NextU64());
+        src_f64[static_cast<size_t>(i)] = rng.NextDouble();
+        src_u32[static_cast<size_t>(i)] =
+            static_cast<uint32_t>(rng.NextU64());
+        src_u8[static_cast<size_t>(i)] = static_cast<uint8_t>(rng.NextU64());
+      }
+      std::vector<int64_t> sel = RandomSelection(&rng, n);
+      int64_t m = static_cast<int64_t>(sel.size());
+
+      std::vector<int64_t> got_i64(sel.size()), want_i64(sel.size());
+      GatherI64(src_i64.data(), sel.data(), m, got_i64.data());
+      scalar::GatherI64(src_i64.data(), sel.data(), m, want_i64.data());
+      ASSERT_EQ(got_i64, want_i64) << "seed=" << seed << " n=" << n;
+
+      std::vector<double> got_f64(sel.size()), want_f64(sel.size());
+      GatherF64(src_f64.data(), sel.data(), m, got_f64.data());
+      scalar::GatherF64(src_f64.data(), sel.data(), m, want_f64.data());
+      ASSERT_EQ(0, std::memcmp(got_f64.data(), want_f64.data(),
+                               sel.size() * sizeof(double)))
+          << "seed=" << seed << " n=" << n;
+
+      std::vector<uint32_t> got_u32(sel.size()), want_u32(sel.size());
+      GatherU32(src_u32.data(), sel.data(), m, got_u32.data());
+      scalar::GatherU32(src_u32.data(), sel.data(), m, want_u32.data());
+      ASSERT_EQ(got_u32, want_u32) << "seed=" << seed << " n=" << n;
+
+      std::vector<uint8_t> got_u8(sel.size()), want_u8(sel.size());
+      GatherU8(src_u8.data(), sel.data(), m, got_u8.data());
+      scalar::GatherU8(src_u8.data(), sel.data(), m, want_u8.data());
+      ASSERT_EQ(got_u8, want_u8) << "seed=" << seed << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, BitmapAndMatchesScalar) {
+  for (int seed = 1; seed <= kNumSeeds; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed));
+    for (int64_t n : kLengths) {
+      size_t num_bytes = static_cast<size_t>(n);
+      std::vector<uint8_t> a(num_bytes), b(num_bytes);
+      for (size_t i = 0; i < num_bytes; ++i) {
+        a[i] = static_cast<uint8_t>(rng.NextU64());
+        b[i] = static_cast<uint8_t>(rng.NextU64());
+      }
+      std::vector<uint8_t> got(num_bytes), want(num_bytes);
+      BitmapAnd(a.data(), b.data(), num_bytes, got.data());
+      scalar::BitmapAnd(a.data(), b.data(), num_bytes, want.data());
+      ASSERT_EQ(got, want) << "seed=" << seed << " n=" << n;
+
+      // Aliasing form (out == a) — documented as legal.
+      std::vector<uint8_t> aliased = a;
+      BitmapAnd(aliased.data(), b.data(), num_bytes, aliased.data());
+      ASSERT_EQ(aliased, want) << "aliased, seed=" << seed << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, PopcountZerosMatchesScalar) {
+  for (int seed = 1; seed <= kNumSeeds; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed));
+    for (int64_t num_bits : kLengths) {
+      size_t num_bytes = static_cast<size_t>((num_bits + 7) / 8);
+      std::vector<uint8_t> bits(num_bytes);
+      for (uint8_t& byte : bits) {
+        byte = static_cast<uint8_t>(rng.NextU64());
+      }
+      ASSERT_EQ(PopcountZeros(bits.data(), num_bits),
+                scalar::PopcountZeros(bits.data(), num_bits))
+          << "seed=" << seed << " num_bits=" << num_bits;
+      // Trailing garbage past num_bits must not leak into the count.
+      if (!bits.empty()) {
+        bits.back() |= 0xFF << (num_bits % 8 == 0 ? 8 : num_bits % 8);
+        ASSERT_EQ(PopcountZeros(bits.data(), num_bits),
+                  scalar::PopcountZeros(bits.data(), num_bits))
+            << "trailing bits, seed=" << seed << " num_bits=" << num_bits;
+      }
+    }
+  }
+}
+
+TEST(SimdTest, ExpandCodesMatchesScalar) {
+  for (int seed = 1; seed <= kNumSeeds; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed));
+    for (int64_t n : kLengths) {
+      constexpr uint32_t kNumCodes = 9;
+      std::vector<uint32_t> codes(static_cast<size_t>(n));
+      for (uint32_t& c : codes) {
+        c = static_cast<uint32_t>(rng.NextBelow(kNumCodes));
+      }
+      std::vector<double> per_code(kNumCodes);
+      for (double& v : per_code) {
+        v = rng.NextDouble() * 1000.0;
+      }
+      std::vector<double> got(static_cast<size_t>(n)),
+          want(static_cast<size_t>(n));
+      ExpandCodes(codes.data(), n, per_code.data(), got.data());
+      scalar::ExpandCodes(codes.data(), n, per_code.data(), want.data());
+      ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                               static_cast<size_t>(n) * sizeof(double)))
+          << "seed=" << seed << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, StandardizeMatchesScalarBitForBit) {
+  for (int seed = 1; seed <= kNumSeeds; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed));
+    for (int64_t n : kLengths) {
+      std::vector<double> src(static_cast<size_t>(n));
+      for (double& v : src) {
+        v = rng.NextDouble() * 200.0 - 100.0;
+      }
+      double mean = rng.NextDouble() * 10.0;
+      double stddev = rng.NextDouble() * 5.0 + 0.1;
+      std::vector<double> got(static_cast<size_t>(n)),
+          want(static_cast<size_t>(n));
+      Standardize(src.data(), n, mean, stddev, got.data());
+      scalar::Standardize(src.data(), n, mean, stddev, want.data());
+      ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                               static_cast<size_t>(n) * sizeof(double)))
+          << "seed=" << seed << " n=" << n;
+      // In-place form (out == src), used by AssembleExamples.
+      std::vector<double> in_place = src;
+      Standardize(in_place.data(), n, mean, stddev, in_place.data());
+      ASSERT_EQ(0, std::memcmp(in_place.data(), want.data(),
+                               static_cast<size_t>(n) * sizeof(double)))
+          << "in-place, seed=" << seed << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, SumAndSumSqIsSequentialOnEveryPath) {
+  for (int seed = 1; seed <= kNumSeeds; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed));
+    for (int64_t n : kLengths) {
+      std::vector<double> values(static_cast<size_t>(n));
+      for (double& v : values) {
+        v = rng.NextDouble() * 2.0 - 1.0;
+      }
+      double got_sum = 0, got_sq = 0, want_sum = 0, want_sq = 0;
+      SumAndSumSq(values.data(), n, &got_sum, &got_sq);
+      scalar::SumAndSumSq(values.data(), n, &want_sum, &want_sq);
+      // Bit-exact, not approximately equal: the dispatcher must never
+      // hand this reduction to a reassociating vector loop.
+      ASSERT_EQ(0, std::memcmp(&got_sum, &want_sum, sizeof(double)))
+          << "seed=" << seed << " n=" << n;
+      ASSERT_EQ(0, std::memcmp(&got_sq, &want_sq, sizeof(double)))
+          << "seed=" << seed << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, InvocationCountersAdvance) {
+  Isa isa = ActiveIsa();
+  uint64_t before = InvocationCount(Kernel::kSelectGreaterThan, isa);
+  std::vector<double> values(100, 1.0);
+  std::vector<int64_t> sel;
+  SelectGreaterThan(values.data(), 100, 0.5, &sel);
+  EXPECT_EQ(InvocationCount(Kernel::kSelectGreaterThan, isa), before + 1);
+  EXPECT_EQ(sel.size(), 100u);
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace dataflow
+}  // namespace helix

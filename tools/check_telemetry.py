@@ -58,6 +58,13 @@ def check_metrics(path, require_server):
     expect(counters.get("executor.iterations", 0) > 0,
            "metrics: executor.iterations not populated")
 
+    # The columnar kernels ran and reported which ISA path served them
+    # (simd.<kernel>.<isa> counters, folded in at snapshot time). A census
+    # run always filters/gathers, so at least one kernel must have fired.
+    expect(any(name.startswith("simd.") and value > 0
+               for name, value in counters.items()),
+           "metrics: no simd.* kernel counters populated")
+
     # The pool queued work.
     wait = histograms.get("pool.task_wait_micros", {})
     expect(wait.get("count", 0) > 0,

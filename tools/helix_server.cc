@@ -28,6 +28,7 @@
 
 #include "bench/bench_util.h"
 #include "common/json.h"
+#include "dataflow/simd.h"
 #include "net/app_specs.h"
 #include "net/server.h"
 #include "workload/trace.h"
@@ -77,6 +78,7 @@ int Run(const ServerConfig& config) {
       .KV("host", config.host)
       .KV("port", static_cast<int64_t>((*server)->port()))
       .KV("workspace", config.workspace)
+      .KV("isa", dataflow::simd::ActiveIsaName())
       .EndObject();
   bench::PrintJsonLine(json);
   std::fflush(stdout);

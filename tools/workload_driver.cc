@@ -84,6 +84,7 @@
 #include "common/strings.h"
 #include "core/materialization.h"
 #include "datagen/census_gen.h"
+#include "dataflow/simd.h"
 #include "datagen/news_gen.h"
 #include "net/app_specs.h"
 #include "net/client.h"
@@ -399,6 +400,10 @@ void Run(const DriverConfig& config) {
       trace_json = bench::ValueOrDie(clients[0]->GetTraceJson(),
                                      "remote trace");
     } else {
+      // Kernel invocation counters live in simd-layer globals; fold the
+      // deltas in so the dump shows which ISA path did the work. (The
+      // remote path's GetMetrics handler does the same server-side.)
+      dataflow::simd::FoldCountersInto(services[0]->metrics());
       metrics_json = services[0]->metrics()->SnapshotJson();
       trace_json = services[0]->trace()->ToChromeJson();
     }
