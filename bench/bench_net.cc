@@ -5,12 +5,23 @@
 // latency, and the reuse hit rates — if remoting is correct, the hit
 // rates match and only the latency overhead differs.
 //
+// Also emits the transport scaling curve (1/10/100/1000 concurrent
+// connections x {event loop, thread-per-connection}, with the process
+// thread count as evidence of the event loop's flat thread model) and a
+// serial-vs-pipelined RPC row for the async multiplexing client.
+//
 // Usage: bench_net [--users=4] [--iterations=6] [--rows=4000] [--threads=0]
+//                  [--max-clients=1000]
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,6 +46,8 @@ struct Config {
   int iterations = 6;
   int64_t rows = 4000;
   int threads = 0;
+  /// Largest point on the connection-scaling curve.
+  int max_clients = 1000;
 };
 
 struct ModeResult {
@@ -271,6 +284,198 @@ void RunFetchOutputBench(const Config& config, const std::string& workspace,
   }
 }
 
+// Lifts RLIMIT_NOFILE to its hard cap so the 1000-connection point (two
+// fds per client: one in the client, one in the server, same process)
+// does not trip the default soft limit.
+void RaiseFdLimit() {
+  struct rlimit rl;
+  if (getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+  }
+}
+
+// Current thread count of this process (server and clients together),
+// from /proc/self/status. -1 when unreadable.
+int ReadThreadCount() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return -1;
+  }
+  char line[256];
+  int threads = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "Threads:", 8) == 0) {
+      threads = std::atoi(line + 8);
+      break;
+    }
+  }
+  std::fclose(f);
+  return threads;
+}
+
+// One point on the scaling curve: N concurrent connections sharing a
+// fixed call budget of small GetCounters RPCs — the cost of carrying
+// connections, not of running workflows. The thread count is sampled
+// with all N connected: in event-loop mode it stays flat as N grows
+// (io_threads + pool + the clients' own receivers); in thread mode it
+// grows by one reader per connection.
+void RunScalingCell(const std::string& workspace, bool event_loop,
+                    int num_clients) {
+  net::ServerOptions options;
+  options.event_loop = event_loop;
+  options.service.workspace_dir = workspace;
+  options.service.num_threads = 2;
+  // This bench measures transport capacity, not shedding: lift the
+  // backpressure bounds out of the way.
+  options.max_inflight_per_connection = 1 << 20;
+  options.max_inflight_total = 1 << 20;
+  auto server = ValueOrDie(
+      net::HelixServer::Start(options, net::MakeStandardResolver()),
+      "start server");
+  std::vector<std::unique_ptr<net::HelixClient>> clients;
+  clients.reserve(static_cast<size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    clients.push_back(ValueOrDie(
+        net::HelixClient::Connect("127.0.0.1", server->port()), "connect"));
+  }
+  int threads_connected = ReadThreadCount();
+
+  const int calls_per_client = std::max(1, 4000 / num_clients);
+  const int total = calls_per_client * num_clients;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  std::atomic<int> failed{0};
+  int64_t start = SystemClock::Default()->NowMicros();
+  for (auto& client : clients) {
+    for (int i = 0; i < calls_per_client; ++i) {
+      client->GetCountersAsync(
+          0, [&](Result<service::SessionCounters> reply) {
+            if (!reply.ok()) {
+              failed.fetch_add(1, std::memory_order_relaxed);
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            ++done;
+            cv.notify_all();
+          });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&]() { return done == total; });
+  }
+  int64_t wall = SystemClock::Default()->NowMicros() - start;
+  CheckOk(failed.load() == 0
+              ? Status::OK()
+              : Status::Internal(std::to_string(failed.load()) +
+                                 " scaling calls failed"),
+          "scaling calls");
+  JsonWriter json;
+  json.BeginObject()
+      .KV("record", "bench_net")
+      .KV("mode", event_loop ? "scaling_event_loop" : "scaling_threaded")
+      .KV("clients", static_cast<int64_t>(num_clients))
+      .KV("calls", static_cast<int64_t>(total))
+      .KV("threads_at_peak", static_cast<int64_t>(threads_connected))
+      .KV("wall_ms", static_cast<double>(wall) / 1e3)
+      .KV("calls_per_sec",
+          wall > 0 ? static_cast<double>(total) * 1e6 /
+                         static_cast<double>(wall)
+                   : 0)
+      .EndObject();
+  PrintJsonLine(json);
+  server->Stop();
+}
+
+void RunScalingBench(const Config& config, const std::string& workspace) {
+  RaiseFdLimit();
+  const int points[] = {1, 10, 100, 1000};
+  for (bool event_loop : {true, false}) {
+    for (int clients : points) {
+      if (clients > config.max_clients) {
+        continue;
+      }
+      RunScalingCell(workspace + (event_loop ? "-ev-" : "-th-") +
+                         std::to_string(clients),
+                     event_loop, clients);
+    }
+  }
+}
+
+// Serial vs pipelined RPC on ONE connection: the same 2000 GetCounters
+// calls issued one-at-a-time (each waiting its reply) and then issued
+// through the async interface with a window of 32 in flight. The ratio
+// is what multiplexing buys a chatty client over loopback.
+void RunPipelineBench(const std::string& workspace) {
+  net::ServerOptions options;
+  options.service.workspace_dir = workspace;
+  options.service.num_threads = 2;
+  auto server = ValueOrDie(
+      net::HelixServer::Start(options, net::MakeStandardResolver()),
+      "start server");
+  auto client = ValueOrDie(
+      net::HelixClient::Connect("127.0.0.1", server->port()), "connect");
+  constexpr int kCalls = 2000;
+  constexpr int kWindow = 32;
+
+  int64_t start = SystemClock::Default()->NowMicros();
+  for (int i = 0; i < kCalls; ++i) {
+    ValueOrDie(client->GetCounters(0), "serial call");
+  }
+  int64_t serial_wall = SystemClock::Default()->NowMicros() - start;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int inflight = 0;
+  int done = 0;
+  std::atomic<int> failed{0};
+  start = SystemClock::Default()->NowMicros();
+  for (int i = 0; i < kCalls; ++i) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&]() { return inflight < kWindow; });
+      ++inflight;
+    }
+    client->GetCountersAsync(
+        0, [&](Result<service::SessionCounters> reply) {
+          if (!reply.ok()) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          --inflight;
+          ++done;
+          cv.notify_all();
+        });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&]() { return done == kCalls; });
+  }
+  int64_t pipelined_wall = SystemClock::Default()->NowMicros() - start;
+  CheckOk(failed.load() == 0
+              ? Status::OK()
+              : Status::Internal("pipelined calls failed"),
+          "pipelined calls");
+  for (bool pipelined : {false, true}) {
+    int64_t wall = pipelined ? pipelined_wall : serial_wall;
+    JsonWriter json;
+    json.BeginObject()
+        .KV("record", "bench_net")
+        .KV("mode", pipelined ? "rpc_pipelined" : "rpc_serial")
+        .KV("calls", static_cast<int64_t>(kCalls))
+        .KV("window", static_cast<int64_t>(pipelined ? kWindow : 1))
+        .KV("wall_ms", static_cast<double>(wall) / 1e3)
+        .KV("calls_per_sec",
+            wall > 0 ? static_cast<double>(kCalls) * 1e6 /
+                           static_cast<double>(wall)
+                     : 0)
+        .EndObject();
+    PrintJsonLine(json);
+  }
+  server->Stop();
+}
+
 void Run(const Config& config) {
   TempWorkspace workspace("helix-bench-net");
   std::string train = workspace.Path("census.train.csv");
@@ -285,6 +490,8 @@ void Run(const Config& config) {
   ModeResult tcp = RunOverTcp(config, workspace.Path("ws-tcp"), train, test);
   PrintMode(config, "tcp", tcp);
   RunFetchOutputBench(config, workspace.Path("ws-fetch"), train, test);
+  RunPipelineBench(workspace.Path("ws-pipeline"));
+  RunScalingBench(config, workspace.Path("ws-scale"));
 
   double ratio = tcp.wall_micros > 0
                      ? static_cast<double>(inproc.wall_micros) /
@@ -311,6 +518,8 @@ int main(int argc, char** argv) {
       config.rows = v;
     } else if ((v = helix::bench::FlagValue(arg, "--threads")) >= 0) {
       config.threads = static_cast<int>(v);
+    } else if ((v = helix::bench::FlagValue(arg, "--max-clients")) >= 0) {
+      config.max_clients = static_cast<int>(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return 2;

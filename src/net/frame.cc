@@ -92,6 +92,42 @@ Result<Frame> DecodeFrame(std::string_view bytes,
   return frame;
 }
 
+Result<size_t> DecodeFrameFromBuffer(std::string_view buffer,
+                                     uint32_t max_payload_bytes, Frame* out,
+                                     uint64_t* request_id_out) {
+  if (buffer.size() < kFrameHeaderBytes) {
+    return static_cast<size_t>(0);  // header not yet buffered
+  }
+  // Surface the request id before validation, as ReadFrame does.
+  if (request_id_out != nullptr) {
+    ByteReader reader(buffer);
+    (void)reader.GetU32();
+    (void)reader.GetU8();
+    (void)reader.GetU8();
+    Result<uint64_t> id = reader.GetU64();
+    if (id.ok()) {
+      *request_id_out = id.value();
+    }
+  }
+  // Header validation fails fast: a hostile magic or length must not make
+  // the reader buffer (or wait for) a payload it will never trust.
+  HELIX_ASSIGN_OR_RETURN(
+      Header header,
+      DecodeHeader(buffer.substr(0, kFrameHeaderBytes), max_payload_bytes));
+  size_t total = kFrameHeaderBytes + header.payload_len + kFrameChecksumBytes;
+  if (buffer.size() < total) {
+    return static_cast<size_t>(0);  // payload/trailer not yet buffered
+  }
+  HELIX_RETURN_IF_ERROR(VerifyChecksum(
+      buffer.substr(0, kFrameHeaderBytes + header.payload_len),
+      buffer.substr(kFrameHeaderBytes + header.payload_len,
+                    kFrameChecksumBytes)));
+  out->opcode = header.opcode;
+  out->request_id = header.request_id;
+  out->payload.assign(buffer.data() + kFrameHeaderBytes, header.payload_len);
+  return total;
+}
+
 Result<Frame> ReadFrame(TcpConnection* conn, uint32_t max_payload_bytes,
                         uint64_t* request_id_out) {
   std::string header_bytes(kFrameHeaderBytes, '\0');
@@ -152,35 +188,41 @@ Status WriteFrame(TcpConnection* conn, const Frame& frame) {
   return conn->WriteAll(bytes.data(), bytes.size());
 }
 
-Status WriteFrameSpans(TcpConnection* conn, uint8_t opcode,
-                       uint64_t request_id, SpanWriter* payload) {
-  size_t payload_len = payload->TotalBytes();
+void BuildFrameParts(uint8_t opcode, uint64_t request_id,
+                     SpanWriter* payload, std::string* header_out,
+                     std::string* trailer_out) {
   ByteWriter header;
   header.Reserve(kFrameHeaderBytes);
   header.PutU32(kFrameMagic);
   header.PutU8(kProtocolVersion);
   header.PutU8(opcode);
   header.PutU64(request_id);
-  header.PutU32(static_cast<uint32_t>(payload_len));
+  header.PutU32(static_cast<uint32_t>(payload->TotalBytes()));
   // The checksum streams over header + spans — same digest EncodeFrame
   // computes over its contiguous buffer.
-  const std::vector<ByteSpan>& spans = payload->spans();
   uint64_t checksum = FnvHash64(header.data());
-  for (const ByteSpan& s : spans) {
+  for (const ByteSpan& s : payload->spans()) {
     checksum = FnvHash64(s.data, s.len, checksum);
   }
-  char trailer[kFrameChecksumBytes];
-  for (size_t i = 0; i < kFrameChecksumBytes; ++i) {
-    trailer[i] = static_cast<char>((checksum >> (8 * i)) & 0xFF);
-  }
+  ByteWriter trailer;
+  trailer.PutU64(checksum);
+  *header_out = std::move(header.TakeData());
+  *trailer_out = std::move(trailer.TakeData());
+}
+
+Status WriteFrameSpans(TcpConnection* conn, uint8_t opcode,
+                       uint64_t request_id, SpanWriter* payload) {
+  std::string header;
+  std::string trailer;
+  BuildFrameParts(opcode, request_id, payload, &header, &trailer);
+  const std::vector<ByteSpan>& spans = payload->spans();
   std::vector<struct iovec> iov;
   iov.reserve(spans.size() + 2);
-  iov.push_back({const_cast<char*>(header.data().data()),
-                 header.data().size()});
+  iov.push_back({header.data(), header.size()});
   for (const ByteSpan& s : spans) {
     iov.push_back({const_cast<char*>(s.data), s.len});
   }
-  iov.push_back({trailer, sizeof(trailer)});
+  iov.push_back({trailer.data(), trailer.size()});
   return conn->WritevAll(iov.data(), iov.size());
 }
 

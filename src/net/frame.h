@@ -58,6 +58,21 @@ std::string EncodeFrame(const Frame& frame);
 Result<Frame> DecodeFrame(std::string_view bytes,
                           uint32_t max_payload_bytes = kDefaultMaxPayloadBytes);
 
+/// Incremental decoder for a growing receive buffer (the event loop's
+/// nonblocking read path): examines the front of `buffer` and returns the
+/// number of bytes one complete frame consumed (header + payload +
+/// checksum), with the decoded frame in `*out` — or 0 when the buffer does
+/// not yet hold a complete frame (read more bytes and retry; nothing is
+/// consumed). Validation and error taxonomy are exactly DecodeFrame's,
+/// applied as early as the bytes allow: a bad magic or an oversized length
+/// fails as soon as the 18-byte header is buffered, without waiting for
+/// the (untrustworthy) payload. When the fixed header parses, a non-null
+/// `request_id_out` receives its request id even if validation then fails,
+/// so a server can address its error reply.
+Result<size_t> DecodeFrameFromBuffer(
+    std::string_view buffer, uint32_t max_payload_bytes, Frame* out,
+    uint64_t* request_id_out = nullptr);
+
 /// Reads exactly one frame from the connection. Same error taxonomy as
 /// DecodeFrame, plus NotFound("connection closed") on a clean end-of-stream
 /// at a frame boundary and IOError on a torn stream. When the fixed header
@@ -77,6 +92,16 @@ Status WriteFrame(TcpConnection* conn, const Frame& frame);
 /// flattened payload; any borrowed memory must stay alive for the call.
 Status WriteFrameSpans(TcpConnection* conn, uint8_t opcode,
                        uint64_t request_id, SpanWriter* payload);
+
+/// Builds the header and checksum-trailer bytes of the frame
+/// WriteFrameSpans would emit for `payload`'s span list — the two owned
+/// pieces a caller queues around the borrowed spans for a *deferred*
+/// gathered write (the event loop's outbound queue). Concatenating
+/// header + spans + trailer is byte-identical to EncodeFrame of the
+/// flattened payload.
+void BuildFrameParts(uint8_t opcode, uint64_t request_id,
+                     SpanWriter* payload, std::string* header_out,
+                     std::string* trailer_out);
 
 }  // namespace net
 }  // namespace helix

@@ -2,45 +2,69 @@
 //
 // One server owns one service::SessionService (shared store, stats
 // registry, thread pool, in-flight table, background writer) and serves
-// OpenSession / RunIteration / GetCounters / Shutdown over the framing
-// protocol (net/frame.h). Threading model:
+// OpenSession / RunIteration / GetCounters / FetchOutput / CloseSession /
+// Shutdown over the framing protocol (net/frame.h). Two transport modes
+// share every handler:
 //
-//   * one accept thread;
-//   * one reader thread per connection, which parses frames and dispatches
-//     each valid request onto the service's *shared* ThreadPool — so
-//     concurrently executing iterations are bounded by the pool, not by
-//     the connection count, exactly as for in-process SubmitIteration;
-//   * replies are written by the pool task under a per-connection write
-//     mutex (requests on one connection may pipeline; the request id keys
-//     replies to requests).
+//   * event-loop mode (default): a small fixed set of epoll I/O threads
+//     (net/event_loop.h) drives every connection — nonblocking reads into
+//     per-connection buffers, incremental frame decoding, and buffered
+//     outbound queues flushed on write readiness. Thread count is
+//     io_threads + the service pool, independent of the connection count.
+//   * thread mode (ServerOptions::event_loop = false): the legacy one
+//     blocking reader thread per connection, kept as the differential
+//     baseline for tests and the bench_net scaling curve.
+//
+// In both modes each valid request is dispatched onto the service's
+// *shared* ThreadPool — concurrently executing iterations are bounded by
+// the pool, not the connection count — and replies are keyed to requests
+// by request id, so one connection may pipeline.
+//
+// Backpressure is explicit: past max_inflight_per_connection /
+// max_inflight_total dispatched-but-unanswered requests, further frames
+// are answered immediately with ResourceExhausted (counted in
+// server.requests_shed) and the connection survives. A peer that stops
+// reading its replies is torn down — in event-loop mode when its outbound
+// queue exceeds max_outbound_queue_bytes, in thread mode via the
+// SO_SNDTIMEO write timeout. Reply-write failures are classified:
+// server.reply_timeouts counts slow-reader kills, server.reply_drops
+// counts peers that vanished (EPIPE / ECONNRESET / torn streams).
+//
+// Session lifecycle: OpenSession registers a service session and ties it
+// to the connection that opened it; CloseSession (or the connection
+// dropping, or server shutdown) retires it. Retired sessions fold their
+// counters into the service aggregate, so GetCounters(0) keeps reporting
+// the work of clients that have since disconnected.
 //
 // A malformed frame (bad checksum, oversized length, torn bytes) gets a
-// best-effort error reply and the connection is dropped — the stream can no
-// longer be trusted — while every other connection keeps serving. A
+// best-effort error reply and the connection is dropped — the stream can
+// no longer be trusted — while every other connection keeps serving. A
 // well-framed but unknown opcode is answered with InvalidArgument and the
 // connection stays up.
 //
-// Shutdown/drain ordering (Stop): stop accepting -> unblock and join the
-// per-connection readers (no new requests) -> wait for in-flight handlers
-// to finish writing replies -> destroy the service (which drains the pool
-// and writer, then persists stats). A Shutdown RPC does not stop the
-// server from inside a pool task (that would deadlock the drain); it is
-// acked, recorded, and surfaced through WaitForShutdownRequest for the
-// owner to act on.
+// Shutdown/drain ordering (Stop): stop accepting -> tear down transports
+// (join the event loop or the per-connection readers; no new requests) ->
+// wait for in-flight handlers to finish -> destroy the service (which
+// drains the pool and writer, then persists stats). A Shutdown RPC does
+// not stop the server from inside a pool task (that would deadlock the
+// drain); it is acked — and the ack flushed to the kernel — before the
+// request is surfaced through WaitForShutdownRequest for the owner to act
+// on.
 #ifndef HELIX_NET_SERVER_H_
 #define HELIX_NET_SERVER_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -50,7 +74,8 @@ namespace helix {
 namespace net {
 
 struct ServerOptions {
-  /// Numeric IPv4 listen address.
+  /// Listen address: numeric IPv4 or a resolvable hostname (empty binds
+  /// the wildcard address).
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; read the bound port from HelixServer::port().
   int port = 0;
@@ -59,16 +84,33 @@ struct ServerOptions {
   /// span list over the stored columns' own buffers (header + borrowed
   /// bodies + checksum in one writev) — a cache-hit reply never copies the
   /// payload into a contiguous buffer. Off = flatten-and-WriteFrame, kept
-  /// for benchmarks and as a fallback; the wire bytes are identical.
+  /// for benchmarks and as a fallback; the wire bytes are identical. In
+  /// event-loop mode the queued reply pins the DataCollection until its
+  /// spans are flushed.
   bool zero_copy_replies = true;
+  /// Transport mode: epoll event loop (default) or the legacy
+  /// thread-per-connection blocking readers.
+  bool event_loop = true;
+  /// Event-loop I/O threads; does not grow with the connection count.
+  int io_threads = 2;
+  /// Backpressure limits (both modes): dispatched-but-unanswered requests
+  /// beyond either bound are shed with ResourceExhausted.
+  int max_inflight_per_connection = 64;
+  int64_t max_inflight_total = 1024;
+  /// Event-loop slow-reader defense: tear a connection down when its
+  /// queued unsent replies exceed this many bytes.
+  int64_t max_outbound_queue_bytes = 64ll << 20;
+  /// Thread-mode slow-reader defense: SO_SNDTIMEO on reply writes.
+  int send_timeout_seconds = 30;
   /// Options for the owned SessionService.
   service::ServiceOptions service;
 };
 
 /// See the file comment. Thread safety: port(), service(), Stop(), and
 /// WaitForShutdownRequest() are safe from any thread; Stop() is
-/// idempotent. Ownership: the server owns the listener, all connections,
-/// and the SessionService; destruction runs Stop().
+/// idempotent. Ownership: the server owns the listener, the transport
+/// (event loop or reader threads), and the SessionService; destruction
+/// runs Stop().
 class HelixServer {
  public:
   static Result<std::unique_ptr<HelixServer>> Start(
@@ -89,6 +131,9 @@ class HelixServer {
     return service_.get();
   }
 
+  /// Live client connections (for tests and introspection).
+  int64_t num_connections() const;
+
   /// Blocks until a client's Shutdown RPC arrives or Stop() is called.
   void WaitForShutdownRequest();
 
@@ -97,79 +142,121 @@ class HelixServer {
   void Stop();
 
  private:
-  struct Connection {
-    std::unique_ptr<TcpConnection> conn;
-    std::mutex write_mu;
-    std::thread reader;
-    /// Set by the reader as its last action; the accept loop reaps
-    /// (joins + unregisters) done connections so a long-running server
-    /// does not accumulate one fd + thread per past client.
-    std::atomic<bool> done{false};
+  /// One client connection as the request handlers see it, independent of
+  /// transport mode: how a reply gets delivered, and which sessions the
+  /// connection opened (closed when it drops).
+  struct ClientConn {
+    virtual ~ClientConn() = default;
+    /// Delivers one flat reply frame (thread mode: synchronous write
+    /// under the connection's write mutex; event mode: enqueue on the
+    /// loop's outbound queue).
+    virtual void SendReply(uint64_t request_id, std::string payload) = 0;
+    /// Span-list reply (the zero-copy FetchOutput path). The payload and
+    /// `pin` stay alive until the bytes reach the kernel.
+    virtual void SendReplySpans(uint64_t request_id,
+                                std::unique_ptr<SpanWriter> payload,
+                                std::shared_ptr<const void> pin) = 0;
+    /// Blocks until previously sent replies reached the kernel (the
+    /// Shutdown-ack flush); thread mode writes synchronously and returns
+    /// immediately.
+    virtual bool WaitRepliesFlushed(int timeout_ms) = 0;
+
     /// Per-connection traffic accounting (frames and on-the-wire bytes,
-    /// header + payload + checksum). Folded into the service registry's
-    /// `server.frames_in/out` and `server.bytes_in/out` totals as they
-    /// happen; kept per-connection so a busy tenant is attributable.
+    /// header + payload + checksum), folded into the registry totals as
+    /// they happen; kept per-connection so a busy tenant is attributable.
     std::atomic<int64_t> frames_in{0};
     std::atomic<int64_t> bytes_in{0};
     std::atomic<int64_t> frames_out{0};
     std::atomic<int64_t> bytes_out{0};
+
+    /// Sessions opened by this connection, retired when it drops.
+    std::mutex sessions_mu;
+    std::vector<uint64_t> session_ids;
   };
+  struct ThreadConn;  // thread mode (defined in server.cc)
+  struct EventConn;   // event-loop mode (defined in server.cc)
 
   HelixServer(ServerOptions options, WorkflowResolver resolver)
       : options_(std::move(options)), resolver_(std::move(resolver)) {}
 
+  // Thread-mode transport.
   void AcceptLoop();
-  void ReaderLoop(std::shared_ptr<Connection> connection);
+  void ReaderLoop(std::shared_ptr<ThreadConn> connection);
+
+  // Event-mode transport callbacks (run on the loop threads).
+  void OnLoopAccept(const std::shared_ptr<EventLoop::Conn>& conn);
+  void OnLoopFrame(const std::shared_ptr<EventLoop::Conn>& conn,
+                   Frame&& frame, int64_t decode_micros);
+  void OnLoopHangup(const std::shared_ptr<EventLoop::Conn>& conn,
+                    HangupReason reason);
+
+  /// Shared dispatch: bumps the drain gauge and schedules HandleRequest
+  /// on the service pool. `on_done` (optional) runs after the handler
+  /// finishes (thread mode's in-flight release). False when the pool
+  /// refused the task (shutdown); the error reply was already sent.
+  bool DispatchFrame(const std::shared_ptr<ClientConn>& conn, Frame frame,
+                     std::function<void()> on_done);
   /// Runs on a pool worker: decodes, executes, and answers one request.
-  /// `enqueue_micros` is the reader's dispatch timestamp (steady clock),
-  /// feeding the `server.queue_micros` histogram.
-  void HandleRequest(const std::shared_ptr<Connection>& connection,
+  /// `enqueue_micros` is the dispatch timestamp (steady clock), feeding
+  /// the `server.queue_micros` histogram.
+  void HandleRequest(const std::shared_ptr<ClientConn>& connection,
                      Frame frame, int64_t enqueue_micros);
-  std::string HandleOpenSession(const Frame& frame);
+  std::string HandleOpenSession(const std::shared_ptr<ClientConn>& connection,
+                                const Frame& frame);
+  std::string HandleCloseSession(
+      const std::shared_ptr<ClientConn>& connection, const Frame& frame);
   std::string HandleRunIteration(const Frame& frame);
   std::string HandleGetCounters(const Frame& frame);
   std::string HandleGetMetrics(const Frame& frame);
   std::string HandleGetTrace(const Frame& frame);
-  /// Unlike the handlers above, FetchOutput writes its own reply: the
-  /// zero-copy path must keep the stored DataCollection alive while its
-  /// borrowed spans are on the wire, so encode and write share a scope.
-  void HandleFetchOutput(const std::shared_ptr<Connection>& connection,
+  /// Unlike the handlers above, FetchOutput delivers its own reply: the
+  /// zero-copy path hands the stored DataCollection to the transport as
+  /// the pin keeping its borrowed spans alive until flushed.
+  void HandleFetchOutput(const std::shared_ptr<ClientConn>& connection,
                          const Frame& frame, int64_t handler_start);
-  void WriteReply(const std::shared_ptr<Connection>& connection,
-                  uint64_t request_id, std::string payload);
-  /// WriteReply for a span-list payload (WriteFrameSpans underneath);
-  /// identical accounting and failure handling.
-  void WriteReplySpans(const std::shared_ptr<Connection>& connection,
-                       uint64_t request_id, SpanWriter* payload);
+  /// Retires every session this connection opened (close-on-disconnect).
+  void CloseConnectionSessions(ClientConn* connection);
+  /// Folds one received frame into the traffic counters.
+  void AccountFrameIn(ClientConn* connection, size_t payload_bytes);
+  /// Folds one delivered reply into the traffic counters and the
+  /// reply_write histogram (wire time in thread mode, enqueue cost in
+  /// event mode).
+  void AccountReplyOut(ClientConn* connection, size_t payload_bytes,
+                       int64_t write_start);
 
   const ServerOptions options_;
   const WorkflowResolver resolver_;
   std::unique_ptr<TcpListener> listener_;
   std::unique_ptr<service::SessionService> service_;
-  std::thread accept_thread_;
+  std::unique_ptr<EventLoop> event_loop_;  // event mode only
+  std::thread accept_thread_;              // thread mode only
 
   // Request-phase histograms and traffic counters, registered in the
   // service's metrics registry at Start. The registry outlives Stop()'s
   // service teardown window only as part of the service, so handlers only
-  // touch these while holding a live Connection dispatched before drain.
-  obs::Histogram* decode_micros_ = nullptr;      // ReadFrame (incl. wire wait)
+  // touch these while holding a live ClientConn dispatched before drain.
+  obs::Histogram* decode_micros_ = nullptr;      // frame read/parse
   obs::Histogram* queue_micros_ = nullptr;       // dispatch -> handler start
   obs::Histogram* execute_micros_ = nullptr;     // handler body
-  obs::Histogram* reply_write_micros_ = nullptr; // WriteFrame on the socket
+  obs::Histogram* reply_write_micros_ = nullptr; // write (or enqueue)
   obs::Counter* frames_in_total_ = nullptr;
   obs::Counter* bytes_in_total_ = nullptr;
   obs::Counter* frames_out_total_ = nullptr;
   obs::Counter* bytes_out_total_ = nullptr;
   obs::Counter* requests_total_ = nullptr;
+  /// Backpressure and failure-classification counters (always registered,
+  /// so telemetry checks can assert their presence even at zero).
+  obs::Counter* requests_shed_ = nullptr;
+  obs::Counter* reply_drops_ = nullptr;
+  obs::Counter* reply_timeouts_ = nullptr;
 
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
-
-  std::mutex sessions_mu_;
-  std::unordered_map<uint64_t, service::ServiceSession*> sessions_;
+  std::mutex conns_mu_;  // thread mode connection registry
+  std::vector<std::shared_ptr<ThreadConn>> conns_;
+  std::atomic<int64_t> thread_mode_connections_{0};
 
   // Outstanding handler tasks on the shared pool; Stop drains to zero
-  // before destroying the service.
+  // before destroying the service. Doubles as the thread-mode global
+  // in-flight gauge for shedding.
   std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   int64_t outstanding_ = 0;

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <limits.h>
 #include <netdb.h>
 #include <netinet/in.h>
@@ -23,6 +24,8 @@ Status Errno(const char* what) {
   return Status::IOError(StrFormat("%s: %s", what, std::strerror(errno)));
 }
 
+}  // namespace
+
 // Iteration latency is the resource users feel (the whole point of the
 // paper); a 40ms Nagle stall per small request frame would dwarf it.
 void SetNoDelay(int fd) {
@@ -30,7 +33,16 @@ void SetNoDelay(int fd) {
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-}  // namespace
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Errno("fcntl(F_GETFL)");
+  }
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
 
 TcpConnection::~TcpConnection() {
   if (fd_ >= 0) {
@@ -48,6 +60,7 @@ Status TcpConnection::WriteAll(const void* data, size_t len) {
       if (errno == EINTR) {
         continue;
       }
+      last_errno_ = errno;
       return Errno("send");
     }
     p += n;
@@ -76,6 +89,7 @@ Status TcpConnection::WritevAll(const struct iovec* iov, size_t iovcnt) {
       if (errno == EINTR) {
         continue;
       }
+      last_errno_ = errno;
       return Errno("sendmsg");
     }
     size_t wrote = static_cast<size_t>(n);
@@ -100,6 +114,7 @@ Result<bool> TcpConnection::ReadAllOrEof(void* data, size_t len) {
       if (errno == EINTR) {
         continue;
       }
+      last_errno_ = errno;
       return Errno("recv");
     }
     if (n == 0) {
@@ -133,40 +148,56 @@ TcpListener::~TcpListener() {
 
 Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
     const std::string& host, int port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Errno("socket");
+  // Resolve through getaddrinfo exactly as Connect does — the listener and
+  // the client must agree on what a host string means ("localhost" used to
+  // connect fine but fail to bind). AI_PASSIVE turns an empty host into
+  // the wildcard address.
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                         std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "cannot resolve listen host %s: %s", host.c_str(),
+        gai_strerror(rc)));
   }
-  int one = 1;
-  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("listen host must be a numeric IPv4 "
-                                   "address: " + host);
+  Status last = Status::IOError("no addresses for " + host);
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    int one = 1;
+    (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Errno("bind");
+      ::close(fd);
+      continue;
+    }
+    if (::listen(fd, /*backlog=*/256) != 0) {
+      last = Errno("listen");
+      ::close(fd);
+      continue;
+    }
+    sockaddr_in addr;
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                      &addr_len) != 0) {
+      last = Errno("getsockname");
+      ::close(fd);
+      continue;
+    }
+    ::freeaddrinfo(res);
+    int bound_port = static_cast<int>(ntohs(addr.sin_port));
+    return std::unique_ptr<TcpListener>(new TcpListener(fd, bound_port));
   }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = Errno("bind");
-    ::close(fd);
-    return s;
-  }
-  if (::listen(fd, /*backlog=*/64) != 0) {
-    Status s = Errno("listen");
-    ::close(fd);
-    return s;
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
-    Status s = Errno("getsockname");
-    ::close(fd);
-    return s;
-  }
-  int bound_port = static_cast<int>(ntohs(addr.sin_port));
-  return std::unique_ptr<TcpListener>(new TcpListener(fd, bound_port));
+  ::freeaddrinfo(res);
+  return last;
 }
 
 Result<std::unique_ptr<TcpConnection>> TcpListener::Accept() {

@@ -1,11 +1,11 @@
 // Thin POSIX TCP wrappers for the network layer.
 //
-// Deliberately minimal: blocking sockets, IPv4, Status-based errors — the
-// framing protocol (net/frame.h) and the server/client above it need
-// exactly "read N bytes / write N bytes / unblock a blocked peer", nothing
-// more. No epoll, no TLS: the service parallelizes across a bounded number
-// of user connections, so thread-per-connection readers are the simplest
-// correct design at this scale.
+// Deliberately minimal: Status-based errors over blocking sockets, IPv4 —
+// the framing protocol (net/frame.h) and the blocking client need exactly
+// "read N bytes / write N bytes / unblock a blocked peer". The epoll
+// server (net/event_loop.h) drives the same descriptors nonblocking; the
+// fd accessors and SetNonBlocking below are its escape hatch from the
+// blocking helpers.
 #ifndef HELIX_NET_SOCKET_H_
 #define HELIX_NET_SOCKET_H_
 
@@ -61,15 +61,27 @@ class TcpConnection {
 
   int fd() const { return fd_; }
 
+  /// The errno of this connection's most recent failed I/O call (0 if none
+  /// has failed). Lets a caller classify *why* a write died — EPIPE /
+  /// ECONNRESET is a peer that went away, EAGAIN / EWOULDBLOCK out of a
+  /// blocking call is the send-timeout slow-reader defense firing — which
+  /// the Status message alone does not carry reliably. Meaningful only on
+  /// the thread driving that direction (same discipline as the I/O calls).
+  int last_errno() const { return last_errno_; }
+
  private:
   int fd_;
+  int last_errno_ = 0;
 };
 
 /// A listening TCP socket.
 class TcpListener {
  public:
-  /// Binds and listens on `host:port`. Port 0 picks an ephemeral port —
-  /// read the resolved one from port().
+  /// Binds and listens on `host:port`. The host is resolved through
+  /// getaddrinfo (AI_PASSIVE) exactly like Connect's — numeric IPv4
+  /// ("127.0.0.1") and resolvable names ("localhost") both work, and an
+  /// empty host binds the wildcard address. Port 0 picks an ephemeral
+  /// port — read the resolved one from port().
   static Result<std::unique_ptr<TcpListener>> Listen(const std::string& host,
                                                      int port);
   ~TcpListener();
@@ -90,6 +102,10 @@ class TcpListener {
   /// The locally bound port (the ephemeral choice when opened with 0).
   int port() const { return port_; }
 
+  /// The listening descriptor, for readiness-driven owners (the event
+  /// loop epolls it and accepts nonblocking instead of calling Accept).
+  int fd() const { return fd_; }
+
  private:
   TcpListener(int fd, int port) : fd_(fd), port_(port) {}
 
@@ -103,6 +119,14 @@ class TcpListener {
 /// Connects to `host:port` (numeric IPv4 or a resolvable hostname).
 Result<std::unique_ptr<TcpConnection>> Connect(const std::string& host,
                                                int port);
+
+/// Sets O_NONBLOCK on `fd` (the event loop's accepted sockets and
+/// listener).
+Status SetNonBlocking(int fd);
+
+/// Enables TCP_NODELAY on `fd` (Accept and Connect already do; exposed for
+/// sockets accepted outside them).
+void SetNoDelay(int fd);
 
 }  // namespace net
 }  // namespace helix

@@ -123,6 +123,21 @@ Result<uint64_t> DecodeFetchOutputRequest(std::string_view payload) {
   return signature;
 }
 
+std::string EncodeCloseSessionRequest(uint64_t session_id) {
+  ByteWriter out;
+  out.PutU64(session_id);
+  return std::move(out.TakeData());
+}
+
+Result<uint64_t> DecodeCloseSessionRequest(std::string_view payload) {
+  ByteReader in(payload);
+  HELIX_ASSIGN_OR_RETURN(uint64_t session_id, in.GetU64());
+  if (!in.AtEnd()) {
+    return Status::Corruption("trailing bytes in CloseSession request");
+  }
+  return session_id;
+}
+
 std::string EncodeErrorReply(const Status& status) {
   ByteWriter out;
   EncodeStatus(status, &out);

@@ -51,6 +51,11 @@ enum class Opcode : uint8_t {
   /// body is a whole DataCollection envelope; on the server's cache-hit
   /// path it is written zero-copy (spans over column bodies + writev).
   kFetchOutput = 7,
+  /// Unregisters a server-side session opened by kOpenSession. The
+  /// session's counters move into the service's retired aggregate, so
+  /// GetCounters(0) keeps reporting its work. The server also closes a
+  /// connection's sessions implicitly when the connection drops.
+  kCloseSession = 8,
   kReply = 0x80,
 };
 
@@ -125,6 +130,9 @@ Status DecodeEmptyRequest(std::string_view payload, const char* what);
 
 std::string EncodeFetchOutputRequest(uint64_t signature);
 Result<uint64_t> DecodeFetchOutputRequest(std::string_view payload);
+
+std::string EncodeCloseSessionRequest(uint64_t session_id);
+Result<uint64_t> DecodeCloseSessionRequest(std::string_view payload);
 
 // --- Reply payloads -------------------------------------------------------
 

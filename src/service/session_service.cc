@@ -146,7 +146,7 @@ Result<ServiceSession*> SessionService::CreateSession(
     const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t id = next_session_id_++;
-  std::unique_ptr<ServiceSession> handle(
+  std::shared_ptr<ServiceSession> handle(
       new ServiceSession(id, name.empty() ? "session-" + std::to_string(id)
                                           : name));
 
@@ -177,6 +177,39 @@ Result<ServiceSession*> SessionService::CreateSession(
                          core::Session::Open(session_options));
   sessions_.push_back(std::move(handle));
   return sessions_.back().get();
+}
+
+std::shared_ptr<ServiceSession> SessionService::FindSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& session : sessions_) {
+    if (session->id() == id) {
+      return session;
+    }
+  }
+  return nullptr;
+}
+
+Status SessionService::CloseSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if ((*it)->id() != id) {
+      continue;
+    }
+    // Fold before erasing: a disconnecting client's iterations must stay
+    // in the service-wide aggregate (the wire tests read GetCounters(0)
+    // after every client has hung up).
+    SessionCounters c = (*it)->counters();
+    retired_.iterations += c.iterations;
+    retired_.num_computed += c.num_computed;
+    retired_.num_loaded += c.num_loaded;
+    retired_.num_shared += c.num_shared;
+    retired_.cross_session_loads += c.cross_session_loads;
+    retired_.saved_micros += c.saved_micros;
+    retired_.total_micros += c.total_micros;
+    sessions_.erase(it);  // destruction deferred to the last shared_ptr
+    return Status::OK();
+  }
+  return Status::NotFound("no session with id " + std::to_string(id));
 }
 
 Result<core::IterationResult> SessionService::RunIteration(
@@ -216,8 +249,8 @@ std::future<Result<core::IterationResult>> SessionService::SubmitIteration(
 }
 
 SessionCounters SessionService::AggregateCounters() const {
-  SessionCounters total;
   std::lock_guard<std::mutex> lock(mu_);
+  SessionCounters total = retired_;
   for (const auto& session : sessions_) {
     SessionCounters c = session->counters();
     total.iterations += c.iterations;

@@ -207,8 +207,25 @@ class SessionService {
 
   /// Registers a new session sharing the service's store, stats, pool,
   /// writer, and in-flight table. The returned pointer is owned by the
-  /// service.
+  /// service; it stays valid until CloseSession(id) releases the last
+  /// reference (callers that may race a close hold the FindSession
+  /// shared_ptr instead).
   Result<ServiceSession*> CreateSession(const std::string& name);
+
+  /// The session with this id, or nullptr. The shared_ptr keeps the
+  /// session alive across a concurrent CloseSession — the wire server
+  /// holds it for the duration of one request.
+  std::shared_ptr<ServiceSession> FindSession(uint64_t id);
+
+  /// Unregisters a session (NotFound if the id is unknown). Its counters
+  /// are folded into a retired-sessions accumulator first, so
+  /// AggregateCounters still reports the work of every session the
+  /// service ever ran — a client that disconnects (closing its sessions)
+  /// must not erase its iterations from the service-wide totals. The
+  /// ServiceSession object itself is destroyed when the last FindSession
+  /// handle lets go; an iteration already running on it completes, but
+  /// counter deltas folded after the close are not re-aggregated.
+  Status CloseSession(uint64_t id);
 
   /// Runs one iteration of `session` on the calling thread (iterations of
   /// one session are serialized; concurrent calls for different sessions
@@ -228,7 +245,8 @@ class SessionService {
       std::string description, core::ChangeCategory category,
       const core::WorkflowSpec* spec = nullptr);
 
-  /// Sum of all sessions' counters (plus the in-flight table's view of
+  /// Sum of all sessions' counters — live sessions plus the retired
+  /// accumulator of closed ones (plus the in-flight table's view of
   /// shared hits, which must match the per-session sum).
   SessionCounters AggregateCounters() const;
 
@@ -269,8 +287,11 @@ class SessionService {
   std::unique_ptr<runtime::AsyncMaterializer> materializer_;
   std::unique_ptr<runtime::ThreadPool> pool_;
 
-  mutable std::mutex mu_;  // guards sessions_ and next_session_id_
-  std::vector<std::unique_ptr<ServiceSession>> sessions_;
+  mutable std::mutex mu_;  // guards sessions_, retired_, next_session_id_
+  std::vector<std::shared_ptr<ServiceSession>> sessions_;
+  /// Counter totals of sessions closed by CloseSession (see its comment);
+  /// AggregateCounters adds this to the live sessions' sum.
+  SessionCounters retired_;
   uint64_t next_session_id_ = 1;
 };
 

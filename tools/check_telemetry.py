@@ -89,6 +89,14 @@ def check_metrics(path, require_server):
         expect(counters.get("server.frames_in", 0) > 0 and
                counters.get("server.bytes_in", 0) > 0,
                "metrics: server traffic counters not populated")
+        # The backpressure / reply-classification counters are registered
+        # unconditionally at server start, so they must be present (as
+        # non-negative integers) even when a healthy run never bumps them.
+        for name in ("server.requests_shed", "server.reply_drops",
+                     "server.reply_timeouts"):
+            value = counters.get(name)
+            expect(isinstance(value, int) and value >= 0,
+                   "metrics: %s missing or malformed (%r)" % (name, value))
 
 
 def check_trace(path):
