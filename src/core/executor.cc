@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "core/memory_planner.h"
 #include "core/program_slicer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -100,6 +101,44 @@ struct ExecState {
   // Non-null in parallel mode when materialization is enabled: Put runs on
   // the background writer instead of the compute path.
   runtime::AsyncMaterializer* materializer = nullptr;
+
+  // --- Memory planning (budget mode; see core/memory_planner.h) ---------
+  // Non-null iff a memory budget is active this iteration.
+  const MemoryPlan* mem_plan = nullptr;
+  // 1 once the node produced a result this iteration; an empty slot for a
+  // produced node means memory planning dropped it and EnsureAvailable
+  // must re-produce (vs. first production, which is the base plan's cost).
+  // char, not bool: parallel-mode workers write their own element.
+  std::vector<char> produced_once;
+  // Plan-time loadability (store held the signature when planning ran):
+  // re-production of a dropped node reloads instead of recomputing, which
+  // is what the plan's cost model assumed.
+  std::vector<char> mem_loadable;
+  // Measured cost of budget-forced re-productions (reloads + recomputes
+  // of dropped intermediates) and their count.
+  std::atomic<int64_t> extra_micros{0};
+  std::atomic<int> extra_productions{0};
+
+  // --- Measured resident accounting --------------------------------------
+  // Bytes of results currently held in `results`, and the iteration's
+  // high-water mark. Every production (compute/load/share) adds the
+  // measured output size; every drop subtracts it. Unlike the plan's
+  // estimates this never degrades to defaults, so it is the honest
+  // resident number the report and bench curves compare budgets against.
+  std::atomic<int64_t> resident_bytes{0};
+  std::atomic<int64_t> peak_resident_bytes{0};
+
+  void AddResident(int64_t bytes) {
+    int64_t now =
+        resident_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    int64_t peak = peak_resident_bytes.load(std::memory_order_relaxed);
+    while (now > peak && !peak_resident_bytes.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+  void SubResident(int64_t bytes) {
+    resident_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  }
 };
 
 // Best-known compute cost of `node`: measured this iteration, else the
@@ -208,9 +247,74 @@ void MaybeMaterialize(ExecState* st, int node,
 // store entry.
 Status ComputeNode(ExecState* st, int node);
 
+// Loads `node`'s result from the store (with the paranoid fingerprint
+// check when enabled) and performs load bookkeeping. Non-OK when the entry
+// is missing or corrupt; callers decide whether to fall back to compute.
+Status LoadNodeFromStore(ExecState* st, int node) {
+  const ExecutionOptions& options = *st->opts;
+  const WorkflowDag& dag = *st->dag;
+  NodeExecution& record = st->records[static_cast<size_t>(node)];
+  const Operator& op = dag.op(node);
+  uint64_t sig = dag.cumulative_signature(node);
+  int64_t start = options.clock->NowMicros();
+  auto loaded = options.store->Get(sig);
+  if (loaded.ok() && options.paranoid_checks) {
+    std::optional<storage::StoreEntry> entry = options.store->GetEntry(sig);
+    if (entry.has_value() && entry->fingerprint != 0 &&
+        entry->fingerprint != loaded.value().Fingerprint()) {
+      (void)options.store->Remove(sig);
+      loaded = Status::Corruption("fingerprint mismatch for " + op.name());
+    }
+  }
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  record.state = NodeState::kLoad;
+  record.start_micros = start;
+  record.cost_micros = ChargeAndMeasure(options.clock, start,
+                                        op.synthetic_costs().load_micros);
+  record.output_bytes = loaded.value().SizeBytes();
+  st->results[static_cast<size_t>(node)] = std::move(loaded).value();
+  st->produced_once[static_cast<size_t>(node)] = 1;
+  st->AddResident(record.output_bytes);
+  if (options.stats != nullptr) {
+    std::lock_guard<std::mutex> lock(st->stats_mu);
+    options.stats->RecordLoad(sig, op.name(), record.cost_micros,
+                              options.iteration);
+  }
+  return Status::OK();
+}
+
 Status EnsureAvailable(ExecState* st, int node) {
-  if (!st->results[static_cast<size_t>(node)].empty()) {
+  size_t s = static_cast<size_t>(node);
+  if (!st->results[s].empty()) {
     return Status::OK();
+  }
+  if (st->mem_plan != nullptr && st->produced_once[s]) {
+    // Re-production of an intermediate that memory planning deliberately
+    // dropped. Reload when the store held it at plan time (the cost the
+    // plan budgeted), else recompute — the recursion re-produces dropped
+    // parents the same way. The price is accounted as recompute overhead,
+    // never hidden in the base node cost.
+    NodeExecution& record = st->records[s];
+    Status status;
+    if (st->mem_loadable[s]) {
+      status = LoadNodeFromStore(st, node);
+      if (!status.ok()) {
+        HELIX_LOG(Warning) << "re-load of dropped " << record.name
+                           << " failed, recomputing: " << status.ToString();
+        status = ComputeNode(st, node);
+      }
+    } else {
+      status = ComputeNode(st, node);
+    }
+    if (status.ok()) {
+      ++record.recomputes;
+      st->extra_micros.fetch_add(record.cost_micros,
+                                 std::memory_order_relaxed);
+      st->extra_productions.fetch_add(1, std::memory_order_relaxed);
+    }
+    return status;
   }
   return ComputeNode(st, node);
 }
@@ -244,6 +348,8 @@ Status InvokeAndRecord(
                            opts.iteration);
   }
   st->results[static_cast<size_t>(node)] = data;
+  st->produced_once[static_cast<size_t>(node)] = 1;
+  st->AddResident(record.output_bytes);
   MaybeMaterialize(st, node, data, &record);
   return Status::OK();
 }
@@ -278,6 +384,8 @@ Status ComputeNode(ExecState* st, int node) {
       record.cost_micros = opts.clock->NowMicros() - start;
       record.output_bytes = shared.value().SizeBytes();
       st->results[static_cast<size_t>(node)] = std::move(shared).value();
+      st->produced_once[static_cast<size_t>(node)] = 1;
+      st->AddResident(record.output_bytes);
       return Status::OK();
     }
     // The owner failed; recompute locally without taking ownership (this
@@ -301,6 +409,8 @@ Status ComputeNode(ExecState* st, int node) {
           opts.clock, start, op.synthetic_costs().load_micros);
       record.output_bytes = loaded.value().SizeBytes();
       st->results[static_cast<size_t>(node)] = std::move(loaded).value();
+      st->produced_once[static_cast<size_t>(node)] = 1;
+      st->AddResident(record.output_bytes);
       if (opts.stats != nullptr) {
         std::lock_guard<std::mutex> lock(st->stats_mu);
         opts.stats->RecordLoad(sig, op.name(), record.cost_micros,
@@ -323,45 +433,20 @@ Status ComputeNode(ExecState* st, int node) {
 // topological order by the sequential strategy and from worker threads —
 // with all active parents already finished — by the parallel scheduler.
 Status ExecutePlannedNode(ExecState* st, int i, NodeState state) {
-  const ExecutionOptions& options = *st->opts;
   if (state == NodeState::kPrune) {
     return Status::OK();
   }
   if (state == NodeState::kLoad) {
-    const WorkflowDag& dag = *st->dag;
-    NodeExecution& record = st->records[static_cast<size_t>(i)];
-    const Operator& op = dag.op(i);
-    uint64_t sig = dag.cumulative_signature(i);
-    int64_t start = options.clock->NowMicros();
-    auto loaded = options.store->Get(sig);
-    if (loaded.ok() && options.paranoid_checks) {
-      std::optional<storage::StoreEntry> entry = options.store->GetEntry(sig);
-      if (entry.has_value() && entry->fingerprint != 0 &&
-          entry->fingerprint != loaded.value().Fingerprint()) {
-        (void)options.store->Remove(sig);
-        loaded = Status::Corruption("fingerprint mismatch for " + op.name());
-      }
-    }
+    Status loaded = LoadNodeFromStore(st, i);
     if (loaded.ok()) {
-      record.state = NodeState::kLoad;
-      record.start_micros = start;
-      record.cost_micros = ChargeAndMeasure(
-          options.clock, start, op.synthetic_costs().load_micros);
-      record.output_bytes = loaded.value().SizeBytes();
-      st->results[static_cast<size_t>(i)] = std::move(loaded).value();
-      if (options.stats != nullptr) {
-        std::lock_guard<std::mutex> lock(st->stats_mu);
-        options.stats->RecordLoad(sig, op.name(), record.cost_micros,
-                                  options.iteration);
-      }
-      return Status::OK();
+      return loaded;
     }
     // Corrupt or vanished entry: degrade to recomputation. Ancestors the
     // plan pruned are computed on demand, serialized across workers —
     // concurrent fallbacks may share pruned ancestors.
-    HELIX_LOG(Warning) << "load of " << op.name()
-                       << " failed, recomputing: "
-                       << loaded.status().ToString();
+    HELIX_LOG(Warning) << "load of "
+                       << st->records[static_cast<size_t>(i)].name
+                       << " failed, recomputing: " << loaded.ToString();
     std::lock_guard<std::mutex> lock(st->fallback_mu);
     return ComputeNode(st, i);
   }
@@ -480,6 +565,73 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
       plan = SolveRecomputationGreedy(problem);
       break;
   }
+  // --- 3b. Memory planning ------------------------------------------------
+  // Always planned (even with no budget) so every report carries the
+  // unbudgeted peak estimate — the comparison point budget curves need.
+  MemoryProblem mem_problem;
+  mem_problem.dag = &dag.dag();
+  mem_problem.states.resize(static_cast<size_t>(n));
+  mem_problem.is_output.assign(static_cast<size_t>(n), false);
+  mem_problem.output_bytes.assign(static_cast<size_t>(n), 0);
+  mem_problem.transient_bytes.assign(static_cast<size_t>(n), 0);
+  mem_problem.compute_micros.assign(static_cast<size_t>(n), 0);
+  mem_problem.load_micros.assign(static_cast<size_t>(n), 0);
+  mem_problem.loadable.assign(static_cast<size_t>(n), false);
+  mem_problem.budget_bytes = options.memory_budget_bytes;
+  mem_problem.requested_width = ResolveParallelism(options, n);
+  for (int i = 0; i < n; ++i) {
+    size_t s = static_cast<size_t>(i);
+    const NodeCosts& c = problem.costs[s];
+    mem_problem.states[s] = plan.state(i);
+    mem_problem.is_output[s] = dag.is_output(i);
+    mem_problem.compute_micros[s] = c.compute_micros;
+    mem_problem.load_micros[s] = c.load_micros;
+    mem_problem.loadable[s] = c.loadable;
+
+    // Output-size estimate: measured store entry (GetEntry, not Has — the
+    // probe must not count toward hit/miss metrics) > exact stats history
+    // > same-name history > configured default.
+    uint64_t sig = dag.cumulative_signature(i);
+    int64_t bytes = -1;
+    if (options.store != nullptr) {
+      std::optional<storage::StoreEntry> entry = options.store->GetEntry(sig);
+      if (entry.has_value() && entry->size_bytes >= 0) {
+        bytes = entry->size_bytes;
+      }
+    }
+    if (bytes < 0 && options.stats != nullptr) {
+      auto by_sig = options.stats->Get(sig);
+      if (by_sig.has_value() && by_sig->size_bytes >= 0) {
+        bytes = by_sig->size_bytes;
+      } else {
+        auto by_name = options.stats->GetLatestByName(dag.op(i).name());
+        if (by_name.has_value() && by_name->size_bytes >= 0) {
+          bytes = by_name->size_bytes;
+        }
+      }
+    }
+    if (bytes < 0) {
+      bytes = options.default_mem_estimate_bytes;
+    }
+    mem_problem.output_bytes[s] = bytes;
+    // Loads hold a deserialization buffer while they run — the dominant
+    // transient term today.
+    if (plan.state(i) == NodeState::kLoad) {
+      mem_problem.transient_bytes[s] = bytes;
+    }
+  }
+  HELIX_ASSIGN_OR_RETURN(MemoryPlan mem_plan, PlanMemory(mem_problem));
+  if (mem_plan.enabled && options.store != nullptr) {
+    // Couple the memory plan to eviction: a signature the planner is
+    // willing to drop and re-produce is cheap to lose from the store too.
+    std::vector<uint64_t> flagged;
+    for (int i = 0; i < n; ++i) {
+      if (mem_plan.flagged(i)) {
+        flagged.push_back(dag.cumulative_signature(i));
+      }
+    }
+    options.store->SetRecomputeHints(std::move(flagged));
+  }
   int64_t planning_micros = plan_timer.ElapsedMicros();
 
   // --- 4. Execute ---------------------------------------------------------
@@ -491,6 +643,15 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
   st.measured_compute = std::vector<std::atomic<int64_t>>(
       static_cast<size_t>(n));
   st.records.resize(static_cast<size_t>(n));
+  st.produced_once.assign(static_cast<size_t>(n), 0);
+  st.mem_loadable.assign(static_cast<size_t>(n), 0);
+  if (mem_plan.enabled) {
+    st.mem_plan = &mem_plan;
+    for (int i = 0; i < n; ++i) {
+      st.mem_loadable[static_cast<size_t>(i)] =
+          mem_problem.loadable[static_cast<size_t>(i)] ? 1 : 0;
+    }
+  }
   for (int i = 0; i < n; ++i) {
     st.compute_estimate[static_cast<size_t>(i)] =
         problem.costs[static_cast<size_t>(i)].compute_micros;
@@ -504,7 +665,12 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
     record.sliced = !slice.IsLive(i);
   }
 
-  const int parallelism = ResolveParallelism(options, n);
+  // Budget mode narrows the worker count to the plan's width-aware bound
+  // (1 whenever any recompute flag is set).
+  const int parallelism =
+      mem_plan.enabled
+          ? std::min(ResolveParallelism(options, n), mem_plan.max_width)
+          : ResolveParallelism(options, n);
   // Materialization writer selection: an externally shared writer (service
   // layer) is used in both strategies; otherwise parallel mode creates a
   // private one and sequential mode writes inline (legacy behavior).
@@ -518,7 +684,49 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
     st.materializer = &*private_materializer;
   }
   Status exec_status;
-  if (parallelism <= 1) {
+  if (parallelism <= 1 && mem_plan.enabled) {
+    // Budget-mode sequential strategy: the planner's order with the exact
+    // release rule MemorySimulator modeled — after each step, drop every
+    // resident non-output whose computing consumers all ran, plus every
+    // flagged node other than the one just produced. EnsureAvailable
+    // re-produces dropped results on later demand.
+    std::vector<int> remaining_uses(static_cast<size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+      if (plan.state(i) != NodeState::kCompute) {
+        continue;
+      }
+      for (graph::NodeId parent : dag.dag().Parents(i)) {
+        if (plan.state(parent) != NodeState::kPrune) {
+          ++remaining_uses[static_cast<size_t>(parent)];
+        }
+      }
+    }
+    for (int j : mem_plan.order) {
+      exec_status = ExecutePlannedNode(&st, j, plan.state(j));
+      if (!exec_status.ok()) {
+        break;
+      }
+      if (plan.state(j) == NodeState::kCompute) {
+        for (graph::NodeId parent : dag.dag().Parents(j)) {
+          if (plan.state(parent) != NodeState::kPrune) {
+            --remaining_uses[static_cast<size_t>(parent)];
+          }
+        }
+      }
+      for (int i = 0; i < n; ++i) {
+        size_t s = static_cast<size_t>(i);
+        if (st.results[s].empty() || plan.state(i) == NodeState::kPrune ||
+            dag.is_output(i)) {
+          continue;
+        }
+        if (remaining_uses[s] == 0 || (mem_plan.flagged(i) && i != j)) {
+          st.results[s] = dataflow::DataCollection();
+          st.records[s].dropped = true;
+          st.SubResident(st.records[s].output_bytes);
+        }
+      }
+    }
+  } else if (parallelism <= 1) {
     // Sequential strategy: the classic topological loop.
     for (int i : dag.topo_order()) {
       exec_status = ExecutePlannedNode(&st, i, plan.state(i));
@@ -566,6 +774,25 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
     }
     runtime::ThreadPool pool(parallelism);
     runtime::ParallelDagScheduler scheduler(&sched_dag, std::move(active));
+    if (mem_plan.enabled) {
+      // Drop-after-last-use in parallel mode (flags force width 1, so only
+      // the last-use rule applies here): the scheduler reports a node once
+      // all its dependents finished; by then no in-flight task can read
+      // the slot, and the fallback path — the one reader that may arrive
+      // later — takes fallback_mu, which also guards this write.
+      scheduler.SetOnLastDependentDone([&st, &dag](int node) {
+        if (dag.is_output(node)) {
+          return;
+        }
+        size_t s = static_cast<size_t>(node);
+        std::lock_guard<std::mutex> lock(st.fallback_mu);
+        if (!st.results[s].empty()) {
+          st.results[s] = dataflow::DataCollection();
+          st.records[s].dropped = true;
+          st.SubResident(st.records[s].output_bytes);
+        }
+      });
+    }
     exec_status = scheduler.Run(&pool, [&st, &plan](int node) {
       return ExecutePlannedNode(&st, node, plan.state(node));
     });
@@ -590,8 +817,21 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
   ExecutionReport report;
   report.planning_micros = planning_micros;
   report.materialize_micros = st.materialize_total;
+  report.planned_peak_bytes = mem_plan.planned_peak_bytes;
+  report.unbudgeted_peak_bytes = mem_plan.unbudgeted_peak_bytes;
+  report.peak_resident_bytes =
+      st.peak_resident_bytes.load(std::memory_order_relaxed);
+  report.memory_feasible = mem_plan.feasible;
+  report.planned_recompute_extra_micros = mem_plan.recompute_extra_micros;
+  report.recompute_extra_micros =
+      st.extra_micros.load(std::memory_order_relaxed);
+  report.num_recomputed_extra =
+      st.extra_productions.load(std::memory_order_relaxed);
   report.nodes = std::move(st.records);
   for (const NodeExecution& record : report.nodes) {
+    if (record.dropped) {
+      ++report.num_dropped;
+    }
     switch (record.state) {
       case NodeState::kCompute:
         ++report.num_computed;
@@ -636,6 +876,11 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
       }
     }
     m.GetHistogram("executor.iteration_micros")->Observe(report.total_micros);
+    m.GetGauge("executor.peak_planned_bytes")->Set(report.planned_peak_bytes);
+    m.GetGauge("executor.peak_resident_bytes")
+        ->Set(report.peak_resident_bytes);
+    m.GetGauge("executor.recompute_extra_micros")
+        ->Set(report.recompute_extra_micros);
   }
   if (options.trace != nullptr) {
     for (int i = 0; i < n; ++i) {
@@ -659,6 +904,10 @@ Result<ExecutionReport> Execute(const WorkflowDag& dag,
       if (record.materialized) {
         span.int_args.emplace_back("materialize_micros",
                                    record.materialize_micros);
+      }
+      if (record.dropped) {
+        span.int_args.emplace_back("dropped", 1);
+        span.int_args.emplace_back("recomputes", record.recomputes);
       }
       options.trace->Record(std::move(span));
     }

@@ -77,6 +77,18 @@ struct ExecutionOptions {
   int64_t iteration = 0;
   /// Fallback compute-cost estimate for never-seen operators.
   int64_t default_compute_estimate_micros = 1000000;
+  /// RAM budget for this iteration's resident intermediates; 0 disables
+  /// memory planning (legacy behavior: every produced result stays
+  /// resident until the iteration ends). When set, the executor plans an
+  /// execution order, drops intermediates after their last use, and — if
+  /// that alone does not fit — flags nodes for drop-and-recompute (see
+  /// core/memory_planner.h) so the planned peak stays under budget. The
+  /// budget is a planning target over *estimated* sizes, not an enforced
+  /// allocator limit; an infeasible plan executes best-effort.
+  int64_t memory_budget_bytes = 0;
+  /// Size estimate for nodes whose output was never measured (no store
+  /// entry, no stats history). Mirrors default_compute_estimate_micros.
+  int64_t default_mem_estimate_bytes = 4LL << 20;
   /// Verify loaded results' fingerprints against recorded ones when
   /// available (defense against silent store corruption).
   bool paranoid_checks = false;
@@ -144,6 +156,14 @@ struct NodeExecution {
   int64_t output_bytes = 0;      // serialized size (computed/loaded nodes)
   bool materialized = false;     // written to the store this iteration
   int64_t materialize_micros = 0;
+  /// Memory planning dropped this node's result at least once (budget
+  /// mode only); its span is tagged `dropped`.
+  bool dropped = false;
+  /// Times this node was re-produced (reloaded or recomputed) after a
+  /// drop; the re-production costs are summed into
+  /// ExecutionReport::recompute_extra_micros, and cost_micros reflects
+  /// the most recent production.
+  int recomputes = 0;
 };
 
 /// Human/telemetry label for what actually happened to a node:
@@ -172,6 +192,34 @@ struct ExecutionReport {
   /// Results served by a concurrent session's in-flight computation
   /// (subset of num_loaded).
   int num_shared = 0;
+
+  // --- Memory planning (see core/memory_planner.h) ------------------------
+  /// Planned peak resident bytes of this iteration. With
+  /// memory_budget_bytes unset this is the keep-everything estimate; with
+  /// it set, the peak the chosen plan stays under.
+  int64_t planned_peak_bytes = 0;
+  /// Keep-everything peak estimate (what the legacy executor would hold).
+  int64_t unbudgeted_peak_bytes = 0;
+  /// Measured peak resident bytes: the high-water mark of the results this
+  /// execution actually held at once (every production adds its measured
+  /// size, every drop/release subtracts it). Unlike planned_peak_bytes —
+  /// an estimate that degrades to configured defaults on a cold iteration
+  /// — this is ground truth for the sizes, including real parallel
+  /// overlap. Serialization/deserialization transients are not included.
+  int64_t peak_resident_bytes = 0;
+  /// True iff the memory plan fit the budget (trivially true when memory
+  /// planning is off). An infeasible plan still executed best-effort.
+  bool memory_feasible = true;
+  /// Planned cost of budget-forced re-productions.
+  int64_t planned_recompute_extra_micros = 0;
+  /// Measured cost of budget-forced re-productions actually performed
+  /// (reloads + recomputes of dropped intermediates) — the runtime price
+  /// paid for fitting the budget, reported, never hidden.
+  int64_t recompute_extra_micros = 0;
+  /// Nodes whose result was dropped at least once.
+  int num_dropped = 0;
+  /// Re-productions actually performed.
+  int num_recomputed_extra = 0;
 
   /// Node record by name (nullptr if absent).
   const NodeExecution* FindNode(const std::string& name) const;

@@ -1,0 +1,111 @@
+// RAM-budget planning: drop-after-last-use + deliberate recomputation.
+//
+// The min-cut recomputation planner (core/recompute.h) decides *where*
+// results come from (load vs compute vs prune) to minimize time; it says
+// nothing about how many of them are resident at once. The legacy executor
+// kept every produced result alive until the end of the iteration, so peak
+// resident bytes were unplanned — a workflow whose intermediates sum past
+// RAM could not run on one box no matter what the store budget was.
+//
+// This pass adds the missing dimension, the classic checkpoint/recompute
+// trade (cf. Chen et al., "Training Deep Nets with Sublinear Memory
+// Cost"): given per-node memory estimates and a byte budget, it fixes an
+// execution order and a set of `recompute_flags` — intermediates
+// deliberately dropped after each use and re-produced on later demand — so
+// that the *planned* peak resident bytes of the iteration stay under
+// budget. Planning runs entirely on the cost model (a SimGrid-style
+// simulation of the executor's own release rule), so a plan can be
+// validated deterministically before any real allocation happens.
+//
+// Interaction with the min-cut plan: a node the store already holds
+// (loadable) re-acquires at its load cost instead of its recompute cost,
+// so materialized entries are the planner's preferred victims; the
+// executor in turn tells the store which signatures were flagged, and the
+// store halves their eviction retention scores (storage/eviction.h) — an
+// entry the memory planner is happy to re-produce is cheap to lose.
+#ifndef HELIX_CORE_MEMORY_PLANNER_H_
+#define HELIX_CORE_MEMORY_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/recompute.h"
+#include "graph/dag.h"
+
+namespace helix {
+namespace core {
+
+/// Inputs to one memory-planning pass. All vectors are indexed by DAG node
+/// id and must have exactly dag->num_nodes() entries.
+struct MemoryProblem {
+  const graph::Dag* dag = nullptr;
+  /// The recomputation plan's states; kPrune nodes neither run nor hold
+  /// memory (the rare load-failure fallback path is not modeled).
+  std::vector<NodeState> states;
+  std::vector<bool> is_output;
+  /// Estimated resident bytes of each node's output while it is held
+  /// (`output_mem`): measured store-entry size where available, stats
+  /// history otherwise, a configured default when never seen.
+  std::vector<int64_t> output_bytes;
+  /// Extra transient bytes alive only while the node is being (re)produced
+  /// (`run_mem` beyond inputs+output): the serialization/deserialization
+  /// buffer for store traffic is the dominant term today.
+  std::vector<int64_t> transient_bytes;
+  /// Re-production costs, mirroring the recompute problem's view.
+  std::vector<int64_t> compute_micros;
+  std::vector<int64_t> load_micros;
+  /// True iff the store held this signature at planning time — the node
+  /// re-acquires at load cost rather than recompute cost.
+  std::vector<bool> loadable;
+  /// Planned peak must stay at or under this; <= 0 disables budget
+  /// planning (the plan still reports the unbudgeted peak estimate).
+  int64_t budget_bytes = 0;
+  /// Parallel width the executor would like to run at; the plan narrows it
+  /// when concurrent working sets would widen the peak past budget.
+  int requested_width = 1;
+};
+
+/// Output of PlanMemory. The executor follows `order` (sequential mode),
+/// releases per the drop rule, and re-produces flagged nodes on demand.
+struct MemoryPlan {
+  /// True iff budget planning was requested (budget_bytes > 0).
+  bool enabled = false;
+  /// True iff planned_peak_bytes <= budget (always true when disabled).
+  /// An infeasible plan is still the best found; the executor proceeds
+  /// best-effort rather than failing the iteration.
+  bool feasible = true;
+  /// Active (non-pruned) nodes in execution order: a topological order
+  /// chosen to minimize resident growth (greedy smallest-footprint-first,
+  /// deterministic tie-break on node id).
+  std::vector<int> order;
+  /// Nodes to drop after *every* use and re-produce on later demand.
+  std::vector<bool> recompute_flags;
+  /// Peak resident bytes under this plan (width-aware when max_width > 1).
+  int64_t planned_peak_bytes = 0;
+  /// Peak of the legacy keep-everything executor, for comparison curves.
+  int64_t unbudgeted_peak_bytes = 0;
+  /// Peak with drop-after-last-use alone (no recompute flags).
+  int64_t drop_only_peak_bytes = 0;
+  /// Planned cost of the extra re-productions the flags cause.
+  int64_t recompute_extra_micros = 0;
+  /// Planned number of extra re-productions (loads or recomputes).
+  int num_recomputes = 0;
+  /// Parallel width the executor may use. 1 whenever any recompute flag is
+  /// set: on-demand re-production needs the deterministic sequential
+  /// release order the simulation modeled.
+  int max_width = 1;
+
+  bool flagged(int node) const {
+    return recompute_flags[static_cast<size_t>(node)];
+  }
+};
+
+/// Plans memory for one iteration. Deterministic: identical inputs yield
+/// identical plans. InvalidArgument on shape mismatches.
+Result<MemoryPlan> PlanMemory(const MemoryProblem& problem);
+
+}  // namespace core
+}  // namespace helix
+
+#endif  // HELIX_CORE_MEMORY_PLANNER_H_

@@ -40,6 +40,10 @@ Result<std::unique_ptr<Session>> Session::Open(
       store_options.shard_count = options.storage_shard_count;
     }
     store_options.metrics = options.metrics;
+    // owned_stats_ has a stable address for the session's lifetime (loaded
+    // below by move-*assignment*), so eviction planning can score against
+    // the live registry.
+    store_options.cost_stats = &session->owned_stats_;
     HELIX_ASSIGN_OR_RETURN(
         session->store_,
         storage::IntermediateStore::Open(
@@ -91,6 +95,8 @@ Result<IterationResult> Session::RunIteration(const Workflow& workflow,
   exec.iteration = iteration_;
   exec.default_compute_estimate_micros =
       options_.default_compute_estimate_micros;
+  exec.memory_budget_bytes = options_.memory_budget_bytes;
+  exec.default_mem_estimate_bytes = options_.default_mem_estimate_bytes;
   exec.paranoid_checks = options_.paranoid_checks;
   exec.max_parallelism = options_.max_parallelism;
   exec.metrics = options_.metrics;

@@ -57,6 +57,12 @@ struct SessionOptions {
   /// one-shot DAG optimization both HELIX and KeystoneML perform).
   bool enable_cse = true;
   int64_t default_compute_estimate_micros = 1000000;
+  /// RAM budget for resident intermediates per iteration, forwarded to
+  /// ExecutionOptions::memory_budget_bytes (0 = memory planning off).
+  int64_t memory_budget_bytes = 0;
+  /// Size estimate for never-measured outputs, forwarded to
+  /// ExecutionOptions::default_mem_estimate_bytes.
+  int64_t default_mem_estimate_bytes = 4LL << 20;
   bool paranoid_checks = false;
   /// DAG-level execution parallelism, forwarded to the executor:
   /// 0 = one worker per hardware thread, 1 = sequential legacy behavior,

@@ -239,24 +239,24 @@ Operator FileSource(const std::string& name, const std::string& train_path,
   OperatorFn fn = [train_path, test_path](
                       const std::vector<const DataCollection*>&)
       -> Result<DataCollection> {
+    // One row per input file, each holding the whole file as a single
+    // contiguous blob. The raw source is the largest node in a typical
+    // pipeline, and the retired line-per-row layout taxed it with a
+    // per-row offset plus a redundant split tag per line; the scanner
+    // splits lines in place instead.
     ColumnBuilder split_b(dataflow::ValueType::kString);
-    ColumnBuilder line_b(dataflow::ValueType::kString);
+    ColumnBuilder content_b(dataflow::ValueType::kString);
     for (const auto& [path, split] :
          {std::pair<std::string, const char*>{train_path, "train"},
           std::pair<std::string, const char*>{test_path, "test"}}) {
       HELIX_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
-      for (const std::string& line : Split(data, '\n')) {
-        if (line.empty()) {
-          continue;
-        }
-        split_b.AppendString(split);
-        line_b.AppendString(line);
-      }
+      split_b.AppendString(split);
+      content_b.AppendString(data);
     }
     HELIX_ASSIGN_OR_RETURN(
         auto table,
-        TableData::FromColumns(Schema::AllStrings({kSplitColumn, "line"}),
-                               {split_b.Finish(), line_b.Finish()}));
+        TableData::FromColumns(Schema::AllStrings({kSplitColumn, "content"}),
+                               {split_b.Finish(), content_b.Finish()}));
     return DataCollection::FromTable(std::move(table));
   };
   return Operator(name, "FileSource", params, Phase::kDataPreprocessing,
@@ -269,43 +269,82 @@ Operator CsvScanner(const std::string& name,
   OperatorFn fn = [columns](const std::vector<const DataCollection*>& inputs)
       -> Result<DataCollection> {
     HELIX_ASSIGN_OR_RETURN(const TableData* in, InputTable(inputs, 0));
+    int content_col = in->schema().IndexOf("content");
     int line_col = in->schema().IndexOf("line");
     int split_col = in->schema().IndexOf(kSplitColumn);
-    if (line_col < 0 || split_col < 0) {
+    if ((content_col < 0 && line_col < 0) || split_col < 0) {
       return Status::InvalidArgument(
-          "CSVScanner expects (__split, line) input");
+          "CSVScanner expects (__split, content) or (__split, line) input");
     }
     std::vector<std::string> out_columns = {kSplitColumn};
     out_columns.insert(out_columns.end(), columns.begin(), columns.end());
-    std::shared_ptr<const Column> lines = in->column(line_col);
-    // One typed builder per parsed column; the split column passes
-    // through zero-copy.
+    // One typed builder per parsed column.
     std::vector<ColumnBuilder> builders(
         columns.size(), ColumnBuilder(dataflow::ValueType::kString));
     for (ColumnBuilder& b : builders) {
       b.Reserve(in->num_rows());
     }
     std::string scratch;
-    for (int64_t r = 0; r < in->num_rows(); ++r) {
-      auto fields = ParseCsvLine(StringAt(*lines, r, &scratch));
+    int64_t row_id = 0;
+    auto parse_line = [&](std::string_view line) -> Status {
+      auto fields = ParseCsvLine(line);
       if (!fields.ok()) {
         return fields.status().WithContext(
             StrFormat("CSV parse error at row %lld",
-                      static_cast<long long>(r)));
+                      static_cast<long long>(row_id)));
       }
       if (fields.value().size() != columns.size()) {
         return Status::InvalidArgument(StrFormat(
             "row %lld has %zu fields, expected %zu",
-            static_cast<long long>(r), fields.value().size(),
+            static_cast<long long>(row_id), fields.value().size(),
             columns.size()));
       }
       for (size_t c = 0; c < columns.size(); ++c) {
         builders[c].AppendString(Trim(fields.value()[c]));
       }
+      ++row_id;
+      return Status::OK();
+    };
+    std::shared_ptr<const Column> out_split;
+    if (content_col >= 0) {
+      // Blob input (one row per source file): split lines in place off
+      // the contiguous content, tagging each parsed row with its file's
+      // split value. Empty lines are skipped, matching the retired
+      // line-per-row source exactly.
+      ColumnBuilder split_out_b(dataflow::ValueType::kString);
+      std::shared_ptr<const Column> content = in->column(content_col);
+      std::shared_ptr<const Column> split_in = in->column(split_col);
+      std::string split_scratch;
+      for (int64_t r = 0; r < in->num_rows(); ++r) {
+        std::string_view blob = StringAt(*content, r, &scratch);
+        std::string split_tag(StringAt(*split_in, r, &split_scratch));
+        size_t pos = 0;
+        while (pos <= blob.size()) {
+          size_t eol = blob.find('\n', pos);
+          std::string_view line =
+              blob.substr(pos, eol == std::string_view::npos ? blob.size() - pos
+                                                             : eol - pos);
+          pos = eol == std::string_view::npos ? blob.size() + 1 : eol + 1;
+          if (line.empty()) {
+            continue;
+          }
+          HELIX_RETURN_IF_ERROR(parse_line(line));
+          split_out_b.AppendString(split_tag);
+        }
+      }
+      out_split = split_out_b.Finish();
+    } else {
+      // Legacy line-per-row input: the split column passes through
+      // zero-copy.
+      std::shared_ptr<const Column> lines = in->column(line_col);
+      for (int64_t r = 0; r < in->num_rows(); ++r) {
+        HELIX_RETURN_IF_ERROR(parse_line(StringAt(*lines, r, &scratch)));
+      }
+      out_split = in->column(split_col);
     }
     std::vector<std::shared_ptr<const Column>> out_cols;
     out_cols.reserve(columns.size() + 1);
-    out_cols.push_back(in->column(split_col));
+    out_cols.push_back(std::move(out_split));
     for (ColumnBuilder& b : builders) {
       out_cols.push_back(b.Finish());
     }

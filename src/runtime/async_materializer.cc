@@ -8,8 +8,11 @@
 namespace helix {
 namespace runtime {
 
-AsyncMaterializer::AsyncMaterializer(storage::IntermediateStore* store)
-    : store_(store), writer_([this]() { WriterLoop(); }) {}
+AsyncMaterializer::AsyncMaterializer(storage::IntermediateStore* store,
+                                     int64_t max_queue_bytes)
+    : store_(store),
+      max_queue_bytes_(max_queue_bytes),
+      writer_([this]() { WriterLoop(); }) {}
 
 AsyncMaterializer::~AsyncMaterializer() {
   {
@@ -17,25 +20,47 @@ AsyncMaterializer::~AsyncMaterializer() {
     shutdown_ = true;
   }
   work_cv_.notify_all();
+  space_cv_.notify_all();
   writer_.join();
 }
 
 void AsyncMaterializer::Enqueue(Request request) {
+  request.size_bytes = request.data.SizeBytes();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (max_queue_bytes_ > 0) {
+      // Back-pressure: hold the producer until the writer frees room. A
+      // request that alone exceeds the bound is admitted once the queue is
+      // empty (queued_bytes_ == 0), so the wait always terminates.
+      space_cv_.wait(lock, [this, &request]() {
+        return shutdown_ || queued_bytes_ == 0 ||
+               queued_bytes_ + request.size_bytes <= max_queue_bytes_;
+      });
+    }
     ++pending_per_owner_[request.owner];
+    queued_bytes_ += request.size_bytes;
     queue_.push_back(std::move(request));
     if (queue_depth_ != nullptr) {
       queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
+    if (queue_bytes_ != nullptr) {
+      queue_bytes_->Set(queued_bytes_);
+    }
   }
   work_cv_.notify_one();
+}
+
+int64_t AsyncMaterializer::QueuedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_bytes_;
 }
 
 void AsyncMaterializer::EnableTelemetry(obs::MetricsRegistry* registry,
                                         const std::string& prefix) {
   std::lock_guard<std::mutex> lock(mu_);
   queue_depth_ = registry->GetGauge(prefix + ".queue_depth");
+  queue_bytes_ = registry->GetGauge(prefix + ".queue_bytes");
+  queue_bytes_->Set(queued_bytes_);
   write_micros_ = registry->GetHistogram(prefix + ".write_micros");
   writes_ok_ = registry->GetCounter(prefix + ".writes_ok");
   writes_failed_ = registry->GetCounter(prefix + ".writes_failed");
@@ -122,14 +147,19 @@ void AsyncMaterializer::WriterLoop() {
 
     lock.lock();
     writing_ = false;
+    queued_bytes_ -= request.size_bytes;
+    if (queue_bytes_ != nullptr) {
+      queue_bytes_->Set(queued_bytes_);
+    }
     outcomes_.push_back(std::move(outcome));
     auto it = pending_per_owner_.find(request.owner);
     if (it != pending_per_owner_.end() && --it->second == 0) {
       pending_per_owner_.erase(it);
     }
     // Per-owner drains must observe every completed write, not just the
-    // queue-empty edge.
+    // queue-empty edge; back-pressured producers wake on the freed bytes.
     drained_cv_.notify_all();
+    space_cv_.notify_all();
   }
 }
 

@@ -76,6 +76,9 @@ class AsyncMaterializer {
     /// Session tag for per-owner draining on a shared materializer
     /// (0 = the single-session default).
     uint64_t owner = 0;
+    /// Payload bytes this request keeps alive while queued or writing.
+    /// Filled by Enqueue from `data` (callers need not set it).
+    int64_t size_bytes = 0;
   };
 
   /// Result of one attempted write.
@@ -88,8 +91,16 @@ class AsyncMaterializer {
     uint64_t owner = 0;        // echo of Request::owner
   };
 
-  /// `store` must outlive the materializer.
-  explicit AsyncMaterializer(storage::IntermediateStore* store);
+  /// Default Enqueue back-pressure threshold (see max_queue_bytes).
+  static constexpr int64_t kDefaultMaxQueueBytes = 256LL << 20;
+
+  /// `store` must outlive the materializer. `max_queue_bytes` bounds the
+  /// payload bytes held alive by queued + in-flight requests: without a
+  /// bound, a burst of large Puts pins every serialized buffer
+  /// simultaneously — exactly the RAM spike memory planning schedules
+  /// against. <= 0 disables the bound (legacy behavior).
+  explicit AsyncMaterializer(storage::IntermediateStore* store,
+                             int64_t max_queue_bytes = kDefaultMaxQueueBytes);
 
   /// Drains outstanding writes (all owners), then stops the writer thread.
   ~AsyncMaterializer();
@@ -97,8 +108,16 @@ class AsyncMaterializer {
   AsyncMaterializer(const AsyncMaterializer&) = delete;
   AsyncMaterializer& operator=(const AsyncMaterializer&) = delete;
 
-  /// Queues a write; returns immediately.
+  /// Queues a write. Returns immediately while queued payload bytes stay
+  /// under max_queue_bytes; otherwise blocks the producer until the writer
+  /// frees room (back-pressure: the producer re-enters its compute loop
+  /// only as fast as the store absorbs writes). A request larger than the
+  /// whole bound is admitted alone — when nothing is queued ahead of it —
+  /// so it can never deadlock the pipeline.
   void Enqueue(Request request);
+
+  /// Payload bytes currently held by queued + in-flight requests.
+  int64_t QueuedBytes() const;
 
   /// Blocks until every write enqueued so far — any owner — has been
   /// attempted, then returns (and clears) their outcomes in enqueue order.
@@ -119,10 +138,10 @@ class AsyncMaterializer {
   /// Writes queued or executing right now for `owner` (diagnostics).
   size_t Pending(uint64_t owner) const;
 
-  /// Registers `<prefix>.queue_depth` (gauge), `<prefix>.write_micros`
-  /// (histogram of successful Put latencies) and `<prefix>.writes_ok` /
-  /// `<prefix>.writes_failed` (counters) in `registry` and starts
-  /// updating them.
+  /// Registers `<prefix>.queue_depth` / `<prefix>.queue_bytes` (gauges),
+  /// `<prefix>.write_micros` (histogram of successful Put latencies) and
+  /// `<prefix>.writes_ok` / `<prefix>.writes_failed` (counters) in
+  /// `registry` and starts updating them.
   void EnableTelemetry(obs::MetricsRegistry* registry,
                        const std::string& prefix = "materializer");
 
@@ -130,11 +149,14 @@ class AsyncMaterializer {
   void WriterLoop();
 
   storage::IntermediateStore* store_;
+  const int64_t max_queue_bytes_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;     // wakes the writer
   std::condition_variable drained_cv_;  // wakes Drain (any flavor)
+  std::condition_variable space_cv_;    // wakes Enqueue back-pressure waits
   std::deque<Request> queue_;
+  int64_t queued_bytes_ = 0;  // payload bytes queued + in-flight
   std::vector<Outcome> outcomes_;
   // Queued + in-flight request count per owner; the entry is erased when
   // it reaches zero, so the map stays bounded by live owners.
@@ -144,6 +166,7 @@ class AsyncMaterializer {
 
   // Telemetry (null until EnableTelemetry; pointers written under mu_).
   obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* queue_bytes_ = nullptr;
   obs::Histogram* write_micros_ = nullptr;
   obs::Counter* writes_ok_ = nullptr;
   obs::Counter* writes_failed_ = nullptr;

@@ -17,6 +17,7 @@ Status ParallelDagScheduler::Run(ThreadPool* pool, const NodeRunner& runner) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     unsatisfied_.assign(static_cast<size_t>(n), 0);
+    pending_dependents_.assign(static_cast<size_t>(n), 0);
     remaining_ = 0;
     in_flight_ = 0;
     first_error_ = Status::OK();
@@ -28,6 +29,7 @@ Status ParallelDagScheduler::Run(ThreadPool* pool, const NodeRunner& runner) {
       for (graph::NodeId p : dag_->Parents(i)) {
         if (active_[static_cast<size_t>(p)]) {
           ++unsatisfied_[static_cast<size_t>(i)];
+          ++pending_dependents_[static_cast<size_t>(p)];
         }
       }
     }
@@ -60,10 +62,9 @@ void ParallelDagScheduler::RunNode(ThreadPool* pool, const NodeRunner& runner,
   bool scheduled = pool->Schedule([this, pool, runner_ptr, node]() {
     Status s = (*runner_ptr)(node);
     std::vector<int> ready;
+    std::vector<int> releasable;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      --remaining_;
       if (!s.ok()) {
         if (first_error_.ok()) {
           first_error_ = s;
@@ -76,14 +77,37 @@ void ParallelDagScheduler::RunNode(ThreadPool* pool, const NodeRunner& runner,
             ready.push_back(child);
           }
         }
+        // This node was the last unfinished dependent of each parent it
+        // drains to zero: those parents' results are now dead to the
+        // schedule and may be released.
+        if (on_last_dependent_done_) {
+          for (graph::NodeId p : dag_->Parents(node)) {
+            if (active_[static_cast<size_t>(p)] &&
+                --pending_dependents_[static_cast<size_t>(p)] == 0) {
+              releasable.push_back(p);
+            }
+          }
+        }
       }
       in_flight_ += static_cast<int>(ready.size());
-      if (in_flight_ == 0 && (remaining_ == 0 || !first_error_.ok())) {
-        done_cv_.notify_all();
-      }
+    }
+    // Release callbacks run outside the lock but before this node counts
+    // as finished (in_flight_ still includes it), so Run cannot return —
+    // and the caller cannot read result slots — while a release is
+    // mid-write.
+    for (int released : releasable) {
+      on_last_dependent_done_(released);
     }
     for (int next : ready) {
       RunNode(pool, *runner_ptr, next);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      --remaining_;
+      if (in_flight_ == 0 && (remaining_ == 0 || !first_error_.ok())) {
+        done_cv_.notify_all();
+      }
     }
   });
   if (!scheduled) {

@@ -49,6 +49,17 @@ class ParallelDagScheduler {
   /// construct, Run once, discard.
   ParallelDagScheduler(const graph::Dag* dag, std::vector<bool> active);
 
+  /// Optional release hook for memory planning (drop-after-last-use): the
+  /// scheduler invokes it with a node id once every active dependent of
+  /// that node has finished successfully — from then on no scheduled task
+  /// will read the node's result, so the callback may free it. Invoked
+  /// from worker threads, outside the scheduler lock; nodes with no
+  /// active dependents are never reported (their results are typically
+  /// outputs the caller wants kept). Must be set before Run.
+  void SetOnLastDependentDone(std::function<void(int node)> callback) {
+    on_last_dependent_done_ = std::move(callback);
+  }
+
   /// Executes all active nodes on `pool` in dependency order; blocks until
   /// every submitted node finished. Returns OK when all active nodes ran
   /// successfully, otherwise the first error (descendants of a failed node
@@ -60,10 +71,12 @@ class ParallelDagScheduler {
 
   const graph::Dag* dag_;
   std::vector<bool> active_;
+  std::function<void(int node)> on_last_dependent_done_;
 
   std::mutex mu_;
   std::condition_variable done_cv_;
   std::vector<int> unsatisfied_;  // remaining active parents per node
+  std::vector<int> pending_dependents_;  // unfinished active children
   int in_flight_ = 0;             // submitted but not finished
   int remaining_ = 0;             // active nodes not yet finished
   Status first_error_;

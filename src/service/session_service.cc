@@ -91,6 +91,9 @@ Result<std::unique_ptr<SessionService>> SessionService::Open(
     store_options.shard_count = options.storage_shard_count;
   }
   store_options.metrics = &service->metrics_;
+  // stats_ has a stable address for the service's lifetime (loaded below
+  // by move-assignment), so eviction scores track the live registry.
+  store_options.cost_stats = &service->stats_;
   HELIX_ASSIGN_OR_RETURN(
       service->store_,
       storage::IntermediateStore::Open(
@@ -171,6 +174,7 @@ Result<ServiceSession*> SessionService::CreateSession(
   session_options.paranoid_checks = options_.paranoid_checks;
   session_options.default_compute_estimate_micros =
       options_.default_compute_estimate_micros;
+  session_options.memory_budget_bytes = options_.memory_budget_bytes;
   session_options.metrics = &metrics_;
   session_options.trace = &trace_;
   HELIX_ASSIGN_OR_RETURN(handle->session_,

@@ -101,6 +101,10 @@ struct ServiceOptions {
   /// across sessions, so this bounds concurrently executing iterations.
   int num_threads = 0;
   int64_t default_compute_estimate_micros = 1000000;
+  /// Per-iteration RAM budget for resident intermediates, applied to every
+  /// session (0 = memory planning off; see
+  /// ExecutionOptions::memory_budget_bytes).
+  int64_t memory_budget_bytes = 0;
   /// Materialization policy handed to every session (nullptr = each
   /// session gets its own OnlineCostModelPolicy). A non-null policy is
   /// shared by all sessions: supply a stateless one, or one that

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "storage/cost_stats.h"
 #include "storage/disk_backend.h"
 #include "storage/eviction.h"
 #include "storage/memory_backend.h"
@@ -234,6 +235,18 @@ Status IntermediateStore::Put(uint64_t signature,
                     HashToHex(signature).c_str()));
     }
   }
+  // A result that alone exceeds the whole budget can never be admitted;
+  // reject before paying for serialization or touching the budget lock
+  // (no eviction churn ahead of an inevitable failure). SizeBytes is a
+  // close approximation of the serialized footprint, so only clearly
+  // oversized payloads short-circuit here — the exact post-serialization
+  // check below stays authoritative for the borderline.
+  if (data.SizeBytes() > options_.budget_bytes) {
+    return Status::ResourceExhausted(StrFormat(
+        "result %s (~%s) exceeds the whole store budget (%s)",
+        node_name.c_str(), HumanBytes(data.SizeBytes()).c_str(),
+        HumanBytes(options_.budget_bytes).c_str()));
+  }
   // Serialization is the expensive CPU part; do it before any admission
   // work so concurrent Puts serialize their payloads in parallel. The
   // envelope is built once into a size-reserved buffer and moved (never
@@ -334,6 +347,36 @@ Status IntermediateStore::EvictForLocked(int64_t bytes_needed,
       candidates.push_back(std::move(c));
     }
   }
+  // Score from the live statistics, not the costs frozen at Put time: an
+  // entry written under a pre-edit DAG version carries that version's
+  // compute_micros forever, and a later measurement (same signature, so
+  // same bytes) is strictly better information. The registry's mutex is a
+  // leaf lock under budget_mu_ -> shard mu.
+  if (options_.cost_stats != nullptr) {
+    for (EvictionCandidate& c : candidates) {
+      std::optional<NodeStats> stats =
+          options_.cost_stats->Get(c.entry.signature);
+      if (!stats.has_value()) {
+        continue;
+      }
+      if (stats->compute_micros >= 0) {
+        c.entry.compute_micros = stats->compute_micros;
+      }
+      if (c.entry.load_micros < 0 && stats->load_micros >= 0) {
+        c.entry.load_micros = stats->load_micros;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(hints_mu_);
+    if (!recompute_hints_.empty()) {
+      for (EvictionCandidate& c : candidates) {
+        if (recompute_hints_.count(c.entry.signature) > 0) {
+          c.score_scale = 0.5;
+        }
+      }
+    }
+  }
   EvictionPlan plan =
       PlanEviction(candidates, bytes_needed, incoming_score,
                    options_.default_compute_estimate_micros);
@@ -351,6 +394,12 @@ Status IntermediateStore::EvictForLocked(int64_t bytes_needed,
     }
   }
   return Status::OK();
+}
+
+void IntermediateStore::SetRecomputeHints(std::vector<uint64_t> signatures) {
+  std::lock_guard<std::mutex> lock(hints_mu_);
+  recompute_hints_.clear();
+  recompute_hints_.insert(signatures.begin(), signatures.end());
 }
 
 int64_t IntermediateStore::EvictOne(uint64_t signature) {

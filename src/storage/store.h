@@ -29,6 +29,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/clock.h"
@@ -45,6 +46,8 @@ class MetricsRegistry;
 }  // namespace obs
 
 namespace storage {
+
+class CostStatsRegistry;
 
 /// Options for opening a store.
 struct StoreOptions {
@@ -69,6 +72,13 @@ struct StoreOptions {
   /// producer cost was never recorded (mirrors
   /// ExecutionOptions::default_compute_estimate_micros).
   int64_t default_compute_estimate_micros = 1000000;
+  /// Optional live statistics registry. When set, eviction planning
+  /// refreshes each candidate's compute/load costs from the registry's
+  /// current snapshot instead of trusting the costs frozen into the entry
+  /// at Put time — an entry written under a pre-edit DAG version would
+  /// otherwise score with stale compute_micros forever. Must outlive the
+  /// store.
+  const CostStatsRegistry* cost_stats = nullptr;
   /// Disk backend: roll to a new segment file past this size.
   int64_t segment_max_bytes = 64LL << 20;
   /// Optional telemetry. When set, the store registers aggregate counters
@@ -167,6 +177,13 @@ class IntermediateStore {
     return num_evictions_.load(std::memory_order_relaxed);
   }
 
+  /// Replaces the set of signatures the memory planner flagged for
+  /// drop-and-recompute this iteration. Hinted entries score at half their
+  /// retention value in eviction planning — the executor has already
+  /// decided it can afford to re-produce them. Called by the executor once
+  /// per planned iteration; an empty set clears the coupling.
+  void SetRecomputeHints(std::vector<uint64_t> signatures);
+
   /// Entries ordered by signature (deterministic iteration for reporting).
   std::vector<StoreEntry> Entries() const;
 
@@ -213,6 +230,11 @@ class IntermediateStore {
   StoreOptions options_;
   std::unique_ptr<StorageBackend> backend_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Memory-planner recompute hints (leaf lock; taken inside budget_mu_
+  // during eviction planning and from SetRecomputeHints callers).
+  mutable std::mutex hints_mu_;
+  std::unordered_set<uint64_t> recompute_hints_;
 
   // Budget accounting. total_bytes_ is authoritative and updated under
   // budget_mu_ for admission (reserve/unreserve) but read lock-free.

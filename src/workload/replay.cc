@@ -204,6 +204,7 @@ Result<ReplayResult> ReplayTrace(const Trace& trace,
   service_options.workspace_dir = options.workspace_dir;
   service_options.storage_backend = options.storage_backend;
   service_options.storage_budget_bytes = options.storage_budget_bytes;
+  service_options.memory_budget_bytes = options.memory_budget_bytes;
   service_options.num_threads = options.threads;
   service_options.mat_policy = options.mat_policy;
   service_options.clock = options.clock;

@@ -39,6 +39,9 @@ struct ReplayOptions {
   storage::StorageBackendKind storage_backend =
       storage::StorageBackendKind::kMemory;
   int64_t storage_budget_bytes = 1LL << 30;
+  /// RAM budget for each session's in-flight intermediates (planned peak;
+  /// the executor drops and recomputes to stay under it). 0 = unbudgeted.
+  int64_t memory_budget_bytes = 0;
   /// Shared pool width (0 = hardware concurrency).
   int threads = 0;
   /// nullptr = per-session OnlineCostModelPolicy. Determinism runs pass a

@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "dataflow/data_collection.h"
 #include "graph/dag.h"
+#include "obs/metrics.h"
 #include "runtime/async_materializer.h"
 #include "runtime/parallel_scheduler.h"
 #include "runtime/thread_pool.h"
@@ -459,6 +460,67 @@ TEST_F(AsyncMaterializerTest, DrainOneOwnerWhileAnotherKeepsEnqueueing) {
   for (const auto& outcome : theirs) {
     EXPECT_EQ(outcome.owner, 2u);
   }
+}
+
+// Regression for the unbounded-queue RAM spike: a burst of large Puts used
+// to pin every payload in the queue simultaneously. With a byte budget,
+// Enqueue back-pressures the producer, so the queue's high-water mark (the
+// `materializer.queue_bytes` gauge) stays under the bound.
+TEST_F(AsyncMaterializerTest, ByteBudgetBoundsQueuedPayloadBytes) {
+  auto store = OpenStore(/*budget=*/8 << 20);
+  obs::MetricsRegistry metrics;
+  DataCollection payload = MakeCollection(std::string(1000, 'p'), 16);
+  int64_t unit = payload.SizeBytes();
+  // Room for one queued-or-in-flight request, never two.
+  const int64_t bound = unit + unit / 2;
+  AsyncMaterializer materializer(store.get(), bound);
+  materializer.EnableTelemetry(&metrics);
+  for (int i = 0; i < 8; ++i) {
+    AsyncMaterializer::Request request;
+    request.node = i;
+    request.signature = 700 + static_cast<uint64_t>(i);
+    request.node_name = "n" + std::to_string(i);
+    request.data = MakeCollection(std::string(1000, 'p'), 16);
+    materializer.Enqueue(std::move(request));
+  }
+  std::vector<AsyncMaterializer::Outcome> outcomes = materializer.Drain();
+  ASSERT_EQ(outcomes.size(), 8u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  }
+  // The gauge's high-water mark proves the bound actually held while the
+  // writes raced through — not just at the quiescent ends.
+  obs::Gauge* queue_bytes = metrics.GetGauge("materializer.queue_bytes");
+  EXPECT_GE(queue_bytes->Max(), unit);  // something was actually queued
+  EXPECT_LE(queue_bytes->Max(), bound);
+  EXPECT_EQ(materializer.QueuedBytes(), 0);
+}
+
+// A single request larger than the whole bound is admitted once the queue
+// is empty — back-pressure slows bursts, it must never deadlock one big
+// write.
+TEST_F(AsyncMaterializerTest, OversizedRequestIsAdmittedAloneNotDeadlocked) {
+  auto store = OpenStore(/*budget=*/8 << 20);
+  AsyncMaterializer materializer(store.get(), /*max_queue_bytes=*/256);
+  AsyncMaterializer::Request small;
+  small.node = 0;
+  small.signature = 800;
+  small.node_name = "small";
+  small.data = MakeCollection("s");
+  materializer.Enqueue(std::move(small));
+  AsyncMaterializer::Request big;
+  big.node = 1;
+  big.signature = 801;
+  big.node_name = "big";
+  big.data = MakeCollection(std::string(1000, 'q'), 64);  // >> 256 bytes
+  EXPECT_GT(big.data.SizeBytes(), 256);
+  materializer.Enqueue(std::move(big));  // must return, not hang
+  std::vector<AsyncMaterializer::Outcome> outcomes = materializer.Drain();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].status.ok()) << outcomes[0].status.ToString();
+  EXPECT_TRUE(outcomes[1].status.ok()) << outcomes[1].status.ToString();
+  EXPECT_TRUE(store->Has(801));
+  EXPECT_EQ(materializer.QueuedBytes(), 0);
 }
 
 }  // namespace

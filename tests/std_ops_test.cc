@@ -57,11 +57,30 @@ TEST_F(StdOpsFileTest, FileSourceTagsSplits) {
   ASSERT_TRUE(WriteStringToFile(test, "c,3\n").ok());
   auto out = Invoke(ops::FileSource("data", train, test), {});
   ASSERT_TRUE(out.ok());
+  // One blob row per source file, tagged with its split.
   const TableData* t = out.value().AsTable().value();
-  ASSERT_EQ(t->num_rows(), 3);
+  ASSERT_EQ(t->num_rows(), 2);
   EXPECT_EQ(t->at(0, 0).AsString(), "train");
+  EXPECT_EQ(t->at(0, 1).AsString(), "a,1\nb,2\n");
+  EXPECT_EQ(t->at(1, 0).AsString(), "test");
+  EXPECT_EQ(t->at(1, 1).AsString(), "c,3\n");
+}
+
+TEST_F(StdOpsFileTest, CsvScannerSplitsBlobIntoTaggedRows) {
+  std::string train = JoinPath(dir_, "train.csv");
+  std::string test = JoinPath(dir_, "test.csv");
+  ASSERT_TRUE(WriteStringToFile(train, "a,1\n\nb,2\n").ok());
+  ASSERT_TRUE(WriteStringToFile(test, "c,3").ok());  // no trailing newline
+  auto data = Invoke(ops::FileSource("d", train, test), {});
+  ASSERT_TRUE(data.ok());
+  auto rows = Invoke(ops::CsvScanner("rows", {"k", "v"}), {data.value()});
+  ASSERT_TRUE(rows.ok());
+  const TableData* t = rows.value().AsTable().value();
+  ASSERT_EQ(t->num_rows(), 3);  // empty line skipped
+  EXPECT_EQ(t->at(0, 0).AsString(), "train");
+  EXPECT_EQ(t->at(1, 1).AsString(), "b");
   EXPECT_EQ(t->at(2, 0).AsString(), "test");
-  EXPECT_EQ(t->at(2, 1).AsString(), "c,3");
+  EXPECT_EQ(t->at(2, 2).AsString(), "3");
 }
 
 TEST_F(StdOpsFileTest, FileSourceMissingFileFails) {

@@ -159,6 +159,105 @@ TEST_F(StoreTest, LowValueNewcomerDoesNotChurnResidents) {
   EXPECT_EQ(store->NumEvictions(), 0);
 }
 
+// A result that alone exceeds the whole budget must be refused before any
+// admission work: it can never fit, so evicting residents for it would be
+// pure churn. Regression — the reject must happen with zero evictions even
+// when eviction is enabled and victims are available.
+TEST_F(StoreTest, OversizedPutCausesNoEvictionChurn) {
+  DataCollection data = MakeCollection(std::string(1000, 'a'));
+  int64_t size = SerializedSize(data);
+  auto store = OpenStore(/*budget=*/2 * size + size / 2);
+  ASSERT_TRUE(store->Put(1, "a", data, 0, nullptr, 5000).ok());
+  ASSERT_TRUE(store->Put(2, "b", data, 0, nullptr, 5000).ok());
+  // Five times the whole budget: hopeless no matter what gets evicted.
+  DataCollection big = MakeCollection(std::string(1000, 'x'), 12);
+  Status s = store->Put(3, "oversized", big, 1, nullptr, 50000000);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(store->NumEvictions(), 0);
+  EXPECT_TRUE(store->Has(1));
+  EXPECT_TRUE(store->Has(2));
+  EXPECT_EQ(store->NumEntries(), 2u);
+}
+
+// Eviction scores from the live cost registry, not the costs frozen at Put
+// time. Regression for the stale-compute_micros bug: an entry written
+// under a pre-edit DAG version kept its old (here: inflated) compute cost
+// forever, so the store defended the wrong resident.
+TEST_F(StoreTest, EvictionRefreshesStaleComputeCostsFromLiveStats) {
+  DataCollection data = MakeCollection(std::string(1000, 'a'));
+  int64_t size = SerializedSize(data);
+  CostStatsRegistry stats;
+  StoreOptions options;
+  options.budget_bytes = 2 * size + size / 2;
+  options.cost_stats = &stats;
+  auto store = OpenStore(options);
+  // Frozen costs say entry 1 is dear and entry 2 is cheap...
+  ASSERT_TRUE(store->Put(1, "a", data, 0, nullptr,
+                         /*compute_micros=*/50000000).ok());
+  ASSERT_TRUE(store->Put(2, "b", data, 0, nullptr,
+                         /*compute_micros=*/5000).ok());
+  // ...but fresh measurements say the opposite.
+  stats.RecordCompute(1, "a", 5000, 1);
+  stats.RecordCompute(2, "b", 50000000, 1);
+  ASSERT_TRUE(store->Put(3, "mid", data, 1, nullptr,
+                         /*compute_micros=*/1000000).ok());
+  // The refreshed scores pick entry 1 (now cheap) as the victim; the
+  // frozen scores would have churned out entry 2.
+  EXPECT_FALSE(store->Has(1));
+  EXPECT_TRUE(store->Has(2));
+  EXPECT_TRUE(store->Has(3));
+  EXPECT_EQ(store->NumEvictions(), 1);
+}
+
+// With refreshed costs equal, the documented tie order still holds: older
+// iteration first (then smaller signature) — the refresh path must not
+// perturb the deterministic victim sequence.
+TEST_F(StoreTest, RefreshedEqualScoresKeepDeterministicTieOrder) {
+  DataCollection data = MakeCollection(std::string(1000, 'a'));
+  int64_t size = SerializedSize(data);
+  CostStatsRegistry stats;
+  StoreOptions options;
+  options.budget_bytes = 2 * size + size / 2;
+  options.cost_stats = &stats;
+  auto store = OpenStore(options);
+  // Frozen costs differ (and would pick entry 1, the cheaper one)...
+  ASSERT_TRUE(store->Put(1, "a", data, /*iteration=*/1, nullptr, 5000).ok());
+  ASSERT_TRUE(store->Put(2, "b", data, /*iteration=*/0, nullptr, 7000).ok());
+  // ...but the live registry refreshes both to the same cost, so the tie
+  // breaks on iteration age: entry 2 (iteration 0) goes first.
+  stats.RecordCompute(1, "a", 1000000, 2);
+  stats.RecordCompute(2, "b", 1000000, 2);
+  ASSERT_TRUE(store->Put(3, "new", data, 2, nullptr, 50000000).ok());
+  EXPECT_TRUE(store->Has(1));
+  EXPECT_FALSE(store->Has(2));
+  EXPECT_TRUE(store->Has(3));
+  EXPECT_EQ(store->NumEvictions(), 1);
+}
+
+// Entries the memory planner flagged for drop-and-recompute score at half
+// value: the executor is happy to re-produce them, so the store should be
+// happy to lose them first.
+TEST_F(StoreTest, RecomputeHintsHalveRetentionScores) {
+  DataCollection data = MakeCollection(std::string(1000, 'a'));
+  int64_t size = SerializedSize(data);
+  auto store = OpenStore(/*budget=*/2 * size + size / 2);
+  // Identical residents: without hints the tie order would evict the
+  // smaller signature (1) first.
+  ASSERT_TRUE(store->Put(1, "a", data, 0, nullptr,
+                         /*compute_micros=*/10000000).ok());
+  ASSERT_TRUE(store->Put(2, "b", data, 0, nullptr,
+                         /*compute_micros=*/10000000).ok());
+  store->SetRecomputeHints({2});
+  // The newcomer scores between the hinted (halved) and full resident
+  // scores: only the hinted entry is an eligible victim.
+  ASSERT_TRUE(store->Put(3, "mid", data, 1, nullptr,
+                         /*compute_micros=*/6000000).ok());
+  EXPECT_TRUE(store->Has(1));
+  EXPECT_FALSE(store->Has(2));
+  EXPECT_TRUE(store->Has(3));
+  EXPECT_EQ(store->NumEvictions(), 1);
+}
+
 // The documented tie order for equal retention scores: older iteration
 // first, then smaller signature — a total order, so the victim sequence
 // is deterministic regardless of the order candidates are enumerated in.

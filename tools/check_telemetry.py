@@ -35,6 +35,14 @@ def load_json(path, what):
         return None
 
 
+def gauge_high_water(gauges, name):
+    """A gauge's lifetime max (entries serialize as {value, max})."""
+    entry = gauges.get(name)
+    if isinstance(entry, dict):
+        return entry.get("max", 0)
+    return entry if isinstance(entry, (int, float)) else 0
+
+
 def check_metrics(path, require_server):
     doc = load_json(path, "metrics")
     if doc is None:
@@ -64,6 +72,20 @@ def check_metrics(path, require_server):
     expect(any(name.startswith("simd.") and value > 0
                for name, value in counters.items()),
            "metrics: no simd.* kernel counters populated")
+
+    # Memory accounting: the executor publishes its planned peak and
+    # recompute overhead every iteration (0 is fine — absence is not),
+    # and the async writer reports the payload bytes its queue pins.
+    expect("executor.peak_planned_bytes" in gauges,
+           "metrics: executor.peak_planned_bytes gauge missing")
+    expect(gauge_high_water(gauges, "executor.peak_planned_bytes") > 0,
+           "metrics: executor.peak_planned_bytes never set")
+    expect("executor.recompute_extra_micros" in gauges,
+           "metrics: executor.recompute_extra_micros gauge missing")
+    expect(gauge_high_water(gauges, "executor.peak_resident_bytes") > 0,
+           "metrics: executor.peak_resident_bytes never set")
+    expect("materializer.queue_bytes" in gauges,
+           "metrics: materializer.queue_bytes gauge missing")
 
     # The pool queued work.
     wait = histograms.get("pool.task_wait_micros", {})

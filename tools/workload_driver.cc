@@ -31,7 +31,8 @@
 // Usage:
 //   workload_driver [--users=4] [--iterations=10] [--app=census|ie|mixed]
 //                   [--shared=1] [--threads=0] [--think-ms=20]
-//                   [--rows=8000] [--docs=80] [--budget-mb=1024] [--seed=1]
+//                   [--rows=8000] [--docs=80] [--budget-mb=1024]
+//                   [--memory-budget-mb=0] [--seed=1]
 //                   [--remote=host:port] [--shutdown-remote=0]
 //                   [--metrics-out=FILE] [--trace-out=FILE]
 //   workload_driver --scenario=localized|sweep|features|refresh|stream
@@ -107,6 +108,9 @@ struct DriverConfig {
   int64_t rows = 8000;
   int64_t docs = 80;
   int64_t budget_mb = 1024;
+  /// Per-iteration RAM budget for in-flight intermediates (0 = off): the
+  /// executor plans drops/recomputes to keep its resident peak under it.
+  int64_t memory_budget_mb = 0;
   uint64_t seed = 1;
   std::string remote_host;  // empty = in-process
   int remote_port = 0;
@@ -245,6 +249,7 @@ std::unique_ptr<service::SessionService> OpenService(
   service::ServiceOptions options;
   options.workspace_dir = workspace;
   options.storage_budget_bytes = config.budget_mb << 20;
+  options.memory_budget_bytes = config.memory_budget_mb << 20;
   options.num_threads = config.threads > 0 ? config.threads : config.users;
   return bench::ValueOrDie(service::SessionService::Open(options),
                            "open service");
@@ -472,6 +477,7 @@ void RunTrace(const DriverConfig& config) {
   workload::ReplayOptions replay;
   replay.workspace_dir = workspace.Path("ws-replay");
   replay.storage_budget_bytes = config.budget_mb << 20;
+  replay.memory_budget_bytes = config.memory_budget_mb << 20;
   replay.threads = config.threads > 0 ? config.threads : config.users;
   replay.clock = clock;
   if (config.virtual_clock) {
@@ -652,6 +658,9 @@ int main(int argc, char** argv) {
       config.rows = v;
     } else if ((v = helix::bench::FlagValue(arg, "--docs")) >= 0) {
       config.docs = v;
+    } else if ((v = helix::bench::FlagValue(arg, "--memory-budget-mb")) >=
+               0) {
+      config.memory_budget_mb = v;
     } else if ((v = helix::bench::FlagValue(arg, "--budget-mb")) >= 0) {
       config.budget_mb = v;
     } else if ((v = helix::bench::FlagValue(arg, "--seed")) >= 0) {
